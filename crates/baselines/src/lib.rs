@@ -1,0 +1,34 @@
+//! Baseline indexing schemes from the paper's evaluation.
+//!
+//! Section 3.1 of the paper compares a *virtual* partial view against three
+//! variants that index qualifying pages *explicitly* in software, plus an
+//! artificial optimum:
+//!
+//! * [`ZoneMapIndex`] — per-page minimum/maximum stored in-place at the
+//!   beginning of each page; scans skip non-qualifying pages but must
+//!   inspect the metadata of *every* page.
+//! * [`BitmapIndex`] — a separate bitvector with one bit per page; lookups
+//!   scan the bitvector and jump into the column for each qualifying page.
+//! * [`PageIdVectorIndex`] — a vector containing only the ids of qualifying
+//!   pages, with software prefetching of the next page during scans.
+//! * [`PhysicalScanBaseline`] — a freshly allocated contiguous copy of all
+//!   qualifying pages ("resembles an artificial optimal baseline").
+//! * [`VirtualViewIndex`] — the paper's virtual partial view, wrapped in the
+//!   same [`RangeIndex`] interface for apples-to-apples benchmarking.
+//!
+//! All variants answer the same range queries over the same logical data and
+//! support the random point updates the experiment applies before querying.
+
+pub mod bitmap;
+pub mod index;
+pub mod pageid_vector;
+pub mod physical_scan;
+pub mod virtual_view;
+pub mod zonemap;
+
+pub use bitmap::BitmapIndex;
+pub use index::{IndexAnswer, RangeIndex};
+pub use pageid_vector::PageIdVectorIndex;
+pub use physical_scan::PhysicalScanBaseline;
+pub use virtual_view::VirtualViewIndex;
+pub use zonemap::ZoneMapIndex;

@@ -1,0 +1,174 @@
+//! Regenerates the paper's tables and figures as text tables and CSV files.
+//!
+//! ```text
+//! experiments [fig3|fig4|fig5|fig6|fig7|table1|ablation|all]
+//!             [--scale tiny|small|medium|paper] [--seed N] [--csv-dir DIR]
+//! ```
+//!
+//! Results are printed to stdout; with `--csv-dir` the per-figure series are
+//! additionally written as CSV files (one per figure), which is what
+//! `EXPERIMENTS.md` records.
+
+use std::process::ExitCode;
+
+use asv_bench::{ablation, fig3, fig4, fig5, fig6, fig7, report, table1, Scale, DEFAULT_SEED};
+
+struct Args {
+    experiments: Vec<String>,
+    scale: Scale,
+    seed: u64,
+    csv_dir: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut experiments = Vec::new();
+    let mut scale = Scale::default();
+    let mut seed = DEFAULT_SEED;
+    let mut csv_dir = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let name = args.next().ok_or("--scale needs a value")?;
+                scale = Scale::by_name(&name)
+                    .ok_or_else(|| format!("unknown scale '{name}' (tiny|small|medium|paper)"))?;
+            }
+            "--seed" => {
+                let v = args.next().ok_or("--seed needs a value")?;
+                seed = v.parse().map_err(|_| format!("invalid seed '{v}'"))?;
+            }
+            "--csv-dir" => {
+                csv_dir = Some(args.next().ok_or("--csv-dir needs a value")?);
+            }
+            "--help" | "-h" => {
+                return Err("usage: experiments [fig3|fig4|fig5|fig6|fig7|table1|ablation|all] \
+                            [--scale tiny|small|medium|paper] [--seed N] [--csv-dir DIR]"
+                    .to_string());
+            }
+            name if !name.starts_with('-') => experiments.push(name.to_string()),
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    if experiments.is_empty() {
+        experiments.push("all".to_string());
+    }
+    Ok(Args {
+        experiments,
+        scale,
+        seed,
+        csv_dir,
+    })
+}
+
+fn maybe_write_csv(csv_dir: &Option<String>, name: &str, table: &report::Table) {
+    if let Some(dir) = csv_dir {
+        let path = format!("{dir}/{name}.csv");
+        if let Err(e) = report::write_csv(&path, &table.to_csv()) {
+            eprintln!("warning: could not write {path}: {e}");
+        } else {
+            println!("(wrote {path})");
+        }
+    }
+}
+
+fn run_fig3(args: &Args) {
+    let rows = fig3::run(&args.scale, args.seed);
+    let table = fig3::to_table(&rows);
+    println!("{}", table.render());
+    maybe_write_csv(&args.csv_dir, "fig3", &table);
+}
+
+fn run_fig4(args: &Args) {
+    let results = fig4::run_all(&args.scale, args.seed);
+    for r in &results {
+        let table = fig4::to_table(r);
+        println!("{}", table.render());
+        maybe_write_csv(&args.csv_dir, &format!("fig4_{}", r.distribution), &table);
+    }
+    println!("{}", fig4::summary_table(&results).render());
+}
+
+fn run_fig5(args: &Args) {
+    let results = fig5::run_all(&args.scale, args.seed);
+    for r in &results {
+        let table = fig5::to_table(r);
+        println!("{}", table.render());
+        maybe_write_csv(
+            &args.csv_dir,
+            &format!("fig5_sel{:.0}pct", r.selectivity * 100.0),
+            &table,
+        );
+    }
+    println!("{}", fig5::summary_table(&results).render());
+}
+
+fn run_fig6(args: &Args) {
+    let rows = fig6::run(&args.scale, args.seed);
+    let table = fig6::to_table(&rows);
+    println!("{}", table.render());
+    maybe_write_csv(&args.csv_dir, "fig6", &table);
+}
+
+fn run_fig7(args: &Args) {
+    let rows = fig7::run_all(&args.scale, args.seed);
+    let table = fig7::to_table(&rows);
+    println!("{}", table.render());
+    maybe_write_csv(&args.csv_dir, "fig7", &table);
+}
+
+fn run_ablation(args: &Args) {
+    let rows = ablation::run(&args.scale, args.seed);
+    let table = ablation::to_table(&rows);
+    println!("{}", table.render());
+    maybe_write_csv(&args.csv_dir, "ablation", &table);
+}
+
+fn run_table1(args: &Args) {
+    let entries = table1::run(&args.scale, args.seed);
+    let table = table1::to_table(&entries);
+    println!("{}", table.render());
+    maybe_write_csv(&args.csv_dir, "table1", &table);
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    println!(
+        "# adaptive-storage-views experiments (scale: {}, seed: {})",
+        args.scale.name, args.seed
+    );
+    println!(
+        "# column sizes: fig3 {} pages, fig4/5 {} pages, fig6 {} pages, fig7 {} pages\n",
+        args.scale.fig3_pages, args.scale.fig45_pages, args.scale.fig6_pages, args.scale.fig7_pages
+    );
+    for exp in &args.experiments {
+        match exp.as_str() {
+            "fig3" => run_fig3(&args),
+            "fig4" => run_fig4(&args),
+            "fig5" => run_fig5(&args),
+            "fig6" => run_fig6(&args),
+            "fig7" => run_fig7(&args),
+            "table1" => run_table1(&args),
+            "ablation" => run_ablation(&args),
+            "all" => {
+                run_fig3(&args);
+                run_fig4(&args);
+                run_fig5(&args);
+                run_fig6(&args);
+                run_fig7(&args);
+                run_table1(&args);
+                run_ablation(&args);
+            }
+            other => {
+                eprintln!("unknown experiment '{other}'");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,510 @@
+//! The adaptive column: query answering with adaptive view maintenance.
+//!
+//! [`AdaptiveColumn`] ties everything together and implements the paper's
+//! Listing 1 (`answerQueryAndMaintainViews`): every range query is routed to
+//! the most fitting view(s), answered by scanning them (skipping shared
+//! pages), and — as a side-product — a new candidate partial view covering
+//! (at least) the query range is materialized and offered to the view index.
+
+use asv_storage::{Column, PageScanResult, Update};
+use asv_util::{BitVec, Timer, ValueRange};
+use asv_vmem::{Backend, ViewBuffer, VmemError};
+
+use crate::config::{AdaptiveConfig, RoutingMode};
+use crate::creation::{create_while_scanning, PageSink};
+use crate::query::{QueryOutcome, RangeQuery, ViewMaintenance};
+use crate::router::{route, RouteSelection, ViewId};
+use crate::updates::{align_views_after_updates, rebuild_all_views, UpdateAlignmentStats};
+use crate::viewset::ViewSet;
+
+/// A column equipped with the adaptive virtual-view layer.
+pub struct AdaptiveColumn<B: Backend> {
+    column: Column<B>,
+    views: ViewSet<B>,
+    config: AdaptiveConfig,
+}
+
+/// Everything the scan loop produces besides the mapped candidate buffer.
+struct ScanOutput {
+    result: PageScanResult,
+    rows: Option<Vec<u64>>,
+    scanned_pages: usize,
+    /// Largest value `< query.low` observed on *non-qualifying* pages.
+    below: Option<u64>,
+    /// Smallest value `> query.high` observed on *non-qualifying* pages.
+    above: Option<u64>,
+}
+
+impl<B: Backend> AdaptiveColumn<B> {
+    /// Wraps an existing column.
+    pub fn new(column: Column<B>, config: AdaptiveConfig) -> Result<Self, VmemError> {
+        let views = ViewSet::new(config.max_views);
+        Ok(Self {
+            column,
+            views,
+            config,
+        })
+    }
+
+    /// Materializes a column from values and wraps it in one step.
+    pub fn from_values(backend: B, values: &[u64], config: AdaptiveConfig) -> Result<Self, VmemError> {
+        Self::new(Column::from_values(backend, values)?, config)
+    }
+
+    /// The underlying physical column.
+    pub fn column(&self) -> &Column<B> {
+        &self.column
+    }
+
+    /// The set of partial views currently maintained.
+    pub fn views(&self) -> &ViewSet<B> {
+        &self.views
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &AdaptiveConfig {
+        &self.config
+    }
+
+    /// Changes the routing mode at runtime.
+    pub fn set_routing(&mut self, routing: RoutingMode) {
+        self.config.routing = routing;
+    }
+
+    /// Answers `query`, adaptively maintaining partial views as a
+    /// side-product (Listing 1). Returns the aggregate answer.
+    pub fn query(&mut self, query: &RangeQuery) -> Result<QueryOutcome, VmemError> {
+        self.answer_and_maintain(query, false)
+    }
+
+    /// Like [`Self::query`], but also collects the qualifying row ids.
+    pub fn query_collect(&mut self, query: &RangeQuery) -> Result<QueryOutcome, VmemError> {
+        self.answer_and_maintain(query, true)
+    }
+
+    /// Answers `query` with a plain full scan, bypassing all views and all
+    /// adaptivity — the baseline of the paper's evaluation (§3.2).
+    pub fn full_scan(&self, query: &RangeQuery) -> QueryOutcome {
+        let timer = Timer::start();
+        let result = self.column.full_scan(query.range());
+        QueryOutcome {
+            count: result.count,
+            sum: result.sum,
+            rows: None,
+            scanned_pages: self.column.num_pages(),
+            views_used: vec![ViewId::Full],
+            view_maintenance: ViewMaintenance::NotAttempted,
+            elapsed: timer.elapsed(),
+        }
+    }
+
+    /// Writes `new_value` into `row` through the storage layer (the "update
+    /// through the full view" path of §2.4). The partial views are *not*
+    /// touched; call [`Self::align_views`] with the collected update records
+    /// to re-align them batch-wise.
+    pub fn write(&mut self, row: usize, new_value: u64) -> Update {
+        self.column.write(row, new_value)
+    }
+
+    /// Applies a batch of `(row, value)` writes, returning the update
+    /// records to later pass to [`Self::align_views`].
+    pub fn write_batch(&mut self, writes: &[(usize, u64)]) -> Vec<Update> {
+        self.column.write_batch(writes)
+    }
+
+    /// Aligns all partial views with an already-applied batch of updates
+    /// (paper §2.4–2.5).
+    pub fn align_views(&mut self, batch: &[Update]) -> Result<UpdateAlignmentStats, VmemError> {
+        align_views_after_updates(&self.column, &mut self.views, batch)
+    }
+
+    /// Rebuilds every partial view from scratch (the comparison point for
+    /// batched alignment in Figure 7). Returns the total rebuild time.
+    pub fn rebuild_views(&mut self) -> Result<std::time::Duration, VmemError> {
+        rebuild_all_views(&self.column, &mut self.views, &self.config.creation)
+    }
+
+    fn answer_and_maintain(
+        &mut self,
+        query: &RangeQuery,
+        collect_rows: bool,
+    ) -> Result<QueryOutcome, VmemError> {
+        let timer = Timer::start();
+        let selection = route(&self.column, &self.views, query.range(), self.config.routing);
+        let create_candidate = self.config.adaptive_creation && self.views.can_create_views();
+
+        let column = &self.column;
+        let views = &self.views;
+
+        let (candidate, scan) = if create_candidate {
+            let (buffer, scan) =
+                create_while_scanning(column, &self.config.creation, |sink| {
+                    scan_selected_views(column, views, &selection, query, collect_rows, Some(sink))
+                })?;
+            (Some(buffer), scan)
+        } else {
+            let scan = scan_selected_views(column, views, &selection, query, collect_rows, None)?;
+            (None, scan)
+        };
+
+        // Range widening (Listing 1 lines 13-20): the candidate view covers
+        // everything strictly between the closest non-qualifying values
+        // observed around the query range, clamped to the covered range of
+        // the source views.
+        let maintenance = if let Some(buffer) = candidate {
+            let widened = widen_candidate_range(query.range(), &selection.covered, scan.below, scan.above);
+            let candidate_pages = buffer.mapped_pages();
+            self.views.offer_candidate(
+                widened,
+                buffer,
+                candidate_pages,
+                self.column.num_pages(),
+                self.config.discard_tolerance,
+                self.config.replacement_tolerance,
+            )
+        } else {
+            ViewMaintenance::NotAttempted
+        };
+
+        Ok(QueryOutcome {
+            count: scan.result.count,
+            sum: scan.result.sum,
+            rows: scan.rows,
+            scanned_pages: scan.scanned_pages,
+            views_used: selection.views,
+            view_maintenance: maintenance,
+            elapsed: timer.elapsed(),
+        })
+    }
+}
+
+/// Computes the covered range of the candidate view.
+fn widen_candidate_range(
+    query: &ValueRange,
+    source_covered: &ValueRange,
+    below: Option<u64>,
+    above: Option<u64>,
+) -> ValueRange {
+    let widened = query.widen_between(below, above);
+    // Clamp to the range covered by the source views: pages outside that
+    // coverage were never scanned, so nothing can be claimed about them.
+    widened
+        .intersect(source_covered)
+        .unwrap_or(*query)
+        .hull(query)
+}
+
+/// Scans the selected views, answering the query and feeding qualifying
+/// pages to the candidate sink (if any). Shared physical pages are
+/// processed at most once, tracked by a bitvector over all physical pages
+/// (paper §2.1).
+fn scan_selected_views<B: Backend>(
+    column: &Column<B>,
+    views: &ViewSet<B>,
+    selection: &RouteSelection,
+    query: &RangeQuery,
+    collect_rows: bool,
+    mut sink: Option<&mut PageSink<'_, B>>,
+) -> Result<ScanOutput, VmemError> {
+    let num_pages = column.num_pages();
+    let mut processed = BitVec::new(num_pages);
+    let mut out = ScanOutput {
+        result: PageScanResult::default(),
+        rows: collect_rows.then(Vec::new),
+        scanned_pages: 0,
+        below: None,
+        above: None,
+    };
+    let range = query.range();
+
+    let mut scan_raw_page = |raw: &[u64], out: &mut ScanOutput| -> Result<(), VmemError> {
+        let page_id = raw[0] as usize;
+        debug_assert!(page_id < num_pages, "corrupt embedded pageID {page_id}");
+        if processed.test_and_set(page_id) {
+            return Ok(());
+        }
+        out.scanned_pages += 1;
+        let page = column.wrap_view_page(raw);
+        let res = match out.rows.as_mut() {
+            Some(rows) => page.scan_filter_collect(range, rows),
+            None => page.scan_filter(range),
+        };
+        if res.count > 0 {
+            out.result.count += res.count;
+            out.result.sum += res.sum;
+            if let Some(sink) = sink.as_deref_mut() {
+                sink.add_page(page_id as u64)?;
+            }
+        } else {
+            if let Some(b) = res.below_max {
+                out.below = Some(out.below.map_or(b, |cur| cur.max(b)));
+            }
+            if let Some(a) = res.above_min {
+                out.above = Some(out.above.map_or(a, |cur| cur.min(a)));
+            }
+        }
+        Ok(())
+    };
+
+    for view_id in &selection.views {
+        match view_id {
+            ViewId::Full => {
+                for raw in column.full_view().iter_pages() {
+                    scan_raw_page(raw, &mut out)?;
+                }
+            }
+            ViewId::Partial(idx) => {
+                let view = views
+                    .partial_view(*idx)
+                    .expect("router returned a valid partial-view index");
+                for raw in view.buffer().iter_pages() {
+                    scan_raw_page(raw, &mut out)?;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CreationOptions;
+    use asv_vmem::{MmapBackend, SimBackend, VALUES_PER_PAGE};
+
+    /// Clustered data: page p holds values in [p*1000, p*1000 + 510].
+    fn clustered_values(pages: usize) -> Vec<u64> {
+        (0..pages * VALUES_PER_PAGE)
+            .map(|i| ((i / VALUES_PER_PAGE) * 1000 + i % VALUES_PER_PAGE) as u64)
+            .collect()
+    }
+
+    fn reference_answer(values: &[u64], range: &ValueRange) -> (u64, u128) {
+        let mut count = 0u64;
+        let mut sum = 0u128;
+        for &v in values {
+            if range.contains(v) {
+                count += 1;
+                sum += v as u128;
+            }
+        }
+        (count, sum)
+    }
+
+    fn adaptive<B: Backend>(backend: B, values: &[u64], config: AdaptiveConfig) -> AdaptiveColumn<B> {
+        AdaptiveColumn::from_values(backend, values, config).unwrap()
+    }
+
+    #[test]
+    fn first_query_answers_correctly_and_creates_a_view() {
+        let values = clustered_values(32);
+        let mut col = adaptive(SimBackend::new(), &values, AdaptiveConfig::default());
+        let q = RangeQuery::new(5_000, 9_400);
+        let out = col.query(&q).unwrap();
+        let (count, sum) = reference_answer(&values, q.range());
+        assert_eq!(out.count, count);
+        assert_eq!(out.sum, sum);
+        assert_eq!(out.scanned_pages, 32); // first query = full scan
+        assert_eq!(out.views_used, vec![ViewId::Full]);
+        assert_eq!(out.view_maintenance, ViewMaintenance::Inserted);
+        assert_eq!(col.views().num_partial_views(), 1);
+        let view = col.views().partial_view(0).unwrap();
+        assert_eq!(view.num_pages(), 5); // pages 5..=9 qualify
+        assert!(view.range().covers(q.range()));
+    }
+
+    #[test]
+    fn second_query_uses_the_new_view_and_scans_fewer_pages() {
+        let values = clustered_values(32);
+        let mut col = adaptive(SimBackend::new(), &values, AdaptiveConfig::default());
+        col.query(&RangeQuery::new(5_000, 9_400)).unwrap();
+        let q = RangeQuery::new(6_000, 8_000);
+        let out = col.query(&q).unwrap();
+        let (count, sum) = reference_answer(&values, q.range());
+        assert_eq!((out.count, out.sum), (count, sum));
+        assert_eq!(out.views_used, vec![ViewId::Partial(0)]);
+        assert!(out.scanned_pages <= 5);
+    }
+
+    #[test]
+    fn adaptive_answers_match_full_scans_over_a_query_sequence() {
+        let values = clustered_values(64);
+        for backend_mode in ["sim", "mmap"] {
+            let mut config = AdaptiveConfig::default().with_max_views(16);
+            config.creation = CreationOptions::ALL;
+            // Exercise both routing modes.
+            for routing in [RoutingMode::SingleView, RoutingMode::MultiView] {
+                config.routing = routing;
+                let queries: Vec<RangeQuery> = (0..20)
+                    .map(|i| {
+                        let lo = (i * 2_900) as u64;
+                        RangeQuery::new(lo, lo + 4_000)
+                    })
+                    .collect();
+                if backend_mode == "sim" {
+                    let mut col = adaptive(SimBackend::new(), &values, config);
+                    for q in &queries {
+                        let out = col.query(q).unwrap();
+                        let base = col.full_scan(q);
+                        assert_eq!(out.count, base.count, "{backend_mode}/{routing:?}");
+                        assert_eq!(out.sum, base.sum, "{backend_mode}/{routing:?}");
+                    }
+                } else {
+                    let mut col = adaptive(MmapBackend::new(), &values, config);
+                    for q in &queries {
+                        let out = col.query(q).unwrap();
+                        let base = col.full_scan(q);
+                        assert_eq!(out.count, base.count, "{backend_mode}/{routing:?}");
+                        assert_eq!(out.sum, base.sum, "{backend_mode}/{routing:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn query_collect_returns_matching_rows() {
+        let values = clustered_values(8);
+        let mut col = adaptive(SimBackend::new(), &values, AdaptiveConfig::default());
+        let q = RangeQuery::new(3_000, 3_050);
+        let out = col.query_collect(&q).unwrap();
+        let rows = out.rows.unwrap();
+        assert_eq!(rows.len() as u64, out.count);
+        for &r in &rows {
+            assert!(q.range().contains(values[r as usize]));
+        }
+        // And the rows are exactly the reference set.
+        let expected: Vec<u64> = values
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| q.range().contains(**v))
+            .map(|(i, _)| i as u64)
+            .collect();
+        let mut sorted = rows.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, expected);
+    }
+
+    #[test]
+    fn multi_view_mode_combines_views_without_double_counting() {
+        let values = clustered_values(40);
+        let config = AdaptiveConfig::paper_multi_view(50);
+        let mut col = adaptive(SimBackend::new(), &values, config);
+        // Create two overlapping views via two queries.
+        col.query(&RangeQuery::new(5_000, 12_000)).unwrap();
+        col.query(&RangeQuery::new(11_000, 20_000)).unwrap();
+        assert!(col.views().num_partial_views() >= 2);
+        // A query spanning both views must use them together and still be
+        // exact despite the shared pages.
+        let q = RangeQuery::new(6_000, 19_000);
+        let out = col.query(&q).unwrap();
+        let base = col.full_scan(&q);
+        assert_eq!(out.count, base.count);
+        assert_eq!(out.sum, base.sum);
+        assert!(out.num_views_used() >= 2);
+        assert!(out.scanned_pages < 40);
+    }
+
+    #[test]
+    fn view_limit_freezes_view_creation() {
+        let values = clustered_values(32);
+        let config = AdaptiveConfig::default().with_max_views(2);
+        let mut col = adaptive(SimBackend::new(), &values, config);
+        col.query(&RangeQuery::new(1_000, 2_000)).unwrap();
+        col.query(&RangeQuery::new(10_000, 11_000)).unwrap();
+        assert_eq!(col.views().num_partial_views(), 2);
+        let out = col.query(&RangeQuery::new(20_000, 21_000)).unwrap();
+        assert_eq!(out.view_maintenance, ViewMaintenance::NotAttempted);
+        assert_eq!(col.views().num_partial_views(), 2);
+    }
+
+    #[test]
+    fn disabling_adaptive_creation_keeps_views_static() {
+        let values = clustered_values(16);
+        let config = AdaptiveConfig::default().with_adaptive_creation(false);
+        let mut col = adaptive(SimBackend::new(), &values, config);
+        let out = col.query(&RangeQuery::new(1_000, 2_000)).unwrap();
+        assert_eq!(out.view_maintenance, ViewMaintenance::NotAttempted);
+        assert_eq!(col.views().num_partial_views(), 0);
+    }
+
+    #[test]
+    fn repeated_identical_queries_do_not_accumulate_views() {
+        let values = clustered_values(32);
+        let mut col = adaptive(SimBackend::new(), &values, AdaptiveConfig::default());
+        for _ in 0..5 {
+            col.query(&RangeQuery::new(5_000, 9_400)).unwrap();
+        }
+        // The first query inserts a view; subsequent identical candidates
+        // cover a subset (or the same range) with the same page count and
+        // are discarded.
+        assert_eq!(col.views().num_partial_views(), 1);
+    }
+
+    #[test]
+    fn uniform_data_yields_no_useful_views_but_correct_answers() {
+        // With uniform data every page contains small and large values, so
+        // candidate views index (almost) all pages and are discarded.
+        let values: Vec<u64> = (0..16 * VALUES_PER_PAGE as u64).map(|i| (i * 2_654_435_761) % 1_000_000).collect();
+        let mut col = adaptive(SimBackend::new(), &values, AdaptiveConfig::default());
+        let q = RangeQuery::new(0, 500_000);
+        let out = col.query(&q).unwrap();
+        let (count, sum) = reference_answer(&values, q.range());
+        assert_eq!((out.count, out.sum), (count, sum));
+        assert_eq!(out.view_maintenance, ViewMaintenance::DiscardedNotSmaller);
+        assert_eq!(col.views().num_partial_views(), 0);
+    }
+
+    #[test]
+    fn empty_column_queries_return_zero() {
+        let mut col = adaptive(SimBackend::new(), &[], AdaptiveConfig::default());
+        let out = col.query(&RangeQuery::new(0, 100)).unwrap();
+        assert_eq!(out.count, 0);
+        assert_eq!(out.scanned_pages, 0);
+    }
+
+    #[test]
+    fn degenerate_all_equal_column() {
+        let values = vec![7u64; 3 * VALUES_PER_PAGE];
+        let mut col = adaptive(SimBackend::new(), &values, AdaptiveConfig::default());
+        let hit = col.query(&RangeQuery::new(7, 7)).unwrap();
+        assert_eq!(hit.count, values.len() as u64);
+        let miss = col.query(&RangeQuery::new(8, 100)).unwrap();
+        assert_eq!(miss.count, 0);
+    }
+
+    #[test]
+    fn writes_are_visible_to_subsequent_queries_via_full_view() {
+        let values = clustered_values(8);
+        let mut col = adaptive(SimBackend::new(), &values, AdaptiveConfig::default());
+        let updates = col.write_batch(&[(0, 999_999)]);
+        assert_eq!(updates[0].old_value, values[0]);
+        let out = col.query(&RangeQuery::new(999_999, 999_999)).unwrap();
+        assert_eq!(out.count, 1);
+        assert_eq!(col.column().value(0), 999_999);
+    }
+
+    #[test]
+    fn set_routing_switches_mode() {
+        let values = clustered_values(8);
+        let mut col = adaptive(SimBackend::new(), &values, AdaptiveConfig::default());
+        assert_eq!(col.config().routing, RoutingMode::SingleView);
+        col.set_routing(RoutingMode::MultiView);
+        assert_eq!(col.config().routing, RoutingMode::MultiView);
+    }
+
+    #[test]
+    fn widen_candidate_range_clamps_to_source_coverage() {
+        let q = ValueRange::new(100, 200);
+        // Source views cover [50, 400]; non-qualifying observations at 80
+        // and 320 narrow the widened range to [81, 319].
+        let w = widen_candidate_range(&q, &ValueRange::new(50, 400), Some(80), Some(320));
+        assert_eq!(w, ValueRange::new(81, 319));
+        // Without observations the candidate covers the whole source range.
+        let w = widen_candidate_range(&q, &ValueRange::new(50, 400), None, None);
+        assert_eq!(w, ValueRange::new(50, 400));
+        // Observations outside the source coverage cannot widen beyond it.
+        let w = widen_candidate_range(&q, &ValueRange::new(90, 210), Some(10), Some(999));
+        assert_eq!(w, ValueRange::new(90, 210));
+    }
+}

@@ -1,0 +1,44 @@
+//! The adaptive storage layer: virtual views, routing, adaptive maintenance.
+//!
+//! This crate is the paper's primary contribution. For each column it
+//! maintains (paper §2):
+//!
+//! * (a) the physical column (owned by [`asv_storage::Column`]),
+//! * (b) a set of virtual views — the full view plus adaptively created
+//!   partial views ([`ViewSet`] / [`PartialView`]).
+//!
+//! On top of that it implements:
+//!
+//! * **query routing** to the most fitting view(s), in single-view and
+//!   multi-view mode (paper §2.1, [`router`]),
+//! * **adaptive partial-view creation** as a side-product of query
+//!   processing, including the discard/replace retention policy
+//!   (paper §2.2 / Listing 1, [`adaptive`]),
+//! * **optimized view creation** with consecutive-run coalescing and a
+//!   background mapping thread (paper §2.3, [`creation`]),
+//! * **batched update alignment** of partial views driven by the
+//!   materialized memory mapping (paper §2.4–2.5, [`updates`]).
+//!
+//! The entry point is [`AdaptiveColumn`].
+
+pub mod adaptive;
+pub mod config;
+pub mod creation;
+pub mod query;
+pub mod router;
+pub mod stats;
+pub mod table;
+pub mod updates;
+pub mod view;
+pub mod viewset;
+
+pub use adaptive::AdaptiveColumn;
+pub use config::{AdaptiveConfig, CreationOptions, RoutingMode};
+pub use creation::{build_view_for_range, create_while_scanning};
+pub use query::{QueryOutcome, RangeQuery, ViewMaintenance};
+pub use router::{route, RouteSelection, ViewId};
+pub use stats::{QueryRecord, SequenceStats};
+pub use table::{AdaptiveTable, ConjunctiveOutcome};
+pub use updates::{align_views_after_updates, rebuild_all_views, UpdateAlignmentStats};
+pub use view::PartialView;
+pub use viewset::ViewSet;

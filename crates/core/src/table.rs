@@ -1,0 +1,327 @@
+//! Adaptive tables: one adaptive view layer per column.
+//!
+//! Figure 1 of the paper shows the full table representation: every column
+//! of a table carries its own physical column, full view and partial views.
+//! [`AdaptiveTable`] is that composition — a catalog of [`AdaptiveColumn`]s
+//! over the same row space — plus a simple conjunctive multi-column query
+//! path that routes each predicate to the corresponding column's views and
+//! intersects the qualifying row sets.
+
+use std::collections::HashMap;
+
+use asv_vmem::{Backend, VmemError};
+
+use crate::adaptive::AdaptiveColumn;
+use crate::config::AdaptiveConfig;
+use crate::query::{QueryOutcome, RangeQuery};
+
+/// A table whose columns are all equipped with the adaptive view layer.
+pub struct AdaptiveTable<B: Backend> {
+    name: String,
+    columns: Vec<(String, AdaptiveColumn<B>)>,
+    index: HashMap<String, usize>,
+    num_rows: usize,
+}
+
+/// The result of a conjunctive multi-column query.
+#[derive(Clone, Debug, Default)]
+pub struct ConjunctiveOutcome {
+    /// Row ids satisfying *all* predicates, in ascending order.
+    pub rows: Vec<u64>,
+    /// The per-column outcomes, in predicate order (exposes per-column scan
+    /// effort and view usage).
+    pub per_column: Vec<QueryOutcome>,
+}
+
+impl<B: Backend> AdaptiveTable<B> {
+    /// Creates an empty adaptive table.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            columns: Vec::new(),
+            index: HashMap::new(),
+            num_rows: 0,
+        }
+    }
+
+    /// The table's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of columns.
+    pub fn num_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Number of rows (identical across columns; 0 while empty).
+    pub fn num_rows(&self) -> usize {
+        self.num_rows
+    }
+
+    /// Returns `true` if the table has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// Adds a column materialized from `values` with its own adaptive
+    /// configuration.
+    ///
+    /// # Panics
+    /// Panics if a column of that name exists or the row count differs from
+    /// the existing columns'.
+    pub fn add_column(
+        &mut self,
+        name: impl Into<String>,
+        backend: B,
+        values: &[u64],
+        config: AdaptiveConfig,
+    ) -> Result<(), VmemError> {
+        let name = name.into();
+        assert!(
+            !self.index.contains_key(&name),
+            "column '{name}' already exists in table '{}'",
+            self.name
+        );
+        if !self.columns.is_empty() {
+            assert_eq!(
+                self.num_rows,
+                values.len(),
+                "column '{name}' has {} rows but table '{}' has {}",
+                values.len(),
+                self.name,
+                self.num_rows
+            );
+        } else {
+            self.num_rows = values.len();
+        }
+        let column = AdaptiveColumn::from_values(backend, values, config)?;
+        self.index.insert(name.clone(), self.columns.len());
+        self.columns.push((name, column));
+        Ok(())
+    }
+
+    /// Looks up a column's adaptive layer by name.
+    pub fn column(&self, name: &str) -> Option<&AdaptiveColumn<B>> {
+        self.index.get(name).map(|&i| &self.columns[i].1)
+    }
+
+    /// Looks up a column's adaptive layer by name, mutably (needed for
+    /// querying, since query processing maintains views).
+    pub fn column_mut(&mut self, name: &str) -> Option<&mut AdaptiveColumn<B>> {
+        let i = *self.index.get(name)?;
+        Some(&mut self.columns[i].1)
+    }
+
+    /// Names of all columns in insertion order.
+    pub fn column_names(&self) -> Vec<&str> {
+        self.columns.iter().map(|(n, _)| n.as_str()).collect()
+    }
+
+    /// Answers a single-column range query through that column's adaptive
+    /// layer.
+    ///
+    /// # Panics
+    /// Panics if the column does not exist.
+    pub fn query_column(
+        &mut self,
+        column: &str,
+        query: &RangeQuery,
+    ) -> Result<QueryOutcome, VmemError> {
+        let col = self
+            .column_mut(column)
+            .unwrap_or_else(|| panic!("unknown column '{column}'"));
+        col.query(query)
+    }
+
+    /// Answers a conjunctive query: every `(column, range)` predicate must
+    /// hold. Each predicate is routed to its column's views (creating
+    /// partial views as a side-product, as usual); the per-column row sets
+    /// are then intersected.
+    ///
+    /// # Panics
+    /// Panics if any referenced column does not exist or no predicate is
+    /// given.
+    pub fn query_conjunctive(
+        &mut self,
+        predicates: &[(&str, RangeQuery)],
+    ) -> Result<ConjunctiveOutcome, VmemError> {
+        assert!(!predicates.is_empty(), "need at least one predicate");
+        let mut per_column = Vec::with_capacity(predicates.len());
+        let mut result_rows: Option<Vec<u64>> = None;
+        for (column, query) in predicates {
+            let col = self
+                .column_mut(column)
+                .unwrap_or_else(|| panic!("unknown column '{column}'"));
+            let outcome = col.query_collect(query)?;
+            let mut rows = outcome.rows.clone().unwrap_or_default();
+            rows.sort_unstable();
+            result_rows = Some(match result_rows {
+                None => rows,
+                Some(existing) => intersect_sorted(&existing, &rows),
+            });
+            per_column.push(outcome);
+        }
+        Ok(ConjunctiveOutcome {
+            rows: result_rows.unwrap_or_default(),
+            per_column,
+        })
+    }
+
+    /// Writes `new_value` into `row` of `column` and returns the update
+    /// record (see [`AdaptiveColumn::write`]).
+    ///
+    /// # Panics
+    /// Panics if the column does not exist.
+    pub fn write(&mut self, column: &str, row: usize, new_value: u64) -> asv_storage::Update {
+        self.column_mut(column)
+            .unwrap_or_else(|| panic!("unknown column '{column}'"))
+            .write(row, new_value)
+    }
+}
+
+/// Intersects two ascending, duplicate-free row-id lists.
+fn intersect_sorted(a: &[u64], b: &[u64]) -> Vec<u64> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+impl<B: Backend> std::fmt::Debug for AdaptiveTable<B> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AdaptiveTable")
+            .field("name", &self.name)
+            .field("num_columns", &self.columns.len())
+            .field("num_rows", &self.num_rows)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asv_vmem::{SimBackend, VALUES_PER_PAGE};
+
+    fn clustered(pages: usize, stride: u64) -> Vec<u64> {
+        (0..pages * VALUES_PER_PAGE)
+            .map(|i| ((i / VALUES_PER_PAGE) as u64 * stride + (i % VALUES_PER_PAGE) as u64))
+            .collect()
+    }
+
+    fn table() -> (AdaptiveTable<SimBackend>, Vec<u64>, Vec<u64>) {
+        let a = clustered(16, 1_000);
+        let b = clustered(16, 2_000);
+        let mut t = AdaptiveTable::new("readings");
+        t.add_column("a", SimBackend::new(), &a, AdaptiveConfig::default())
+            .unwrap();
+        t.add_column("b", SimBackend::new(), &b, AdaptiveConfig::default())
+            .unwrap();
+        (t, a, b)
+    }
+
+    #[test]
+    fn catalog_accessors() {
+        let (t, a, _) = table();
+        assert_eq!(t.name(), "readings");
+        assert_eq!(t.num_columns(), 2);
+        assert_eq!(t.num_rows(), a.len());
+        assert!(!t.is_empty());
+        assert_eq!(t.column_names(), vec!["a", "b"]);
+        assert!(t.column("a").is_some());
+        assert!(t.column("missing").is_none());
+        assert!(format!("{t:?}").contains("readings"));
+    }
+
+    #[test]
+    fn single_column_queries_are_exact_and_adaptive() {
+        let (mut t, a, _) = table();
+        let q = RangeQuery::new(3_000, 6_500);
+        let outcome = t.query_column("a", &q).unwrap();
+        let expected = a.iter().filter(|v| q.range().contains(**v)).count() as u64;
+        assert_eq!(outcome.count, expected);
+        assert!(t.column("a").unwrap().views().num_partial_views() >= 1);
+        // Column b is untouched.
+        assert_eq!(t.column("b").unwrap().views().num_partial_views(), 0);
+    }
+
+    #[test]
+    fn conjunctive_queries_intersect_row_sets() {
+        let (mut t, a, b) = table();
+        let qa = RangeQuery::new(2_000, 9_000);
+        let qb = RangeQuery::new(8_000, 13_000);
+        let outcome = t
+            .query_conjunctive(&[("a", qa), ("b", qb)])
+            .unwrap();
+        let expected: Vec<u64> = (0..a.len())
+            .filter(|&i| qa.range().contains(a[i]) && qb.range().contains(b[i]))
+            .map(|i| i as u64)
+            .collect();
+        assert_eq!(outcome.rows, expected);
+        assert_eq!(outcome.per_column.len(), 2);
+        // Both columns built views as a side product of the predicates.
+        assert!(t.column("a").unwrap().views().num_partial_views() >= 1);
+        assert!(t.column("b").unwrap().views().num_partial_views() >= 1);
+    }
+
+    #[test]
+    fn conjunctive_query_with_disjoint_predicates_is_empty() {
+        let (mut t, _, _) = table();
+        let outcome = t
+            .query_conjunctive(&[
+                ("a", RangeQuery::new(0, 100)),
+                ("b", RangeQuery::new(30_000, 31_000)),
+            ])
+            .unwrap();
+        assert!(outcome.rows.is_empty());
+    }
+
+    #[test]
+    fn writes_go_through_the_adaptive_column() {
+        let (mut t, a, _) = table();
+        let upd = t.write("a", 5, 77_777);
+        assert_eq!(upd.old_value, a[5]);
+        let outcome = t.query_column("a", &RangeQuery::new(77_777, 77_777)).unwrap();
+        assert_eq!(outcome.count, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown column")]
+    fn unknown_column_panics() {
+        let (mut t, _, _) = table();
+        let _ = t.query_column("zzz", &RangeQuery::new(0, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "already exists")]
+    fn duplicate_column_panics() {
+        let (mut t, a, _) = table();
+        t.add_column("a", SimBackend::new(), &a, AdaptiveConfig::default())
+            .unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "rows")]
+    fn row_count_mismatch_panics() {
+        let (mut t, _, _) = table();
+        t.add_column("c", SimBackend::new(), &[1, 2, 3], AdaptiveConfig::default())
+            .unwrap();
+    }
+
+    #[test]
+    fn intersect_sorted_helper() {
+        assert_eq!(intersect_sorted(&[1, 3, 5, 7], &[2, 3, 4, 7, 9]), vec![3, 7]);
+        assert_eq!(intersect_sorted(&[], &[1]), Vec::<u64>::new());
+        assert_eq!(intersect_sorted(&[1, 2], &[]), Vec::<u64>::new());
+    }
+}

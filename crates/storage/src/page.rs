@@ -1,0 +1,294 @@
+//! Page layout and page-level scan kernels.
+//!
+//! A page is [`asv_vmem::SLOTS_PER_PAGE`] (= 512) `u64` slots: slot 0 holds
+//! the embedded pageID, slots `1..=VALUES_PER_PAGE` hold values. The last
+//! page of a column may be partially filled; [`PageRef`] therefore carries
+//! the number of valid values.
+
+use asv_util::ValueRange;
+use asv_vmem::{SLOTS_PER_PAGE, VALUES_PER_PAGE};
+
+/// Index of the slot holding the embedded pageID.
+pub const PAGE_ID_SLOT: usize = 0;
+
+/// Result of filtering one page against a query range.
+///
+/// Besides the aggregate of qualifying values, the scan records the largest
+/// non-qualifying value below the range and the smallest non-qualifying
+/// value above it. Those bounds drive the range-widening step of adaptive
+/// view creation (paper §2.2): if a page contains *no* qualifying value,
+/// every value strictly between its `below_max` and `above_min` is known to
+/// live on other (qualifying) pages.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PageScanResult {
+    /// Number of values on the page that fall into the query range.
+    pub count: u64,
+    /// Sum of the qualifying values (used as a result checksum).
+    pub sum: u128,
+    /// Largest value on the page that is strictly below the query range.
+    pub below_max: Option<u64>,
+    /// Smallest value on the page that is strictly above the query range.
+    pub above_min: Option<u64>,
+}
+
+impl PageScanResult {
+    /// Returns `true` if no value on the page qualified.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Folds another page's result into this one (used to accumulate a
+    /// query result over many pages).
+    pub fn merge(&mut self, other: &PageScanResult) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.below_max = match (self.below_max, other.below_max) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+        self.above_min = match (self.above_min, other.above_min) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+    }
+}
+
+/// A read-only reference to one page of a column, with layout knowledge.
+#[derive(Clone, Copy, Debug)]
+pub struct PageRef<'a> {
+    data: &'a [u64],
+    valid_values: usize,
+}
+
+impl<'a> PageRef<'a> {
+    /// Wraps a raw page slice.
+    ///
+    /// `valid_values` is the number of value slots in use on this page
+    /// (always [`VALUES_PER_PAGE`] except possibly on the last page of a
+    /// column).
+    ///
+    /// # Panics
+    /// Panics if the slice is not exactly one page long or if
+    /// `valid_values > VALUES_PER_PAGE`.
+    pub fn new(data: &'a [u64], valid_values: usize) -> Self {
+        assert_eq!(
+            data.len(),
+            SLOTS_PER_PAGE,
+            "a page must be exactly {SLOTS_PER_PAGE} slots"
+        );
+        assert!(
+            valid_values <= VALUES_PER_PAGE,
+            "valid_values {valid_values} exceeds {VALUES_PER_PAGE}"
+        );
+        Self { data, valid_values }
+    }
+
+    /// The pageID embedded in slot 0.
+    #[inline]
+    pub fn page_id(&self) -> u64 {
+        self.data[PAGE_ID_SLOT]
+    }
+
+    /// Number of valid values stored on this page.
+    #[inline]
+    pub fn valid_values(&self) -> usize {
+        self.valid_values
+    }
+
+    /// The valid values of this page (excluding the pageID header).
+    #[inline]
+    pub fn values(&self) -> &'a [u64] {
+        &self.data[1..1 + self.valid_values]
+    }
+
+    /// The raw page slice including the header slot.
+    #[inline]
+    pub fn raw(&self) -> &'a [u64] {
+        self.data
+    }
+
+    /// The value stored at value-slot `idx` (0-based, header excluded).
+    ///
+    /// # Panics
+    /// Panics if `idx >= self.valid_values()`.
+    #[inline]
+    pub fn value(&self, idx: usize) -> u64 {
+        assert!(idx < self.valid_values, "value slot {idx} out of bounds");
+        self.data[1 + idx]
+    }
+
+    /// Minimum and maximum of the valid values, if the page is non-empty.
+    pub fn min_max(&self) -> Option<(u64, u64)> {
+        let vals = self.values();
+        if vals.is_empty() {
+            return None;
+        }
+        let mut min = vals[0];
+        let mut max = vals[0];
+        for &v in &vals[1..] {
+            if v < min {
+                min = v;
+            }
+            if v > max {
+                max = v;
+            }
+        }
+        Some((min, max))
+    }
+
+    /// Filters the page against `range`, producing counts, a checksum and
+    /// the non-qualifying bounds needed for range widening.
+    ///
+    /// This is the `page.scanAndFilter(q)` primitive of Listing 1.
+    pub fn scan_filter(&self, range: &ValueRange) -> PageScanResult {
+        let mut res = PageScanResult::default();
+        for &v in self.values() {
+            if range.contains(v) {
+                res.count += 1;
+                res.sum += v as u128;
+            } else if v < range.low() {
+                res.below_max = Some(res.below_max.map_or(v, |b| b.max(v)));
+            } else {
+                res.above_min = Some(res.above_min.map_or(v, |a| a.min(v)));
+            }
+        }
+        res
+    }
+
+    /// Like [`Self::scan_filter`], but additionally appends the global row
+    /// ids of qualifying values to `rows_out`.
+    ///
+    /// The global row id is reconstructed from the embedded pageID — this is
+    /// exactly why the paper embeds it: a partial view maps an arbitrary
+    /// subset of pages, so the slot position within the view says nothing
+    /// about the tuple.
+    pub fn scan_filter_collect(
+        &self,
+        range: &ValueRange,
+        rows_out: &mut Vec<u64>,
+    ) -> PageScanResult {
+        let mut res = PageScanResult::default();
+        let base_row = self.page_id() * VALUES_PER_PAGE as u64;
+        for (idx, &v) in self.values().iter().enumerate() {
+            if range.contains(v) {
+                res.count += 1;
+                res.sum += v as u128;
+                rows_out.push(base_row + idx as u64);
+            } else if v < range.low() {
+                res.below_max = Some(res.below_max.map_or(v, |b| b.max(v)));
+            } else {
+                res.above_min = Some(res.above_min.map_or(v, |a| a.min(v)));
+            }
+        }
+        res
+    }
+}
+
+/// Writes the page header (embedded pageID) and values into a raw page
+/// buffer. Used by the column builder and by tests.
+pub fn write_page(raw: &mut [u64], page_id: u64, values: &[u64]) {
+    assert_eq!(raw.len(), SLOTS_PER_PAGE);
+    assert!(values.len() <= VALUES_PER_PAGE);
+    raw[PAGE_ID_SLOT] = page_id;
+    raw[1..1 + values.len()].copy_from_slice(values);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn make_page(page_id: u64, values: &[u64]) -> Vec<u64> {
+        let mut raw = vec![0u64; SLOTS_PER_PAGE];
+        write_page(&mut raw, page_id, values);
+        raw
+    }
+
+    #[test]
+    fn page_accessors() {
+        let raw = make_page(7, &[10, 20, 30]);
+        let page = PageRef::new(&raw, 3);
+        assert_eq!(page.page_id(), 7);
+        assert_eq!(page.valid_values(), 3);
+        assert_eq!(page.values(), &[10, 20, 30]);
+        assert_eq!(page.value(2), 30);
+        assert_eq!(page.min_max(), Some((10, 30)));
+        assert_eq!(page.raw().len(), SLOTS_PER_PAGE);
+    }
+
+    #[test]
+    fn empty_page_has_no_min_max() {
+        let raw = make_page(0, &[]);
+        let page = PageRef::new(&raw, 0);
+        assert_eq!(page.min_max(), None);
+        assert!(page.values().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn value_access_respects_valid_count() {
+        let raw = make_page(0, &[1, 2]);
+        let page = PageRef::new(&raw, 2);
+        page.value(2);
+    }
+
+    #[test]
+    fn scan_filter_counts_and_bounds() {
+        let raw = make_page(3, &[5, 15, 25, 35, 45]);
+        let page = PageRef::new(&raw, 5);
+        let res = page.scan_filter(&ValueRange::new(10, 30));
+        assert_eq!(res.count, 2);
+        assert_eq!(res.sum, 15 + 25);
+        assert_eq!(res.below_max, Some(5));
+        assert_eq!(res.above_min, Some(35));
+        assert!(!res.is_empty());
+    }
+
+    #[test]
+    fn scan_filter_non_qualifying_page() {
+        let raw = make_page(3, &[5, 8, 90, 95]);
+        let page = PageRef::new(&raw, 4);
+        let res = page.scan_filter(&ValueRange::new(10, 30));
+        assert!(res.is_empty());
+        assert_eq!(res.below_max, Some(8));
+        assert_eq!(res.above_min, Some(90));
+    }
+
+    #[test]
+    fn scan_filter_collect_reconstructs_row_ids() {
+        let raw = make_page(2, &[100, 7, 200]);
+        let page = PageRef::new(&raw, 3);
+        let mut rows = Vec::new();
+        let res = page.scan_filter_collect(&ValueRange::new(50, 250), &mut rows);
+        assert_eq!(res.count, 2);
+        let base = 2 * VALUES_PER_PAGE as u64;
+        assert_eq!(rows, vec![base, base + 2]);
+    }
+
+    #[test]
+    fn merge_accumulates_results() {
+        let mut a = PageScanResult {
+            count: 1,
+            sum: 10,
+            below_max: Some(3),
+            above_min: None,
+        };
+        let b = PageScanResult {
+            count: 2,
+            sum: 30,
+            below_max: Some(5),
+            above_min: Some(100),
+        };
+        a.merge(&b);
+        assert_eq!(a.count, 3);
+        assert_eq!(a.sum, 40);
+        assert_eq!(a.below_max, Some(5));
+        assert_eq!(a.above_min, Some(100));
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly")]
+    fn wrong_page_size_panics() {
+        let raw = vec![0u64; 10];
+        PageRef::new(&raw, 0);
+    }
+}

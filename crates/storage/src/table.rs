@@ -1,0 +1,174 @@
+//! Tables: named collections of physical columns.
+//!
+//! Figure 1 of the paper shows the table representation of the adaptive
+//! storage layer: a table is a set of physical columns, each carrying its
+//! own full view (and, later, partial views). [`Table`] is that container.
+//! The adaptive machinery itself attaches per column (see `asv-core`), so
+//! the table stays a thin catalog.
+
+use std::collections::HashMap;
+
+use asv_vmem::Backend;
+
+use crate::column::Column;
+
+/// A named table consisting of physical columns.
+pub struct Table<B: Backend> {
+    name: String,
+    columns: Vec<(String, Column<B>)>,
+    index: HashMap<String, usize>,
+}
+
+impl<B: Backend> Table<B> {
+    /// Creates an empty table.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            columns: Vec::new(),
+            index: HashMap::new(),
+        }
+    }
+
+    /// The table's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of columns in the table.
+    pub fn num_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Returns `true` if the table has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// Adds a column under `name`.
+    ///
+    /// # Panics
+    /// Panics if a column with the same name already exists or if the new
+    /// column's row count differs from the existing columns'.
+    pub fn add_column(&mut self, name: impl Into<String>, column: Column<B>) {
+        let name = name.into();
+        assert!(
+            !self.index.contains_key(&name),
+            "column '{name}' already exists in table '{}'",
+            self.name
+        );
+        if let Some((_, first)) = self.columns.first() {
+            assert_eq!(
+                first.num_rows(),
+                column.num_rows(),
+                "column '{name}' has {} rows but table '{}' has {}",
+                column.num_rows(),
+                self.name,
+                first.num_rows()
+            );
+        }
+        self.index.insert(name.clone(), self.columns.len());
+        self.columns.push((name, column));
+    }
+
+    /// Builds a column from values and adds it in one step.
+    pub fn add_column_from_values(
+        &mut self,
+        name: impl Into<String>,
+        backend: B,
+        values: &[u64],
+    ) -> asv_vmem::Result<()> {
+        let column = Column::from_values(backend, values)?;
+        self.add_column(name, column);
+        Ok(())
+    }
+
+    /// Looks up a column by name.
+    pub fn column(&self, name: &str) -> Option<&Column<B>> {
+        self.index.get(name).map(|&i| &self.columns[i].1)
+    }
+
+    /// Looks up a column by name, mutably.
+    pub fn column_mut(&mut self, name: &str) -> Option<&mut Column<B>> {
+        let i = *self.index.get(name)?;
+        Some(&mut self.columns[i].1)
+    }
+
+    /// Number of rows (identical across all columns; 0 for an empty table).
+    pub fn num_rows(&self) -> usize {
+        self.columns.first().map_or(0, |(_, c)| c.num_rows())
+    }
+
+    /// Iterates over `(name, column)` pairs in insertion order.
+    pub fn columns(&self) -> impl Iterator<Item = (&str, &Column<B>)> {
+        self.columns.iter().map(|(n, c)| (n.as_str(), c))
+    }
+
+    /// Names of all columns in insertion order.
+    pub fn column_names(&self) -> Vec<&str> {
+        self.columns.iter().map(|(n, _)| n.as_str()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asv_vmem::SimBackend;
+
+    fn column(values: &[u64]) -> Column<SimBackend> {
+        Column::from_values(SimBackend::new(), values).unwrap()
+    }
+
+    #[test]
+    fn build_and_lookup_columns() {
+        let mut t = Table::new("orders");
+        assert!(t.is_empty());
+        t.add_column("a", column(&[1, 2, 3]));
+        t.add_column("b", column(&[10, 20, 30]));
+        assert_eq!(t.name(), "orders");
+        assert_eq!(t.num_columns(), 2);
+        assert_eq!(t.num_rows(), 3);
+        assert_eq!(t.column("a").unwrap().value(2), 3);
+        assert_eq!(t.column("b").unwrap().value(0), 10);
+        assert!(t.column("c").is_none());
+        assert_eq!(t.column_names(), vec!["a", "b"]);
+        assert_eq!(t.columns().count(), 2);
+    }
+
+    #[test]
+    fn add_column_from_values_helper() {
+        let mut t = Table::new("t");
+        t.add_column_from_values("x", SimBackend::new(), &[5, 6]).unwrap();
+        assert_eq!(t.column("x").unwrap().num_rows(), 2);
+    }
+
+    #[test]
+    fn column_mut_allows_updates() {
+        let mut t = Table::new("t");
+        t.add_column("a", column(&[1, 2, 3]));
+        t.column_mut("a").unwrap().write(1, 42);
+        assert_eq!(t.column("a").unwrap().value(1), 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "already exists")]
+    fn duplicate_column_name_panics() {
+        let mut t = Table::new("t");
+        t.add_column("a", column(&[1]));
+        t.add_column("a", column(&[2]));
+    }
+
+    #[test]
+    #[should_panic(expected = "rows")]
+    fn mismatched_row_count_panics() {
+        let mut t = Table::new("t");
+        t.add_column("a", column(&[1, 2]));
+        t.add_column("b", column(&[1]));
+    }
+
+    #[test]
+    fn empty_table_has_zero_rows() {
+        let t: Table<SimBackend> = Table::new("empty");
+        assert_eq!(t.num_rows(), 0);
+        assert_eq!(t.num_columns(), 0);
+    }
+}

@@ -1,0 +1,162 @@
+//! Update records and batch pre-processing.
+//!
+//! The paper's batched view alignment (§2.4) receives a sequence of updates
+//! `U = [(r0, old0, new0), ...]` and, as its first step, filters it "such
+//! that only the very last update to each row remains reflected": several
+//! updates to the same row collapse into one record carrying the *original*
+//! old value and the *final* new value. The second step groups the filtered
+//! updates by modified physical page. Both steps live here because they are
+//! pure storage-layout concerns; the per-view decisions live in
+//! `asv-core::updates`.
+
+use std::collections::HashMap;
+
+use asv_vmem::VALUES_PER_PAGE;
+
+/// One update record `(row, old value, new value)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Update {
+    /// The row (tuple id) written to.
+    pub row: u64,
+    /// The value that was overwritten.
+    pub old_value: u64,
+    /// The value that was written.
+    pub new_value: u64,
+}
+
+impl Update {
+    /// Creates an update record.
+    pub fn new(row: u64, old_value: u64, new_value: u64) -> Self {
+        Self {
+            row,
+            old_value,
+            new_value,
+        }
+    }
+
+    /// The physical page this update's row lives on.
+    #[inline]
+    pub fn page(&self) -> u64 {
+        self.row / VALUES_PER_PAGE as u64
+    }
+
+    /// The value slot (0-based, header excluded) within the page.
+    #[inline]
+    pub fn slot(&self) -> usize {
+        (self.row % VALUES_PER_PAGE as u64) as usize
+    }
+}
+
+/// A batch of updates in application order.
+pub type UpdateBatch = Vec<Update>;
+
+/// Collapses repeated updates of the same row into a single record that
+/// carries the first old value and the last new value (paper §2.4, step 1).
+///
+/// The relative order of the surviving records follows the order of each
+/// row's *first* occurrence in the batch, which keeps the result
+/// deterministic.
+pub fn dedup_last_write_wins(batch: &[Update]) -> Vec<Update> {
+    let mut first_seen: HashMap<u64, usize> = HashMap::with_capacity(batch.len());
+    let mut result: Vec<Update> = Vec::with_capacity(batch.len());
+    for u in batch {
+        match first_seen.get(&u.row) {
+            Some(&idx) => {
+                // Keep the original old value, adopt the newest new value.
+                result[idx].new_value = u.new_value;
+            }
+            None => {
+                first_seen.insert(u.row, result.len());
+                result.push(*u);
+            }
+        }
+    }
+    result
+}
+
+/// Groups updates by the physical page they modify (paper §2.4, step 2).
+///
+/// The per-page vectors preserve the input order.
+pub fn group_by_page(batch: &[Update]) -> HashMap<u64, Vec<Update>> {
+    let mut groups: HashMap<u64, Vec<Update>> = HashMap::new();
+    for u in batch {
+        groups.entry(u.page()).or_default().push(*u);
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn update_page_and_slot_math() {
+        let u = Update::new(0, 1, 2);
+        assert_eq!(u.page(), 0);
+        assert_eq!(u.slot(), 0);
+        let u = Update::new(VALUES_PER_PAGE as u64, 1, 2);
+        assert_eq!(u.page(), 1);
+        assert_eq!(u.slot(), 0);
+        let u = Update::new(VALUES_PER_PAGE as u64 * 3 + 5, 1, 2);
+        assert_eq!(u.page(), 3);
+        assert_eq!(u.slot(), 5);
+    }
+
+    #[test]
+    fn dedup_keeps_first_old_and_last_new() {
+        // The paper's example: u0, u1, u2 on the same row collapse into
+        // (row, old_i, new_k).
+        let batch = vec![
+            Update::new(7, 100, 110),
+            Update::new(7, 110, 120),
+            Update::new(7, 120, 130),
+        ];
+        let out = dedup_last_write_wins(&batch);
+        assert_eq!(out, vec![Update::new(7, 100, 130)]);
+    }
+
+    #[test]
+    fn dedup_preserves_distinct_rows_and_order() {
+        let batch = vec![
+            Update::new(3, 1, 2),
+            Update::new(9, 5, 6),
+            Update::new(3, 2, 4),
+            Update::new(1, 0, 9),
+        ];
+        let out = dedup_last_write_wins(&batch);
+        assert_eq!(
+            out,
+            vec![
+                Update::new(3, 1, 4),
+                Update::new(9, 5, 6),
+                Update::new(1, 0, 9),
+            ]
+        );
+    }
+
+    #[test]
+    fn dedup_empty_batch() {
+        assert!(dedup_last_write_wins(&[]).is_empty());
+    }
+
+    #[test]
+    fn group_by_page_collects_per_page() {
+        let vp = VALUES_PER_PAGE as u64;
+        let batch = vec![
+            Update::new(0, 1, 2),
+            Update::new(vp + 1, 3, 4),
+            Update::new(2, 5, 6),
+            Update::new(vp * 2, 7, 8),
+        ];
+        let groups = group_by_page(&batch);
+        assert_eq!(groups.len(), 3);
+        assert_eq!(groups[&0].len(), 2);
+        assert_eq!(groups[&1], vec![Update::new(vp + 1, 3, 4)]);
+        assert_eq!(groups[&2], vec![Update::new(vp * 2, 7, 8)]);
+    }
+
+    #[test]
+    fn group_by_page_empty() {
+        assert!(group_by_page(&[]).is_empty());
+    }
+}

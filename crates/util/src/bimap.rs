@@ -1,0 +1,200 @@
+//! A bidirectional map between two key spaces.
+//!
+//! The update-alignment path of the adaptive storage layer parses
+//! `/proc/self/maps` once per update batch and materializes the resulting
+//! virtual-page ↔ physical-page relation "page-wise in a bi-directional map
+//! (Boost bimap), which is maintained from user-space during the update
+//! process" (paper §2.5). [`BiMap`] is that structure: a one-to-one mapping
+//! with O(1) lookup in both directions.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// A one-to-one bidirectional map.
+///
+/// Inserting a pair removes any existing pair that shares either side, so
+/// the one-to-one invariant always holds (a virtual page maps to exactly one
+/// physical page and vice versa within one view).
+///
+/// # Examples
+///
+/// ```
+/// use asv_util::BiMap;
+///
+/// let mut m: BiMap<u64, u64> = BiMap::new();
+/// m.insert(10, 700);
+/// assert_eq!(m.get_by_left(&10), Some(&700));
+/// assert_eq!(m.get_by_right(&700), Some(&10));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct BiMap<L, R>
+where
+    L: Eq + Hash + Clone,
+    R: Eq + Hash + Clone,
+{
+    left_to_right: HashMap<L, R>,
+    right_to_left: HashMap<R, L>,
+}
+
+impl<L, R> BiMap<L, R>
+where
+    L: Eq + Hash + Clone,
+    R: Eq + Hash + Clone,
+{
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        Self {
+            left_to_right: HashMap::new(),
+            right_to_left: HashMap::new(),
+        }
+    }
+
+    /// Creates an empty map with capacity for `cap` pairs.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            left_to_right: HashMap::with_capacity(cap),
+            right_to_left: HashMap::with_capacity(cap),
+        }
+    }
+
+    /// Number of pairs in the map.
+    pub fn len(&self) -> usize {
+        self.left_to_right.len()
+    }
+
+    /// Returns `true` if the map contains no pairs.
+    pub fn is_empty(&self) -> bool {
+        self.left_to_right.is_empty()
+    }
+
+    /// Inserts the pair `(left, right)`.
+    ///
+    /// Any existing pair containing `left` or `right` is removed first so
+    /// the relation stays one-to-one. Returns `true` if an existing pair was
+    /// displaced.
+    pub fn insert(&mut self, left: L, right: R) -> bool {
+        let mut displaced = false;
+        if let Some(old_right) = self.left_to_right.remove(&left) {
+            self.right_to_left.remove(&old_right);
+            displaced = true;
+        }
+        if let Some(old_left) = self.right_to_left.remove(&right) {
+            self.left_to_right.remove(&old_left);
+            displaced = true;
+        }
+        self.left_to_right.insert(left.clone(), right.clone());
+        self.right_to_left.insert(right, left);
+        displaced
+    }
+
+    /// Looks up the right value associated with `left`.
+    pub fn get_by_left(&self, left: &L) -> Option<&R> {
+        self.left_to_right.get(left)
+    }
+
+    /// Looks up the left value associated with `right`.
+    pub fn get_by_right(&self, right: &R) -> Option<&L> {
+        self.right_to_left.get(right)
+    }
+
+    /// Returns `true` if `left` participates in a pair.
+    pub fn contains_left(&self, left: &L) -> bool {
+        self.left_to_right.contains_key(left)
+    }
+
+    /// Returns `true` if `right` participates in a pair.
+    pub fn contains_right(&self, right: &R) -> bool {
+        self.right_to_left.contains_key(right)
+    }
+
+    /// Removes the pair containing `left`, returning its right value.
+    pub fn remove_by_left(&mut self, left: &L) -> Option<R> {
+        let right = self.left_to_right.remove(left)?;
+        self.right_to_left.remove(&right);
+        Some(right)
+    }
+
+    /// Removes the pair containing `right`, returning its left value.
+    pub fn remove_by_right(&mut self, right: &R) -> Option<L> {
+        let left = self.right_to_left.remove(right)?;
+        self.left_to_right.remove(&left);
+        Some(left)
+    }
+
+    /// Iterates over all `(left, right)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&L, &R)> {
+        self.left_to_right.iter()
+    }
+
+    /// Removes all pairs.
+    pub fn clear(&mut self) {
+        self.left_to_right.clear();
+        self.right_to_left.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_lookup_both_directions() {
+        let mut m = BiMap::new();
+        m.insert("v0", 100u64);
+        m.insert("v1", 200);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.get_by_left(&"v0"), Some(&100));
+        assert_eq!(m.get_by_right(&200), Some(&"v1"));
+        assert!(m.contains_left(&"v1"));
+        assert!(m.contains_right(&100));
+        assert!(!m.contains_left(&"v2"));
+    }
+
+    #[test]
+    fn insert_displaces_conflicting_pairs() {
+        let mut m = BiMap::new();
+        assert!(!m.insert(1, 10));
+        // Same left, new right: old (1,10) must vanish entirely.
+        assert!(m.insert(1, 20));
+        assert_eq!(m.get_by_left(&1), Some(&20));
+        assert_eq!(m.get_by_right(&10), None);
+        // Same right, new left: old (1,20) must vanish entirely.
+        assert!(m.insert(2, 20));
+        assert_eq!(m.get_by_left(&1), None);
+        assert_eq!(m.get_by_right(&20), Some(&2));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn remove_by_either_side() {
+        let mut m = BiMap::new();
+        m.insert(1, 10);
+        m.insert(2, 20);
+        assert_eq!(m.remove_by_left(&1), Some(10));
+        assert_eq!(m.get_by_right(&10), None);
+        assert_eq!(m.remove_by_right(&20), Some(2));
+        assert!(m.is_empty());
+        assert_eq!(m.remove_by_left(&99), None);
+    }
+
+    #[test]
+    fn iter_and_clear() {
+        let mut m = BiMap::new();
+        for i in 0u64..16 {
+            m.insert(i, i * 2);
+        }
+        let mut pairs: Vec<(u64, u64)> = m.iter().map(|(l, r)| (*l, *r)).collect();
+        pairs.sort_unstable();
+        assert_eq!(pairs.len(), 16);
+        assert_eq!(pairs[3], (3, 6));
+        m.clear();
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn with_capacity_behaves_like_new() {
+        let mut m = BiMap::with_capacity(64);
+        m.insert(5u32, 6u32);
+        assert_eq!(m.get_by_left(&5), Some(&6));
+    }
+}

@@ -1,0 +1,29 @@
+//! Utility data structures shared across the adaptive-storage-views workspace.
+//!
+//! This crate intentionally has no dependencies besides the standard library.
+//! It provides the small, heavily-exercised building blocks that the paper's
+//! algorithms rely on:
+//!
+//! * [`BitVec`] — the fixed-size bitvector used to track already-processed
+//!   physical pages during multi-view query answering (paper §2.1).
+//! * [`BiMap`] — a bidirectional map between virtual and physical page
+//!   numbers, replacing the Boost `bimap` the paper materializes from
+//!   `/proc/self/maps` (paper §2.5).
+//! * [`ValueRange`] — closed integer ranges `[l, u]` with the "full range"
+//!   (`[-∞, ∞]`) semantics views are described with (paper §2).
+//! * [`RunBuilder`] / [`Run`] — grouping of consecutive page numbers into
+//!   runs, used by the consecutive-mapping optimization (paper §2.3).
+//! * [`Timer`] and [`Summary`] — tiny measurement helpers for the
+//!   experiment harness.
+
+pub mod bimap;
+pub mod bitvec;
+pub mod range;
+pub mod runs;
+pub mod stats;
+
+pub use bimap::BiMap;
+pub use bitvec::BitVec;
+pub use range::ValueRange;
+pub use runs::{group_into_runs, Run, RunBuilder};
+pub use stats::{average_runtime, Summary, Timer};

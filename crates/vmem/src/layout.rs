@@ -1,0 +1,58 @@
+//! Page-layout constants.
+//!
+//! The adaptive layer "purely operates with 4KB small pages" (paper §3) and
+//! stores 8-byte unsigned integers. Every physical page embeds an 8-byte
+//! pageID in its first slot (paper §2), which leaves 511 value slots per
+//! page. These constants are shared by every crate in the workspace.
+
+/// Size of one page in bytes (the small-page size the paper uses).
+pub const PAGE_SIZE_BYTES: usize = 4096;
+
+/// Number of 8-byte slots per page (header slot + value slots).
+pub const SLOTS_PER_PAGE: usize = PAGE_SIZE_BYTES / std::mem::size_of::<u64>();
+
+/// Number of *value* slots per page. Slot 0 holds the embedded pageID
+/// "to identify for each read value to which tuple it belongs" (paper §2),
+/// so one slot per page is reserved.
+pub const VALUES_PER_PAGE: usize = SLOTS_PER_PAGE - 1;
+
+/// Converts a number of pages to a size in bytes.
+#[inline]
+pub const fn pages_to_bytes(pages: usize) -> usize {
+    pages * PAGE_SIZE_BYTES
+}
+
+/// Number of pages needed to hold `values` values (each page holds
+/// [`VALUES_PER_PAGE`] values).
+#[inline]
+pub const fn pages_for_values(values: usize) -> usize {
+    values.div_ceil(VALUES_PER_PAGE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_are_consistent() {
+        assert_eq!(PAGE_SIZE_BYTES, 4096);
+        assert_eq!(SLOTS_PER_PAGE, 512);
+        assert_eq!(VALUES_PER_PAGE, 511);
+        assert_eq!(SLOTS_PER_PAGE * 8, PAGE_SIZE_BYTES);
+    }
+
+    #[test]
+    fn page_byte_conversion() {
+        assert_eq!(pages_to_bytes(0), 0);
+        assert_eq!(pages_to_bytes(3), 3 * 4096);
+    }
+
+    #[test]
+    fn pages_for_values_rounds_up() {
+        assert_eq!(pages_for_values(0), 0);
+        assert_eq!(pages_for_values(1), 1);
+        assert_eq!(pages_for_values(VALUES_PER_PAGE), 1);
+        assert_eq!(pages_for_values(VALUES_PER_PAGE + 1), 2);
+        assert_eq!(pages_for_values(10 * VALUES_PER_PAGE), 10);
+    }
+}

@@ -1,0 +1,41 @@
+//! Virtual-memory rewiring substrate for the adaptive storage layer.
+//!
+//! The paper builds its storage views on *memory rewiring* (Schuhknecht et
+//! al., "RUMA has it", PVLDB 2016): physical main memory is introduced to
+//! user-space as a **main-memory file** (a memfd / tmpfs-backed file), and
+//! virtual memory areas are freely re-mapped onto arbitrary pages of that
+//! file with `mmap(MAP_FIXED)` at page granularity (paper §1.2).
+//!
+//! This crate provides that substrate behind the [`Backend`] trait:
+//!
+//! * [`MmapBackend`] — the real thing: memfd/tmpfs main-memory files,
+//!   anonymous virtual reservations, `MAP_FIXED` rewiring, and
+//!   `/proc/self/maps` introspection (paper §2.5). Linux only.
+//! * [`SimBackend`] — a deterministic, allocation-based simulation of the
+//!   same interface (an indirection table of page references). It exists so
+//!   every algorithm in the upper layers can be unit- and property-tested
+//!   on any platform and without touching the VM subsystem. The measured
+//!   experiments always run on [`MmapBackend`].
+//!
+//! The two central objects are:
+//!
+//! * a **physical store** ([`PhysicalStore`]) — the materialized column
+//!   memory, addressed by *physical page number*;
+//! * a **view buffer** ([`ViewBuffer`]) — an over-allocated virtual memory
+//!   area whose page slots can be mapped to arbitrary physical pages of one
+//!   store. Scanning a view touches only the mapped prefix, which is exactly
+//!   how partial views reduce scan work.
+
+pub mod backend;
+pub mod error;
+pub mod layout;
+pub mod maps;
+pub mod mmap;
+pub mod sim;
+
+pub use backend::{Backend, MapRequest, PhysicalStore, ViewBuffer};
+pub use error::{Result, VmemError};
+pub use layout::{PAGE_SIZE_BYTES, SLOTS_PER_PAGE, VALUES_PER_PAGE};
+pub use maps::{parse_maps_line, read_self_maps, MappingTable, ProcMapsEntry};
+pub use mmap::{MmapBackend, MmapStore, MmapView};
+pub use sim::{SimBackend, SimStore, SimView};

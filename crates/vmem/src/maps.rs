@@ -1,0 +1,330 @@
+//! `/proc/self/maps` introspection and the user-space mapping table.
+//!
+//! To align partial views with a batch of updates, the paper obtains the
+//! current virtual-page → physical-page mapping by parsing the kernel's
+//! `/proc/PID/maps` virtual file once per batch and materializing it
+//! page-wise in a bidirectional map (paper §2.5). This module implements
+//! the parser and the resulting [`MappingTable`].
+
+use std::fs;
+
+use asv_util::BiMap;
+
+use crate::error::{Result, VmemError};
+use crate::layout::PAGE_SIZE_BYTES;
+
+/// One parsed line of `/proc/self/maps`.
+///
+/// ```text
+/// address           perms offset  dev   inode   pathname
+/// 7f01c200000-...   rw-s  002000  00:01 64593   /memfd:asv (deleted)
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProcMapsEntry {
+    /// Start of the mapped virtual address range (inclusive).
+    pub start: usize,
+    /// End of the mapped virtual address range (exclusive).
+    pub end: usize,
+    /// Permission string, e.g. `rw-s`.
+    pub perms: String,
+    /// Offset into the mapped file, in bytes.
+    pub offset: u64,
+    /// Device field, e.g. `00:01`.
+    pub dev: String,
+    /// Inode of the mapped file (0 for anonymous mappings).
+    pub inode: u64,
+    /// Path of the mapped file, if any.
+    pub pathname: Option<String>,
+}
+
+impl ProcMapsEntry {
+    /// Length of the mapping in bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Returns `true` if the mapping covers zero bytes (never the case for
+    /// real kernel output, but kept for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.end == self.start
+    }
+
+    /// Returns `true` if this is a shared file-backed mapping — the kind of
+    /// mapping rewired view pages have (`MAP_SHARED` of the main-memory
+    /// file).
+    pub fn is_shared_file_mapping(&self) -> bool {
+        self.perms.ends_with('s') && self.inode != 0
+    }
+}
+
+/// Parses a single line of `/proc/self/maps`.
+pub fn parse_maps_line(line: &str) -> Result<ProcMapsEntry> {
+    let mut fields = line.split_whitespace();
+    let range = fields
+        .next()
+        .ok_or_else(|| VmemError::MapsParse(line.to_string()))?;
+    let (start_s, end_s) = range
+        .split_once('-')
+        .ok_or_else(|| VmemError::MapsParse(line.to_string()))?;
+    let start = usize::from_str_radix(start_s, 16)
+        .map_err(|_| VmemError::MapsParse(line.to_string()))?;
+    let end =
+        usize::from_str_radix(end_s, 16).map_err(|_| VmemError::MapsParse(line.to_string()))?;
+    let perms = fields
+        .next()
+        .ok_or_else(|| VmemError::MapsParse(line.to_string()))?
+        .to_string();
+    let offset_s = fields
+        .next()
+        .ok_or_else(|| VmemError::MapsParse(line.to_string()))?;
+    let offset =
+        u64::from_str_radix(offset_s, 16).map_err(|_| VmemError::MapsParse(line.to_string()))?;
+    let dev = fields
+        .next()
+        .ok_or_else(|| VmemError::MapsParse(line.to_string()))?
+        .to_string();
+    let inode_s = fields
+        .next()
+        .ok_or_else(|| VmemError::MapsParse(line.to_string()))?;
+    let inode = inode_s
+        .parse::<u64>()
+        .map_err(|_| VmemError::MapsParse(line.to_string()))?;
+    let rest: Vec<&str> = fields.collect();
+    let pathname = if rest.is_empty() {
+        None
+    } else {
+        Some(rest.join(" "))
+    };
+    Ok(ProcMapsEntry {
+        start,
+        end,
+        perms,
+        offset,
+        dev,
+        inode,
+        pathname,
+    })
+}
+
+/// Reads and parses all of `/proc/self/maps`.
+pub fn read_self_maps() -> Result<Vec<ProcMapsEntry>> {
+    let content = fs::read_to_string("/proc/self/maps")?;
+    parse_maps(&content)
+}
+
+/// Parses the full content of a maps file.
+pub fn parse_maps(content: &str) -> Result<Vec<ProcMapsEntry>> {
+    content
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(parse_maps_line)
+        .collect()
+}
+
+/// The user-space materialization of one view's slot ↔ physical-page
+/// mapping (the paper's Boost `bimap`, §2.5).
+///
+/// Left side: view slot index; right side: physical page number.
+#[derive(Clone, Debug, Default)]
+pub struct MappingTable {
+    map: BiMap<usize, usize>,
+}
+
+impl MappingTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self { map: BiMap::new() }
+    }
+
+    /// Creates an empty table with capacity for `cap` mappings.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            map: BiMap::with_capacity(cap),
+        }
+    }
+
+    /// Number of mapped (slot, physical page) pairs.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Returns `true` if no pages are mapped.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Records that view slot `slot` maps physical page `phys_page`.
+    pub fn insert(&mut self, slot: usize, phys_page: usize) {
+        self.map.insert(slot, phys_page);
+    }
+
+    /// The physical page mapped at `slot`, if any.
+    pub fn phys_for_slot(&self, slot: usize) -> Option<usize> {
+        self.map.get_by_left(&slot).copied()
+    }
+
+    /// The view slot that maps `phys_page`, if any.
+    pub fn slot_for_phys(&self, phys_page: usize) -> Option<usize> {
+        self.map.get_by_right(&phys_page).copied()
+    }
+
+    /// Returns `true` if the view maps `phys_page`.
+    pub fn contains_phys(&self, phys_page: usize) -> bool {
+        self.map.contains_right(&phys_page)
+    }
+
+    /// Removes the mapping of view slot `slot`, returning the physical page.
+    pub fn remove_slot(&mut self, slot: usize) -> Option<usize> {
+        self.map.remove_by_left(&slot)
+    }
+
+    /// Removes the mapping of physical page `phys_page`, returning the slot.
+    pub fn remove_phys(&mut self, phys_page: usize) -> Option<usize> {
+        self.map.remove_by_right(&phys_page)
+    }
+
+    /// Iterates over all `(slot, phys_page)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.map.iter().map(|(s, p)| (*s, *p))
+    }
+
+    /// All mapped physical pages, sorted ascending.
+    pub fn phys_pages_sorted(&self) -> Vec<usize> {
+        let mut v: Vec<usize> = self.map.iter().map(|(_, p)| *p).collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+/// Builds a [`MappingTable`] for a view from parsed maps entries.
+///
+/// `view_base` / `view_capacity_bytes` delimit the view's virtual
+/// reservation. Every *shared file* mapping inside that window contributes
+/// its pages: the slot index is derived from the virtual address, the
+/// physical page from the file offset.
+pub fn mapping_table_for_window(
+    entries: &[ProcMapsEntry],
+    view_base: usize,
+    view_capacity_bytes: usize,
+) -> MappingTable {
+    let view_end = view_base + view_capacity_bytes;
+    let mut table = MappingTable::new();
+    for e in entries {
+        if !e.is_shared_file_mapping() {
+            continue;
+        }
+        // Clamp the entry to the view window.
+        let start = e.start.max(view_base);
+        let end = e.end.min(view_end);
+        if start >= end {
+            continue;
+        }
+        let mut addr = start;
+        while addr < end {
+            let slot = (addr - view_base) / PAGE_SIZE_BYTES;
+            let file_off = e.offset as usize + (addr - e.start);
+            let phys_page = file_off / PAGE_SIZE_BYTES;
+            table.insert(slot, phys_page);
+            addr += PAGE_SIZE_BYTES;
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "7f0000000000-7f0000003000 rw-s 00002000 00:01 64593 /memfd:asv (deleted)\n\
+7f0000004000-7f0000005000 rw-p 00000000 00:00 0 \n\
+7f0000005000-7f0000006000 rw-s 00010000 00:01 64593 /memfd:asv (deleted)\n";
+
+    #[test]
+    fn parse_single_line() {
+        let e = parse_maps_line(
+            "08048000-08056000 rw-s 00002000 03:0c 64593 /dev/shm/db",
+        )
+        .unwrap();
+        assert_eq!(e.start, 0x08048000);
+        assert_eq!(e.end, 0x08056000);
+        assert_eq!(e.perms, "rw-s");
+        assert_eq!(e.offset, 0x2000);
+        assert_eq!(e.dev, "03:0c");
+        assert_eq!(e.inode, 64593);
+        assert_eq!(e.pathname.as_deref(), Some("/dev/shm/db"));
+        assert_eq!(e.len(), 0x08056000 - 0x08048000);
+        assert!(!e.is_empty());
+        assert!(e.is_shared_file_mapping());
+    }
+
+    #[test]
+    fn parse_line_without_pathname() {
+        let e = parse_maps_line("7f0000004000-7f0000005000 rw-p 00000000 00:00 0").unwrap();
+        assert_eq!(e.pathname, None);
+        assert!(!e.is_shared_file_mapping());
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_maps_line("not a maps line").is_err());
+        assert!(parse_maps_line("").is_err());
+        assert!(parse_maps_line("xyz-abc rw-p 0 00:00 0").is_err());
+    }
+
+    #[test]
+    fn parse_whole_file() {
+        let entries = parse_maps(SAMPLE).unwrap();
+        assert_eq!(entries.len(), 3);
+        assert!(entries[0].is_shared_file_mapping());
+        assert!(!entries[1].is_shared_file_mapping());
+    }
+
+    #[test]
+    fn read_self_maps_works_on_linux() {
+        let entries = read_self_maps().unwrap();
+        assert!(!entries.is_empty());
+        // The current binary must appear as an executable file mapping.
+        assert!(entries.iter().any(|e| e.perms.contains('x')));
+    }
+
+    #[test]
+    fn mapping_table_basic_operations() {
+        let mut t = MappingTable::new();
+        assert!(t.is_empty());
+        t.insert(0, 17);
+        t.insert(1, 4);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.phys_for_slot(0), Some(17));
+        assert_eq!(t.slot_for_phys(4), Some(1));
+        assert!(t.contains_phys(17));
+        assert!(!t.contains_phys(99));
+        assert_eq!(t.phys_pages_sorted(), vec![4, 17]);
+        assert_eq!(t.remove_phys(17), Some(0));
+        assert_eq!(t.remove_slot(1), Some(4));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn window_extraction_derives_slots_and_phys_pages() {
+        let entries = parse_maps(SAMPLE).unwrap();
+        let base = 0x7f0000000000usize;
+        let table = mapping_table_for_window(&entries, base, 16 * PAGE_SIZE_BYTES);
+        // First entry: 3 pages at slots 0..3 mapping phys pages 2..5.
+        // Third entry: 1 page at slot 5 mapping phys page 16.
+        assert_eq!(table.len(), 4);
+        assert_eq!(table.phys_for_slot(0), Some(2));
+        assert_eq!(table.phys_for_slot(1), Some(3));
+        assert_eq!(table.phys_for_slot(2), Some(4));
+        assert_eq!(table.phys_for_slot(5), Some(16));
+        assert_eq!(table.phys_for_slot(3), None);
+        assert_eq!(table.slot_for_phys(16), Some(5));
+    }
+
+    #[test]
+    fn window_extraction_ignores_out_of_window_entries() {
+        let entries = parse_maps(SAMPLE).unwrap();
+        // Window positioned after all entries.
+        let table = mapping_table_for_window(&entries, 0x7f1000000000, 16 * PAGE_SIZE_BYTES);
+        assert!(table.is_empty());
+    }
+}

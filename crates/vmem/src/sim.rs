@@ -1,0 +1,361 @@
+//! A software-simulated rewiring backend.
+//!
+//! [`SimBackend`] implements the exact same [`Backend`] interface as the
+//! mmap backend, but views are plain indirection tables (a vector of
+//! physical page numbers) over a heap-allocated buffer. No syscalls, no
+//! platform requirements, fully deterministic — which makes it the substrate
+//! for unit tests, property tests and CI, and a useful "explicit
+//! indirection" comparison point for the virtual views.
+//!
+//! Semantics intentionally mirror the mmap backend:
+//!
+//! * writes through the store are visible through every view that maps the
+//!   written page (there is exactly one physical copy of the data);
+//! * mapping a slot that is already mapped re-targets it;
+//! * truncating a view releases its tail slots.
+//!
+//! The one place the simulation is *stricter* than mmap: reading a slot that
+//! was never mapped panics (mmap would silently return anonymous zero
+//! pages). This catches bookkeeping bugs in the upper layers early.
+
+use std::cell::UnsafeCell;
+use std::sync::Arc;
+
+use crate::backend::{Backend, MapRequest, PhysicalStore, ViewBuffer};
+use crate::error::{Result, VmemError};
+use crate::layout::SLOTS_PER_PAGE;
+use crate::maps::MappingTable;
+
+/// Sentinel for a view slot that has never been mapped.
+const UNMAPPED: usize = usize::MAX;
+
+/// Shared physical memory of a simulated store.
+///
+/// The `UnsafeCell` mirrors the aliasing situation of the mmap backend: the
+/// store hands out `&mut` page slices while views hold `&` page slices into
+/// the same memory. The upper layers keep scan phases and update phases
+/// separate (as they must with mmap, too).
+struct SimBuffer {
+    slots: UnsafeCell<Box<[u64]>>,
+}
+
+// SAFETY: access is serialized by the upper layers exactly as it has to be
+// for the mmap backend (a view scan never runs concurrently with an update
+// of the same pages). The buffer itself never reallocates, so raw slices
+// stay valid for its whole lifetime.
+unsafe impl Send for SimBuffer {}
+unsafe impl Sync for SimBuffer {}
+
+impl SimBuffer {
+    fn new(num_pages: usize) -> Self {
+        Self {
+            slots: UnsafeCell::new(vec![0u64; num_pages * SLOTS_PER_PAGE].into_boxed_slice()),
+        }
+    }
+
+    /// # Safety
+    /// Caller must ensure `phys_page` is in bounds and that no `&mut` slice
+    /// of the same page is alive.
+    unsafe fn page(&self, phys_page: usize) -> &[u64] {
+        let buf = &*self.slots.get();
+        &buf[phys_page * SLOTS_PER_PAGE..(phys_page + 1) * SLOTS_PER_PAGE]
+    }
+
+    /// # Safety
+    /// Caller must ensure `phys_page` is in bounds and that no other slice
+    /// of the same page is alive.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn page_mut(&self, phys_page: usize) -> &mut [u64] {
+        let buf = &mut *self.slots.get();
+        &mut buf[phys_page * SLOTS_PER_PAGE..(phys_page + 1) * SLOTS_PER_PAGE]
+    }
+}
+
+/// The simulated rewiring backend.
+#[derive(Clone, Debug, Default)]
+pub struct SimBackend;
+
+impl SimBackend {
+    /// Creates a new simulation backend.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+/// A simulated physical column (heap buffer addressed by page number).
+pub struct SimStore {
+    buf: Arc<SimBuffer>,
+    num_pages: usize,
+}
+
+impl PhysicalStore for SimStore {
+    fn num_pages(&self) -> usize {
+        self.num_pages
+    }
+
+    fn page(&self, phys_page: usize) -> &[u64] {
+        assert!(
+            phys_page < self.num_pages,
+            "physical page {phys_page} out of bounds ({} pages)",
+            self.num_pages
+        );
+        // SAFETY: bounds checked; shared read access through &self.
+        unsafe { self.buf.page(phys_page) }
+    }
+
+    fn page_mut(&mut self, phys_page: usize) -> &mut [u64] {
+        assert!(
+            phys_page < self.num_pages,
+            "physical page {phys_page} out of bounds ({} pages)",
+            self.num_pages
+        );
+        // SAFETY: bounds checked; &mut self gives exclusive access through
+        // this handle (views alias read-only, like shared mmap mappings).
+        unsafe { self.buf.page_mut(phys_page) }
+    }
+}
+
+/// A simulated view: an indirection vector of physical page numbers.
+pub struct SimView {
+    buf: Arc<SimBuffer>,
+    store_pages: usize,
+    capacity_pages: usize,
+    slots: Vec<usize>,
+}
+
+impl SimView {
+    /// The raw indirection table (physical page per mapped slot), mainly for
+    /// debugging and tests.
+    pub fn slot_targets(&self) -> &[usize] {
+        &self.slots
+    }
+}
+
+impl ViewBuffer for SimView {
+    fn capacity_pages(&self) -> usize {
+        self.capacity_pages
+    }
+
+    fn mapped_pages(&self) -> usize {
+        self.slots.len()
+    }
+
+    fn page(&self, slot: usize) -> &[u64] {
+        assert!(
+            slot < self.slots.len(),
+            "view slot {slot} out of bounds ({} mapped pages)",
+            self.slots.len()
+        );
+        let phys = self.slots[slot];
+        assert!(
+            phys != UNMAPPED,
+            "view slot {slot} was reserved but never mapped"
+        );
+        // SAFETY: phys was validated against the store size in map_run.
+        unsafe { self.buf.page(phys) }
+    }
+}
+
+impl Backend for SimBackend {
+    type Store = SimStore;
+    type View = SimView;
+
+    fn name(&self) -> &'static str {
+        "sim"
+    }
+
+    fn create_store(&self, num_pages: usize) -> Result<SimStore> {
+        Ok(SimStore {
+            buf: Arc::new(SimBuffer::new(num_pages)),
+            num_pages,
+        })
+    }
+
+    fn reserve_view(&self, store: &SimStore, capacity_pages: usize) -> Result<SimView> {
+        Ok(SimView {
+            buf: Arc::clone(&store.buf),
+            store_pages: store.num_pages,
+            capacity_pages,
+            slots: Vec::with_capacity(capacity_pages.min(1024)),
+        })
+    }
+
+    fn map_run(&self, store: &SimStore, view: &mut SimView, req: MapRequest) -> Result<()> {
+        if req.len == 0 {
+            return Ok(());
+        }
+        if req.slot + req.len > view.capacity_pages {
+            return Err(VmemError::out_of_bounds(format!(
+                "view slots [{}, {}) exceed capacity {}",
+                req.slot,
+                req.slot + req.len,
+                view.capacity_pages
+            )));
+        }
+        if req.phys_page + req.len > store.num_pages {
+            return Err(VmemError::out_of_bounds(format!(
+                "physical pages [{}, {}) exceed store size {}",
+                req.phys_page,
+                req.phys_page + req.len,
+                store.num_pages
+            )));
+        }
+        if view.slots.len() < req.slot + req.len {
+            view.slots.resize(req.slot + req.len, UNMAPPED);
+        }
+        for i in 0..req.len {
+            view.slots[req.slot + i] = req.phys_page + i;
+        }
+        Ok(())
+    }
+
+    fn truncate_view(&self, view: &mut SimView, new_mapped_pages: usize) -> Result<()> {
+        if new_mapped_pages < view.slots.len() {
+            view.slots.truncate(new_mapped_pages);
+        }
+        Ok(())
+    }
+
+    fn mapping_table(&self, _store: &SimStore, view: &SimView) -> Result<MappingTable> {
+        let mut table = MappingTable::with_capacity(view.slots.len());
+        for (slot, &phys) in view.slots.iter().enumerate() {
+            if phys != UNMAPPED {
+                table.insert(slot, phys);
+            }
+        }
+        Ok(table)
+    }
+}
+
+// Silence "field is never read" for store_pages: it documents the store the
+// view belongs to and is used in debug assertions of upper layers.
+impl SimView {
+    /// Number of pages of the store this view was reserved over.
+    pub fn store_pages(&self) -> usize {
+        self.store_pages
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fill_page(store: &mut SimStore, page: usize) {
+        let data = store.page_mut(page);
+        data[0] = page as u64;
+        for (i, slot) in data.iter_mut().enumerate().skip(1) {
+            *slot = (page * 1000 + i) as u64;
+        }
+    }
+
+    #[test]
+    fn store_roundtrip_and_zero_init() {
+        let b = SimBackend::new();
+        let mut store = b.create_store(4).unwrap();
+        assert!(store.page(3).iter().all(|&v| v == 0));
+        fill_page(&mut store, 3);
+        assert_eq!(store.page(3)[0], 3);
+        assert_eq!(store.page(3)[1], 3001);
+    }
+
+    #[test]
+    fn view_maps_scattered_pages() {
+        let b = SimBackend::new();
+        let mut store = b.create_store(16).unwrap();
+        for p in 0..16 {
+            fill_page(&mut store, p);
+        }
+        let mut view = b.reserve_view(&store, 16).unwrap();
+        b.map_run(&store, &mut view, MapRequest { slot: 0, phys_page: 5, len: 3 })
+            .unwrap();
+        b.map_run(&store, &mut view, MapRequest::single(3, 12)).unwrap();
+        let ids: Vec<u64> = view.iter_pages().map(|p| p[0]).collect();
+        assert_eq!(ids, vec![5, 6, 7, 12]);
+        assert_eq!(view.slot_targets(), &[5, 6, 7, 12]);
+        assert_eq!(view.store_pages(), 16);
+    }
+
+    #[test]
+    fn writes_are_visible_through_views() {
+        let b = SimBackend::new();
+        let mut store = b.create_store(4).unwrap();
+        let mut view = b.reserve_view(&store, 4).unwrap();
+        b.map_run(&store, &mut view, MapRequest::single(0, 2)).unwrap();
+        store.page_mut(2)[7] = 42;
+        assert_eq!(view.page(0)[7], 42);
+    }
+
+    #[test]
+    fn full_view_and_truncate() {
+        let b = SimBackend::new();
+        let mut store = b.create_store(6).unwrap();
+        for p in 0..6 {
+            fill_page(&mut store, p);
+        }
+        let mut full = b.create_full_view(&store).unwrap();
+        assert_eq!(full.mapped_pages(), 6);
+        b.truncate_view(&mut full, 2).unwrap();
+        assert_eq!(full.mapped_pages(), 2);
+        b.truncate_view(&mut full, 5).unwrap();
+        assert_eq!(full.mapped_pages(), 2);
+    }
+
+    #[test]
+    fn bounds_errors() {
+        let b = SimBackend::new();
+        let store = b.create_store(4).unwrap();
+        let mut view = b.reserve_view(&store, 2).unwrap();
+        assert!(b
+            .map_run(&store, &mut view, MapRequest { slot: 1, phys_page: 0, len: 2 })
+            .is_err());
+        assert!(b
+            .map_run(&store, &mut view, MapRequest { slot: 0, phys_page: 4, len: 1 })
+            .is_err());
+        b.map_run(&store, &mut view, MapRequest { slot: 0, phys_page: 0, len: 0 })
+            .unwrap();
+        assert_eq!(view.mapped_pages(), 0);
+    }
+
+    #[test]
+    fn mapping_table_matches_slots() {
+        let b = SimBackend::new();
+        let store = b.create_store(8).unwrap();
+        let mut view = b.reserve_view(&store, 8).unwrap();
+        b.map_run(&store, &mut view, MapRequest { slot: 0, phys_page: 6, len: 2 })
+            .unwrap();
+        let table = b.mapping_table(&store, &view).unwrap();
+        assert_eq!(table.len(), 2);
+        assert_eq!(table.phys_for_slot(1), Some(7));
+        assert_eq!(table.slot_for_phys(6), Some(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "never mapped")]
+    fn reading_an_unmapped_gap_panics() {
+        let b = SimBackend::new();
+        let store = b.create_store(8).unwrap();
+        let mut view = b.reserve_view(&store, 8).unwrap();
+        // Create a gap at slot 0 by mapping only slot 1.
+        b.map_run(&store, &mut view, MapRequest::single(1, 3)).unwrap();
+        let _ = view.page(0);
+    }
+
+    #[test]
+    fn remapping_a_slot_changes_its_target() {
+        let b = SimBackend::new();
+        let mut store = b.create_store(4).unwrap();
+        for p in 0..4 {
+            fill_page(&mut store, p);
+        }
+        let mut view = b.reserve_view(&store, 4).unwrap();
+        b.map_run(&store, &mut view, MapRequest::single(0, 1)).unwrap();
+        b.map_run(&store, &mut view, MapRequest::single(0, 3)).unwrap();
+        assert_eq!(view.page(0)[0], 3);
+        assert_eq!(view.mapped_pages(), 1);
+    }
+
+    #[test]
+    fn backend_name() {
+        assert_eq!(SimBackend::new().name(), "sim");
+    }
+}

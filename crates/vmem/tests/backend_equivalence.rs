@@ -1,0 +1,188 @@
+//! Backend equivalence and robustness tests.
+//!
+//! The simulation backend exists so that every algorithm of the upper layers
+//! can be tested deterministically; that is only sound if it behaves exactly
+//! like the mmap backend. These tests drive both backends through identical
+//! random operation sequences and require identical observable state, and
+//! additionally fuzz the `/proc/self/maps` parser.
+
+use asv_vmem::{
+    parse_maps_line, Backend, MapRequest, MmapBackend, PhysicalStore, SimBackend, ViewBuffer,
+    SLOTS_PER_PAGE,
+};
+use proptest::prelude::*;
+
+/// A random operation applied identically to both backends.
+#[derive(Clone, Debug)]
+enum Op {
+    /// Write a value into (page, slot).
+    Write { page: usize, slot: usize, value: u64 },
+    /// Map a run of physical pages into the view at a slot.
+    MapRun { slot: usize, phys: usize, len: usize },
+    /// Truncate the view's mapped prefix.
+    Truncate { mapped: usize },
+}
+
+fn arb_op(store_pages: usize) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..store_pages, 1..SLOTS_PER_PAGE, any::<u64>())
+            .prop_map(|(page, slot, value)| Op::Write { page, slot, value }),
+        (0..store_pages, 0..store_pages, 1usize..4)
+            .prop_map(|(slot, phys, len)| Op::MapRun { slot, phys, len }),
+        (0..store_pages).prop_map(|mapped| Op::Truncate { mapped }),
+    ]
+}
+
+/// Applies one op to a backend, returning whether it was accepted.
+fn apply<B: Backend>(
+    backend: &B,
+    store: &mut B::Store,
+    view: &mut B::View,
+    op: &Op,
+) -> bool {
+    match *op {
+        Op::Write { page, slot, value } => {
+            store.page_mut(page)[slot] = value;
+            true
+        }
+        Op::MapRun { slot, phys, len } => backend
+            .map_run(store, view, MapRequest { slot, phys_page: phys, len })
+            .is_ok(),
+        Op::Truncate { mapped } => backend.truncate_view(view, mapped).is_ok(),
+    }
+}
+
+/// Observable state of a (store, view) pair: page ids visible through the
+/// view slots that are mapped on *both* backends, plus the mapping tables.
+fn observable<B: Backend>(backend: &B, store: &B::Store, view: &B::View) -> Vec<(usize, usize)> {
+    let table = backend.mapping_table(store, view).unwrap();
+    let mut pairs: Vec<(usize, usize)> = table.iter().collect();
+    pairs.sort_unstable();
+    pairs
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn sim_and_mmap_backends_expose_identical_mappings(
+        store_pages in 2usize..24,
+        ops in prop::collection::vec((0usize..64, 0usize..64, 0usize..64, 0u8..3), 0..48),
+    ) {
+        let sim = SimBackend::new();
+        let mmap = MmapBackend::new();
+        let mut sim_store = sim.create_store(store_pages).unwrap();
+        let mut mmap_store = mmap.create_store(store_pages).unwrap();
+        let mut sim_view = sim.reserve_view(&sim_store, store_pages).unwrap();
+        let mut mmap_view = mmap.reserve_view(&mmap_store, store_pages).unwrap();
+
+        for (a, b, c, kind) in ops {
+            let op = match kind {
+                0 => Op::Write { page: a % store_pages, slot: 1 + b % (SLOTS_PER_PAGE - 1), value: c as u64 },
+                1 => Op::MapRun { slot: a % store_pages, phys: b % store_pages, len: 1 + c % 3 },
+                _ => Op::Truncate { mapped: a % (store_pages + 1) },
+            };
+            let ok_sim = apply(&sim, &mut sim_store, &mut sim_view, &op);
+            let ok_mmap = apply(&mmap, &mut mmap_store, &mut mmap_view, &op);
+            prop_assert_eq!(ok_sim, ok_mmap, "acceptance differs for {:?}", op);
+        }
+
+        // Mapping tables agree.
+        prop_assert_eq!(
+            observable(&sim, &sim_store, &sim_view),
+            observable(&mmap, &mmap_store, &mmap_view)
+        );
+        // Store contents agree.
+        for p in 0..store_pages {
+            prop_assert_eq!(sim_store.page(p), mmap_store.page(p), "page {} differs", p);
+        }
+        // Mapped view slots show the same data wherever both sides consider
+        // the slot mapped.
+        let table = sim.mapping_table(&sim_store, &sim_view).unwrap();
+        let mapped_slots: Vec<usize> = table.iter().map(|(s, _)| s).collect();
+        for slot in mapped_slots {
+            if slot < sim_view.mapped_pages() && slot < mmap_view.mapped_pages() {
+                prop_assert_eq!(sim_view.page(slot), mmap_view.page(slot));
+            }
+        }
+    }
+
+    #[test]
+    fn maps_parser_never_panics_on_arbitrary_lines(line in "\\PC{0,120}") {
+        // Must never panic; errors are fine.
+        let _ = parse_maps_line(&line);
+    }
+
+    #[test]
+    fn maps_parser_roundtrips_wellformed_lines(
+        start in 0usize..0x7fff_ffff,
+        len in 1usize..0xffff,
+        offset_pages in 0u64..0xffff,
+        inode in 0u64..1_000_000,
+        shared in any::<bool>(),
+    ) {
+        let end = start + len * 4096;
+        let perms = if shared { "rw-s" } else { "rw-p" };
+        let line = format!(
+            "{start:x}-{end:x} {perms} {:08x} 00:01 {inode} /memfd:asv (deleted)",
+            offset_pages * 4096
+        );
+        let entry = parse_maps_line(&line).unwrap();
+        prop_assert_eq!(entry.start, start);
+        prop_assert_eq!(entry.end, end);
+        prop_assert_eq!(entry.offset, offset_pages * 4096);
+        prop_assert_eq!(entry.inode, inode);
+        prop_assert_eq!(entry.is_shared_file_mapping(), shared && inode != 0);
+    }
+}
+
+#[test]
+fn writes_after_remapping_are_visible_through_both_backends() {
+    // Regression-style scenario: map, write, remap elsewhere, write again.
+    let sim = SimBackend::new();
+    let mmap = MmapBackend::new();
+    for_each_backend(&sim);
+    for_each_backend(&mmap);
+
+    fn for_each_backend<B: Backend>(backend: &B) {
+        let mut store = backend.create_store(4).unwrap();
+        let mut view = backend.reserve_view(&store, 4).unwrap();
+        backend
+            .map_run(&store, &mut view, MapRequest::single(0, 1))
+            .unwrap();
+        store.page_mut(1)[5] = 111;
+        assert_eq!(view.page(0)[5], 111);
+        backend
+            .map_run(&store, &mut view, MapRequest::single(0, 2))
+            .unwrap();
+        store.page_mut(2)[5] = 222;
+        assert_eq!(view.page(0)[5], 222);
+        // The old physical page keeps its data.
+        assert_eq!(store.page(1)[5], 111);
+    }
+}
+
+#[test]
+fn many_small_views_over_one_store() {
+    // A store can back many simultaneously live views (the whole point of
+    // the design); exercise a fan-out of 64 views on both backends.
+    fn run<B: Backend>(backend: &B) {
+        let mut store = backend.create_store(64).unwrap();
+        for p in 0..64 {
+            store.page_mut(p)[0] = p as u64;
+        }
+        let mut views = Vec::new();
+        for i in 0..64usize {
+            let mut v = backend.reserve_view(&store, 64).unwrap();
+            backend
+                .map_run(&store, &mut v, MapRequest::single(0, i))
+                .unwrap();
+            views.push(v);
+        }
+        for (i, v) in views.iter().enumerate() {
+            assert_eq!(v.page(0)[0], i as u64);
+        }
+    }
+    run(&SimBackend::new());
+    run(&MmapBackend::new());
+}

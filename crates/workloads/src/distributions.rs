@@ -1,0 +1,280 @@
+//! Data distributions (paper §3, Figure 2).
+//!
+//! The evaluation uses a uniform distribution plus three *clustered*
+//! distributions in which the values of a page are correlated with the
+//! pageID, "reflecting clustered data distributions, as seen in time series
+//! or sensor data":
+//!
+//! * **linear** — values grow linearly with the pageID;
+//! * **sine** — values follow a sine wave that "cycles every 100 pages";
+//! * **sparse** — "90% of the pages are filled with zeros", the remaining
+//!   pages carry uniformly distributed values.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use asv_vmem::VALUES_PER_PAGE;
+
+/// The default value domain of the experiments (`[0, 100M]`, Figure 2/3).
+pub const DEFAULT_MAX_VALUE: u64 = 100_000_000;
+
+/// A synthetic data distribution over a page-structured column.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Distribution {
+    /// Uniformly random values in `[0, max_value]`; no page clustering.
+    Uniform {
+        /// Upper bound of the value domain (inclusive).
+        max_value: u64,
+    },
+    /// Values grow linearly with the pageID from 0 to `max_value`; within a
+    /// page, values spread uniformly over the page's local interval.
+    Linear {
+        /// Upper bound of the value domain (inclusive).
+        max_value: u64,
+    },
+    /// Values follow a sine wave over the pageID with the given period (the
+    /// paper uses 100 pages); within a page, values spread over a local
+    /// interval around the wave.
+    Sine {
+        /// Upper bound of the value domain (inclusive).
+        max_value: u64,
+        /// Number of pages per full sine cycle.
+        period_pages: usize,
+    },
+    /// A fraction of the pages (default 90%) contains only zeros; the
+    /// remaining pages carry uniformly distributed values in
+    /// `[0, max_value]`.
+    Sparse {
+        /// Upper bound of the value domain (inclusive).
+        max_value: u64,
+        /// Fraction of all-zero pages in `[0, 1]`.
+        zero_page_fraction: f64,
+    },
+}
+
+impl Distribution {
+    /// The paper's uniform distribution over `[0, 100M]`.
+    pub fn uniform() -> Self {
+        Distribution::Uniform {
+            max_value: DEFAULT_MAX_VALUE,
+        }
+    }
+
+    /// The paper's linear distribution over `[0, 100M]`.
+    pub fn linear() -> Self {
+        Distribution::Linear {
+            max_value: DEFAULT_MAX_VALUE,
+        }
+    }
+
+    /// The paper's sine distribution over `[0, 100M]`, cycling every 100
+    /// pages.
+    pub fn sine() -> Self {
+        Distribution::Sine {
+            max_value: DEFAULT_MAX_VALUE,
+            period_pages: 100,
+        }
+    }
+
+    /// The paper's sparse distribution: 90% zero pages, values in
+    /// `[0, 100M]`.
+    pub fn sparse() -> Self {
+        Distribution::Sparse {
+            max_value: DEFAULT_MAX_VALUE,
+            zero_page_fraction: 0.9,
+        }
+    }
+
+    /// Short name used in experiment output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Distribution::Uniform { .. } => "uniform",
+            Distribution::Linear { .. } => "linear",
+            Distribution::Sine { .. } => "sine",
+            Distribution::Sparse { .. } => "sparse",
+        }
+    }
+
+    /// The upper bound of the value domain.
+    pub fn max_value(&self) -> u64 {
+        match *self {
+            Distribution::Uniform { max_value }
+            | Distribution::Linear { max_value }
+            | Distribution::Sine { max_value, .. }
+            | Distribution::Sparse { max_value, .. } => max_value,
+        }
+    }
+
+    /// Generates the values for a column of `num_pages` pages
+    /// ([`VALUES_PER_PAGE`] values per page), deterministically from `seed`.
+    pub fn generate_pages(&self, num_pages: usize, seed: u64) -> Vec<u64> {
+        self.generate_values(num_pages * VALUES_PER_PAGE, seed)
+    }
+
+    /// Generates `num_values` values, deterministically from `seed`.
+    pub fn generate_values(&self, num_values: usize, seed: u64) -> Vec<u64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let num_pages = num_values.div_ceil(VALUES_PER_PAGE).max(1);
+        let mut out = Vec::with_capacity(num_values);
+        match *self {
+            Distribution::Uniform { max_value } => {
+                for _ in 0..num_values {
+                    out.push(rng.gen_range(0..=max_value));
+                }
+            }
+            Distribution::Linear { max_value } => {
+                // Page p covers [p/num_pages * max, (p+1)/num_pages * max).
+                for i in 0..num_values {
+                    let page = i / VALUES_PER_PAGE;
+                    let lo = page_interval_start(page, num_pages, max_value);
+                    let hi = page_interval_start(page + 1, num_pages, max_value).max(lo + 1);
+                    out.push(rng.gen_range(lo..hi.min(max_value.saturating_add(1))));
+                }
+            }
+            Distribution::Sine {
+                max_value,
+                period_pages,
+            } => {
+                // The wave is evaluated per *row*, so values cover the whole
+                // domain continuously (no value bands are skipped) while
+                // neighbouring rows — and hence the rows of one page — stay
+                // tightly clustered, as in the paper's Figure 2b. A small
+                // seeded jitter (one local step) keeps generation
+                // seed-dependent without destroying the clustering.
+                let period_rows = (period_pages.max(1) * VALUES_PER_PAGE) as f64;
+                let amplitude = max_value as f64;
+                // Maximum per-row change of the wave (its steepest slope).
+                let local_step = (amplitude * std::f64::consts::PI / period_rows).max(1.0);
+                for i in 0..num_values {
+                    let phase = (i as f64 / period_rows) * std::f64::consts::TAU;
+                    let center = (phase.sin() * 0.5 + 0.5) * amplitude;
+                    let jitter = rng.gen_range(0.0..=local_step);
+                    let v = (center + jitter).min(amplitude).max(0.0) as u64;
+                    out.push(v.min(max_value));
+                }
+            }
+            Distribution::Sparse {
+                max_value,
+                zero_page_fraction,
+            } => {
+                // Decide zero-ness per page, not per value.
+                let mut page_is_zero = vec![false; num_pages];
+                for flag in &mut page_is_zero {
+                    *flag = rng.gen_bool(zero_page_fraction.clamp(0.0, 1.0));
+                }
+                for i in 0..num_values {
+                    let page = i / VALUES_PER_PAGE;
+                    if page_is_zero[page] {
+                        out.push(0);
+                    } else {
+                        out.push(rng.gen_range(1..=max_value));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+fn page_interval_start(page: usize, num_pages: usize, max_value: u64) -> u64 {
+    ((page as u128 * max_value as u128) / num_pages.max(1) as u128) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PAGES: usize = 200;
+    const SEED: u64 = 42;
+
+    #[test]
+    fn generation_is_deterministic_and_sized() {
+        for dist in [
+            Distribution::uniform(),
+            Distribution::linear(),
+            Distribution::sine(),
+            Distribution::sparse(),
+        ] {
+            let a = dist.generate_pages(PAGES, SEED);
+            let b = dist.generate_pages(PAGES, SEED);
+            assert_eq!(a.len(), PAGES * VALUES_PER_PAGE);
+            assert_eq!(a, b, "{} must be deterministic", dist.name());
+            let c = dist.generate_pages(PAGES, SEED + 1);
+            assert_ne!(a, c, "{} must depend on the seed", dist.name());
+            assert!(a.iter().all(|&v| v <= dist.max_value()));
+        }
+    }
+
+    #[test]
+    fn names_and_max_values() {
+        assert_eq!(Distribution::uniform().name(), "uniform");
+        assert_eq!(Distribution::linear().name(), "linear");
+        assert_eq!(Distribution::sine().name(), "sine");
+        assert_eq!(Distribution::sparse().name(), "sparse");
+        assert_eq!(Distribution::sine().max_value(), DEFAULT_MAX_VALUE);
+    }
+
+    #[test]
+    fn linear_values_grow_with_page_id() {
+        let values = Distribution::linear().generate_pages(PAGES, SEED);
+        let page_mean = |p: usize| {
+            let s = &values[p * VALUES_PER_PAGE..(p + 1) * VALUES_PER_PAGE];
+            s.iter().sum::<u64>() as f64 / s.len() as f64
+        };
+        assert!(page_mean(0) < page_mean(PAGES / 2));
+        assert!(page_mean(PAGES / 2) < page_mean(PAGES - 1));
+        // Every page covers a narrow local interval (clustered).
+        let p = PAGES / 3;
+        let s = &values[p * VALUES_PER_PAGE..(p + 1) * VALUES_PER_PAGE];
+        let span = s.iter().max().unwrap() - s.iter().min().unwrap();
+        assert!(span <= DEFAULT_MAX_VALUE / PAGES as u64 + 1);
+    }
+
+    #[test]
+    fn sine_cycles_with_the_configured_period() {
+        let dist = Distribution::Sine {
+            max_value: 1_000_000,
+            period_pages: 100,
+        };
+        let values = dist.generate_pages(PAGES, SEED);
+        let page_mean = |p: usize| {
+            let s = &values[p * VALUES_PER_PAGE..(p + 1) * VALUES_PER_PAGE];
+            s.iter().sum::<u64>() as f64 / s.len() as f64
+        };
+        // Pages one full period apart have similar means; a quarter period
+        // apart they differ markedly.
+        assert!((page_mean(10) - page_mean(110)).abs() < 0.15 * 1_000_000.0);
+        assert!((page_mean(0) - page_mean(25)).abs() > 0.2 * 1_000_000.0);
+    }
+
+    #[test]
+    fn sparse_has_mostly_zero_pages() {
+        let values = Distribution::sparse().generate_pages(PAGES, SEED);
+        let zero_pages = (0..PAGES)
+            .filter(|&p| {
+                values[p * VALUES_PER_PAGE..(p + 1) * VALUES_PER_PAGE]
+                    .iter()
+                    .all(|&v| v == 0)
+            })
+            .count();
+        let frac = zero_pages as f64 / PAGES as f64;
+        assert!(frac > 0.8 && frac < 0.97, "zero-page fraction {frac}");
+    }
+
+    #[test]
+    fn uniform_fills_the_domain() {
+        let values = Distribution::uniform().generate_pages(PAGES, SEED);
+        let max = *values.iter().max().unwrap();
+        let min = *values.iter().min().unwrap();
+        assert!(max > DEFAULT_MAX_VALUE / 2);
+        assert!(min < DEFAULT_MAX_VALUE / 100);
+    }
+
+    #[test]
+    fn partial_page_generation() {
+        let values = Distribution::linear().generate_values(10, SEED);
+        assert_eq!(values.len(), 10);
+        let values = Distribution::sparse().generate_values(0, SEED);
+        assert!(values.is_empty());
+    }
+}

@@ -1,0 +1,20 @@
+//! Workload generators for the paper's evaluation.
+//!
+//! * [`Distribution`] — the four data distributions of §3 / Figure 2
+//!   (uniform, linear, sine, sparse), generated page-clustered exactly like
+//!   the paper describes them ("clustered data distributions, as seen in
+//!   time series or sensor data").
+//! * [`QueryWorkload`] — the query sequences of §3.2/§3.3: a shuffled
+//!   selectivity sweep (Figure 4) and fixed-selectivity sequences
+//!   (Figure 5).
+//! * [`UpdateWorkload`] — random point updates (§3.1 and §3.4).
+//!
+//! All generators are seeded and fully deterministic for a given seed.
+
+pub mod distributions;
+pub mod queries;
+pub mod updates;
+
+pub use distributions::{Distribution, DEFAULT_MAX_VALUE};
+pub use queries::{QueryWorkload, SweepSpec};
+pub use updates::UpdateWorkload;

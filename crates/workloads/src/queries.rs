@@ -1,0 +1,186 @@
+//! Query-sequence generators (paper §3.2 and §3.3).
+//!
+//! * The **selectivity sweep** of Figure 4: "a sequence of 250 queries which
+//!   vary the selected value range step-wise from 50M (low selectivity)
+//!   down to 5000 (high selectivity). Before firing, we shuffle the
+//!   generated queries randomly."
+//! * The **fixed-selectivity sequences** of Figure 5: every query selects a
+//!   range of the same width (1% or 10% of the domain) at a random
+//!   position.
+
+use asv_util::ValueRange;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of a selectivity sweep.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SweepSpec {
+    /// Number of queries in the sequence (the paper uses 250).
+    pub num_queries: usize,
+    /// Width of the first (widest) query range (the paper uses 50M).
+    pub widest_range: u64,
+    /// Width of the last (narrowest) query range (the paper uses 5000).
+    pub narrowest_range: u64,
+    /// Upper bound of the value domain queried (the paper uses 100M).
+    pub domain_max: u64,
+}
+
+impl Default for SweepSpec {
+    fn default() -> Self {
+        Self {
+            num_queries: 250,
+            widest_range: 50_000_000,
+            narrowest_range: 5_000,
+            domain_max: 100_000_000,
+        }
+    }
+}
+
+/// A generator for the paper's query workloads.
+#[derive(Clone, Debug)]
+pub struct QueryWorkload {
+    seed: u64,
+}
+
+impl QueryWorkload {
+    /// Creates a workload generator with the given seed.
+    pub fn new(seed: u64) -> Self {
+        Self { seed }
+    }
+
+    /// Generates the Figure 4 selectivity sweep: query widths step from
+    /// `widest_range` down to `narrowest_range` (geometrically, so both ends
+    /// of the selectivity spectrum are represented), each query is placed at
+    /// a random position inside the domain, and the sequence is shuffled.
+    pub fn selectivity_sweep(&self, spec: &SweepSpec) -> Vec<ValueRange> {
+        assert!(spec.num_queries > 0, "need at least one query");
+        assert!(
+            spec.narrowest_range >= 1 && spec.narrowest_range <= spec.widest_range,
+            "invalid sweep widths"
+        );
+        assert!(
+            spec.widest_range <= spec.domain_max,
+            "widest range exceeds domain"
+        );
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let n = spec.num_queries;
+        let mut queries = Vec::with_capacity(n);
+        let log_hi = (spec.widest_range as f64).ln();
+        let log_lo = (spec.narrowest_range as f64).ln();
+        for i in 0..n {
+            let t = if n == 1 { 0.0 } else { i as f64 / (n - 1) as f64 };
+            let width = (log_hi + (log_lo - log_hi) * t).exp().round() as u64;
+            let width = width.clamp(spec.narrowest_range, spec.widest_range).max(1);
+            let max_start = spec.domain_max - width;
+            let start = if max_start == 0 {
+                0
+            } else {
+                rng.gen_range(0..=max_start)
+            };
+            queries.push(ValueRange::new(start, start + width - 1));
+        }
+        queries.shuffle(&mut rng);
+        queries
+    }
+
+    /// Generates the Figure 5 fixed-selectivity sequence: `num_queries`
+    /// ranges of width `selectivity * domain_max` at random positions.
+    pub fn fixed_selectivity(
+        &self,
+        num_queries: usize,
+        selectivity: f64,
+        domain_max: u64,
+    ) -> Vec<ValueRange> {
+        assert!(num_queries > 0, "need at least one query");
+        assert!(
+            selectivity > 0.0 && selectivity <= 1.0,
+            "selectivity must be in (0, 1]"
+        );
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let width = ((domain_max as f64 * selectivity).round() as u64).max(1);
+        (0..num_queries)
+            .map(|_| {
+                let max_start = domain_max.saturating_sub(width);
+                let start = if max_start == 0 {
+                    0
+                } else {
+                    rng.gen_range(0..=max_start)
+                };
+                ValueRange::new(start, start + width - 1)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_is_deterministic_and_shuffled() {
+        let w = QueryWorkload::new(7);
+        let spec = SweepSpec::default();
+        let a = w.selectivity_sweep(&spec);
+        let b = w.selectivity_sweep(&spec);
+        assert_eq!(a.len(), 250);
+        assert_eq!(a, b);
+        let c = QueryWorkload::new(8).selectivity_sweep(&spec);
+        assert_ne!(a, c);
+        // Shuffled: widths must not be monotonically decreasing.
+        let widths: Vec<u64> = a.iter().map(|r| r.width()).collect();
+        assert!(widths.windows(2).any(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn sweep_covers_the_requested_width_spectrum() {
+        let spec = SweepSpec::default();
+        let queries = QueryWorkload::new(1).selectivity_sweep(&spec);
+        let min_w = queries.iter().map(|r| r.width()).min().unwrap();
+        let max_w = queries.iter().map(|r| r.width()).max().unwrap();
+        // Geometric stepping hits (roughly) both endpoints.
+        assert!(min_w <= spec.narrowest_range + spec.narrowest_range / 10);
+        assert!(max_w >= spec.widest_range - spec.widest_range / 10);
+        for q in &queries {
+            assert!(q.high() <= spec.domain_max);
+        }
+    }
+
+    #[test]
+    fn fixed_selectivity_produces_constant_width() {
+        let queries = QueryWorkload::new(3).fixed_selectivity(100, 0.01, 100_000_000);
+        assert_eq!(queries.len(), 100);
+        for q in &queries {
+            assert_eq!(q.width(), 1_000_000);
+            assert!(q.high() <= 100_000_000);
+        }
+        // Positions vary.
+        assert!(queries.iter().any(|q| q.low() != queries[0].low()));
+    }
+
+    #[test]
+    fn fixed_selectivity_full_domain() {
+        let queries = QueryWorkload::new(3).fixed_selectivity(5, 1.0, 1_000);
+        for q in &queries {
+            assert_eq!(q.low(), 0);
+            assert_eq!(q.width(), 1_000);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "selectivity")]
+    fn zero_selectivity_panics() {
+        QueryWorkload::new(0).fixed_selectivity(1, 0.0, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid sweep widths")]
+    fn inverted_sweep_widths_panic() {
+        let spec = SweepSpec {
+            narrowest_range: 10_000_000,
+            widest_range: 5_000,
+            ..SweepSpec::default()
+        };
+        QueryWorkload::new(0).selectivity_sweep(&spec);
+    }
+}

@@ -1,0 +1,95 @@
+//! Update-batch generators (paper §3.1 and §3.4).
+//!
+//! The Figure 3 experiment updates "10,000 uniformly selected entries"; the
+//! Figure 7 experiment applies batches of 100 to 1M updates to a column.
+//! [`UpdateWorkload`] produces such batches as `(row, new value)` pairs with
+//! uniformly chosen rows and values drawn uniformly from the value domain.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A generator for random point-update batches.
+#[derive(Clone, Debug)]
+pub struct UpdateWorkload {
+    seed: u64,
+}
+
+impl UpdateWorkload {
+    /// Creates a generator with the given seed.
+    pub fn new(seed: u64) -> Self {
+        Self { seed }
+    }
+
+    /// Generates `count` updates: uniformly random rows in `[0, num_rows)`
+    /// and uniformly random new values in `[0, max_value]`.
+    pub fn uniform_writes(
+        &self,
+        count: usize,
+        num_rows: usize,
+        max_value: u64,
+    ) -> Vec<(usize, u64)> {
+        assert!(num_rows > 0, "cannot generate updates for an empty column");
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        (0..count)
+            .map(|_| (rng.gen_range(0..num_rows), rng.gen_range(0..=max_value)))
+            .collect()
+    }
+
+    /// Generates `count` updates whose rows are uniform but whose new values
+    /// are confined to `value_range` — useful to stress a specific partial
+    /// view.
+    pub fn targeted_writes(
+        &self,
+        count: usize,
+        num_rows: usize,
+        value_range: (u64, u64),
+    ) -> Vec<(usize, u64)> {
+        assert!(num_rows > 0, "cannot generate updates for an empty column");
+        assert!(value_range.0 <= value_range.1, "invalid value range");
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        (0..count)
+            .map(|_| {
+                (
+                    rng.gen_range(0..num_rows),
+                    rng.gen_range(value_range.0..=value_range.1),
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_writes_are_deterministic_and_bounded() {
+        let w = UpdateWorkload::new(11);
+        let a = w.uniform_writes(1_000, 5_000, 999);
+        let b = w.uniform_writes(1_000, 5_000, 999);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 1_000);
+        assert!(a.iter().all(|&(r, v)| r < 5_000 && v <= 999));
+        let c = UpdateWorkload::new(12).uniform_writes(1_000, 5_000, 999);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn targeted_writes_stay_in_range() {
+        let w = UpdateWorkload::new(11);
+        let writes = w.targeted_writes(500, 100, (40, 60));
+        assert!(writes.iter().all(|&(r, v)| r < 100 && (40..=60).contains(&v)));
+    }
+
+    #[test]
+    fn empty_batch_is_allowed() {
+        let w = UpdateWorkload::new(0);
+        assert!(w.uniform_writes(0, 10, 10).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty column")]
+    fn zero_rows_panics() {
+        UpdateWorkload::new(0).uniform_writes(1, 0, 10);
+    }
+}

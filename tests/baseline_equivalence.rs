@@ -1,0 +1,121 @@
+//! Cross-variant equivalence: every indexing variant (explicit baselines,
+//! physical scan, virtual view, adaptive layer, plain full scan) must
+//! produce identical answers for identical workloads.
+
+use adaptive_storage_views::baselines::{
+    BitmapIndex, PageIdVectorIndex, PhysicalScanBaseline, RangeIndex, VirtualViewIndex,
+    ZoneMapIndex,
+};
+use adaptive_storage_views::core::CreationOptions;
+use adaptive_storage_views::prelude::*;
+use adaptive_storage_views::workloads::DEFAULT_MAX_VALUE;
+
+const PAGES: usize = 256;
+
+fn reference(values: &[u64], range: &ValueRange) -> (u64, u128) {
+    values
+        .iter()
+        .filter(|v| range.contains(**v))
+        .fold((0u64, 0u128), |(c, s), &v| (c + 1, s + v as u128))
+}
+
+fn all_variants_agree(dist: &Distribution, k: u64, writes: &[(usize, u64)]) {
+    let values = dist.generate_pages(PAGES, 0xBA5E);
+    let index_range = ValueRange::new(0, k);
+    let query = ValueRange::new(0, k / 2);
+
+    let mut variants: Vec<Box<dyn RangeIndex>> = vec![
+        Box::new(ZoneMapIndex::build(&values, index_range)),
+        Box::new(BitmapIndex::build(SimBackend::new(), &values, index_range).unwrap()),
+        Box::new(PageIdVectorIndex::build(SimBackend::new(), &values, index_range).unwrap()),
+        Box::new(PhysicalScanBaseline::build(&values, index_range)),
+        Box::new(
+            VirtualViewIndex::build(SimBackend::new(), &values, index_range, &CreationOptions::ALL)
+                .unwrap(),
+        ),
+        Box::new(
+            VirtualViewIndex::build(
+                MmapBackend::new(),
+                &values,
+                index_range,
+                &CreationOptions::NONE,
+            )
+            .unwrap(),
+        ),
+    ];
+
+    // Expected answer: apply the writes to a plain copy and filter.
+    let mut updated = values.clone();
+    for &(row, v) in writes {
+        updated[row] = v;
+    }
+    let (exp_count, exp_sum) = reference(&updated, &query);
+
+    for variant in &mut variants {
+        variant.apply_writes(writes);
+        let answer = variant.query(&query);
+        assert_eq!(
+            (answer.count, answer.sum),
+            (exp_count, exp_sum),
+            "variant {} disagrees for {} / k={k}",
+            variant.name(),
+            dist.name()
+        );
+    }
+}
+
+#[test]
+fn variants_agree_without_updates() {
+    for dist in [Distribution::uniform(), Distribution::sine()] {
+        for k in [2_000u64, 20_000, 200_000] {
+            all_variants_agree(&dist, k, &[]);
+        }
+    }
+}
+
+#[test]
+fn variants_agree_after_random_updates() {
+    let values_len = PAGES * adaptive_storage_views::storage::VALUES_PER_PAGE;
+    for dist in [Distribution::uniform(), Distribution::linear()] {
+        let writes = UpdateWorkload::new(77).uniform_writes(2_000, values_len, DEFAULT_MAX_VALUE);
+        all_variants_agree(&dist, 50_000, &writes);
+    }
+}
+
+#[test]
+fn variants_agree_after_targeted_updates() {
+    // Updates that deliberately move values into and out of the indexed
+    // range stress the index-maintenance paths of every variant.
+    let values_len = PAGES * adaptive_storage_views::storage::VALUES_PER_PAGE;
+    let k = 10_000u64;
+    let mut writes = UpdateWorkload::new(5).targeted_writes(1_000, values_len, (0, k));
+    writes.extend(UpdateWorkload::new(6).targeted_writes(
+        1_000,
+        values_len,
+        (k + 1, DEFAULT_MAX_VALUE),
+    ));
+    all_variants_agree(&Distribution::uniform(), k, &writes);
+}
+
+#[test]
+fn adaptive_layer_matches_explicit_baselines() {
+    let dist = Distribution::sine();
+    let values = dist.generate_pages(PAGES, 0xADA);
+    let queries = QueryWorkload::new(3).fixed_selectivity(25, 0.05, dist.max_value());
+
+    let mut adaptive = AdaptiveColumn::from_values(
+        SimBackend::new(),
+        &values,
+        AdaptiveConfig::default().with_max_views(16),
+    )
+    .unwrap();
+    for range in &queries {
+        let outcome = adaptive.query(&RangeQuery::from_range(*range)).unwrap();
+        let (count, sum) = reference(&values, range);
+        assert_eq!((outcome.count, outcome.sum), (count, sum));
+        // A freshly built explicit bitmap over the same range agrees too.
+        let bitmap = BitmapIndex::build(SimBackend::new(), &values, *range).unwrap();
+        let answer = bitmap.query(range);
+        assert_eq!((answer.count, answer.sum), (count, sum));
+    }
+}

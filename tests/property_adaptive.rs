@@ -1,0 +1,159 @@
+//! Property-based tests (proptest) over the whole stack.
+//!
+//! The central invariants:
+//!
+//! 1. For *any* data and *any* query sequence, the adaptive layer returns
+//!    exactly the same answers as a naive filter over the raw values — in
+//!    both routing modes, with and without the creation optimizations.
+//! 2. For *any* update batch, batched view alignment leaves every partial
+//!    view indexing exactly the pages a from-scratch rebuild would index.
+//! 3. The retention policy never exceeds the configured view limit.
+
+use adaptive_storage_views::core::{
+    align_views_after_updates, build_view_for_range, CreationOptions, RoutingMode, ViewSet,
+};
+use adaptive_storage_views::prelude::*;
+use adaptive_storage_views::storage::VALUES_PER_PAGE;
+use adaptive_storage_views::vmem::Backend;
+use proptest::prelude::*;
+
+/// Small domains keep page-level clustering interesting while still hitting
+/// lots of edge cases (empty ranges, full ranges, repeated values).
+const MAX_VALUE: u64 = 10_000;
+
+fn reference(values: &[u64], range: &ValueRange) -> (u64, u128) {
+    values
+        .iter()
+        .filter(|v| range.contains(**v))
+        .fold((0u64, 0u128), |(c, s), &v| (c + 1, s + v as u128))
+}
+
+fn arb_values() -> impl Strategy<Value = Vec<u64>> {
+    // Between a handful of rows and ~6 pages, values in a small domain.
+    prop::collection::vec(0..=MAX_VALUE, 1..(6 * VALUES_PER_PAGE))
+}
+
+fn arb_queries() -> impl Strategy<Value = Vec<(u64, u64)>> {
+    prop::collection::vec((0..=MAX_VALUE, 0..=MAX_VALUE), 1..12)
+}
+
+fn normalize(lo: u64, hi: u64) -> ValueRange {
+    if lo <= hi {
+        ValueRange::new(lo, hi)
+    } else {
+        ValueRange::new(hi, lo)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn adaptive_answers_equal_naive_filter(
+        values in arb_values(),
+        queries in arb_queries(),
+        multi_view in any::<bool>(),
+        concurrent in any::<bool>(),
+        max_views in 1usize..8,
+    ) {
+        let routing = if multi_view { RoutingMode::MultiView } else { RoutingMode::SingleView };
+        let creation = if concurrent { CreationOptions::ALL } else { CreationOptions::COALESCED };
+        let config = AdaptiveConfig::default()
+            .with_routing(routing)
+            .with_max_views(max_views)
+            .with_creation(creation);
+        let mut adaptive =
+            AdaptiveColumn::from_values(SimBackend::new(), &values, config).unwrap();
+        for &(lo, hi) in &queries {
+            let range = normalize(lo, hi);
+            let outcome = adaptive.query(&RangeQuery::from_range(range)).unwrap();
+            let (count, sum) = reference(&values, &range);
+            prop_assert_eq!(outcome.count, count);
+            prop_assert_eq!(outcome.sum, sum);
+            prop_assert!(adaptive.views().num_partial_views() <= max_views);
+        }
+    }
+
+    #[test]
+    fn collected_rows_are_exactly_the_matching_rows(
+        values in arb_values(),
+        lo in 0..=MAX_VALUE,
+        hi in 0..=MAX_VALUE,
+    ) {
+        let range = normalize(lo, hi);
+        let mut adaptive = AdaptiveColumn::from_values(
+            SimBackend::new(),
+            &values,
+            AdaptiveConfig::default(),
+        )
+        .unwrap();
+        let outcome = adaptive.query_collect(&RangeQuery::from_range(range)).unwrap();
+        let mut rows = outcome.rows.unwrap();
+        rows.sort_unstable();
+        let expected: Vec<u64> = values
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| range.contains(**v))
+            .map(|(i, _)| i as u64)
+            .collect();
+        prop_assert_eq!(rows, expected);
+    }
+
+    #[test]
+    fn alignment_equals_rebuild_for_any_batch(
+        values in arb_values(),
+        view_lo in 0..=MAX_VALUE,
+        view_hi in 0..=MAX_VALUE,
+        writes in prop::collection::vec((0usize..6 * VALUES_PER_PAGE, 0..=MAX_VALUE), 0..120),
+    ) {
+        let range = normalize(view_lo, view_hi);
+        let mut column = Column::from_values(SimBackend::new(), &values).unwrap();
+        let mut views = ViewSet::new(2);
+        let (buf, _) = build_view_for_range(&column, &range, &CreationOptions::COALESCED).unwrap();
+        views.insert_unchecked(range, buf);
+
+        // Clamp rows to the column and apply the batch.
+        let writes: Vec<(usize, u64)> = writes
+            .into_iter()
+            .map(|(r, v)| (r % values.len(), v))
+            .collect();
+        let updates = column.write_batch(&writes);
+        align_views_after_updates(&column, &mut views, &updates).unwrap();
+
+        // Compare the aligned view's page set against a rebuild.
+        let aligned: Vec<usize> = column
+            .backend()
+            .mapping_table(column.store(), views.partial_view(0).unwrap().buffer())
+            .unwrap()
+            .phys_pages_sorted();
+        let expected: Vec<usize> = (0..column.num_pages())
+            .filter(|&p| column.page_ref(p).values().iter().any(|v| range.contains(*v)))
+            .collect();
+        prop_assert_eq!(aligned, expected);
+
+        // And scanning the aligned view answers the view's range exactly.
+        let mut count = 0u64;
+        for raw in adaptive_storage_views::vmem::ViewBuffer::iter_pages(
+            views.partial_view(0).unwrap().buffer(),
+        ) {
+            count += column.wrap_view_page(raw).scan_filter(&range).count;
+        }
+        let current: Vec<u64> = column.to_vec();
+        let (exp_count, _) = reference(&current, &range);
+        prop_assert_eq!(count, exp_count);
+    }
+
+    #[test]
+    fn full_view_scan_equals_naive_filter(
+        values in arb_values(),
+        lo in 0..=MAX_VALUE,
+        hi in 0..=MAX_VALUE,
+    ) {
+        let range = normalize(lo, hi);
+        let column = Column::from_values(SimBackend::new(), &values).unwrap();
+        let res = column.full_scan(&range);
+        let (count, sum) = reference(&values, &range);
+        prop_assert_eq!(res.count, count);
+        prop_assert_eq!(res.sum, sum);
+    }
+}
