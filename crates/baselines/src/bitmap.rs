@@ -117,9 +117,13 @@ mod tests {
     #[test]
     fn build_marks_qualifying_pages() {
         let values = clustered(16);
-        let idx = BitmapIndex::build(SimBackend::new(), &values, ValueRange::new(0, 4_999)).unwrap();
+        let idx =
+            BitmapIndex::build(SimBackend::new(), &values, ValueRange::new(0, 4_999)).unwrap();
         assert_eq!(idx.indexed_pages(), 5); // pages 0..=4
-        assert_eq!(idx.bits().iter_ones().collect::<Vec<_>>(), vec![0, 1, 2, 3, 4]);
+        assert_eq!(
+            idx.bits().iter_ones().collect::<Vec<_>>(),
+            vec![0, 1, 2, 3, 4]
+        );
         assert_eq!(idx.name(), "explicit-bitmap");
         assert_eq!(idx.index_range(), ValueRange::new(0, 4_999));
         assert_eq!(idx.column().num_pages(), 16);
@@ -128,7 +132,8 @@ mod tests {
     #[test]
     fn query_only_scans_indexed_pages_and_is_exact() {
         let values = clustered(16);
-        let idx = BitmapIndex::build(SimBackend::new(), &values, ValueRange::new(0, 7_999)).unwrap();
+        let idx =
+            BitmapIndex::build(SimBackend::new(), &values, ValueRange::new(0, 7_999)).unwrap();
         let q = ValueRange::new(1_000, 3_200);
         let ans = idx.query(&q);
         let expected: Vec<u64> = values.iter().copied().filter(|v| q.contains(*v)).collect();
@@ -140,14 +145,17 @@ mod tests {
     #[test]
     fn updates_flip_page_membership() {
         let values = clustered(8);
-        let mut idx = BitmapIndex::build(SimBackend::new(), &values, ValueRange::new(0, 999)).unwrap();
+        let mut idx =
+            BitmapIndex::build(SimBackend::new(), &values, ValueRange::new(0, 999)).unwrap();
         assert_eq!(idx.indexed_pages(), 1);
         // Make a value on page 5 qualify.
         idx.apply_writes(&[(5 * VALUES_PER_PAGE + 7, 500)]);
         assert_eq!(idx.indexed_pages(), 2);
         assert!(idx.bits().get(5));
         // Remove all qualifying values from page 0.
-        let writes: Vec<(usize, u64)> = (0..VALUES_PER_PAGE).map(|s| (s, 50_000 + s as u64)).collect();
+        let writes: Vec<(usize, u64)> = (0..VALUES_PER_PAGE)
+            .map(|s| (s, 50_000 + s as u64))
+            .collect();
         idx.apply_writes(&writes);
         assert!(!idx.bits().get(0));
         assert_eq!(idx.indexed_pages(), 1);

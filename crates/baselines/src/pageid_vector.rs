@@ -137,7 +137,8 @@ mod tests {
     fn build_collects_qualifying_page_ids() {
         let values = clustered(16);
         let idx =
-            PageIdVectorIndex::build(SimBackend::new(), &values, ValueRange::new(3_000, 6_100)).unwrap();
+            PageIdVectorIndex::build(SimBackend::new(), &values, ValueRange::new(3_000, 6_100))
+                .unwrap();
         assert_eq!(idx.page_ids(), &[3, 4, 5, 6]);
         assert_eq!(idx.indexed_pages(), 4);
         assert_eq!(idx.name(), "explicit-pageid-vector");
@@ -148,8 +149,8 @@ mod tests {
     #[test]
     fn query_is_exact_for_subranges() {
         let values = clustered(16);
-        let idx =
-            PageIdVectorIndex::build(SimBackend::new(), &values, ValueRange::new(0, 9_000)).unwrap();
+        let idx = PageIdVectorIndex::build(SimBackend::new(), &values, ValueRange::new(0, 9_000))
+            .unwrap();
         let q = ValueRange::new(4_100, 7_050);
         let ans = idx.query(&q);
         let expected: Vec<u64> = values.iter().copied().filter(|v| q.contains(*v)).collect();

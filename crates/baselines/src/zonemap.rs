@@ -156,7 +156,10 @@ mod tests {
     }
 
     fn reference(values: &[u64], q: &ValueRange) -> (u64, u128) {
-        values.iter().filter(|v| q.contains(**v)).fold((0, 0), |(c, s), &v| (c + 1, s + v as u128))
+        values
+            .iter()
+            .filter(|v| q.contains(**v))
+            .fold((0, 0), |(c, s), &v| (c + 1, s + v as u128))
     }
 
     #[test]
@@ -190,7 +193,10 @@ mod tests {
         let idx = ZoneMapIndex::build(&values, ValueRange::full());
         assert_eq!(idx.num_pages(), 2);
         assert_eq!(idx.value(0), values[0]);
-        assert_eq!(idx.value(ZONEMAP_VALUES_PER_PAGE + 9), values[ZONEMAP_VALUES_PER_PAGE + 9]);
+        assert_eq!(
+            idx.value(ZONEMAP_VALUES_PER_PAGE + 9),
+            values[ZONEMAP_VALUES_PER_PAGE + 9]
+        );
         let ans = idx.query(&ValueRange::full());
         assert_eq!(ans.count, values.len() as u64);
     }
@@ -207,8 +213,8 @@ mod tests {
         // The tiny value on page 3 must be found as well.
         let ans = idx.query(&ValueRange::new(0, 1));
         assert_eq!(ans.count, 2); // original value 0 on page 0 was overwritten... page 0 slot 0 now 900_000
-        // Actually: page 0's original value 0 became 900_000, and page 3 got a 1;
-        // the only remaining values <= 1 are page 0's value 1 (row 1) and the new 1.
+                                  // Actually: page 0's original value 0 became 900_000, and page 3 got a 1;
+                                  // the only remaining values <= 1 are page 0's value 1 (row 1) and the new 1.
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! * adaptive creation disabled entirely (static full-view-only baseline).
 
 use asv_core::{AdaptiveColumn, AdaptiveConfig, CreationOptions, RangeQuery, RoutingMode};
-use asv_vmem::MmapBackend;
+use asv_vmem::Backend;
 use asv_workloads::{Distribution, QueryWorkload, SweepSpec};
 
 use crate::report::Table;
@@ -72,8 +72,8 @@ pub fn configurations() -> Vec<(String, AdaptiveConfig)> {
 }
 
 /// Runs the ablation on the sine distribution with a Figure-4-style query
-/// sweep.
-pub fn run(scale: &Scale, seed: u64) -> Vec<AblationRow> {
+/// sweep, on `backend`.
+pub fn run<B: Backend>(backend: &B, scale: &Scale, seed: u64) -> Vec<AblationRow> {
     let dist = Distribution::sine();
     let values = dist.generate_pages(scale.fig45_pages, seed);
     let spec = SweepSpec {
@@ -89,9 +89,8 @@ pub fn run(scale: &Scale, seed: u64) -> Vec<AblationRow> {
     configurations()
         .into_iter()
         .map(|(label, config)| {
-            let mut adaptive =
-                AdaptiveColumn::from_values(MmapBackend::new(), &values, config)
-                    .expect("column materialization");
+            let mut adaptive = AdaptiveColumn::from_values(backend.clone(), &values, config)
+                .expect("column materialization");
             let mut total_s = 0.0f64;
             let mut scanned_pages = 0usize;
             for q in &queries {
@@ -135,14 +134,16 @@ mod tests {
         let configs = configurations();
         assert!(configs.len() >= 9);
         assert!(configs.iter().any(|(_, c)| !c.adaptive_creation));
-        assert!(configs.iter().any(|(_, c)| c.routing == RoutingMode::MultiView));
+        assert!(configs
+            .iter()
+            .any(|(_, c)| c.routing == RoutingMode::MultiView));
         assert!(configs.iter().any(|(_, c)| c.discard_tolerance > 0));
         assert!(configs.iter().any(|(_, c)| c.replacement_tolerance > 0));
     }
 
     #[test]
     fn tiny_ablation_runs_all_configurations() {
-        let rows = run(&Scale::tiny(), 3);
+        let rows = run(&asv_vmem::SimBackend::new(), &Scale::tiny(), 3);
         assert_eq!(rows.len(), configurations().len());
         for r in &rows {
             assert!(r.total_s > 0.0, "{} produced no measurement", r.label);

@@ -2,8 +2,13 @@
 //!
 //! ```text
 //! experiments [fig3|fig4|fig5|fig6|fig7|table1|ablation|all]
-//!             [--scale tiny|small|medium|paper] [--seed N] [--csv-dir DIR]
+//!             [--backend sim|mmap] [--scale tiny|small|medium|paper]
+//!             [--seed N] [--csv-dir DIR]
 //! ```
+//!
+//! The backend defaults to real memory rewiring (`mmap`) on Linux and to
+//! the portable simulation (`sim`) everywhere else; `--backend` overrides
+//! the choice at runtime.
 //!
 //! Results are printed to stdout; with `--csv-dir` the per-figure series are
 //! additionally written as CSV files (one per figure), which is what
@@ -12,9 +17,11 @@
 use std::process::ExitCode;
 
 use asv_bench::{ablation, fig3, fig4, fig5, fig6, fig7, report, table1, Scale, DEFAULT_SEED};
+use asv_vmem::{AnyBackend, Backend};
 
 struct Args {
     experiments: Vec<String>,
+    backend: AnyBackend,
     scale: Scale,
     seed: u64,
     csv_dir: Option<String>,
@@ -22,12 +29,22 @@ struct Args {
 
 fn parse_args() -> Result<Args, String> {
     let mut experiments = Vec::new();
+    let mut backend = AnyBackend::default_backend();
     let mut scale = Scale::default();
     let mut seed = DEFAULT_SEED;
     let mut csv_dir = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--backend" => {
+                let name = args.next().ok_or("--backend needs a value")?;
+                backend = AnyBackend::from_name(&name).ok_or_else(|| {
+                    format!(
+                        "unknown backend '{name}' (available on this platform: {})",
+                        AnyBackend::available_names().join("|")
+                    )
+                })?;
+            }
             "--scale" => {
                 let name = args.next().ok_or("--scale needs a value")?;
                 scale = Scale::by_name(&name)
@@ -41,9 +58,12 @@ fn parse_args() -> Result<Args, String> {
                 csv_dir = Some(args.next().ok_or("--csv-dir needs a value")?);
             }
             "--help" | "-h" => {
-                return Err("usage: experiments [fig3|fig4|fig5|fig6|fig7|table1|ablation|all] \
-                            [--scale tiny|small|medium|paper] [--seed N] [--csv-dir DIR]"
-                    .to_string());
+                return Err(
+                    "usage: experiments [fig3|fig4|fig5|fig6|fig7|table1|ablation|all] \
+                            [--backend sim|mmap] [--scale tiny|small|medium|paper] \
+                            [--seed N] [--csv-dir DIR]"
+                        .to_string(),
+                );
             }
             name if !name.starts_with('-') => experiments.push(name.to_string()),
             other => return Err(format!("unknown argument '{other}'")),
@@ -54,10 +74,24 @@ fn parse_args() -> Result<Args, String> {
     }
     Ok(Args {
         experiments,
+        backend,
         scale,
         seed,
         csv_dir,
     })
+}
+
+/// Dispatches once on the selected backend so every experiment's measured
+/// loops run monomorphized over the concrete backend type — the enum is
+/// consulted once per experiment, never inside a timed scan.
+macro_rules! with_concrete_backend {
+    ($any:expr, |$b:ident| $body:expr) => {
+        match $any {
+            AnyBackend::Sim($b) => $body,
+            #[cfg(target_os = "linux")]
+            AnyBackend::Mmap($b) => $body,
+        }
+    };
 }
 
 fn maybe_write_csv(csv_dir: &Option<String>, name: &str, table: &report::Table) {
@@ -72,14 +106,15 @@ fn maybe_write_csv(csv_dir: &Option<String>, name: &str, table: &report::Table) 
 }
 
 fn run_fig3(args: &Args) {
-    let rows = fig3::run(&args.scale, args.seed);
+    let rows = with_concrete_backend!(&args.backend, |b| fig3::run(b, &args.scale, args.seed));
     let table = fig3::to_table(&rows);
     println!("{}", table.render());
     maybe_write_csv(&args.csv_dir, "fig3", &table);
 }
 
 fn run_fig4(args: &Args) {
-    let results = fig4::run_all(&args.scale, args.seed);
+    let results =
+        with_concrete_backend!(&args.backend, |b| fig4::run_all(b, &args.scale, args.seed));
     for r in &results {
         let table = fig4::to_table(r);
         println!("{}", table.render());
@@ -89,7 +124,8 @@ fn run_fig4(args: &Args) {
 }
 
 fn run_fig5(args: &Args) {
-    let results = fig5::run_all(&args.scale, args.seed);
+    let results =
+        with_concrete_backend!(&args.backend, |b| fig5::run_all(b, &args.scale, args.seed));
     for r in &results {
         let table = fig5::to_table(r);
         println!("{}", table.render());
@@ -103,28 +139,28 @@ fn run_fig5(args: &Args) {
 }
 
 fn run_fig6(args: &Args) {
-    let rows = fig6::run(&args.scale, args.seed);
+    let rows = with_concrete_backend!(&args.backend, |b| fig6::run(b, &args.scale, args.seed));
     let table = fig6::to_table(&rows);
     println!("{}", table.render());
     maybe_write_csv(&args.csv_dir, "fig6", &table);
 }
 
 fn run_fig7(args: &Args) {
-    let rows = fig7::run_all(&args.scale, args.seed);
+    let rows = with_concrete_backend!(&args.backend, |b| fig7::run_all(b, &args.scale, args.seed));
     let table = fig7::to_table(&rows);
     println!("{}", table.render());
     maybe_write_csv(&args.csv_dir, "fig7", &table);
 }
 
 fn run_ablation(args: &Args) {
-    let rows = ablation::run(&args.scale, args.seed);
+    let rows = with_concrete_backend!(&args.backend, |b| ablation::run(b, &args.scale, args.seed));
     let table = ablation::to_table(&rows);
     println!("{}", table.render());
     maybe_write_csv(&args.csv_dir, "ablation", &table);
 }
 
 fn run_table1(args: &Args) {
-    let entries = table1::run(&args.scale, args.seed);
+    let entries = with_concrete_backend!(&args.backend, |b| table1::run(b, &args.scale, args.seed));
     let table = table1::to_table(&entries);
     println!("{}", table.render());
     maybe_write_csv(&args.csv_dir, "table1", &table);
@@ -139,8 +175,10 @@ fn main() -> ExitCode {
         }
     };
     println!(
-        "# adaptive-storage-views experiments (scale: {}, seed: {})",
-        args.scale.name, args.seed
+        "# adaptive-storage-views experiments (backend: {}, scale: {}, seed: {})",
+        args.backend.name(),
+        args.scale.name,
+        args.seed
     );
     println!(
         "# column sizes: fig3 {} pages, fig4/5 {} pages, fig6 {} pages, fig7 {} pages\n",

@@ -13,7 +13,7 @@ use asv_baselines::{
 };
 use asv_core::CreationOptions;
 use asv_util::{average_runtime, ValueRange};
-use asv_vmem::MmapBackend;
+use asv_vmem::Backend;
 use asv_workloads::{Distribution, UpdateWorkload, DEFAULT_MAX_VALUE};
 
 use crate::report::Table;
@@ -40,14 +40,18 @@ pub struct Fig3Row {
     pub indexed_pages: usize,
 }
 
-/// Runs the Figure 3 experiment and returns one row per (k, variant).
-pub fn run(scale: &Scale, seed: u64) -> Vec<Fig3Row> {
+/// Runs the Figure 3 experiment on `backend` and returns one row per
+/// (k, variant).
+pub fn run<B: Backend>(backend: &B, scale: &Scale, seed: u64) -> Vec<Fig3Row> {
     let dist = Distribution::Uniform {
         max_value: DEFAULT_MAX_VALUE,
     };
     let values = dist.generate_pages(scale.fig3_pages, seed);
-    let writes =
-        UpdateWorkload::new(seed ^ 0xF163).uniform_writes(scale.fig3_updates, values.len(), DEFAULT_MAX_VALUE);
+    let writes = UpdateWorkload::new(seed ^ 0xF163).uniform_writes(
+        scale.fig3_updates,
+        values.len(),
+        DEFAULT_MAX_VALUE,
+    );
     let mut rows = Vec::new();
 
     for &k in &K_VALUES {
@@ -90,12 +94,12 @@ pub fn run(scale: &Scale, seed: u64) -> Vec<Fig3Row> {
             rows.push(measure(&mut idx));
         }
         {
-            let mut idx = BitmapIndex::build(MmapBackend::new(), &values, index_range)
-                .expect("bitmap column");
+            let mut idx =
+                BitmapIndex::build(backend.clone(), &values, index_range).expect("bitmap column");
             rows.push(measure(&mut idx));
         }
         {
-            let mut idx = PageIdVectorIndex::build(MmapBackend::new(), &values, index_range)
+            let mut idx = PageIdVectorIndex::build(backend.clone(), &values, index_range)
                 .expect("page-id column");
             rows.push(measure(&mut idx));
         }
@@ -105,7 +109,7 @@ pub fn run(scale: &Scale, seed: u64) -> Vec<Fig3Row> {
         }
         {
             let mut idx = VirtualViewIndex::build(
-                MmapBackend::new(),
+                backend.clone(),
                 &values,
                 index_range,
                 &CreationOptions::ALL,
@@ -141,7 +145,7 @@ mod tests {
 
     #[test]
     fn tiny_run_produces_consistent_rows() {
-        let rows = run(&Scale::tiny(), 7);
+        let rows = run(&asv_vmem::SimBackend::new(), &Scale::tiny(), 7);
         // 7 k-values × 5 variants.
         assert_eq!(rows.len(), K_VALUES.len() * 5);
         for chunk in rows.chunks(5) {
@@ -150,7 +154,10 @@ mod tests {
             assert!(chunk.iter().all(|r| r.runtime_ms >= 0.0));
         }
         // Selectivity grows with k for every variant.
-        let zonemap: Vec<&Fig3Row> = rows.iter().filter(|r| r.variant == "virtual-view").collect();
+        let zonemap: Vec<&Fig3Row> = rows
+            .iter()
+            .filter(|r| r.variant == "virtual-view")
+            .collect();
         assert!(zonemap.first().unwrap().indexed_pages <= zonemap.last().unwrap().indexed_pages);
         let table = to_table(&rows);
         assert_eq!(table.num_rows(), rows.len());

@@ -8,7 +8,7 @@
 //! reported; the baseline answers every query with a full column scan.
 
 use asv_core::{AdaptiveColumn, AdaptiveConfig, RangeQuery};
-use asv_vmem::MmapBackend;
+use asv_vmem::Backend;
 use asv_workloads::{Distribution, QueryWorkload, SweepSpec};
 
 use crate::report::Table;
@@ -44,8 +44,13 @@ pub struct Fig4Result {
     pub fullscan_total_s: f64,
 }
 
-/// Runs Figure 4 for one distribution.
-pub fn run_distribution(dist: &Distribution, scale: &Scale, seed: u64) -> Fig4Result {
+/// Runs Figure 4 for one distribution on `backend`.
+pub fn run_distribution<B: Backend>(
+    backend: &B,
+    dist: &Distribution,
+    scale: &Scale,
+    seed: u64,
+) -> Fig4Result {
     let values = dist.generate_pages(scale.fig45_pages, seed);
     let spec = SweepSpec {
         num_queries: scale.num_queries,
@@ -54,7 +59,7 @@ pub fn run_distribution(dist: &Distribution, scale: &Scale, seed: u64) -> Fig4Re
     let queries = QueryWorkload::new(seed ^ 0xF164).selectivity_sweep(&spec);
 
     let config = AdaptiveConfig::paper_single_view();
-    let mut adaptive = AdaptiveColumn::from_values(MmapBackend::new(), &values, config)
+    let mut adaptive = AdaptiveColumn::from_values(backend.clone(), &values, config)
         .expect("column materialization");
 
     let mut rows = Vec::with_capacity(queries.len());
@@ -90,14 +95,14 @@ pub fn run_distribution(dist: &Distribution, scale: &Scale, seed: u64) -> Fig4Re
 
 /// Runs Figure 4 for all three clustered distributions (4a sine, 4b linear,
 /// 4c sparse).
-pub fn run_all(scale: &Scale, seed: u64) -> Vec<Fig4Result> {
+pub fn run_all<B: Backend>(backend: &B, scale: &Scale, seed: u64) -> Vec<Fig4Result> {
     [
         Distribution::sine(),
         Distribution::linear(),
         Distribution::sparse(),
     ]
     .iter()
-    .map(|d| run_distribution(d, scale, seed))
+    .map(|d| run_distribution(backend, d, scale, seed))
     .collect()
 }
 
@@ -108,7 +113,13 @@ pub fn to_table(result: &Fig4Result) -> Table {
             "Figure 4 ({}): adaptive single-view mode, per-query series",
             result.distribution
         ),
-        &["query", "adaptive ms", "scanned pages", "views used", "fullscan ms"],
+        &[
+            "query",
+            "adaptive ms",
+            "scanned pages",
+            "views used",
+            "fullscan ms",
+        ],
     );
     for r in &result.rows {
         table.add_row(vec![
@@ -126,7 +137,13 @@ pub fn to_table(result: &Fig4Result) -> Table {
 pub fn summary_table(results: &[Fig4Result]) -> Table {
     let mut table = Table::new(
         "Figure 4 summary: accumulated response time over the sequence",
-        &["distribution", "fullscan total s", "adaptive total s", "speedup", "final views"],
+        &[
+            "distribution",
+            "fullscan total s",
+            "adaptive total s",
+            "speedup",
+            "final views",
+        ],
     );
     for r in results {
         table.add_row(vec![
@@ -146,7 +163,12 @@ mod tests {
 
     #[test]
     fn tiny_sine_run_builds_views_and_matches_baseline() {
-        let result = run_distribution(&Distribution::sine(), &Scale::tiny(), 3);
+        let result = run_distribution(
+            &asv_vmem::SimBackend::new(),
+            &Distribution::sine(),
+            &Scale::tiny(),
+            3,
+        );
         assert_eq!(result.distribution, "sine");
         assert_eq!(result.rows.len(), Scale::tiny().num_queries);
         assert!(result.final_views >= 1, "clustered data must produce views");

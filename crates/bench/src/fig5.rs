@@ -7,7 +7,7 @@
 //! number of views considered.
 
 use asv_core::{AdaptiveColumn, AdaptiveConfig, RangeQuery};
-use asv_vmem::MmapBackend;
+use asv_vmem::Backend;
 use asv_workloads::{Distribution, QueryWorkload};
 
 use crate::report::Table;
@@ -47,8 +47,15 @@ pub struct Fig5Result {
     pub fullscan_total_s: f64,
 }
 
-/// Runs one Figure 5 configuration (fixed selectivity, multi-view mode).
-pub fn run_config(selectivity: f64, max_views: usize, scale: &Scale, seed: u64) -> Fig5Result {
+/// Runs one Figure 5 configuration (fixed selectivity, multi-view mode) on
+/// `backend`.
+pub fn run_config<B: Backend>(
+    backend: &B,
+    selectivity: f64,
+    max_views: usize,
+    scale: &Scale,
+    seed: u64,
+) -> Fig5Result {
     let dist = Distribution::sine();
     let values = dist.generate_pages(scale.fig45_pages, seed);
     let queries = QueryWorkload::new(seed ^ 0xF165).fixed_selectivity(
@@ -57,7 +64,7 @@ pub fn run_config(selectivity: f64, max_views: usize, scale: &Scale, seed: u64) 
         dist.max_value(),
     );
     let config = AdaptiveConfig::paper_multi_view(max_views);
-    let mut adaptive = AdaptiveColumn::from_values(MmapBackend::new(), &values, config)
+    let mut adaptive = AdaptiveColumn::from_values(backend.clone(), &values, config)
         .expect("column materialization");
 
     let mut rows = Vec::with_capacity(queries.len());
@@ -97,10 +104,10 @@ pub fn run_config(selectivity: f64, max_views: usize, scale: &Scale, seed: u64) 
 
 /// Runs both paper configurations: 1 % selectivity (≤ 200 views, Figure 5a)
 /// and 10 % selectivity (≤ 20 views, Figure 5b).
-pub fn run_all(scale: &Scale, seed: u64) -> Vec<Fig5Result> {
+pub fn run_all<B: Backend>(backend: &B, scale: &Scale, seed: u64) -> Vec<Fig5Result> {
     vec![
-        run_config(0.01, 200, scale, seed),
-        run_config(0.10, 20, scale, seed),
+        run_config(backend, 0.01, 200, scale, seed),
+        run_config(backend, 0.10, 20, scale, seed),
     ]
 }
 
@@ -112,7 +119,13 @@ pub fn to_table(result: &Fig5Result) -> Table {
             result.selectivity * 100.0,
             result.max_views
         ),
-        &["query", "adaptive ms", "views used", "scanned pages", "fullscan ms"],
+        &[
+            "query",
+            "adaptive ms",
+            "views used",
+            "scanned pages",
+            "fullscan ms",
+        ],
     );
     for r in &result.rows {
         table.add_row(vec![
@@ -160,7 +173,7 @@ mod tests {
 
     #[test]
     fn tiny_multi_view_run_uses_views() {
-        let result = run_config(0.05, 50, &Scale::tiny(), 5);
+        let result = run_config(&asv_vmem::SimBackend::new(), 0.05, 50, &Scale::tiny(), 5);
         assert_eq!(result.rows.len(), Scale::tiny().num_queries);
         assert!(result.final_views >= 1);
         assert!(result.max_views_used >= 1);

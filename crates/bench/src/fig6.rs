@@ -13,7 +13,7 @@
 use asv_core::{build_view_for_range, CreationOptions};
 use asv_storage::Column;
 use asv_util::{average_runtime, ValueRange};
-use asv_vmem::MmapBackend;
+use asv_vmem::Backend;
 use asv_workloads::{Distribution, DEFAULT_MAX_VALUE};
 
 use crate::report::Table;
@@ -40,8 +40,8 @@ pub const VARIANTS: [(&str, CreationOptions); 4] = [
     ("both-optimizations", CreationOptions::ALL),
 ];
 
-/// Runs Figure 6 for both distributions.
-pub fn run(scale: &Scale, seed: u64) -> Vec<Fig6Row> {
+/// Runs Figure 6 for both distributions on `backend`.
+pub fn run<B: Backend>(backend: &B, scale: &Scale, seed: u64) -> Vec<Fig6Row> {
     let mut rows = Vec::new();
     // Figure 6a: uniform distribution, view [0, 100k].
     {
@@ -49,8 +49,13 @@ pub fn run(scale: &Scale, seed: u64) -> Vec<Fig6Row> {
             max_value: DEFAULT_MAX_VALUE,
         };
         let values = dist.generate_pages(scale.fig6_pages, seed);
-        let column = Column::from_values(MmapBackend::new(), &values).expect("column");
-        rows.extend(run_column(&column, "uniform", &ValueRange::new(0, 100_000), scale));
+        let column = Column::from_values(backend.clone(), &values).expect("column");
+        rows.extend(run_column(
+            &column,
+            "uniform",
+            &ValueRange::new(0, 100_000),
+            scale,
+        ));
     }
     // Figure 6b: sine distribution over the full u64 domain, view [0, 2^63].
     {
@@ -59,13 +64,18 @@ pub fn run(scale: &Scale, seed: u64) -> Vec<Fig6Row> {
             period_pages: 100,
         };
         let values = dist.generate_pages(scale.fig6_pages, seed);
-        let column = Column::from_values(MmapBackend::new(), &values).expect("column");
-        rows.extend(run_column(&column, "sine", &ValueRange::new(0, 1u64 << 63), scale));
+        let column = Column::from_values(backend.clone(), &values).expect("column");
+        rows.extend(run_column(
+            &column,
+            "sine",
+            &ValueRange::new(0, 1u64 << 63),
+            scale,
+        ));
     }
     rows
 }
 
-fn run_column<B: asv_vmem::Backend>(
+fn run_column<B: Backend>(
     column: &Column<B>,
     distribution: &str,
     view_range: &ValueRange,
@@ -114,9 +124,9 @@ mod tests {
 
     #[test]
     fn tiny_run_measures_all_variants() {
-        let rows = run(&Scale::tiny(), 11);
+        let rows = run(&asv_vmem::SimBackend::new(), &Scale::tiny(), 11);
         assert_eq!(rows.len(), 8); // 2 distributions × 4 variants
-        // All variants of one distribution map the same number of pages.
+                                   // All variants of one distribution map the same number of pages.
         for chunk in rows.chunks(4) {
             let pages = chunk[0].mapped_pages;
             assert!(pages > 0);

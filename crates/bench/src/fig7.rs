@@ -13,7 +13,7 @@
 use asv_core::{align_views_after_updates, build_view_for_range, CreationOptions, ViewSet};
 use asv_storage::Column;
 use asv_util::{Timer, ValueRange};
-use asv_vmem::{Backend, MmapBackend};
+use asv_vmem::Backend;
 use asv_workloads::{Distribution, UpdateWorkload};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -71,18 +71,22 @@ fn setup_views<B: Backend>(column: &Column<B>, ranges: &[ValueRange]) -> ViewSet
     views
 }
 
-/// Runs Figure 7 for one distribution.
-pub fn run_distribution(dist: &Distribution, scale: &Scale, seed: u64) -> Vec<Fig7Row> {
+/// Runs Figure 7 for one distribution on `backend`.
+pub fn run_distribution<B: Backend>(
+    backend: &B,
+    dist: &Distribution,
+    scale: &Scale,
+    seed: u64,
+) -> Vec<Fig7Row> {
     let values = dist.generate_pages(scale.fig7_pages, seed);
     let ranges = draw_view_ranges(seed ^ 0xF167);
     let mut rows = Vec::new();
     for &batch_size in &scale.fig7_batch_sizes {
         // Fresh column and fresh views per batch size so measurements are
         // independent of previous batches.
-        let mut column = Column::from_values(MmapBackend::new(), &values).expect("column");
+        let mut column = Column::from_values(backend.clone(), &values).expect("column");
         let mut views = setup_views(&column, &ranges);
-        let indexed_pages_before: usize =
-            views.partial_views().iter().map(|v| v.num_pages()).sum();
+        let indexed_pages_before: usize = views.partial_views().iter().map(|v| v.num_pages()).sum();
 
         let writes = UpdateWorkload::new(seed ^ batch_size as u64).uniform_writes(
             batch_size,
@@ -115,14 +119,16 @@ pub fn run_distribution(dist: &Distribution, scale: &Scale, seed: u64) -> Vec<Fi
 
 /// Runs Figure 7 for both distributions (7a uniform, 7b sine), over the
 /// full `[0, 2^64 - 1]` domain as in the paper.
-pub fn run_all(scale: &Scale, seed: u64) -> Vec<Fig7Row> {
-    let uniform = Distribution::Uniform { max_value: u64::MAX };
+pub fn run_all<B: Backend>(backend: &B, scale: &Scale, seed: u64) -> Vec<Fig7Row> {
+    let uniform = Distribution::Uniform {
+        max_value: u64::MAX,
+    };
     let sine = Distribution::Sine {
         max_value: u64::MAX,
         period_pages: 100,
     };
-    let mut rows = run_distribution(&uniform, scale, seed);
-    rows.extend(run_distribution(&sine, scale, seed));
+    let mut rows = run_distribution(backend, &uniform, scale, seed);
+    rows.extend(run_distribution(backend, &sine, scale, seed));
     rows
 }
 
@@ -165,14 +171,23 @@ mod tests {
     #[test]
     fn tiny_run_reports_alignment_and_rebuild() {
         let scale = Scale::tiny();
-        let rows = run_distribution(&Distribution::Uniform { max_value: u64::MAX }, &scale, 9);
+        let rows = run_distribution(
+            &asv_vmem::SimBackend::new(),
+            &Distribution::Uniform {
+                max_value: u64::MAX,
+            },
+            &scale,
+            9,
+        );
         assert_eq!(rows.len(), scale.fig7_batch_sizes.len());
         for r in &rows {
             assert!(r.parse_ms >= 0.0 && r.align_ms >= 0.0 && r.rebuild_ms > 0.0);
         }
         // Larger batches touch at least as many pages.
-        assert!(rows.last().unwrap().pages_added + rows.last().unwrap().pages_removed
-            >= rows.first().unwrap().pages_added + rows.first().unwrap().pages_removed);
+        assert!(
+            rows.last().unwrap().pages_added + rows.last().unwrap().pages_removed
+                >= rows.first().unwrap().pages_added + rows.first().unwrap().pages_removed
+        );
         let table = to_table(&rows);
         assert_eq!(table.num_rows(), rows.len());
     }

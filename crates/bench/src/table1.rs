@@ -5,6 +5,8 @@
 //! query is answered with a full scan, and when the adaptive view selection
 //! is used.
 
+use asv_vmem::Backend;
+
 use crate::fig4;
 use crate::fig5;
 use crate::report::Table;
@@ -28,11 +30,11 @@ impl Table1Entry {
     }
 }
 
-/// Runs all five configurations and returns one entry per column of
-/// Table 1.
-pub fn run(scale: &Scale, seed: u64) -> Vec<Table1Entry> {
-    let fig4_results = fig4::run_all(scale, seed);
-    let fig5_results = fig5::run_all(scale, seed);
+/// Runs all five configurations on `backend` and returns one entry per
+/// column of Table 1.
+pub fn run<B: Backend>(backend: &B, scale: &Scale, seed: u64) -> Vec<Table1Entry> {
+    let fig4_results = fig4::run_all(backend, scale, seed);
+    let fig5_results = fig5::run_all(backend, scale, seed);
     let mut entries = Vec::new();
     let fig4_labels = ["Fig 4a (sine)", "Fig 4b (linear)", "Fig 4c (sparse)"];
     for (r, label) in fig4_results.iter().zip(fig4_labels) {
@@ -81,7 +83,7 @@ mod tests {
 
     #[test]
     fn tiny_run_produces_all_five_columns() {
-        let entries = run(&Scale::tiny(), 13);
+        let entries = run(&asv_vmem::SimBackend::new(), &Scale::tiny(), 13);
         assert_eq!(entries.len(), 5);
         for e in &entries {
             assert!(e.fullscan_s > 0.0);

@@ -47,7 +47,11 @@ impl<B: Backend> AdaptiveColumn<B> {
     }
 
     /// Materializes a column from values and wraps it in one step.
-    pub fn from_values(backend: B, values: &[u64], config: AdaptiveConfig) -> Result<Self, VmemError> {
+    pub fn from_values(
+        backend: B,
+        values: &[u64],
+        config: AdaptiveConfig,
+    ) -> Result<Self, VmemError> {
         Self::new(Column::from_values(backend, values)?, config)
     }
 
@@ -130,17 +134,21 @@ impl<B: Backend> AdaptiveColumn<B> {
         collect_rows: bool,
     ) -> Result<QueryOutcome, VmemError> {
         let timer = Timer::start();
-        let selection = route(&self.column, &self.views, query.range(), self.config.routing);
+        let selection = route(
+            &self.column,
+            &self.views,
+            query.range(),
+            self.config.routing,
+        );
         let create_candidate = self.config.adaptive_creation && self.views.can_create_views();
 
         let column = &self.column;
         let views = &self.views;
 
         let (candidate, scan) = if create_candidate {
-            let (buffer, scan) =
-                create_while_scanning(column, &self.config.creation, |sink| {
-                    scan_selected_views(column, views, &selection, query, collect_rows, Some(sink))
-                })?;
+            let (buffer, scan) = create_while_scanning(column, &self.config.creation, |sink| {
+                scan_selected_views(column, views, &selection, query, collect_rows, Some(sink))
+            })?;
             (Some(buffer), scan)
         } else {
             let scan = scan_selected_views(column, views, &selection, query, collect_rows, None)?;
@@ -152,7 +160,8 @@ impl<B: Backend> AdaptiveColumn<B> {
         // observed around the query range, clamped to the covered range of
         // the source views.
         let maintenance = if let Some(buffer) = candidate {
-            let widened = widen_candidate_range(query.range(), &selection.covered, scan.below, scan.above);
+            let widened =
+                widen_candidate_range(query.range(), &selection.covered, scan.below, scan.above);
             let candidate_pages = buffer.mapped_pages();
             self.views.offer_candidate(
                 widened,
@@ -291,7 +300,11 @@ mod tests {
         (count, sum)
     }
 
-    fn adaptive<B: Backend>(backend: B, values: &[u64], config: AdaptiveConfig) -> AdaptiveColumn<B> {
+    fn adaptive<B: Backend>(
+        backend: B,
+        values: &[u64],
+        config: AdaptiveConfig,
+    ) -> AdaptiveColumn<B> {
         AdaptiveColumn::from_values(backend, values, config).unwrap()
     }
 
@@ -445,7 +458,9 @@ mod tests {
     fn uniform_data_yields_no_useful_views_but_correct_answers() {
         // With uniform data every page contains small and large values, so
         // candidate views index (almost) all pages and are discarded.
-        let values: Vec<u64> = (0..16 * VALUES_PER_PAGE as u64).map(|i| (i * 2_654_435_761) % 1_000_000).collect();
+        let values: Vec<u64> = (0..16 * VALUES_PER_PAGE as u64)
+            .map(|i| (i * 2_654_435_761) % 1_000_000)
+            .collect();
         let mut col = adaptive(SimBackend::new(), &values, AdaptiveConfig::default());
         let q = RangeQuery::new(0, 500_000);
         let out = col.query(&q).unwrap();

@@ -13,10 +13,11 @@
 //!    be published to the view index) once the mapping thread has drained
 //!    the queue, mirroring the paper's completion signal.
 
+use std::sync::mpsc::{channel, Receiver, Sender};
+
 use asv_storage::Column;
 use asv_util::{Run, RunBuilder};
 use asv_vmem::{Backend, MapRequest, VmemError};
-use crossbeam::channel::{unbounded, Receiver, Sender};
 
 use crate::config::CreationOptions;
 
@@ -145,7 +146,7 @@ where
     let view = column.reserve_partial_view()?;
 
     if options.concurrent_mapping {
-        let (tx, rx) = unbounded::<Run>();
+        let (tx, rx) = channel::<Run>();
         std::thread::scope(|scope| {
             let mapper = scope.spawn(move || mapping_thread_loop(backend, store, view, rx));
             let mut sink = PageSink {
@@ -226,7 +227,9 @@ mod tests {
     }
 
     fn view_page_ids<B: Backend>(column: &Column<B>, view: &B::View) -> Vec<u64> {
-        view.iter_pages().map(|p| column.wrap_view_page(p).page_id()).collect()
+        view.iter_pages()
+            .map(|p| column.wrap_view_page(p).page_id())
+            .collect()
     }
 
     fn check_all_variants<B: Backend>(backend: B) {
@@ -264,10 +267,7 @@ mod tests {
     fn scattered_qualifying_pages_map_in_scan_order() {
         let column = clustered_column(SimBackend::new(), 16);
         // Pages 2, 3 and 10 qualify.
-        let ranges = [
-            ValueRange::new(2000, 3500),
-            ValueRange::new(10_100, 10_200),
-        ];
+        let ranges = [ValueRange::new(2000, 3500), ValueRange::new(10_100, 10_200)];
         let (view, _) = create_while_scanning(&column, &CreationOptions::ALL, |sink| {
             for page_idx in 0..column.num_pages() {
                 let page = column.page_ref(page_idx);
@@ -288,9 +288,12 @@ mod tests {
     #[test]
     fn empty_scan_produces_empty_view() {
         let column = clustered_column(SimBackend::new(), 8);
-        let (view, count) =
-            build_view_for_range(&column, &ValueRange::new(900_000, 900_001), &CreationOptions::ALL)
-                .unwrap();
+        let (view, count) = build_view_for_range(
+            &column,
+            &ValueRange::new(900_000, 900_001),
+            &CreationOptions::ALL,
+        )
+        .unwrap();
         assert_eq!(count, 0);
         assert_eq!(view.mapped_pages(), 0);
     }

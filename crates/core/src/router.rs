@@ -204,11 +204,21 @@ mod tests {
     #[test]
     fn empty_view_set_routes_to_full_view() {
         let (column, set) = setup(10, &[]);
-        let sel = route(&column, &set, &ValueRange::new(5, 10), RoutingMode::SingleView);
+        let sel = route(
+            &column,
+            &set,
+            &ValueRange::new(5, 10),
+            RoutingMode::SingleView,
+        );
         assert!(sel.is_full_scan());
         assert_eq!(sel.indexed_pages, 10);
         assert!(sel.covered.is_full());
-        let sel = route(&column, &set, &ValueRange::new(5, 10), RoutingMode::MultiView);
+        let sel = route(
+            &column,
+            &set,
+            &ValueRange::new(5, 10),
+            RoutingMode::MultiView,
+        );
         assert!(sel.is_full_scan());
     }
 
@@ -291,9 +301,19 @@ mod tests {
     #[test]
     fn point_query_routing() {
         let (column, set) = setup(10, &[(10, 60, 3)]);
-        let sel = route(&column, &set, &ValueRange::point(42), RoutingMode::SingleView);
+        let sel = route(
+            &column,
+            &set,
+            &ValueRange::point(42),
+            RoutingMode::SingleView,
+        );
         assert_eq!(sel.views, vec![ViewId::Partial(0)]);
-        let sel = route(&column, &set, &ValueRange::point(5), RoutingMode::SingleView);
+        let sel = route(
+            &column,
+            &set,
+            &ValueRange::point(5),
+            RoutingMode::SingleView,
+        );
         assert!(sel.is_full_scan());
     }
 }

@@ -215,7 +215,7 @@ mod tests {
 
     fn clustered(pages: usize, stride: u64) -> Vec<u64> {
         (0..pages * VALUES_PER_PAGE)
-            .map(|i| ((i / VALUES_PER_PAGE) as u64 * stride + (i % VALUES_PER_PAGE) as u64))
+            .map(|i| (i / VALUES_PER_PAGE) as u64 * stride + (i % VALUES_PER_PAGE) as u64)
             .collect()
     }
 
@@ -260,9 +260,7 @@ mod tests {
         let (mut t, a, b) = table();
         let qa = RangeQuery::new(2_000, 9_000);
         let qb = RangeQuery::new(8_000, 13_000);
-        let outcome = t
-            .query_conjunctive(&[("a", qa), ("b", qb)])
-            .unwrap();
+        let outcome = t.query_conjunctive(&[("a", qa), ("b", qb)]).unwrap();
         let expected: Vec<u64> = (0..a.len())
             .filter(|&i| qa.range().contains(a[i]) && qb.range().contains(b[i]))
             .map(|i| i as u64)
@@ -291,7 +289,9 @@ mod tests {
         let (mut t, a, _) = table();
         let upd = t.write("a", 5, 77_777);
         assert_eq!(upd.old_value, a[5]);
-        let outcome = t.query_column("a", &RangeQuery::new(77_777, 77_777)).unwrap();
+        let outcome = t
+            .query_column("a", &RangeQuery::new(77_777, 77_777))
+            .unwrap();
         assert_eq!(outcome.count, 1);
     }
 
@@ -314,13 +314,21 @@ mod tests {
     #[should_panic(expected = "rows")]
     fn row_count_mismatch_panics() {
         let (mut t, _, _) = table();
-        t.add_column("c", SimBackend::new(), &[1, 2, 3], AdaptiveConfig::default())
-            .unwrap();
+        t.add_column(
+            "c",
+            SimBackend::new(),
+            &[1, 2, 3],
+            AdaptiveConfig::default(),
+        )
+        .unwrap();
     }
 
     #[test]
     fn intersect_sorted_helper() {
-        assert_eq!(intersect_sorted(&[1, 3, 5, 7], &[2, 3, 4, 7, 9]), vec![3, 7]);
+        assert_eq!(
+            intersect_sorted(&[1, 3, 5, 7], &[2, 3, 4, 7, 9]),
+            vec![3, 7]
+        );
         assert_eq!(intersect_sorted(&[], &[1]), Vec::<u64>::new());
         assert_eq!(intersect_sorted(&[1, 2], &[]), Vec::<u64>::new());
     }

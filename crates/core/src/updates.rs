@@ -97,9 +97,7 @@ pub fn align_views_after_updates<B: Backend>(
                 continue;
             }
             let indexed = table.contains_phys(page);
-            let any_new_qualifies = page_updates
-                .iter()
-                .any(|u| range.contains(u.new_value));
+            let any_new_qualifies = page_updates.iter().any(|u| range.contains(u.new_value));
             if !indexed {
                 // Case (1): the page is not indexed but received a value
                 // inside the view's range — map an unused virtual page.
@@ -115,9 +113,7 @@ pub fn align_views_after_updates<B: Backend>(
                 // was in range either, the updates are irrelevant to this
                 // view. Otherwise the page must be re-inspected and removed
                 // if no remaining value falls into the range.
-                let any_old_qualified = page_updates
-                    .iter()
-                    .any(|u| range.contains(u.old_value));
+                let any_old_qualified = page_updates.iter().any(|u| range.contains(u.old_value));
                 if any_old_qualified {
                     let still_qualifies = column
                         .page_ref(page)
@@ -213,7 +209,13 @@ mod tests {
     /// The set of physical pages a view *should* index for its range.
     fn expected_pages<B: Backend>(column: &Column<B>, range: &ValueRange) -> Vec<usize> {
         (0..column.num_pages())
-            .filter(|&p| column.page_ref(p).values().iter().any(|v| range.contains(*v)))
+            .filter(|&p| {
+                column
+                    .page_ref(p)
+                    .values()
+                    .iter()
+                    .any(|v| range.contains(*v))
+            })
             .collect()
     }
 
@@ -233,7 +235,8 @@ mod tests {
         assert_eq!(views.partial_view(0).unwrap().num_pages(), 5);
         // Write a qualifying value into a page far outside the view
         // (page 20) and a non-qualifying value into another (page 25).
-        let updates = column.write_batch(&[(20 * VALUES_PER_PAGE + 3, 6_000), (25 * VALUES_PER_PAGE, 1)]);
+        let updates =
+            column.write_batch(&[(20 * VALUES_PER_PAGE + 3, 6_000), (25 * VALUES_PER_PAGE, 1)]);
         let stats = align_views_after_updates(&column, &mut views, &updates).unwrap();
         assert_eq!(stats.pages_added, 1);
         assert_eq!(stats.pages_removed, 0);
@@ -374,12 +377,8 @@ mod tests {
         assert_eq!(stats, UpdateAlignmentStats::default());
         let column2 = Column::from_values(SimBackend::new(), &clustered_values(4)).unwrap();
         let mut empty: ViewSet<SimBackend> = ViewSet::new(4);
-        let stats = align_views_after_updates(
-            &column2,
-            &mut empty,
-            &[Update::new(0, 0, 1)],
-        )
-        .unwrap();
+        let stats =
+            align_views_after_updates(&column2, &mut empty, &[Update::new(0, 0, 1)]).unwrap();
         assert_eq!(stats.pages_added, 0);
     }
 

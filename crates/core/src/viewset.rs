@@ -276,7 +276,10 @@ mod tests {
         );
         assert_eq!(m, ViewMaintenance::ReplacedExisting);
         assert_eq!(set.num_partial_views(), 1);
-        assert_eq!(set.partial_view(0).unwrap().range(), &ValueRange::new(0, 100));
+        assert_eq!(
+            set.partial_view(0).unwrap().range(),
+            &ValueRange::new(0, 100)
+        );
     }
 
     #[test]

@@ -272,7 +272,11 @@ mod tests {
         let col = Column::from_values(SimBackend::new(), &values).unwrap();
         let range = ValueRange::new(100, 500);
         let res = col.full_scan(&range);
-        let expected: Vec<u64> = values.iter().copied().filter(|v| range.contains(*v)).collect();
+        let expected: Vec<u64> = values
+            .iter()
+            .copied()
+            .filter(|v| range.contains(*v))
+            .collect();
         assert_eq!(res.count, expected.len() as u64);
         assert_eq!(res.sum, expected.iter().map(|&v| v as u128).sum::<u128>());
     }
@@ -312,9 +316,13 @@ mod tests {
 
     #[test]
     fn row_location_math() {
-        let col = Column::from_values(SimBackend::new(), &sample_values(VALUES_PER_PAGE * 2)).unwrap();
+        let col =
+            Column::from_values(SimBackend::new(), &sample_values(VALUES_PER_PAGE * 2)).unwrap();
         assert_eq!(col.row_location(0), (0, 0));
-        assert_eq!(col.row_location(VALUES_PER_PAGE - 1), (0, VALUES_PER_PAGE - 1));
+        assert_eq!(
+            col.row_location(VALUES_PER_PAGE - 1),
+            (0, VALUES_PER_PAGE - 1)
+        );
         assert_eq!(col.row_location(VALUES_PER_PAGE), (1, 0));
     }
 

@@ -137,7 +137,8 @@ mod tests {
     #[test]
     fn add_column_from_values_helper() {
         let mut t = Table::new("t");
-        t.add_column_from_values("x", SimBackend::new(), &[5, 6]).unwrap();
+        t.add_column_from_values("x", SimBackend::new(), &[5, 6])
+            .unwrap();
         assert_eq!(t.column("x").unwrap().num_rows(), 2);
     }
 

@@ -77,7 +77,10 @@ impl RunBuilder {
     pub fn push(&mut self, page: u64) -> Option<Run> {
         match self.current.as_mut() {
             None => {
-                self.current = Some(Run { start: page, len: 1 });
+                self.current = Some(Run {
+                    start: page,
+                    len: 1,
+                });
                 None
             }
             Some(run) if page == run.start + run.len => {
@@ -86,7 +89,10 @@ impl RunBuilder {
             }
             Some(run) => {
                 let finished = *run;
-                self.current = Some(Run { start: page, len: 1 });
+                self.current = Some(Run {
+                    start: page,
+                    len: 1,
+                });
                 Some(finished)
             }
         }
@@ -144,7 +150,13 @@ mod tests {
     #[test]
     fn consecutive_pages_merge_into_one_run() {
         let runs = group_into_runs(0..1000);
-        assert_eq!(runs, vec![Run { start: 0, len: 1000 }]);
+        assert_eq!(
+            runs,
+            vec![Run {
+                start: 0,
+                len: 1000
+            }]
+        );
     }
 
     #[test]

@@ -1,22 +1,31 @@
 //! Property-based tests for the utility data structures.
+//!
+//! The build environment has no crates.io access, so instead of `proptest`
+//! these run randomized cases from the workspace's seeded RNG shim: each
+//! test draws a few hundred random inputs, checks the invariant against a
+//! std-collection reference model, and is fully deterministic for the
+//! hard-coded seed.
 
 use asv_util::{group_into_runs, BiMap, BitVec, RunBuilder, ValueRange};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::collections::{BTreeMap, BTreeSet};
 
-proptest! {
-    // ---------------------------------------------------------------- BitVec
+const CASES: usize = 200;
 
-    #[test]
-    fn bitvec_matches_a_reference_set(
-        len in 1usize..2048,
-        ops in prop::collection::vec((0usize..2048, any::<bool>()), 0..256),
-    ) {
+// ---------------------------------------------------------------- BitVec
+
+#[test]
+fn bitvec_matches_a_reference_set() {
+    let mut rng = StdRng::seed_from_u64(0x0B17);
+    for _ in 0..CASES {
+        let len = rng.gen_range(1usize..2048);
+        let num_ops = rng.gen_range(0usize..256);
         let mut bv = BitVec::new(len);
         let mut reference: BTreeSet<usize> = BTreeSet::new();
-        for (idx, set) in ops {
-            let idx = idx % len;
-            if set {
+        for _ in 0..num_ops {
+            let idx = rng.gen_range(0usize..2048) % len;
+            if rng.gen_bool(0.5) {
                 bv.set(idx);
                 reference.insert(idx);
             } else {
@@ -24,76 +33,103 @@ proptest! {
                 reference.remove(&idx);
             }
         }
-        prop_assert_eq!(bv.count_ones(), reference.len());
-        prop_assert_eq!(bv.count_zeros(), len - reference.len());
-        prop_assert_eq!(bv.iter_ones().collect::<Vec<_>>(), reference.iter().copied().collect::<Vec<_>>());
-        prop_assert_eq!(bv.any(), !reference.is_empty());
+        assert_eq!(bv.count_ones(), reference.len());
+        assert_eq!(bv.count_zeros(), len - reference.len());
+        assert_eq!(
+            bv.iter_ones().collect::<Vec<_>>(),
+            reference.iter().copied().collect::<Vec<_>>()
+        );
+        assert_eq!(bv.any(), !reference.is_empty());
         for i in 0..len {
-            prop_assert_eq!(bv.get(i), reference.contains(&i));
+            assert_eq!(bv.get(i), reference.contains(&i));
         }
     }
+}
 
-    #[test]
-    fn bitvec_test_and_set_is_idempotent_on_the_second_call(
-        len in 1usize..512,
-        idx in 0usize..512,
-    ) {
+#[test]
+fn bitvec_test_and_set_is_idempotent_on_the_second_call() {
+    let mut rng = StdRng::seed_from_u64(0x0B18);
+    for _ in 0..CASES {
+        let len = rng.gen_range(1usize..512);
+        let idx = rng.gen_range(0usize..512) % len;
         let mut bv = BitVec::new(len);
-        let idx = idx % len;
-        prop_assert!(!bv.test_and_set(idx));
-        prop_assert!(bv.test_and_set(idx));
-        prop_assert_eq!(bv.count_ones(), 1);
+        assert!(!bv.test_and_set(idx));
+        assert!(bv.test_and_set(idx));
+        assert_eq!(bv.count_ones(), 1);
     }
+}
 
-    #[test]
-    fn bitvec_union_and_intersection_match_set_semantics(
-        len in 1usize..512,
-        a_bits in prop::collection::vec(0usize..512, 0..64),
-        b_bits in prop::collection::vec(0usize..512, 0..64),
-    ) {
+#[test]
+fn bitvec_union_and_intersection_match_set_semantics() {
+    let mut rng = StdRng::seed_from_u64(0x0B19);
+    for _ in 0..CASES {
+        let len = rng.gen_range(1usize..512);
+        let draw_set = |rng: &mut StdRng| -> BTreeSet<usize> {
+            let n = rng.gen_range(0usize..64);
+            (0..n).map(|_| rng.gen_range(0usize..512) % len).collect()
+        };
+        let sa = draw_set(&mut rng);
+        let sb = draw_set(&mut rng);
         let mut a = BitVec::new(len);
         let mut b = BitVec::new(len);
-        let sa: BTreeSet<usize> = a_bits.iter().map(|&i| i % len).collect();
-        let sb: BTreeSet<usize> = b_bits.iter().map(|&i| i % len).collect();
-        for &i in &sa { a.set(i); }
-        for &i in &sb { b.set(i); }
+        for &i in &sa {
+            a.set(i);
+        }
+        for &i in &sb {
+            b.set(i);
+        }
         let mut union = a.clone();
         union.union_with(&b);
         let mut inter = a.clone();
         inter.intersect_with(&b);
-        prop_assert_eq!(union.iter_ones().collect::<BTreeSet<_>>(), sa.union(&sb).copied().collect::<BTreeSet<_>>());
-        prop_assert_eq!(inter.iter_ones().collect::<BTreeSet<_>>(), sa.intersection(&sb).copied().collect::<BTreeSet<_>>());
+        assert_eq!(
+            union.iter_ones().collect::<BTreeSet<_>>(),
+            sa.union(&sb).copied().collect::<BTreeSet<_>>()
+        );
+        assert_eq!(
+            inter.iter_ones().collect::<BTreeSet<_>>(),
+            sa.intersection(&sb).copied().collect::<BTreeSet<_>>()
+        );
     }
+}
 
-    // ----------------------------------------------------------------- BiMap
+// ----------------------------------------------------------------- BiMap
 
-    #[test]
-    fn bimap_stays_a_bijection(
-        ops in prop::collection::vec((0u32..64, 0u32..64), 0..256),
-    ) {
+#[test]
+fn bimap_stays_a_bijection() {
+    let mut rng = StdRng::seed_from_u64(0xB1A9);
+    for _ in 0..CASES {
+        let num_ops = rng.gen_range(0usize..256);
         let mut m: BiMap<u32, u32> = BiMap::new();
         // Reference: a forward map kept bijective by erasing conflicts.
         let mut fwd: BTreeMap<u32, u32> = BTreeMap::new();
-        for (l, r) in ops {
+        for _ in 0..num_ops {
+            let l = rng.gen_range(0u32..64);
+            let r = rng.gen_range(0u32..64);
             fwd.retain(|_, v| *v != r);
             fwd.insert(l, r);
             m.insert(l, r);
         }
-        prop_assert_eq!(m.len(), fwd.len());
+        assert_eq!(m.len(), fwd.len());
         for (l, r) in &fwd {
-            prop_assert_eq!(m.get_by_left(l), Some(r));
-            prop_assert_eq!(m.get_by_right(r), Some(l));
+            assert_eq!(m.get_by_left(l), Some(r));
+            assert_eq!(m.get_by_right(r), Some(l));
         }
         // Bijectivity: right values are unique.
         let rights: BTreeSet<u32> = fwd.values().copied().collect();
-        prop_assert_eq!(rights.len(), fwd.len());
+        assert_eq!(rights.len(), fwd.len());
     }
+}
 
-    #[test]
-    fn bimap_remove_is_consistent_in_both_directions(
-        pairs in prop::collection::vec((0u32..128, 1000u32..1128), 1..64),
-        remove_left in any::<bool>(),
-    ) {
+#[test]
+fn bimap_remove_is_consistent_in_both_directions() {
+    let mut rng = StdRng::seed_from_u64(0xB1AA);
+    for _ in 0..CASES {
+        let num_pairs = rng.gen_range(1usize..64);
+        let pairs: Vec<(u32, u32)> = (0..num_pairs)
+            .map(|_| (rng.gen_range(0u32..128), rng.gen_range(1000u32..1128)))
+            .collect();
+        let remove_left = rng.gen_bool(0.5);
         let mut m: BiMap<u32, u32> = BiMap::new();
         for &(l, r) in &pairs {
             m.insert(l, r);
@@ -101,33 +137,38 @@ proptest! {
         let (l, _) = pairs[pairs.len() / 2];
         if let Some(&r) = m.get_by_left(&l) {
             if remove_left {
-                prop_assert_eq!(m.remove_by_left(&l), Some(r));
+                assert_eq!(m.remove_by_left(&l), Some(r));
             } else {
-                prop_assert_eq!(m.remove_by_right(&r), Some(l));
+                assert_eq!(m.remove_by_right(&r), Some(l));
             }
-            prop_assert!(!m.contains_left(&l));
-            prop_assert!(!m.contains_right(&r));
+            assert!(!m.contains_left(&l));
+            assert!(!m.contains_right(&r));
         }
     }
+}
 
-    // ------------------------------------------------------------------ Runs
+// ------------------------------------------------------------------ Runs
 
-    #[test]
-    fn runs_cover_exactly_the_input_pages(
-        mut pages in prop::collection::btree_set(0u64..10_000, 0..512),
-    ) {
+#[test]
+fn runs_cover_exactly_the_input_pages() {
+    let mut rng = StdRng::seed_from_u64(0x9045);
+    for _ in 0..CASES {
+        let num_pages = rng.gen_range(0usize..512);
+        let pages: BTreeSet<u64> = (0..num_pages)
+            .map(|_| rng.gen_range(0u64..10_000))
+            .collect();
         let sorted: Vec<u64> = pages.iter().copied().collect();
         let runs = group_into_runs(sorted.iter().copied());
         // Every page is covered exactly once, in order, and runs are maximal.
         let mut reconstructed = Vec::new();
         for r in &runs {
-            prop_assert!(r.len >= 1);
+            assert!(r.len >= 1);
             reconstructed.extend(r.pages());
         }
-        prop_assert_eq!(&reconstructed, &sorted);
+        assert_eq!(reconstructed, sorted);
         for w in runs.windows(2) {
             // Maximality: consecutive runs are separated by a gap.
-            prop_assert!(w[1].start > w[0].end_inclusive() + 1);
+            assert!(w[1].start > w[0].end_inclusive() + 1);
         }
         // Builder and helper agree.
         let mut rb = RunBuilder::new();
@@ -138,60 +179,63 @@ proptest! {
             }
         }
         built.extend(rb.finish());
-        prop_assert_eq!(built, runs);
-        pages.clear();
+        assert_eq!(built, runs);
     }
+}
 
-    // ------------------------------------------------------------ ValueRange
+// ------------------------------------------------------------ ValueRange
 
-    #[test]
-    fn range_algebra_laws(
-        a_lo in 0u64..1000, a_hi in 0u64..1000,
-        b_lo in 0u64..1000, b_hi in 0u64..1000,
-        probe in 0u64..1000,
-    ) {
+#[test]
+fn range_algebra_laws() {
+    let mut rng = StdRng::seed_from_u64(0x4A1E);
+    for _ in 0..CASES {
+        let (a_lo, a_hi) = (rng.gen_range(0u64..1000), rng.gen_range(0u64..1000));
+        let (b_lo, b_hi) = (rng.gen_range(0u64..1000), rng.gen_range(0u64..1000));
+        let probe = rng.gen_range(0u64..1000);
         let a = ValueRange::new(a_lo.min(a_hi), a_lo.max(a_hi));
         let b = ValueRange::new(b_lo.min(b_hi), b_lo.max(b_hi));
         // covers ⇔ subset duality.
-        prop_assert_eq!(a.covers(&b), b.is_subset_of(&a));
+        assert_eq!(a.covers(&b), b.is_subset_of(&a));
         // Intersection is symmetric and contained in both.
         let ab = a.intersect(&b);
         let ba = b.intersect(&a);
-        prop_assert_eq!(ab, ba);
+        assert_eq!(ab, ba);
         if let Some(i) = ab {
-            prop_assert!(a.covers(&i) && b.covers(&i));
-            prop_assert!(a.overlaps(&b));
+            assert!(a.covers(&i) && b.covers(&i));
+            assert!(a.overlaps(&b));
         } else {
-            prop_assert!(!a.overlaps(&b));
+            assert!(!a.overlaps(&b));
         }
         // Hull covers both inputs.
         let h = a.hull(&b);
-        prop_assert!(h.covers(&a) && h.covers(&b));
+        assert!(h.covers(&a) && h.covers(&b));
         // Membership is consistent with intersection.
         if a.contains(probe) && b.contains(probe) {
-            prop_assert!(ab.expect("non-empty").contains(probe));
+            assert!(ab.expect("non-empty").contains(probe));
         }
         // The full range covers everything.
-        prop_assert!(ValueRange::full().covers(&h));
+        assert!(ValueRange::full().covers(&h));
     }
+}
 
-    #[test]
-    fn widen_between_always_contains_the_query_range(
-        lo in 0u64..1000, hi in 0u64..1000,
-        below in proptest::option::of(0u64..1000),
-        above in proptest::option::of(0u64..1000),
-    ) {
+#[test]
+fn widen_between_always_contains_the_query_range() {
+    let mut rng = StdRng::seed_from_u64(0x71DE);
+    for _ in 0..CASES {
+        let (lo, hi) = (rng.gen_range(0u64..1000), rng.gen_range(0u64..1000));
+        let below = rng.gen_bool(0.5).then(|| rng.gen_range(0u64..1000));
+        let above = rng.gen_bool(0.5).then(|| rng.gen_range(0u64..1000));
         let q = ValueRange::new(lo.min(hi), lo.max(hi));
         // Only meaningful when the observations are on the correct sides.
         let below = below.filter(|b| *b < q.low());
         let above = above.filter(|a| *a > q.high());
         let widened = q.widen_between(below, above);
-        prop_assert!(widened.covers(&q));
+        assert!(widened.covers(&q));
         if let Some(b) = below {
-            prop_assert!(widened.low() > b);
+            assert!(widened.low() > b);
         }
         if let Some(a) = above {
-            prop_assert!(widened.high() < a);
+            assert!(widened.high() < a);
         }
     }
 }

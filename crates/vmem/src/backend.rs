@@ -66,7 +66,10 @@ pub trait ViewBuffer: Send {
     where
         Self: Sized,
     {
-        ViewPages { view: self, slot: 0 }
+        ViewPages {
+            view: self,
+            slot: 0,
+        }
     }
 }
 

@@ -14,8 +14,11 @@
 //! * [`SimBackend`] — a deterministic, allocation-based simulation of the
 //!   same interface (an indirection table of page references). It exists so
 //!   every algorithm in the upper layers can be unit- and property-tested
-//!   on any platform and without touching the VM subsystem. The measured
-//!   experiments always run on [`MmapBackend`].
+//!   on any platform and without touching the VM subsystem.
+//! * [`AnyBackend`] — a runtime-selectable enum over the two, used by the
+//!   experiment drivers, benches and examples (`--backend sim|mmap`). Its
+//!   default is the mmap backend on Linux and the simulation elsewhere;
+//!   published measurements should always come from the mmap backend.
 //!
 //! The two central objects are:
 //!
@@ -26,16 +29,20 @@
 //!   store. Scanning a view touches only the mapped prefix, which is exactly
 //!   how partial views reduce scan work.
 
+pub mod any;
 pub mod backend;
 pub mod error;
 pub mod layout;
 pub mod maps;
+#[cfg(all(feature = "mmap", target_os = "linux"))]
 pub mod mmap;
 pub mod sim;
 
+pub use any::{AnyBackend, AnyStore, AnyView};
 pub use backend::{Backend, MapRequest, PhysicalStore, ViewBuffer};
 pub use error::{Result, VmemError};
 pub use layout::{PAGE_SIZE_BYTES, SLOTS_PER_PAGE, VALUES_PER_PAGE};
 pub use maps::{parse_maps_line, read_self_maps, MappingTable, ProcMapsEntry};
+#[cfg(all(feature = "mmap", target_os = "linux"))]
 pub use mmap::{MmapBackend, MmapStore, MmapView};
 pub use sim::{SimBackend, SimStore, SimView};

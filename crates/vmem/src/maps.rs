@@ -66,8 +66,8 @@ pub fn parse_maps_line(line: &str) -> Result<ProcMapsEntry> {
     let (start_s, end_s) = range
         .split_once('-')
         .ok_or_else(|| VmemError::MapsParse(line.to_string()))?;
-    let start = usize::from_str_radix(start_s, 16)
-        .map_err(|_| VmemError::MapsParse(line.to_string()))?;
+    let start =
+        usize::from_str_radix(start_s, 16).map_err(|_| VmemError::MapsParse(line.to_string()))?;
     let end =
         usize::from_str_radix(end_s, 16).map_err(|_| VmemError::MapsParse(line.to_string()))?;
     let perms = fields
@@ -235,16 +235,14 @@ pub fn mapping_table_for_window(
 mod tests {
     use super::*;
 
-    const SAMPLE: &str = "7f0000000000-7f0000003000 rw-s 00002000 00:01 64593 /memfd:asv (deleted)\n\
+    const SAMPLE: &str =
+        "7f0000000000-7f0000003000 rw-s 00002000 00:01 64593 /memfd:asv (deleted)\n\
 7f0000004000-7f0000005000 rw-p 00000000 00:00 0 \n\
 7f0000005000-7f0000006000 rw-s 00010000 00:01 64593 /memfd:asv (deleted)\n";
 
     #[test]
     fn parse_single_line() {
-        let e = parse_maps_line(
-            "08048000-08056000 rw-s 00002000 03:0c 64593 /dev/shm/db",
-        )
-        .unwrap();
+        let e = parse_maps_line("08048000-08056000 rw-s 00002000 03:0c 64593 /dev/shm/db").unwrap();
         assert_eq!(e.start, 0x08048000);
         assert_eq!(e.end, 0x08056000);
         assert_eq!(e.perms, "rw-s");

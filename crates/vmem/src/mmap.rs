@@ -383,11 +383,7 @@ impl Backend for MmapBackend {
         ))
     }
 
-    fn mapping_tables(
-        &self,
-        _store: &MmapStore,
-        views: &[&MmapView],
-    ) -> Result<Vec<MappingTable>> {
+    fn mapping_tables(&self, _store: &MmapStore, views: &[&MmapView]) -> Result<Vec<MappingTable>> {
         // Parse /proc/self/maps exactly once for the whole batch (§2.5) and
         // slice the per-view windows out of the parsed entries.
         let entries = maps::read_self_maps()?;
@@ -443,7 +439,10 @@ mod tests {
             let page = store.page(p);
             assert_eq!(page[0], p as u64);
             assert_eq!(page[1], (p * 1000 + 1) as u64);
-            assert_eq!(page[SLOTS_PER_PAGE - 1], (p * 1000 + SLOTS_PER_PAGE - 1) as u64);
+            assert_eq!(
+                page[SLOTS_PER_PAGE - 1],
+                (p * 1000 + SLOTS_PER_PAGE - 1) as u64
+            );
         }
     }
 
@@ -466,9 +465,18 @@ mod tests {
         }
         let mut view = b.reserve_view(&store, 16).unwrap();
         // Map pages 5, 6, 7 (one run) and page 12 (second run).
-        b.map_run(&store, &mut view, MapRequest { slot: 0, phys_page: 5, len: 3 })
+        b.map_run(
+            &store,
+            &mut view,
+            MapRequest {
+                slot: 0,
+                phys_page: 5,
+                len: 3,
+            },
+        )
+        .unwrap();
+        b.map_run(&store, &mut view, MapRequest::single(3, 12))
             .unwrap();
-        b.map_run(&store, &mut view, MapRequest::single(3, 12)).unwrap();
         assert_eq!(view.mapped_pages(), 4);
         let ids: Vec<u64> = view.iter_pages().map(|p| p[0]).collect();
         assert_eq!(ids, vec![5, 6, 7, 12]);
@@ -479,7 +487,8 @@ mod tests {
         let b = backend();
         let mut store = b.create_store(4).unwrap();
         let mut view = b.reserve_view(&store, 4).unwrap();
-        b.map_run(&store, &mut view, MapRequest::single(0, 2)).unwrap();
+        b.map_run(&store, &mut view, MapRequest::single(0, 2))
+            .unwrap();
         store.page_mut(2)[10] = 0xDEAD_BEEF;
         assert_eq!(view.page(0)[10], 0xDEAD_BEEF);
     }
@@ -503,15 +512,24 @@ mod tests {
         let b = backend();
         let store = b.create_store(8).unwrap();
         let mut view = b.reserve_view(&store, 8).unwrap();
-        b.map_run(&store, &mut view, MapRequest { slot: 0, phys_page: 0, len: 5 })
-            .unwrap();
+        b.map_run(
+            &store,
+            &mut view,
+            MapRequest {
+                slot: 0,
+                phys_page: 0,
+                len: 5,
+            },
+        )
+        .unwrap();
         b.truncate_view(&mut view, 2).unwrap();
         assert_eq!(view.mapped_pages(), 2);
         // Truncating to a larger value is a no-op.
         b.truncate_view(&mut view, 7).unwrap();
         assert_eq!(view.mapped_pages(), 2);
         // Released slots can be remapped.
-        b.map_run(&store, &mut view, MapRequest::single(2, 7)).unwrap();
+        b.map_run(&store, &mut view, MapRequest::single(2, 7))
+            .unwrap();
         assert_eq!(view.mapped_pages(), 3);
     }
 
@@ -522,15 +540,39 @@ mod tests {
         let mut view = b.reserve_view(&store, 2).unwrap();
         // Slot range exceeds view capacity.
         assert!(b
-            .map_run(&store, &mut view, MapRequest { slot: 1, phys_page: 0, len: 2 })
+            .map_run(
+                &store,
+                &mut view,
+                MapRequest {
+                    slot: 1,
+                    phys_page: 0,
+                    len: 2
+                }
+            )
             .is_err());
         // Physical range exceeds store size.
         assert!(b
-            .map_run(&store, &mut view, MapRequest { slot: 0, phys_page: 3, len: 2 })
+            .map_run(
+                &store,
+                &mut view,
+                MapRequest {
+                    slot: 0,
+                    phys_page: 3,
+                    len: 2
+                }
+            )
             .is_err());
         // Zero-length mapping is a no-op.
-        b.map_run(&store, &mut view, MapRequest { slot: 0, phys_page: 0, len: 0 })
-            .unwrap();
+        b.map_run(
+            &store,
+            &mut view,
+            MapRequest {
+                slot: 0,
+                phys_page: 0,
+                len: 0,
+            },
+        )
+        .unwrap();
         assert_eq!(view.mapped_pages(), 0);
     }
 
@@ -539,9 +581,18 @@ mod tests {
         let b = backend();
         let store = b.create_store(32).unwrap();
         let mut view = b.reserve_view(&store, 32).unwrap();
-        b.map_run(&store, &mut view, MapRequest { slot: 0, phys_page: 10, len: 2 })
+        b.map_run(
+            &store,
+            &mut view,
+            MapRequest {
+                slot: 0,
+                phys_page: 10,
+                len: 2,
+            },
+        )
+        .unwrap();
+        b.map_run(&store, &mut view, MapRequest::single(2, 30))
             .unwrap();
-        b.map_run(&store, &mut view, MapRequest::single(2, 30)).unwrap();
         let table = b.mapping_table(&store, &view).unwrap();
         assert_eq!(table.len(), 3);
         assert_eq!(table.phys_for_slot(0), Some(10));
@@ -560,7 +611,8 @@ mod tests {
         let mut store = b.create_store(2).unwrap();
         fill_page(&mut store, 1);
         let mut view = b.reserve_view(&store, 2).unwrap();
-        b.map_run(&store, &mut view, MapRequest::single(0, 1)).unwrap();
+        b.map_run(&store, &mut view, MapRequest::single(0, 1))
+            .unwrap();
         assert_eq!(view.page(0)[0], 1);
         assert_eq!(b.name(), "mmap");
     }
@@ -582,11 +634,13 @@ mod tests {
             fill_page(&mut store, p);
         }
         let mut view = b.reserve_view(&store, 4).unwrap();
-        b.map_run(&store, &mut view, MapRequest::single(0, 1)).unwrap();
+        b.map_run(&store, &mut view, MapRequest::single(0, 1))
+            .unwrap();
         assert_eq!(view.page(0)[0], 1);
         // Rewire the same slot to another physical page — the essence of
         // "update the mapping freely at page granularity during runtime".
-        b.map_run(&store, &mut view, MapRequest::single(0, 3)).unwrap();
+        b.map_run(&store, &mut view, MapRequest::single(0, 3))
+            .unwrap();
         assert_eq!(view.page(0)[0], 3);
         assert_eq!(view.mapped_pages(), 1);
     }

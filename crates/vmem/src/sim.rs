@@ -266,9 +266,18 @@ mod tests {
             fill_page(&mut store, p);
         }
         let mut view = b.reserve_view(&store, 16).unwrap();
-        b.map_run(&store, &mut view, MapRequest { slot: 0, phys_page: 5, len: 3 })
+        b.map_run(
+            &store,
+            &mut view,
+            MapRequest {
+                slot: 0,
+                phys_page: 5,
+                len: 3,
+            },
+        )
+        .unwrap();
+        b.map_run(&store, &mut view, MapRequest::single(3, 12))
             .unwrap();
-        b.map_run(&store, &mut view, MapRequest::single(3, 12)).unwrap();
         let ids: Vec<u64> = view.iter_pages().map(|p| p[0]).collect();
         assert_eq!(ids, vec![5, 6, 7, 12]);
         assert_eq!(view.slot_targets(), &[5, 6, 7, 12]);
@@ -280,7 +289,8 @@ mod tests {
         let b = SimBackend::new();
         let mut store = b.create_store(4).unwrap();
         let mut view = b.reserve_view(&store, 4).unwrap();
-        b.map_run(&store, &mut view, MapRequest::single(0, 2)).unwrap();
+        b.map_run(&store, &mut view, MapRequest::single(0, 2))
+            .unwrap();
         store.page_mut(2)[7] = 42;
         assert_eq!(view.page(0)[7], 42);
     }
@@ -306,13 +316,37 @@ mod tests {
         let store = b.create_store(4).unwrap();
         let mut view = b.reserve_view(&store, 2).unwrap();
         assert!(b
-            .map_run(&store, &mut view, MapRequest { slot: 1, phys_page: 0, len: 2 })
+            .map_run(
+                &store,
+                &mut view,
+                MapRequest {
+                    slot: 1,
+                    phys_page: 0,
+                    len: 2
+                }
+            )
             .is_err());
         assert!(b
-            .map_run(&store, &mut view, MapRequest { slot: 0, phys_page: 4, len: 1 })
+            .map_run(
+                &store,
+                &mut view,
+                MapRequest {
+                    slot: 0,
+                    phys_page: 4,
+                    len: 1
+                }
+            )
             .is_err());
-        b.map_run(&store, &mut view, MapRequest { slot: 0, phys_page: 0, len: 0 })
-            .unwrap();
+        b.map_run(
+            &store,
+            &mut view,
+            MapRequest {
+                slot: 0,
+                phys_page: 0,
+                len: 0,
+            },
+        )
+        .unwrap();
         assert_eq!(view.mapped_pages(), 0);
     }
 
@@ -321,8 +355,16 @@ mod tests {
         let b = SimBackend::new();
         let store = b.create_store(8).unwrap();
         let mut view = b.reserve_view(&store, 8).unwrap();
-        b.map_run(&store, &mut view, MapRequest { slot: 0, phys_page: 6, len: 2 })
-            .unwrap();
+        b.map_run(
+            &store,
+            &mut view,
+            MapRequest {
+                slot: 0,
+                phys_page: 6,
+                len: 2,
+            },
+        )
+        .unwrap();
         let table = b.mapping_table(&store, &view).unwrap();
         assert_eq!(table.len(), 2);
         assert_eq!(table.phys_for_slot(1), Some(7));
@@ -336,7 +378,8 @@ mod tests {
         let store = b.create_store(8).unwrap();
         let mut view = b.reserve_view(&store, 8).unwrap();
         // Create a gap at slot 0 by mapping only slot 1.
-        b.map_run(&store, &mut view, MapRequest::single(1, 3)).unwrap();
+        b.map_run(&store, &mut view, MapRequest::single(1, 3))
+            .unwrap();
         let _ = view.page(0);
     }
 
@@ -348,8 +391,10 @@ mod tests {
             fill_page(&mut store, p);
         }
         let mut view = b.reserve_view(&store, 4).unwrap();
-        b.map_run(&store, &mut view, MapRequest::single(0, 1)).unwrap();
-        b.map_run(&store, &mut view, MapRequest::single(0, 3)).unwrap();
+        b.map_run(&store, &mut view, MapRequest::single(0, 1))
+            .unwrap();
+        b.map_run(&store, &mut view, MapRequest::single(0, 3))
+            .unwrap();
         assert_eq!(view.page(0)[0], 3);
         assert_eq!(view.mapped_pages(), 1);
     }

@@ -69,7 +69,11 @@ impl QueryWorkload {
         let log_hi = (spec.widest_range as f64).ln();
         let log_lo = (spec.narrowest_range as f64).ln();
         for i in 0..n {
-            let t = if n == 1 { 0.0 } else { i as f64 / (n - 1) as f64 };
+            let t = if n == 1 {
+                0.0
+            } else {
+                i as f64 / (n - 1) as f64
+            };
             let width = (log_hi + (log_lo - log_hi) * t).exp().round() as u64;
             let width = width.clamp(spec.narrowest_range, spec.widest_range).max(1);
             let max_start = spec.domain_max - width;

@@ -78,7 +78,9 @@ mod tests {
     fn targeted_writes_stay_in_range() {
         let w = UpdateWorkload::new(11);
         let writes = w.targeted_writes(500, 100, (40, 60));
-        assert!(writes.iter().all(|&(r, v)| r < 100 && (40..=60).contains(&v)));
+        assert!(writes
+            .iter()
+            .all(|&(r, v)| r < 100 && (40..=60).contains(&v)));
     }
 
     #[test]

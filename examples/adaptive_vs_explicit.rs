@@ -6,7 +6,7 @@
 //!
 //! Run with:
 //! ```text
-//! cargo run --release --example adaptive_vs_explicit
+//! cargo run --release --example adaptive_vs_explicit [sim|mmap]
 //! ```
 
 use adaptive_storage_views::baselines::{
@@ -36,6 +36,7 @@ fn measure(label: &str, index: &mut dyn RangeIndex, writes: &[(usize, u64)], que
 }
 
 fn main() {
+    let backend = AnyBackend::from_cli_arg();
     let pages = 8_192;
     let dist = Distribution::Uniform {
         max_value: DEFAULT_MAX_VALUE,
@@ -55,24 +56,25 @@ fn main() {
     let mut zonemap = ZoneMapIndex::build(&values, index_range);
     measure("explicit zone map", &mut zonemap, &writes, &query);
 
-    let mut bitmap = BitmapIndex::build(MmapBackend::new(), &values, index_range).expect("bitmap");
+    let mut bitmap = BitmapIndex::build(backend.clone(), &values, index_range).expect("bitmap");
     measure("explicit bitmap", &mut bitmap, &writes, &query);
 
     let mut pageids =
-        PageIdVectorIndex::build(MmapBackend::new(), &values, index_range).expect("page ids");
+        PageIdVectorIndex::build(backend.clone(), &values, index_range).expect("page ids");
     measure("explicit page-id vector", &mut pageids, &writes, &query);
 
     let mut physical = PhysicalScanBaseline::build(&values, index_range);
     measure("physical scan (optimum)", &mut physical, &writes, &query);
 
-    let mut virtual_view = VirtualViewIndex::build(
-        MmapBackend::new(),
-        &values,
-        index_range,
-        &CreationOptions::ALL,
-    )
-    .expect("virtual view");
-    measure("virtual view (this paper)", &mut virtual_view, &writes, &query);
+    let mut virtual_view =
+        VirtualViewIndex::build(backend.clone(), &values, index_range, &CreationOptions::ALL)
+            .expect("virtual view");
+    measure(
+        "virtual view (this paper)",
+        &mut virtual_view,
+        &writes,
+        &query,
+    );
 
     println!("\nThe virtual view scans only the qualifying pages through one");
     println!("contiguous virtual memory range — no per-page indirection in");

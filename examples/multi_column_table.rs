@@ -7,13 +7,14 @@
 //!
 //! Run with:
 //! ```text
-//! cargo run --release --example multi_column_table
+//! cargo run --release --example multi_column_table [sim|mmap]
 //! ```
 
 use adaptive_storage_views::core::AdaptiveTable;
 use adaptive_storage_views::prelude::*;
 
 fn main() {
+    let backend = AnyBackend::from_cli_arg();
     let pages = 2_048;
     // Three "sensor" columns over the same rows: a sine-shaped temperature
     // curve, a linearly drifting pressure reading and a sparse error code.
@@ -21,15 +22,30 @@ fn main() {
     let pressure = Distribution::linear().generate_pages(pages, 2);
     let error_code = Distribution::sparse().generate_pages(pages, 3);
 
-    let mut table: AdaptiveTable<MmapBackend> = AdaptiveTable::new("readings");
+    let mut table: AdaptiveTable<AnyBackend> = AdaptiveTable::new("readings");
     table
-        .add_column("temperature", MmapBackend::new(), &temperature, AdaptiveConfig::default())
+        .add_column(
+            "temperature",
+            backend.clone(),
+            &temperature,
+            AdaptiveConfig::default(),
+        )
         .expect("temperature column");
     table
-        .add_column("pressure", MmapBackend::new(), &pressure, AdaptiveConfig::default())
+        .add_column(
+            "pressure",
+            backend.clone(),
+            &pressure,
+            AdaptiveConfig::default(),
+        )
         .expect("pressure column");
     table
-        .add_column("error_code", MmapBackend::new(), &error_code, AdaptiveConfig::default())
+        .add_column(
+            "error_code",
+            backend.clone(),
+            &error_code,
+            AdaptiveConfig::default(),
+        )
         .expect("error_code column");
     println!(
         "table '{}' with {} columns x {} rows\n",
@@ -65,10 +81,11 @@ fn main() {
         "\nconjunctive query over 3 columns: {} matching rows",
         conjunctive.rows.len()
     );
-    for (outcome, name) in conjunctive
-        .per_column
-        .iter()
-        .zip(["temperature", "pressure", "error_code"])
+    for (outcome, name) in
+        conjunctive
+            .per_column
+            .iter()
+            .zip(["temperature", "pressure", "error_code"])
     {
         println!(
             "  predicate on {name:<12}: {:>8} qualifying rows from {:>5} scanned pages using {} view(s)",

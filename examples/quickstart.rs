@@ -3,23 +3,25 @@
 //!
 //! Run with:
 //! ```text
-//! cargo run --release --example quickstart
+//! cargo run --release --example quickstart [sim|mmap]
 //! ```
 
 use adaptive_storage_views::prelude::*;
 
 fn main() {
+    let backend = AnyBackend::from_cli_arg();
     // 1. Generate some clustered data (values correlated with their page) —
     //    the kind of time-series/sensor data the paper targets — and
     //    materialize it as a physical column backed by a main-memory file.
     let dist = Distribution::sine();
     let values = dist.generate_pages(4_096, 42); // 4096 pages ≈ 16 MiB
-    let column = Column::from_values(MmapBackend::new(), &values).expect("column");
+    let column = Column::from_values(backend.clone(), &values).expect("column");
     println!(
-        "materialized column: {} rows on {} pages ({} MiB)",
+        "materialized column: {} rows on {} pages ({} MiB) on the '{}' backend",
         column.num_rows(),
         column.num_pages(),
-        column.num_pages() * 4096 / (1024 * 1024)
+        column.num_pages() * 4096 / (1024 * 1024),
+        backend.name()
     );
 
     // 2. Attach the adaptive storage-view layer (single-view routing, up to
@@ -51,7 +53,10 @@ fn main() {
             baseline.elapsed.as_secs_f64() * 1e3,
             outcome.view_maintenance,
         );
-        assert_eq!(outcome.count, baseline.count, "adaptive answer must be exact");
+        assert_eq!(
+            outcome.count, baseline.count,
+            "adaptive answer must be exact"
+        );
     }
 
     // 4. Inspect the view index that emerged as a side product.

@@ -9,7 +9,7 @@
 //!
 //! Run with:
 //! ```text
-//! cargo run --release --example sensor_timeseries
+//! cargo run --release --example sensor_timeseries [sim|mmap]
 //! ```
 
 use adaptive_storage_views::core::SequenceStats;
@@ -17,6 +17,7 @@ use adaptive_storage_views::prelude::*;
 use adaptive_storage_views::workloads::SweepSpec;
 
 fn main() {
+    let backend = AnyBackend::from_cli_arg();
     let pages = 8_192; // ≈ 32 MiB of sensor readings
     let dist = Distribution::sine();
     let values = dist.generate_pages(pages, 7);
@@ -32,9 +33,8 @@ fn main() {
         .collect();
 
     // Adaptive run (single-view routing, paper defaults).
-    let mut adaptive =
-        AdaptiveColumn::from_values(MmapBackend::new(), &values, AdaptiveConfig::default())
-            .expect("adaptive column");
+    let mut adaptive = AdaptiveColumn::from_values(backend, &values, AdaptiveConfig::default())
+        .expect("adaptive column");
     let mut adaptive_stats = SequenceStats::new();
     let mut fullscan_stats = SequenceStats::new();
 
@@ -46,7 +46,11 @@ fn main() {
         fullscan_stats.record(&baseline);
     }
 
-    println!("sensor time-series workload ({} pages, {} queries)", pages, queries.len());
+    println!(
+        "sensor time-series workload ({} pages, {} queries)",
+        pages,
+        queries.len()
+    );
     println!(
         "  full scans only       : {:>8.2} s accumulated ({:>7.2} ms mean)",
         fullscan_stats.accumulated_seconds(),

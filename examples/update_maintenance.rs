@@ -10,14 +10,16 @@
 //!
 //! Run with:
 //! ```text
-//! cargo run --release --example update_maintenance
+//! cargo run --release --example update_maintenance [sim|mmap]
 //! ```
 
-use adaptive_storage_views::core::{align_views_after_updates, build_view_for_range, CreationOptions, ViewSet};
+use adaptive_storage_views::core::{
+    align_views_after_updates, build_view_for_range, CreationOptions, ViewSet,
+};
 use adaptive_storage_views::prelude::*;
 use adaptive_storage_views::util::Timer;
 
-fn build_views(column: &Column<MmapBackend>, ranges: &[ValueRange]) -> ViewSet<MmapBackend> {
+fn build_views<B: Backend>(column: &Column<B>, ranges: &[ValueRange]) -> ViewSet<B> {
     let mut views = ViewSet::new(ranges.len());
     for r in ranges {
         let (buffer, _) = build_view_for_range(column, r, &CreationOptions::ALL).expect("view");
@@ -27,6 +29,7 @@ fn build_views(column: &Column<MmapBackend>, ranges: &[ValueRange]) -> ViewSet<M
 }
 
 fn main() {
+    let backend = AnyBackend::from_cli_arg();
     let pages = 8_192;
     let dist = Distribution::Sine {
         max_value: u64::MAX,
@@ -52,11 +55,14 @@ fn main() {
 
     for batch_size in [100usize, 1_000, 10_000, 100_000] {
         // Fresh column and views per batch size, so runs are comparable.
-        let mut column = Column::from_values(MmapBackend::new(), &values).expect("column");
+        let mut column = Column::from_values(backend.clone(), &values).expect("column");
         let mut views = build_views(&column, &ranges);
 
-        let writes =
-            UpdateWorkload::new(batch_size as u64).uniform_writes(batch_size, column.num_rows(), u64::MAX);
+        let writes = UpdateWorkload::new(batch_size as u64).uniform_writes(
+            batch_size,
+            column.num_rows(),
+            u64::MAX,
+        );
         let updates = column.write_batch(&writes);
         let stats = align_views_after_updates(&column, &mut views, &updates).expect("alignment");
 

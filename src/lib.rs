@@ -14,7 +14,7 @@
 //!
 //! | Module | Crate | Contents |
 //! |--------|-------|----------|
-//! | [`vmem`] | `asv-vmem` | rewiring substrate: main-memory files, view buffers, `/proc/self/maps` introspection, plus a portable simulation backend |
+//! | [`vmem`] | `asv-vmem` | rewiring substrate: main-memory files, view buffers, `/proc/self/maps` introspection, a portable simulation backend, and the runtime-selectable [`AnyBackend`](vmem::AnyBackend) |
 //! | [`storage`] | `asv-storage` | page layout, physical columns, tables, update batches |
 //! | [`core`] | `asv-core` | virtual views, query routing, adaptive view maintenance, optimized view creation, batched update alignment |
 //! | [`baselines`] | `asv-baselines` | explicit-index baselines (zone map, bitmap, page-id vector) and scan baselines |
@@ -27,7 +27,8 @@
 //! use adaptive_storage_views::prelude::*;
 //!
 //! // 1. Materialize a column (here: on the portable simulation backend;
-//! //    use `MmapBackend::new()` for real virtual-memory rewiring).
+//! //    use `AnyBackend::default_backend()` to pick real virtual-memory
+//! //    rewiring wherever the platform supports it).
 //! let values: Vec<u64> = (0..100_000u64).map(|i| (i * 37) % 1_000_000).collect();
 //! let column = Column::from_values(SimBackend::new(), &values).unwrap();
 //!
@@ -56,6 +57,8 @@ pub mod prelude {
     };
     pub use asv_storage::{Column, Table, Update};
     pub use asv_util::ValueRange;
-    pub use asv_vmem::{Backend, MmapBackend, SimBackend};
+    #[cfg(all(feature = "mmap", target_os = "linux"))]
+    pub use asv_vmem::MmapBackend;
+    pub use asv_vmem::{AnyBackend, Backend, SimBackend};
     pub use asv_workloads::{Distribution, QueryWorkload, UpdateWorkload};
 }

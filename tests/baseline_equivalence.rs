@@ -30,19 +30,27 @@ fn all_variants_agree(dist: &Distribution, k: u64, writes: &[(usize, u64)]) {
         Box::new(PageIdVectorIndex::build(SimBackend::new(), &values, index_range).unwrap()),
         Box::new(PhysicalScanBaseline::build(&values, index_range)),
         Box::new(
-            VirtualViewIndex::build(SimBackend::new(), &values, index_range, &CreationOptions::ALL)
-                .unwrap(),
-        ),
-        Box::new(
             VirtualViewIndex::build(
-                MmapBackend::new(),
+                SimBackend::new(),
                 &values,
                 index_range,
-                &CreationOptions::NONE,
+                &CreationOptions::ALL,
             )
             .unwrap(),
         ),
     ];
+    // On Linux, additionally cross-check the virtual view on the real
+    // rewiring backend (the AnyBackend default there).
+    #[cfg(target_os = "linux")]
+    variants.push(Box::new(
+        VirtualViewIndex::build(
+            AnyBackend::default_backend(),
+            &values,
+            index_range,
+            &CreationOptions::NONE,
+        )
+        .unwrap(),
+    ));
 
     // Expected answer: apply the writes to a plain copy and filter.
     let mut updated = values.clone();

@@ -3,8 +3,8 @@
 
 use adaptive_storage_views::core::{RoutingMode, SequenceStats};
 use adaptive_storage_views::prelude::*;
-use adaptive_storage_views::workloads::SweepSpec;
 use adaptive_storage_views::vmem::Backend;
+use adaptive_storage_views::workloads::SweepSpec;
 
 const PAGES: usize = 512;
 
@@ -63,6 +63,7 @@ fn adaptive_sequences_are_exact_on_sim_backend() {
     }
 }
 
+#[cfg(all(feature = "mmap", target_os = "linux"))]
 #[test]
 fn adaptive_sequences_are_exact_on_mmap_backend() {
     for dist in [Distribution::sine(), Distribution::sparse()] {
@@ -76,7 +77,7 @@ fn later_queries_scan_fewer_pages_on_clustered_data() {
     let dist = Distribution::sine();
     let values = dist.generate_pages(PAGES, 1);
     let mut adaptive = AdaptiveColumn::from_values(
-        MmapBackend::new(),
+        AnyBackend::default_backend(),
         &values,
         AdaptiveConfig::paper_single_view(),
     )

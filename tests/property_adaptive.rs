@@ -1,6 +1,8 @@
-//! Property-based tests (proptest) over the whole stack.
+//! Property-based tests over the whole stack.
 //!
-//! The central invariants:
+//! The build environment has no crates.io access, so instead of `proptest`
+//! these run randomized cases from the workspace's seeded RNG shim — fully
+//! deterministic for the hard-coded seeds. The central invariants:
 //!
 //! 1. For *any* data and *any* query sequence, the adaptive layer returns
 //!    exactly the same answers as a naive filter over the raw values — in
@@ -15,7 +17,8 @@ use adaptive_storage_views::core::{
 use adaptive_storage_views::prelude::*;
 use adaptive_storage_views::storage::VALUES_PER_PAGE;
 use adaptive_storage_views::vmem::Backend;
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 /// Small domains keep page-level clustering interesting while still hitting
 /// lots of edge cases (empty ranges, full ranges, repeated values).
@@ -28,13 +31,17 @@ fn reference(values: &[u64], range: &ValueRange) -> (u64, u128) {
         .fold((0u64, 0u128), |(c, s), &v| (c + 1, s + v as u128))
 }
 
-fn arb_values() -> impl Strategy<Value = Vec<u64>> {
-    // Between a handful of rows and ~6 pages, values in a small domain.
-    prop::collection::vec(0..=MAX_VALUE, 1..(6 * VALUES_PER_PAGE))
+/// Between a handful of rows and ~6 pages, values in a small domain.
+fn arb_values(rng: &mut StdRng) -> Vec<u64> {
+    let len = rng.gen_range(1usize..6 * VALUES_PER_PAGE);
+    (0..len).map(|_| rng.gen_range(0..=MAX_VALUE)).collect()
 }
 
-fn arb_queries() -> impl Strategy<Value = Vec<(u64, u64)>> {
-    prop::collection::vec((0..=MAX_VALUE, 0..=MAX_VALUE), 1..12)
+fn arb_queries(rng: &mut StdRng) -> Vec<(u64, u64)> {
+    let n = rng.gen_range(1usize..12);
+    (0..n)
+        .map(|_| (rng.gen_range(0..=MAX_VALUE), rng.gen_range(0..=MAX_VALUE)))
+        .collect()
 }
 
 fn normalize(lo: u64, hi: u64) -> ValueRange {
@@ -45,49 +52,53 @@ fn normalize(lo: u64, hi: u64) -> ValueRange {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn adaptive_answers_equal_naive_filter(
-        values in arb_values(),
-        queries in arb_queries(),
-        multi_view in any::<bool>(),
-        concurrent in any::<bool>(),
-        max_views in 1usize..8,
-    ) {
-        let routing = if multi_view { RoutingMode::MultiView } else { RoutingMode::SingleView };
-        let creation = if concurrent { CreationOptions::ALL } else { CreationOptions::COALESCED };
+#[test]
+fn adaptive_answers_equal_naive_filter() {
+    let mut rng = StdRng::seed_from_u64(0xADA0);
+    for case in 0..48 {
+        let values = arb_values(&mut rng);
+        let queries = arb_queries(&mut rng);
+        let multi_view = rng.gen_bool(0.5);
+        let concurrent = rng.gen_bool(0.5);
+        let max_views = rng.gen_range(1usize..8);
+        let routing = if multi_view {
+            RoutingMode::MultiView
+        } else {
+            RoutingMode::SingleView
+        };
+        let creation = if concurrent {
+            CreationOptions::ALL
+        } else {
+            CreationOptions::COALESCED
+        };
         let config = AdaptiveConfig::default()
             .with_routing(routing)
             .with_max_views(max_views)
             .with_creation(creation);
-        let mut adaptive =
-            AdaptiveColumn::from_values(SimBackend::new(), &values, config).unwrap();
+        let mut adaptive = AdaptiveColumn::from_values(SimBackend::new(), &values, config).unwrap();
         for &(lo, hi) in &queries {
             let range = normalize(lo, hi);
             let outcome = adaptive.query(&RangeQuery::from_range(range)).unwrap();
             let (count, sum) = reference(&values, &range);
-            prop_assert_eq!(outcome.count, count);
-            prop_assert_eq!(outcome.sum, sum);
-            prop_assert!(adaptive.views().num_partial_views() <= max_views);
+            assert_eq!(outcome.count, count, "case {case}, query {range}");
+            assert_eq!(outcome.sum, sum, "case {case}, query {range}");
+            assert!(adaptive.views().num_partial_views() <= max_views);
         }
     }
+}
 
-    #[test]
-    fn collected_rows_are_exactly_the_matching_rows(
-        values in arb_values(),
-        lo in 0..=MAX_VALUE,
-        hi in 0..=MAX_VALUE,
-    ) {
-        let range = normalize(lo, hi);
-        let mut adaptive = AdaptiveColumn::from_values(
-            SimBackend::new(),
-            &values,
-            AdaptiveConfig::default(),
-        )
-        .unwrap();
-        let outcome = adaptive.query_collect(&RangeQuery::from_range(range)).unwrap();
+#[test]
+fn collected_rows_are_exactly_the_matching_rows() {
+    let mut rng = StdRng::seed_from_u64(0xADA1);
+    for case in 0..48 {
+        let values = arb_values(&mut rng);
+        let range = normalize(rng.gen_range(0..=MAX_VALUE), rng.gen_range(0..=MAX_VALUE));
+        let mut adaptive =
+            AdaptiveColumn::from_values(SimBackend::new(), &values, AdaptiveConfig::default())
+                .unwrap();
+        let outcome = adaptive
+            .query_collect(&RangeQuery::from_range(range))
+            .unwrap();
         let mut rows = outcome.rows.unwrap();
         rows.sort_unstable();
         let expected: Vec<u64> = values
@@ -96,27 +107,31 @@ proptest! {
             .filter(|(_, v)| range.contains(**v))
             .map(|(i, _)| i as u64)
             .collect();
-        prop_assert_eq!(rows, expected);
+        assert_eq!(rows, expected, "case {case}, query {range}");
     }
+}
 
-    #[test]
-    fn alignment_equals_rebuild_for_any_batch(
-        values in arb_values(),
-        view_lo in 0..=MAX_VALUE,
-        view_hi in 0..=MAX_VALUE,
-        writes in prop::collection::vec((0usize..6 * VALUES_PER_PAGE, 0..=MAX_VALUE), 0..120),
-    ) {
-        let range = normalize(view_lo, view_hi);
+#[test]
+fn alignment_equals_rebuild_for_any_batch() {
+    let mut rng = StdRng::seed_from_u64(0xADA2);
+    for case in 0..48 {
+        let values = arb_values(&mut rng);
+        let range = normalize(rng.gen_range(0..=MAX_VALUE), rng.gen_range(0..=MAX_VALUE));
+        let num_writes = rng.gen_range(0usize..120);
+        let writes: Vec<(usize, u64)> = (0..num_writes)
+            .map(|_| {
+                (
+                    rng.gen_range(0usize..6 * VALUES_PER_PAGE) % values.len(),
+                    rng.gen_range(0..=MAX_VALUE),
+                )
+            })
+            .collect();
+
         let mut column = Column::from_values(SimBackend::new(), &values).unwrap();
         let mut views = ViewSet::new(2);
         let (buf, _) = build_view_for_range(&column, &range, &CreationOptions::COALESCED).unwrap();
         views.insert_unchecked(range, buf);
 
-        // Clamp rows to the column and apply the batch.
-        let writes: Vec<(usize, u64)> = writes
-            .into_iter()
-            .map(|(r, v)| (r % values.len(), v))
-            .collect();
         let updates = column.write_batch(&writes);
         align_views_after_updates(&column, &mut views, &updates).unwrap();
 
@@ -127,9 +142,15 @@ proptest! {
             .unwrap()
             .phys_pages_sorted();
         let expected: Vec<usize> = (0..column.num_pages())
-            .filter(|&p| column.page_ref(p).values().iter().any(|v| range.contains(*v)))
+            .filter(|&p| {
+                column
+                    .page_ref(p)
+                    .values()
+                    .iter()
+                    .any(|v| range.contains(*v))
+            })
             .collect();
-        prop_assert_eq!(aligned, expected);
+        assert_eq!(aligned, expected, "case {case}, view {range}");
 
         // And scanning the aligned view answers the view's range exactly.
         let mut count = 0u64;
@@ -140,20 +161,20 @@ proptest! {
         }
         let current: Vec<u64> = column.to_vec();
         let (exp_count, _) = reference(&current, &range);
-        prop_assert_eq!(count, exp_count);
+        assert_eq!(count, exp_count, "case {case}, view {range}");
     }
+}
 
-    #[test]
-    fn full_view_scan_equals_naive_filter(
-        values in arb_values(),
-        lo in 0..=MAX_VALUE,
-        hi in 0..=MAX_VALUE,
-    ) {
-        let range = normalize(lo, hi);
+#[test]
+fn full_view_scan_equals_naive_filter() {
+    let mut rng = StdRng::seed_from_u64(0xADA3);
+    for case in 0..48 {
+        let values = arb_values(&mut rng);
+        let range = normalize(rng.gen_range(0..=MAX_VALUE), rng.gen_range(0..=MAX_VALUE));
         let column = Column::from_values(SimBackend::new(), &values).unwrap();
         let res = column.full_scan(&range);
         let (count, sum) = reference(&values, &range);
-        prop_assert_eq!(res.count, count);
-        prop_assert_eq!(res.sum, sum);
+        assert_eq!(res.count, count, "case {case}, query {range}");
+        assert_eq!(res.sum, sum, "case {case}, query {range}");
     }
 }

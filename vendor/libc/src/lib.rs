@@ -1,0 +1,86 @@
+//! Minimal vendored subset of the `libc` crate.
+//!
+//! The workspace builds in an offline environment, so instead of the real
+//! `libc` crate this shim declares exactly the types, constants and
+//! functions that `asv-vmem`'s mmap backend uses. Everything matches the
+//! glibc ABI on 64-bit Linux (x86_64 and aarch64 share all the values
+//! declared here).
+
+#![cfg(target_os = "linux")]
+#![allow(non_camel_case_types)]
+
+pub use std::ffi::{c_char, c_int, c_long, c_uint, c_void};
+
+pub type size_t = usize;
+pub type off_t = i64;
+pub type mode_t = u32;
+
+// --- memory protection / mapping flags (asm-generic, identical on
+// --- x86_64 and aarch64) ------------------------------------------------
+pub const PROT_READ: c_int = 0x1;
+pub const PROT_WRITE: c_int = 0x2;
+
+pub const MAP_SHARED: c_int = 0x0001;
+pub const MAP_PRIVATE: c_int = 0x0002;
+pub const MAP_FIXED: c_int = 0x0010;
+pub const MAP_ANONYMOUS: c_int = 0x0020;
+pub const MAP_NORESERVE: c_int = 0x4000;
+
+pub const MAP_FAILED: *mut c_void = !0 as *mut c_void;
+
+// --- open(2) flags ------------------------------------------------------
+pub const O_RDWR: c_int = 0o2;
+pub const O_CREAT: c_int = 0o100;
+pub const O_EXCL: c_int = 0o200;
+pub const O_CLOEXEC: c_int = 0o2000000;
+
+extern "C" {
+    pub fn mmap(
+        addr: *mut c_void,
+        len: size_t,
+        prot: c_int,
+        flags: c_int,
+        fd: c_int,
+        offset: off_t,
+    ) -> *mut c_void;
+    pub fn munmap(addr: *mut c_void, len: size_t) -> c_int;
+    pub fn memfd_create(name: *const c_char, flags: c_uint) -> c_int;
+    pub fn ftruncate(fd: c_int, length: off_t) -> c_int;
+    pub fn close(fd: c_int) -> c_int;
+    pub fn open(path: *const c_char, oflag: c_int, ...) -> c_int;
+    pub fn unlink(path: *const c_char) -> c_int;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mmap_roundtrip_through_shim() {
+        unsafe {
+            let ptr = mmap(
+                std::ptr::null_mut(),
+                4096,
+                PROT_READ | PROT_WRITE,
+                MAP_PRIVATE | MAP_ANONYMOUS,
+                -1,
+                0,
+            );
+            assert_ne!(ptr, MAP_FAILED);
+            *(ptr as *mut u64) = 0xFEED;
+            assert_eq!(*(ptr as *const u64), 0xFEED);
+            assert_eq!(munmap(ptr, 4096), 0);
+        }
+    }
+
+    #[test]
+    fn memfd_create_and_ftruncate() {
+        let name = std::ffi::CString::new("libc-shim-test").unwrap();
+        unsafe {
+            let fd = memfd_create(name.as_ptr(), 0);
+            assert!(fd >= 0, "memfd_create failed");
+            assert_eq!(ftruncate(fd, 8192), 0);
+            assert_eq!(close(fd), 0);
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! Minimal vendored subset of the `rand` crate.
+//!
+//! The workspace builds offline, so this shim provides the slice of the
+//! rand 0.8 API the workspace actually uses:
+//!
+//! * [`rngs::StdRng`] + [`SeedableRng::seed_from_u64`] — seeded,
+//!   deterministic generator (xoshiro256** seeded via SplitMix64),
+//! * [`Rng::gen_range`] over integer and float ranges,
+//! * [`Rng::gen_bool`],
+//! * [`seq::SliceRandom::shuffle`].
+//!
+//! Sequences are fully deterministic for a given seed but do **not**
+//! reproduce upstream rand's streams — every consumer in this workspace
+//! only relies on determinism, not on specific values.
+
+use std::ops::{Range, RangeInclusive};
+
+/// A random number generator driven by a 64-bit output function.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// A seedable generator (subset of rand's trait of the same name).
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling from a range — the backing trait of [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range_uint {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + mul_shift(rng.next_u64(), span) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + mul_shift(rng.next_u64(), span + 1) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range_uint!(u64, usize, u32, u16, u8);
+
+/// Maps a uniform 64-bit draw onto `0..span` via 128-bit multiply-shift
+/// (Lemire's multiplicative range reduction, without the rejection step —
+/// the bias is < 2^-64 per draw, irrelevant for workload generation).
+#[inline]
+fn mul_shift(x: u64, span: u64) -> u64 {
+    ((x as u128 * span as u128) >> 64) as u64
+}
+
+/// Converts 53 random bits into a float in `[0, 1)`.
+#[inline]
+fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + unit_f64(rng) * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f64> for RangeInclusive<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "cannot sample empty range");
+        lo + unit_f64(rng) * (hi - lo)
+    }
+}
+
+/// User-facing convenience methods, blanket-implemented for every
+/// [`RngCore`] (mirrors rand's `Rng`).
+pub trait Rng: RngCore {
+    /// Draws one value uniformly from `range`.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        unit_f64(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The standard deterministic generator of this shim: xoshiro256**
+    /// with SplitMix64 seeding.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, as recommended by the xoshiro authors.
+            let mut state = seed;
+            let mut next = || {
+                state = state.wrapping_add(0x9E3779B97F4A7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                z ^ (z >> 31)
+            };
+            Self {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// Slice shuffling (subset of rand's trait of the same name).
+    pub trait SliceRandom {
+        /// Shuffles the slice in place (Fisher–Yates).
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u64..=u64::MAX), b.gen_range(0u64..=u64::MAX));
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        let same: Vec<u64> = (0..8).map(|_| c.gen_range(0u64..1000)).collect();
+        assert_ne!(
+            same,
+            (0..8)
+                .map(|_| StdRng::seed_from_u64(42).gen_range(0u64..1000))
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(10u64..20);
+            assert!((10..20).contains(&v));
+            let v = rng.gen_range(5usize..=5);
+            assert_eq!(v, 5);
+            let f = rng.gen_range(0.25f64..=0.75);
+            assert!((0.25..=0.75).contains(&f));
+            let f = rng.gen_range(-1.0f64..1.0);
+            assert!((-1.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn full_u64_range_is_supported() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut any_high = false;
+        for _ in 0..64 {
+            any_high |= rng.gen_range(0u64..=u64::MAX) > u64::MAX / 2;
+        }
+        assert!(any_high);
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!((0..100).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+        let heads = (0..10_000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((4_000..6_000).contains(&heads), "heads = {heads}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut v: Vec<u32> = (0..100).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "astronomically unlikely identity shuffle");
+    }
+}
