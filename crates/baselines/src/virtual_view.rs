@@ -7,9 +7,9 @@
 //! `asv-core`.
 
 use asv_core::{align_views_after_updates, build_view_for_range, CreationOptions, ViewSet};
-use asv_storage::Column;
-use asv_util::ValueRange;
-use asv_vmem::{Backend, ViewBuffer};
+use asv_storage::{scan_view_with, Column, ScanKernel, ScanMode};
+use asv_util::{Parallelism, ValueRange};
+use asv_vmem::Backend;
 
 use crate::index::{IndexAnswer, RangeIndex};
 
@@ -18,6 +18,7 @@ pub struct VirtualViewIndex<B: Backend> {
     column: Column<B>,
     views: ViewSet<B>,
     index_range: ValueRange,
+    parallelism: Parallelism,
 }
 
 impl<B: Backend> VirtualViewIndex<B> {
@@ -37,7 +38,15 @@ impl<B: Backend> VirtualViewIndex<B> {
             column,
             views,
             index_range,
+            parallelism: Parallelism::Sequential,
         })
+    }
+
+    /// Builder-style setter: shards the query scan over the view's page
+    /// range across a fork-join pool (defaults to sequential).
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
     }
 
     /// The underlying column.
@@ -60,16 +69,23 @@ impl<B: Backend> RangeIndex for VirtualViewIndex<B> {
     }
 
     fn query(&self, query: &ValueRange) -> IndexAnswer {
-        let mut answer = IndexAnswer::default();
         let view = self.views.partial_view(0).expect("view exists");
         // The scan is a linear pass over the view's (virtually contiguous)
-        // pages — no per-page indirection in user-space.
-        for raw in view.buffer().iter_pages() {
-            let page = self.column.wrap_view_page(raw);
-            let res = page.scan_filter(query);
-            answer.add_page(res.count, res.sum);
+        // pages — no per-page indirection in user-space. It runs through
+        // the unified page-range kernel, sharded across the configured
+        // fork-join pool when parallelism is requested.
+        let kernel = ScanKernel::new(*query, ScanMode::Aggregate);
+        let out = scan_view_with(
+            &kernel,
+            view.buffer(),
+            |raw| self.column.wrap_view_page(raw),
+            self.parallelism,
+        );
+        IndexAnswer {
+            count: out.result.count,
+            sum: out.result.sum,
+            pages_scanned: out.scanned_pages,
         }
-        answer
     }
 
     fn apply_writes(&mut self, writes: &[(usize, u64)]) {

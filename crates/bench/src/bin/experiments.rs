@@ -1,14 +1,20 @@
 //! Regenerates the paper's tables and figures as text tables and CSV files.
 //!
 //! ```text
-//! experiments [fig3|fig4|fig5|fig6|fig7|table1|ablation|all]
+//! experiments [fig3|fig4|fig5|fig6|fig7|table1|ablation|scaling|all]
 //!             [--backend sim|mmap] [--scale tiny|small|medium|paper]
-//!             [--seed N] [--csv-dir DIR]
+//!             [--seed N] [--csv-dir DIR] [--threads N]
 //! ```
 //!
 //! The backend defaults to real memory rewiring (`mmap`) on Linux and to
 //! the portable simulation (`sim`) everywhere else; `--backend` overrides
 //! the choice at runtime.
+//!
+//! `--threads N` shards the scan path of every figure driver across `N`
+//! fork-join workers (`--threads 0` sizes the pool by the available
+//! hardware parallelism). The default is 1: sequential scans, bit-identical
+//! to the pre-parallel harness. The `scaling` experiment ignores the flag
+//! and sweeps its own thread counts.
 //!
 //! Results are printed to stdout; with `--csv-dir` the per-figure series are
 //! additionally written as CSV files (one per figure), which is what
@@ -16,7 +22,10 @@
 
 use std::process::ExitCode;
 
-use asv_bench::{ablation, fig3, fig4, fig5, fig6, fig7, report, table1, Scale, DEFAULT_SEED};
+use asv_bench::{
+    ablation, fig3, fig4, fig5, fig6, fig7, report, scaling, table1, Scale, DEFAULT_SEED,
+};
+use asv_core::Parallelism;
 use asv_vmem::{AnyBackend, Backend};
 
 struct Args {
@@ -25,6 +34,7 @@ struct Args {
     scale: Scale,
     seed: u64,
     csv_dir: Option<String>,
+    parallelism: Parallelism,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -33,6 +43,7 @@ fn parse_args() -> Result<Args, String> {
     let mut scale = Scale::default();
     let mut seed = DEFAULT_SEED;
     let mut csv_dir = None;
+    let mut parallelism = Parallelism::Sequential;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -57,11 +68,18 @@ fn parse_args() -> Result<Args, String> {
             "--csv-dir" => {
                 csv_dir = Some(args.next().ok_or("--csv-dir needs a value")?);
             }
+            "--threads" => {
+                let v = args.next().ok_or("--threads needs a value")?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| format!("invalid thread count '{v}'"))?;
+                parallelism = Parallelism::from_threads(n);
+            }
             "--help" | "-h" => {
                 return Err(
-                    "usage: experiments [fig3|fig4|fig5|fig6|fig7|table1|ablation|all] \
+                    "usage: experiments [fig3|fig4|fig5|fig6|fig7|table1|ablation|scaling|all] \
                             [--backend sim|mmap] [--scale tiny|small|medium|paper] \
-                            [--seed N] [--csv-dir DIR]"
+                            [--seed N] [--csv-dir DIR] [--threads N]"
                         .to_string(),
                 );
             }
@@ -78,6 +96,7 @@ fn parse_args() -> Result<Args, String> {
         scale,
         seed,
         csv_dir,
+        parallelism,
     })
 }
 
@@ -106,15 +125,24 @@ fn maybe_write_csv(csv_dir: &Option<String>, name: &str, table: &report::Table) 
 }
 
 fn run_fig3(args: &Args) {
-    let rows = with_concrete_backend!(&args.backend, |b| fig3::run(b, &args.scale, args.seed));
+    let rows = with_concrete_backend!(&args.backend, |b| fig3::run_with(
+        b,
+        &args.scale,
+        args.seed,
+        args.parallelism
+    ));
     let table = fig3::to_table(&rows);
     println!("{}", table.render());
     maybe_write_csv(&args.csv_dir, "fig3", &table);
 }
 
 fn run_fig4(args: &Args) {
-    let results =
-        with_concrete_backend!(&args.backend, |b| fig4::run_all(b, &args.scale, args.seed));
+    let results = with_concrete_backend!(&args.backend, |b| fig4::run_all_with(
+        b,
+        &args.scale,
+        args.seed,
+        args.parallelism
+    ));
     for r in &results {
         let table = fig4::to_table(r);
         println!("{}", table.render());
@@ -124,8 +152,12 @@ fn run_fig4(args: &Args) {
 }
 
 fn run_fig5(args: &Args) {
-    let results =
-        with_concrete_backend!(&args.backend, |b| fig5::run_all(b, &args.scale, args.seed));
+    let results = with_concrete_backend!(&args.backend, |b| fig5::run_all_with(
+        b,
+        &args.scale,
+        args.seed,
+        args.parallelism
+    ));
     for r in &results {
         let table = fig5::to_table(r);
         println!("{}", table.render());
@@ -139,31 +171,58 @@ fn run_fig5(args: &Args) {
 }
 
 fn run_fig6(args: &Args) {
-    let rows = with_concrete_backend!(&args.backend, |b| fig6::run(b, &args.scale, args.seed));
+    let rows = with_concrete_backend!(&args.backend, |b| fig6::run_with(
+        b,
+        &args.scale,
+        args.seed,
+        args.parallelism
+    ));
     let table = fig6::to_table(&rows);
     println!("{}", table.render());
     maybe_write_csv(&args.csv_dir, "fig6", &table);
 }
 
 fn run_fig7(args: &Args) {
-    let rows = with_concrete_backend!(&args.backend, |b| fig7::run_all(b, &args.scale, args.seed));
+    let rows = with_concrete_backend!(&args.backend, |b| fig7::run_all_with(
+        b,
+        &args.scale,
+        args.seed,
+        args.parallelism
+    ));
     let table = fig7::to_table(&rows);
     println!("{}", table.render());
     maybe_write_csv(&args.csv_dir, "fig7", &table);
 }
 
 fn run_ablation(args: &Args) {
-    let rows = with_concrete_backend!(&args.backend, |b| ablation::run(b, &args.scale, args.seed));
+    let rows = with_concrete_backend!(&args.backend, |b| ablation::run_with(
+        b,
+        &args.scale,
+        args.seed,
+        args.parallelism
+    ));
     let table = ablation::to_table(&rows);
     println!("{}", table.render());
     maybe_write_csv(&args.csv_dir, "ablation", &table);
 }
 
 fn run_table1(args: &Args) {
-    let entries = with_concrete_backend!(&args.backend, |b| table1::run(b, &args.scale, args.seed));
+    let entries = with_concrete_backend!(&args.backend, |b| table1::run_with(
+        b,
+        &args.scale,
+        args.seed,
+        args.parallelism
+    ));
     let table = table1::to_table(&entries);
     println!("{}", table.render());
     maybe_write_csv(&args.csv_dir, "table1", &table);
+}
+
+fn run_scaling(args: &Args) {
+    let rows = with_concrete_backend!(&args.backend, |b| scaling::run(b, &args.scale, args.seed));
+    let table = scaling::to_table(&rows);
+    println!("{}", table.render());
+    maybe_write_csv(&args.csv_dir, "scaling", &table);
 }
 
 fn main() -> ExitCode {
@@ -175,10 +234,11 @@ fn main() -> ExitCode {
         }
     };
     println!(
-        "# adaptive-storage-views experiments (backend: {}, scale: {}, seed: {})",
+        "# adaptive-storage-views experiments (backend: {}, scale: {}, seed: {}, threads: {})",
         args.backend.name(),
         args.scale.name,
-        args.seed
+        args.seed,
+        args.parallelism
     );
     println!(
         "# column sizes: fig3 {} pages, fig4/5 {} pages, fig6 {} pages, fig7 {} pages\n",
@@ -193,6 +253,7 @@ fn main() -> ExitCode {
             "fig7" => run_fig7(&args),
             "table1" => run_table1(&args),
             "ablation" => run_ablation(&args),
+            "scaling" => run_scaling(&args),
             "all" => {
                 run_fig3(&args);
                 run_fig4(&args);
@@ -201,6 +262,7 @@ fn main() -> ExitCode {
                 run_fig7(&args);
                 run_table1(&args);
                 run_ablation(&args);
+                run_scaling(&args);
             }
             other => {
                 eprintln!("unknown experiment '{other}'");

@@ -10,7 +10,9 @@
 //! views from scratch is reported as the comparison point, together with
 //! the number of physical pages added/removed during alignment.
 
-use asv_core::{align_views_after_updates, build_view_for_range, CreationOptions, ViewSet};
+use asv_core::{
+    align_views_after_updates, build_view_for_range_with, CreationOptions, Parallelism, ViewSet,
+};
 use asv_storage::Column;
 use asv_util::{Timer, ValueRange};
 use asv_vmem::Backend;
@@ -61,11 +63,16 @@ pub fn draw_view_ranges(seed: u64) -> Vec<ValueRange> {
         .collect()
 }
 
-fn setup_views<B: Backend>(column: &Column<B>, ranges: &[ValueRange]) -> ViewSet<B> {
+fn setup_views<B: Backend>(
+    column: &Column<B>,
+    ranges: &[ValueRange],
+    parallelism: Parallelism,
+) -> ViewSet<B> {
     let mut views = ViewSet::new(ranges.len());
     for range in ranges {
         let (buffer, _) =
-            build_view_for_range(column, range, &CreationOptions::ALL).expect("view creation");
+            build_view_for_range_with(column, range, &CreationOptions::ALL, parallelism)
+                .expect("view creation");
         views.insert_unchecked(*range, buffer);
     }
     views
@@ -78,6 +85,19 @@ pub fn run_distribution<B: Backend>(
     scale: &Scale,
     seed: u64,
 ) -> Vec<Fig7Row> {
+    run_distribution_with(backend, dist, scale, seed, Parallelism::Sequential)
+}
+
+/// [`run_distribution`] with an explicit scan parallelism (applied to the
+/// source scans of view creation and rebuild; the alignment algorithm
+/// itself is mapping-bound and stays single-threaded).
+pub fn run_distribution_with<B: Backend>(
+    backend: &B,
+    dist: &Distribution,
+    scale: &Scale,
+    seed: u64,
+    parallelism: Parallelism,
+) -> Vec<Fig7Row> {
     let values = dist.generate_pages(scale.fig7_pages, seed);
     let ranges = draw_view_ranges(seed ^ 0xF167);
     let mut rows = Vec::new();
@@ -85,7 +105,7 @@ pub fn run_distribution<B: Backend>(
         // Fresh column and fresh views per batch size so measurements are
         // independent of previous batches.
         let mut column = Column::from_values(backend.clone(), &values).expect("column");
-        let mut views = setup_views(&column, &ranges);
+        let mut views = setup_views(&column, &ranges, parallelism);
         let indexed_pages_before: usize = views.partial_views().iter().map(|v| v.num_pages()).sum();
 
         let writes = UpdateWorkload::new(seed ^ batch_size as u64).uniform_writes(
@@ -99,7 +119,7 @@ pub fn run_distribution<B: Backend>(
 
         // Rebuild-from-scratch comparison, measured on the updated column.
         let rebuild_timer = Timer::start();
-        let rebuilt = setup_views(&column, &ranges);
+        let rebuilt = setup_views(&column, &ranges, parallelism);
         let rebuild_ms = rebuild_timer.elapsed_ms();
         drop(rebuilt);
 
@@ -120,6 +140,16 @@ pub fn run_distribution<B: Backend>(
 /// Runs Figure 7 for both distributions (7a uniform, 7b sine), over the
 /// full `[0, 2^64 - 1]` domain as in the paper.
 pub fn run_all<B: Backend>(backend: &B, scale: &Scale, seed: u64) -> Vec<Fig7Row> {
+    run_all_with(backend, scale, seed, Parallelism::Sequential)
+}
+
+/// [`run_all`] with an explicit scan parallelism.
+pub fn run_all_with<B: Backend>(
+    backend: &B,
+    scale: &Scale,
+    seed: u64,
+    parallelism: Parallelism,
+) -> Vec<Fig7Row> {
     let uniform = Distribution::Uniform {
         max_value: u64::MAX,
     };
@@ -127,8 +157,14 @@ pub fn run_all<B: Backend>(backend: &B, scale: &Scale, seed: u64) -> Vec<Fig7Row
         max_value: u64::MAX,
         period_pages: 100,
     };
-    let mut rows = run_distribution(backend, &uniform, scale, seed);
-    rows.extend(run_distribution(backend, &sine, scale, seed));
+    let mut rows = run_distribution_with(backend, &uniform, scale, seed, parallelism);
+    rows.extend(run_distribution_with(
+        backend,
+        &sine,
+        scale,
+        seed,
+        parallelism,
+    ));
     rows
 }
 

@@ -13,6 +13,7 @@
 //! | [`fig6`] | Figure 6 — impact of view-creation optimizations |
 //! | [`fig7`] | Figure 7 — update performance |
 //! | [`table1`] | Table 1 — accumulated response times |
+//! | [`scaling`] | Multicore scaling of the scan path (beyond the paper) |
 
 pub mod ablation;
 pub mod fig3;
@@ -22,6 +23,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod report;
 pub mod scale;
+pub mod scaling;
 pub mod table1;
 
 pub use report::{write_csv, Table};

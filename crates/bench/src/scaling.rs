@@ -1,0 +1,208 @@
+//! Multicore scaling of the scan path (new experiment, beyond the paper).
+//!
+//! The paper's evaluation is single-threaded; this experiment demonstrates
+//! how the parallel execution layer scales range scans across cores. For
+//! each thread count in [`THREAD_COUNTS`] it runs, on the sine distribution
+//! of the Figure 4 setup:
+//!
+//! * **full-scan** — every query of the sweep answered by a sharded scan of
+//!   the full view (no views, no adaptivity): pure scan throughput;
+//! * **adaptive** — the adaptive layer with `parallelism = Threads(n)`,
+//!   views created and routed exactly as in Figure 4.
+//!
+//! Every configuration is validated against the single-threaded answers
+//! (identical counts and sums), and the adaptive runs are additionally
+//! checked to make the *same* view insert/discard decisions as the
+//! sequential run — parallelism is an execution detail, not a semantic one.
+
+use asv_core::{AdaptiveColumn, AdaptiveConfig, Parallelism, RangeQuery};
+use asv_storage::{Column, ScanMode};
+use asv_vmem::Backend;
+use asv_workloads::{Distribution, QueryWorkload, SweepSpec};
+
+use crate::report::Table;
+use crate::scale::Scale;
+
+/// The thread counts the scaling sweep measures.
+pub const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// One measured (threads, variant) cell of the scaling experiment.
+#[derive(Clone, Debug)]
+pub struct ScalingRow {
+    /// Worker threads used for the scan path.
+    pub threads: usize,
+    /// Variant name (`full-scan` or `adaptive`).
+    pub variant: &'static str,
+    /// Accumulated response time over the query sweep, in seconds.
+    pub total_s: f64,
+    /// Speedup over the 1-thread run of the same variant.
+    pub speedup: f64,
+    /// Queries answered.
+    pub queries: usize,
+    /// Partial views existing after the sweep (adaptive variant only).
+    pub final_views: usize,
+}
+
+/// A view-set fingerprint: (range low, range high, pages) per partial view.
+fn view_fingerprint<B: Backend>(col: &AdaptiveColumn<B>) -> Vec<(u64, u64, usize)> {
+    col.views()
+        .partial_views()
+        .iter()
+        .map(|v| (v.range().low(), v.range().high(), v.num_pages()))
+        .collect()
+}
+
+/// Runs the scaling sweep on `backend`.
+pub fn run<B: Backend>(backend: &B, scale: &Scale, seed: u64) -> Vec<ScalingRow> {
+    let dist = Distribution::sine();
+    let values = dist.generate_pages(scale.fig45_pages, seed);
+    let spec = SweepSpec {
+        num_queries: scale.num_queries,
+        ..SweepSpec::default()
+    };
+    let queries: Vec<RangeQuery> = QueryWorkload::new(seed ^ 0x5CA1E)
+        .selectivity_sweep(&spec)
+        .into_iter()
+        .map(RangeQuery::from_range)
+        .collect();
+
+    let column = Column::from_values(backend.clone(), &values).expect("column");
+
+    // Reference answers and the sequential adaptive run's view decisions.
+    let reference: Vec<(u64, u128)> = queries
+        .iter()
+        .map(|q| {
+            let out =
+                column.full_scan_with(q.range(), ScanMode::Aggregate, Parallelism::Sequential);
+            (out.result.count, out.result.sum)
+        })
+        .collect();
+    let sequential_views = {
+        let config = AdaptiveConfig::paper_single_view();
+        let mut col = AdaptiveColumn::from_values(backend.clone(), &values, config)
+            .expect("column materialization");
+        for q in &queries {
+            col.query(q).expect("sequential adaptive query");
+        }
+        view_fingerprint(&col)
+    };
+
+    let mut rows = Vec::new();
+    let mut fullscan_base_s = 0.0f64;
+    let mut adaptive_base_s = 0.0f64;
+    for &threads in &THREAD_COUNTS {
+        let parallelism = Parallelism::from_threads(threads.max(1));
+
+        // Full-scan throughput.
+        let timer = asv_util::Timer::start();
+        for (q, &(count, sum)) in queries.iter().zip(&reference) {
+            let out = column.full_scan_with(q.range(), ScanMode::Aggregate, parallelism);
+            assert_eq!(
+                (out.result.count, out.result.sum),
+                (count, sum),
+                "parallel full scan diverges at {threads} threads"
+            );
+        }
+        let fullscan_s = timer.elapsed().as_secs_f64();
+        if threads == THREAD_COUNTS[0] {
+            fullscan_base_s = fullscan_s;
+        }
+        rows.push(ScalingRow {
+            threads,
+            variant: "full-scan",
+            total_s: fullscan_s,
+            speedup: fullscan_base_s / fullscan_s.max(1e-9),
+            queries: queries.len(),
+            final_views: 0,
+        });
+
+        // Adaptive query sequence.
+        let config = AdaptiveConfig::paper_single_view().with_parallelism(parallelism);
+        let mut col = AdaptiveColumn::from_values(backend.clone(), &values, config)
+            .expect("column materialization");
+        let timer = asv_util::Timer::start();
+        for (q, &(count, sum)) in queries.iter().zip(&reference) {
+            let out = col.query(q).expect("adaptive query");
+            assert_eq!(
+                (out.count, out.sum),
+                (count, sum),
+                "parallel adaptive answer diverges at {threads} threads"
+            );
+        }
+        let adaptive_s = timer.elapsed().as_secs_f64();
+        assert_eq!(
+            view_fingerprint(&col),
+            sequential_views,
+            "parallel adaptive run made different view decisions at {threads} threads"
+        );
+        if threads == THREAD_COUNTS[0] {
+            adaptive_base_s = adaptive_s;
+        }
+        rows.push(ScalingRow {
+            threads,
+            variant: "adaptive",
+            total_s: adaptive_s,
+            speedup: adaptive_base_s / adaptive_s.max(1e-9),
+            queries: queries.len(),
+            final_views: col.views().num_partial_views(),
+        });
+    }
+    rows
+}
+
+/// Renders the scaling rows.
+pub fn to_table(rows: &[ScalingRow]) -> Table {
+    let mut table = Table::new(
+        "Scaling: sharded parallel scans (sine distribution, Figure-4 query sweep)",
+        &[
+            "threads",
+            "variant",
+            "total s",
+            "speedup vs 1T",
+            "queries",
+            "final views",
+        ],
+    );
+    for r in rows {
+        table.add_row(vec![
+            r.threads.to_string(),
+            r.variant.to_string(),
+            format!("{:.3}", r.total_s),
+            format!("{:.2}x", r.speedup),
+            r.queries.to_string(),
+            r.final_views.to_string(),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_scaling_run_is_consistent_across_thread_counts() {
+        let rows = run(&asv_vmem::SimBackend::new(), &Scale::tiny(), 21);
+        assert_eq!(rows.len(), THREAD_COUNTS.len() * 2);
+        for r in &rows {
+            assert!(
+                r.total_s > 0.0,
+                "{}@{} produced no time",
+                r.variant,
+                r.threads
+            );
+            assert!(r.speedup > 0.0);
+            assert_eq!(r.queries, Scale::tiny().num_queries);
+        }
+        // Every adaptive run converges on the same number of views.
+        let adaptive_views: Vec<usize> = rows
+            .iter()
+            .filter(|r| r.variant == "adaptive")
+            .map(|r| r.final_views)
+            .collect();
+        assert!(adaptive_views.windows(2).all(|w| w[0] == w[1]));
+        assert!(adaptive_views[0] >= 1, "clustered data must produce views");
+        let table = to_table(&rows);
+        assert_eq!(table.num_rows(), rows.len());
+    }
+}

@@ -7,8 +7,8 @@
 //! For Figure 3 the reported result cardinalities are additionally checked
 //! against a scalar rescan of the (updated) raw values.
 
-use asv_bench::{ablation, fig3, fig4, fig5, fig6, fig7, table1, Scale};
-use asv_util::ValueRange;
+use asv_bench::{ablation, fig3, fig4, fig5, fig6, fig7, scaling, table1, Scale};
+use asv_util::{Parallelism, ValueRange};
 use asv_vmem::AnyBackend;
 use asv_workloads::{Distribution, UpdateWorkload, DEFAULT_MAX_VALUE};
 
@@ -142,6 +142,53 @@ fn ablation_covers_every_configuration() {
     assert_eq!(rows.len(), ablation::configurations().len());
     for r in &rows {
         assert!(r.total_s > 0.0, "{} produced no measurement", r.label);
+    }
+}
+
+#[test]
+fn scaling_sweep_covers_all_thread_counts() {
+    let rows = scaling::run(&backend(), &Scale::tiny(), SEED);
+    assert_eq!(rows.len(), scaling::THREAD_COUNTS.len() * 2);
+    for r in &rows {
+        assert!(
+            r.total_s > 0.0,
+            "{}@{}T produced no time",
+            r.variant,
+            r.threads
+        );
+    }
+    // The run itself asserts count/sum equality and identical view
+    // decisions across thread counts; here we only check shape.
+    assert!(rows.iter().any(|r| r.variant == "full-scan"));
+    assert!(rows.iter().any(|r| r.variant == "adaptive"));
+}
+
+#[test]
+fn parallel_drivers_agree_with_sequential_drivers() {
+    // Every figure driver must produce the same *results* (counts, view
+    // counts, mapped pages) regardless of the scan parallelism; only the
+    // timings may differ.
+    let scale = Scale::tiny();
+    let threads = Parallelism::Threads(2);
+
+    let seq = fig4::run_all(&backend(), &scale, SEED);
+    let par = fig4::run_all_with(&backend(), &scale, SEED, threads);
+    for (s, p) in seq.iter().zip(&par) {
+        assert_eq!(s.distribution, p.distribution);
+        assert_eq!(s.final_views, p.final_views);
+        let seq_pages: Vec<usize> = s.rows.iter().map(|r| r.scanned_pages).collect();
+        let par_pages: Vec<usize> = p.rows.iter().map(|r| r.scanned_pages).collect();
+        assert_eq!(seq_pages, par_pages, "{}", s.distribution);
+    }
+
+    let seq = fig6::run(&backend(), &scale, SEED);
+    let par = fig6::run_with(&backend(), &scale, SEED, threads);
+    for (s, p) in seq.iter().zip(&par) {
+        assert_eq!(
+            s.mapped_pages, p.mapped_pages,
+            "{}/{}",
+            s.distribution, s.variant
+        );
     }
 }
 

@@ -6,14 +6,15 @@
 //! pages), and — as a side-product — a new candidate partial view covering
 //! (at least) the query range is materialized and offered to the view index.
 
-use asv_storage::{Column, PageScanResult, Update};
-use asv_util::{BitVec, Timer, ValueRange};
+use asv_storage::{Column, ScanKernel, ScanMode, Update};
+use asv_util::{Timer, ValueRange};
 use asv_vmem::{Backend, ViewBuffer, VmemError};
 
 use crate::config::{AdaptiveConfig, RoutingMode};
-use crate::creation::{create_while_scanning, PageSink};
+use crate::creation::create_while_scanning;
+use crate::exec::scan_selected_views;
 use crate::query::{QueryOutcome, RangeQuery, ViewMaintenance};
-use crate::router::{route, RouteSelection, ViewId};
+use crate::router::{route, ViewId};
 use crate::updates::{align_views_after_updates, rebuild_all_views, UpdateAlignmentStats};
 use crate::viewset::ViewSet;
 
@@ -24,15 +25,15 @@ pub struct AdaptiveColumn<B: Backend> {
     config: AdaptiveConfig,
 }
 
-/// Everything the scan loop produces besides the mapped candidate buffer.
-struct ScanOutput {
-    result: PageScanResult,
-    rows: Option<Vec<u64>>,
-    scanned_pages: usize,
-    /// Largest value `< query.low` observed on *non-qualifying* pages.
-    below: Option<u64>,
-    /// Smallest value `> query.high` observed on *non-qualifying* pages.
-    above: Option<u64>,
+/// The [`ScanMode`] a query resolves to.
+fn scan_mode(query: &RangeQuery, collect_rows: bool) -> ScanMode {
+    if collect_rows {
+        ScanMode::CollectRows
+    } else if query.is_count_only() {
+        ScanMode::CountOnly
+    } else {
+        ScanMode::Aggregate
+    }
 }
 
 impl<B: Backend> AdaptiveColumn<B> {
@@ -87,10 +88,19 @@ impl<B: Backend> AdaptiveColumn<B> {
     }
 
     /// Answers `query` with a plain full scan, bypassing all views and all
-    /// adaptivity — the baseline of the paper's evaluation (§3.2).
+    /// adaptivity — the baseline of the paper's evaluation (§3.2). The scan
+    /// honours the configured [`asv_util::Parallelism`] by sharding the full
+    /// view's page range across the fork-join pool.
     pub fn full_scan(&self, query: &RangeQuery) -> QueryOutcome {
         let timer = Timer::start();
-        let result = self.column.full_scan(query.range());
+        let result = self
+            .column
+            .full_scan_with(
+                query.range(),
+                scan_mode(query, false),
+                self.config.parallelism,
+            )
+            .result;
         QueryOutcome {
             count: result.count,
             sum: result.sum,
@@ -144,14 +154,16 @@ impl<B: Backend> AdaptiveColumn<B> {
 
         let column = &self.column;
         let views = &self.views;
+        let kernel = ScanKernel::new(*query.range(), scan_mode(query, collect_rows));
+        let parallelism = self.config.parallelism;
 
         let (candidate, scan) = if create_candidate {
             let (buffer, scan) = create_while_scanning(column, &self.config.creation, |sink| {
-                scan_selected_views(column, views, &selection, query, collect_rows, Some(sink))
+                scan_selected_views(column, views, &selection, &kernel, parallelism, Some(sink))
             })?;
             (Some(buffer), scan)
         } else {
-            let scan = scan_selected_views(column, views, &selection, query, collect_rows, None)?;
+            let scan = scan_selected_views(column, views, &selection, &kernel, parallelism, None)?;
             (None, scan)
         };
 
@@ -201,78 +213,6 @@ fn widen_candidate_range(
         .intersect(source_covered)
         .unwrap_or(*query)
         .hull(query)
-}
-
-/// Scans the selected views, answering the query and feeding qualifying
-/// pages to the candidate sink (if any). Shared physical pages are
-/// processed at most once, tracked by a bitvector over all physical pages
-/// (paper §2.1).
-fn scan_selected_views<B: Backend>(
-    column: &Column<B>,
-    views: &ViewSet<B>,
-    selection: &RouteSelection,
-    query: &RangeQuery,
-    collect_rows: bool,
-    mut sink: Option<&mut PageSink<'_, B>>,
-) -> Result<ScanOutput, VmemError> {
-    let num_pages = column.num_pages();
-    let mut processed = BitVec::new(num_pages);
-    let mut out = ScanOutput {
-        result: PageScanResult::default(),
-        rows: collect_rows.then(Vec::new),
-        scanned_pages: 0,
-        below: None,
-        above: None,
-    };
-    let range = query.range();
-
-    let mut scan_raw_page = |raw: &[u64], out: &mut ScanOutput| -> Result<(), VmemError> {
-        let page_id = raw[0] as usize;
-        debug_assert!(page_id < num_pages, "corrupt embedded pageID {page_id}");
-        if processed.test_and_set(page_id) {
-            return Ok(());
-        }
-        out.scanned_pages += 1;
-        let page = column.wrap_view_page(raw);
-        let res = match out.rows.as_mut() {
-            Some(rows) => page.scan_filter_collect(range, rows),
-            None => page.scan_filter(range),
-        };
-        if res.count > 0 {
-            out.result.count += res.count;
-            out.result.sum += res.sum;
-            if let Some(sink) = sink.as_deref_mut() {
-                sink.add_page(page_id as u64)?;
-            }
-        } else {
-            if let Some(b) = res.below_max {
-                out.below = Some(out.below.map_or(b, |cur| cur.max(b)));
-            }
-            if let Some(a) = res.above_min {
-                out.above = Some(out.above.map_or(a, |cur| cur.min(a)));
-            }
-        }
-        Ok(())
-    };
-
-    for view_id in &selection.views {
-        match view_id {
-            ViewId::Full => {
-                for raw in column.full_view().iter_pages() {
-                    scan_raw_page(raw, &mut out)?;
-                }
-            }
-            ViewId::Partial(idx) => {
-                let view = views
-                    .partial_view(*idx)
-                    .expect("router returned a valid partial-view index");
-                for raw in view.buffer().iter_pages() {
-                    scan_raw_page(raw, &mut out)?;
-                }
-            }
-        }
-    }
-    Ok(out)
 }
 
 #[cfg(test)]
@@ -339,40 +279,87 @@ mod tests {
         assert!(out.scanned_pages <= 5);
     }
 
-    #[test]
-    fn adaptive_answers_match_full_scans_over_a_query_sequence() {
+    /// Runs a query sequence on `backend`, asserting every adaptive answer
+    /// against the full-scan baseline. Shared by the sim and mmap arms of
+    /// the cross-backend test below (and by its parallel variant), replacing
+    /// the previously copy-pasted per-backend loops.
+    fn check_adaptive_matches_full_scans<B: Backend>(
+        make_backend: impl Fn() -> B,
+        label: &str,
+        parallelism: asv_util::Parallelism,
+    ) {
         let values = clustered_values(64);
-        for backend_mode in ["sim", "mmap"] {
-            let mut config = AdaptiveConfig::default().with_max_views(16);
-            config.creation = CreationOptions::ALL;
-            // Exercise both routing modes.
-            for routing in [RoutingMode::SingleView, RoutingMode::MultiView] {
-                config.routing = routing;
-                let queries: Vec<RangeQuery> = (0..20)
-                    .map(|i| {
-                        let lo = (i * 2_900) as u64;
-                        RangeQuery::new(lo, lo + 4_000)
-                    })
-                    .collect();
-                if backend_mode == "sim" {
-                    let mut col = adaptive(SimBackend::new(), &values, config);
-                    for q in &queries {
-                        let out = col.query(q).unwrap();
-                        let base = col.full_scan(q);
-                        assert_eq!(out.count, base.count, "{backend_mode}/{routing:?}");
-                        assert_eq!(out.sum, base.sum, "{backend_mode}/{routing:?}");
-                    }
-                } else {
-                    let mut col = adaptive(MmapBackend::new(), &values, config);
-                    for q in &queries {
-                        let out = col.query(q).unwrap();
-                        let base = col.full_scan(q);
-                        assert_eq!(out.count, base.count, "{backend_mode}/{routing:?}");
-                        assert_eq!(out.sum, base.sum, "{backend_mode}/{routing:?}");
-                    }
-                }
+        let mut config = AdaptiveConfig::default()
+            .with_max_views(16)
+            .with_parallelism(parallelism);
+        config.creation = CreationOptions::ALL;
+        // Exercise both routing modes.
+        for routing in [RoutingMode::SingleView, RoutingMode::MultiView] {
+            config.routing = routing;
+            let queries: Vec<RangeQuery> = (0..20)
+                .map(|i| {
+                    let lo = (i * 2_900) as u64;
+                    RangeQuery::new(lo, lo + 4_000)
+                })
+                .collect();
+            let mut col = adaptive(make_backend(), &values, config);
+            for q in &queries {
+                let out = col.query(q).unwrap();
+                let base = col.full_scan(q);
+                assert_eq!(out.count, base.count, "{label}/{routing:?}");
+                assert_eq!(out.sum, base.sum, "{label}/{routing:?}");
             }
         }
+    }
+
+    #[test]
+    fn adaptive_answers_match_full_scans_over_a_query_sequence() {
+        check_adaptive_matches_full_scans(
+            SimBackend::new,
+            "sim",
+            asv_util::Parallelism::Sequential,
+        );
+        check_adaptive_matches_full_scans(
+            MmapBackend::new,
+            "mmap",
+            asv_util::Parallelism::Sequential,
+        );
+    }
+
+    #[test]
+    fn adaptive_answers_match_full_scans_with_parallel_scans() {
+        check_adaptive_matches_full_scans(
+            SimBackend::new,
+            "sim-par",
+            asv_util::Parallelism::Threads(4),
+        );
+        check_adaptive_matches_full_scans(
+            MmapBackend::new,
+            "mmap-par",
+            asv_util::Parallelism::Threads(4),
+        );
+    }
+
+    #[test]
+    fn count_only_queries_skip_the_checksum_but_count_correctly() {
+        let values = clustered_values(32);
+        let mut col = adaptive(SimBackend::new(), &values, AdaptiveConfig::default());
+        let q = RangeQuery::new(5_000, 9_400).count_only();
+        let out = col.query(&q).unwrap();
+        let (count, _) = reference_answer(&values, q.range());
+        assert_eq!(out.count, count);
+        assert_eq!(out.sum, 0, "count-only answers carry no checksum");
+        // Adaptive maintenance is unaffected: the candidate view still gets
+        // created with the same widened range as a full query would build.
+        assert_eq!(out.view_maintenance, ViewMaintenance::Inserted);
+        assert_eq!(col.views().num_partial_views(), 1);
+        let view = col.views().partial_view(0).unwrap();
+        assert_eq!(view.num_pages(), 5);
+        assert!(view.range().covers(q.range()));
+        // The count-only full-scan baseline agrees.
+        let base = col.full_scan(&q);
+        assert_eq!(base.count, count);
+        assert_eq!(base.sum, 0);
     }
 
     #[test]

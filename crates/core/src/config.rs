@@ -1,5 +1,7 @@
 //! Configuration of the adaptive storage layer.
 
+use asv_util::Parallelism;
+
 /// How queries are routed to views (paper §2.1).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum RoutingMode {
@@ -77,6 +79,11 @@ pub struct AdaptiveConfig {
     pub adaptive_creation: bool,
     /// View-creation optimizations.
     pub creation: CreationOptions,
+    /// Degree of parallelism of the scan path (queries and the full-scan
+    /// baseline). Defaults to [`Parallelism::Sequential`], which keeps every
+    /// result bit-identical to the single-threaded code path; `Threads(n)` /
+    /// `Auto` shard scans fork-join style across worker threads.
+    pub parallelism: Parallelism,
 }
 
 impl Default for AdaptiveConfig {
@@ -88,6 +95,7 @@ impl Default for AdaptiveConfig {
             replacement_tolerance: 0,
             adaptive_creation: true,
             creation: CreationOptions::default(),
+            parallelism: Parallelism::Sequential,
         }
     }
 }
@@ -145,6 +153,12 @@ impl AdaptiveConfig {
         self.adaptive_creation = enabled;
         self
     }
+
+    /// Builder-style setter for the scan parallelism.
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -160,6 +174,7 @@ mod tests {
         assert_eq!(c.replacement_tolerance, 0);
         assert!(c.adaptive_creation);
         assert_eq!(c.creation, CreationOptions::ALL);
+        assert_eq!(c.parallelism, Parallelism::Sequential);
     }
 
     #[test]
@@ -170,13 +185,15 @@ mod tests {
             .with_discard_tolerance(3)
             .with_replacement_tolerance(5)
             .with_creation(CreationOptions::NONE)
-            .with_adaptive_creation(false);
+            .with_adaptive_creation(false)
+            .with_parallelism(Parallelism::Threads(4));
         assert_eq!(c.routing, RoutingMode::MultiView);
         assert_eq!(c.max_views, 20);
         assert_eq!(c.discard_tolerance, 3);
         assert_eq!(c.replacement_tolerance, 5);
         assert_eq!(c.creation, CreationOptions::NONE);
         assert!(!c.adaptive_creation);
+        assert_eq!(c.parallelism, Parallelism::Threads(4));
     }
 
     #[test]

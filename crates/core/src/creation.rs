@@ -16,7 +16,7 @@
 use std::sync::mpsc::{channel, Receiver, Sender};
 
 use asv_storage::Column;
-use asv_util::{Run, RunBuilder};
+use asv_util::{split_ranges, Parallelism, Run, RunBuilder, ThreadPool};
 use asv_vmem::{Backend, MapRequest, VmemError};
 
 use crate::config::CreationOptions;
@@ -198,16 +198,67 @@ pub fn build_view_for_range<B: Backend>(
     range: &asv_util::ValueRange,
     options: &CreationOptions,
 ) -> Result<(B::View, usize), VmemError> {
-    let (view, pages) = create_while_scanning(column, options, |sink| {
-        let mut qualifying = 0usize;
-        for page_idx in 0..column.num_pages() {
-            let page = column.page_ref(page_idx);
-            if page.values().iter().any(|v| range.contains(*v)) {
-                sink.add_page(page_idx as u64)?;
-                qualifying += 1;
+    build_view_for_range_with(column, range, options, Parallelism::Sequential)
+}
+
+/// Like [`build_view_for_range`], but with the qualifying-page detection
+/// scan sharded across a fork-join pool.
+///
+/// With [`Parallelism::Sequential`] the behaviour (and mapping order) is
+/// identical to [`build_view_for_range`]. With more than one worker, the
+/// physical page range is split into balanced shards whose qualifying page
+/// ids are detected concurrently and then fed to the sink in ascending page
+/// order — the resulting view maps exactly the same pages.
+pub fn build_view_for_range_with<B: Backend>(
+    column: &Column<B>,
+    range: &asv_util::ValueRange,
+    options: &CreationOptions,
+    parallelism: Parallelism,
+) -> Result<(B::View, usize), VmemError> {
+    let pool = ThreadPool::new(parallelism);
+    let qualifies = |page_idx: usize| {
+        column
+            .page_ref(page_idx)
+            .values()
+            .iter()
+            .any(|v| range.contains(*v))
+    };
+    let detected: Option<Vec<u64>> = if pool.workers() > 1 && column.num_pages() >= 2 {
+        let per_shard = pool.scoped_map(
+            split_ranges(column.num_pages(), pool.workers())
+                .into_iter()
+                .map(|pages| {
+                    let qualifies = &qualifies;
+                    move || {
+                        pages
+                            .filter(|&p| qualifies(p))
+                            .map(|p| p as u64)
+                            .collect::<Vec<u64>>()
+                    }
+                })
+                .collect(),
+        );
+        Some(per_shard.concat())
+    } else {
+        None
+    };
+    let (view, pages) = create_while_scanning(column, options, |sink| match detected {
+        Some(pages) => {
+            for &page_id in &pages {
+                sink.add_page(page_id)?;
             }
+            Ok(pages.len())
         }
-        Ok(qualifying)
+        None => {
+            let mut qualifying = 0usize;
+            for page_idx in 0..column.num_pages() {
+                if qualifies(page_idx) {
+                    sink.add_page(page_idx as u64)?;
+                    qualifying += 1;
+                }
+            }
+            Ok(qualifying)
+        }
     })?;
     Ok((view, pages))
 }
@@ -283,6 +334,33 @@ mod tests {
         })
         .unwrap();
         assert_eq!(view_page_ids(&column, &view), vec![2, 3, 10]);
+    }
+
+    #[test]
+    fn parallel_detection_builds_the_same_view() {
+        let column = clustered_column(SimBackend::new(), 32);
+        let range = ValueRange::new(4000, 9500);
+        let (seq_view, seq_pages) = build_view_for_range_with(
+            &column,
+            &range,
+            &CreationOptions::ALL,
+            Parallelism::Sequential,
+        )
+        .unwrap();
+        for threads in [2usize, 4] {
+            let (par_view, par_pages) = build_view_for_range_with(
+                &column,
+                &range,
+                &CreationOptions::ALL,
+                Parallelism::Threads(threads),
+            )
+            .unwrap();
+            assert_eq!(par_pages, seq_pages);
+            assert_eq!(
+                view_page_ids(&column, &par_view),
+                view_page_ids(&column, &seq_view)
+            );
+        }
     }
 
     #[test]

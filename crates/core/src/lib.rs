@@ -24,6 +24,7 @@
 pub mod adaptive;
 pub mod config;
 pub mod creation;
+pub mod exec;
 pub mod query;
 pub mod router;
 pub mod stats;
@@ -34,7 +35,10 @@ pub mod viewset;
 
 pub use adaptive::AdaptiveColumn;
 pub use config::{AdaptiveConfig, CreationOptions, RoutingMode};
-pub use creation::{build_view_for_range, create_while_scanning};
+// Re-exported so downstream crates can configure the parallel execution
+// layer without depending on asv-util directly.
+pub use asv_util::{Parallelism, ThreadPool};
+pub use creation::{build_view_for_range, build_view_for_range_with, create_while_scanning};
 pub use query::{QueryOutcome, RangeQuery, ViewMaintenance};
 pub use router::{route, RouteSelection, ViewId};
 pub use stats::{QueryRecord, SequenceStats};

@@ -9,10 +9,14 @@ use crate::router::ViewId;
 /// A range-selection query `SELECT ... WHERE value BETWEEN l AND u`.
 ///
 /// This is the query shape the paper's evaluation fires against the
-/// adaptive storage layer (both bounds inclusive).
+/// adaptive storage layer (both bounds inclusive). A query may additionally
+/// be marked *count-only* ([`Self::count_only`]): the scan then skips the
+/// checksum accumulation entirely (the `COUNT(*)` fast path) while view
+/// routing and adaptive maintenance behave exactly as for a full query.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct RangeQuery {
     range: ValueRange,
+    count_only: bool,
 }
 
 impl RangeQuery {
@@ -23,12 +27,32 @@ impl RangeQuery {
     pub fn new(low: u64, high: u64) -> Self {
         Self {
             range: ValueRange::new(low, high),
+            count_only: false,
         }
     }
 
     /// Creates a query from an existing [`ValueRange`].
     pub fn from_range(range: ValueRange) -> Self {
-        Self { range }
+        Self {
+            range,
+            count_only: false,
+        }
+    }
+
+    /// Marks this query as count-only: the answer's `sum` stays 0 and the
+    /// per-value checksum accumulation is skipped on the scan hot path.
+    ///
+    /// Row collection takes precedence: when such a query is answered via
+    /// `AdaptiveColumn::query_collect`, the rows (and the checksum, which
+    /// is a by-product of the collecting scan) are produced as usual.
+    pub fn count_only(mut self) -> Self {
+        self.count_only = true;
+        self
+    }
+
+    /// Returns `true` if this query only needs the qualifying-value count.
+    pub fn is_count_only(&self) -> bool {
+        self.count_only
     }
 
     /// The selected value range.
@@ -49,7 +73,7 @@ impl RangeQuery {
 
 impl From<ValueRange> for RangeQuery {
     fn from(range: ValueRange) -> Self {
-        Self { range }
+        Self::from_range(range)
     }
 }
 
@@ -65,7 +89,9 @@ pub struct QueryOutcome {
     /// Number of qualifying values.
     pub count: u64,
     /// Sum of qualifying values (checksum used to validate equivalence with
-    /// the full-scan baseline).
+    /// the full-scan baseline). Stays 0 for count-only queries — which skip
+    /// the checksum accumulation on the hot path — unless row collection
+    /// was requested, which computes the checksum as a by-product.
     pub sum: u128,
     /// Qualifying row ids, if collection was requested.
     pub rows: Option<Vec<u64>>,
@@ -139,6 +165,11 @@ mod tests {
         let q2: RangeQuery = ValueRange::new(10, 20).into();
         assert_eq!(q, q2);
         assert_eq!(q, RangeQuery::from_range(ValueRange::new(10, 20)));
+        assert!(!q.is_count_only());
+        let c = q.count_only();
+        assert!(c.is_count_only());
+        assert_eq!(c.range(), q.range());
+        assert_ne!(c, q);
     }
 
     #[test]

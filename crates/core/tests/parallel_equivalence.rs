@@ -1,0 +1,174 @@
+//! Property test: parallel and sequential scans are semantically identical.
+//!
+//! Seeded-RNG property loops (the workspace's offline replacement for
+//! proptest) assert that for random clustered columns and random query
+//! sequences, `count`, `sum`, and the *sorted* collected row ids are
+//! identical across `Parallelism::Sequential` and `Threads(1..=4)`, on both
+//! backends, in both routing modes — including multi-view selections whose
+//! views share physical pages. The adaptive view decisions (insert /
+//! replace / discard, per-view range and page count) must also be
+//! independent of the degree of parallelism.
+
+use asv_core::{AdaptiveColumn, AdaptiveConfig, Parallelism, RangeQuery, RoutingMode};
+use asv_vmem::{Backend, SimBackend, VALUES_PER_PAGE};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const PAGES: usize = 48;
+const QUERIES_PER_CASE: usize = 14;
+
+/// Clustered data with a seeded jitter: page `p` holds values around
+/// `p * 1000`, so value ranges map to page ranges and overlapping queries
+/// produce partial views with shared boundary pages.
+fn random_values(rng: &mut StdRng) -> Vec<u64> {
+    (0..PAGES * VALUES_PER_PAGE)
+        .map(|i| {
+            let page = (i / VALUES_PER_PAGE) as u64;
+            page * 1000 + rng.gen_range(0u64..1500)
+        })
+        .collect()
+}
+
+/// A sequence of random queries with overlapping ranges of varying widths.
+fn random_queries(rng: &mut StdRng) -> Vec<RangeQuery> {
+    let domain_max = PAGES as u64 * 1000 + 1500;
+    (0..QUERIES_PER_CASE)
+        .map(|_| {
+            let lo = rng.gen_range(0..domain_max - 1);
+            let width = rng.gen_range(500..domain_max / 3);
+            RangeQuery::new(lo, (lo + width).min(domain_max))
+        })
+        .collect()
+}
+
+/// The observable outcome of one query sequence: per-query aggregates and
+/// sorted row ids, plus the final view-set fingerprint.
+#[derive(Debug, PartialEq, Eq)]
+struct SequenceOutcome {
+    answers: Vec<(u64, u128, Vec<u64>)>,
+    views: Vec<(u64, u64, usize)>,
+    maintenance: Vec<String>,
+}
+
+fn run_sequence<B: Backend>(
+    backend: B,
+    values: &[u64],
+    queries: &[RangeQuery],
+    routing: RoutingMode,
+    parallelism: Parallelism,
+) -> SequenceOutcome {
+    let config = AdaptiveConfig::default()
+        .with_routing(routing)
+        .with_max_views(8)
+        .with_parallelism(parallelism);
+    let mut col = AdaptiveColumn::from_values(backend, values, config).expect("column");
+    let mut answers = Vec::new();
+    let mut maintenance = Vec::new();
+    for q in queries {
+        let out = col.query_collect(q).expect("query");
+        let mut rows = out.rows.expect("collected rows");
+        rows.sort_unstable();
+        answers.push((out.count, out.sum, rows));
+        maintenance.push(format!("{:?}", out.view_maintenance));
+    }
+    let views = col
+        .views()
+        .partial_views()
+        .iter()
+        .map(|v| (v.range().low(), v.range().high(), v.num_pages()))
+        .collect();
+    SequenceOutcome {
+        answers,
+        views,
+        maintenance,
+    }
+}
+
+fn check_backend<B: Backend>(make_backend: impl Fn() -> B, label: &str) {
+    for case_seed in 0u64..3 {
+        let mut rng = StdRng::seed_from_u64(0xE0_0D + case_seed);
+        let values = random_values(&mut rng);
+        let queries = random_queries(&mut rng);
+        for routing in [RoutingMode::SingleView, RoutingMode::MultiView] {
+            let reference = run_sequence(
+                make_backend(),
+                &values,
+                &queries,
+                routing,
+                Parallelism::Sequential,
+            );
+            // Sanity: the reference must agree with a scalar rescan.
+            for (q, (count, sum, rows)) in queries.iter().zip(&reference.answers) {
+                let expected: Vec<u64> = values
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, v)| q.range().contains(**v))
+                    .map(|(i, _)| i as u64)
+                    .collect();
+                assert_eq!(*count, expected.len() as u64, "{label}/{routing:?}");
+                assert_eq!(
+                    *sum,
+                    expected
+                        .iter()
+                        .map(|&r| values[r as usize] as u128)
+                        .sum::<u128>(),
+                    "{label}/{routing:?}"
+                );
+                assert_eq!(rows, &expected, "{label}/{routing:?}");
+            }
+            // Multi-view mode must actually exercise shared-page selections
+            // at least once across the sequence (the data is clustered and
+            // the queries overlap, so views overlap too).
+            for threads in 1..=4usize {
+                let outcome = run_sequence(
+                    make_backend(),
+                    &values,
+                    &queries,
+                    routing,
+                    Parallelism::Threads(threads),
+                );
+                assert_eq!(
+                    outcome, reference,
+                    "{label}/{routing:?}: Threads({threads}) diverges from Sequential \
+                     (case seed {case_seed})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_matches_sequential_on_sim_backend() {
+    check_backend(SimBackend::new, "sim");
+}
+
+#[cfg(target_os = "linux")]
+#[test]
+fn parallel_matches_sequential_on_mmap_backend() {
+    check_backend(asv_vmem::MmapBackend::new, "mmap");
+}
+
+/// Shared pages between multiple selected views are the trickiest part of
+/// the sharded scan (cross-view dedup); pin one deterministic multi-view
+/// case and check it explicitly at every thread count.
+#[test]
+fn shared_page_multi_view_selection_is_parallel_safe() {
+    let values: Vec<u64> = (0..PAGES * VALUES_PER_PAGE)
+        .map(|i| ((i / VALUES_PER_PAGE) * 1000 + i % VALUES_PER_PAGE) as u64)
+        .collect();
+    let build = |parallelism: Parallelism| {
+        let config = AdaptiveConfig::paper_multi_view(8).with_parallelism(parallelism);
+        let mut col = AdaptiveColumn::from_values(SimBackend::new(), &values, config).unwrap();
+        // Two overlapping views (shared pages around value 11_000), then a
+        // spanning query that must use both without double counting.
+        col.query(&RangeQuery::new(5_000, 12_000)).unwrap();
+        col.query(&RangeQuery::new(11_000, 20_000)).unwrap();
+        let out = col.query(&RangeQuery::new(6_000, 19_000)).unwrap();
+        assert!(out.num_views_used() >= 2, "expected a multi-view selection");
+        (out.count, out.sum, out.scanned_pages)
+    };
+    let reference = build(Parallelism::Sequential);
+    for threads in 1..=4usize {
+        assert_eq!(build(Parallelism::Threads(threads)), reference);
+    }
+}

@@ -5,9 +5,10 @@
 //! `v[-∞,∞]` that maps the entire physical column (paper §2, component (a)
 //! and the default member of component (b)).
 
-use asv_util::ValueRange;
-use asv_vmem::{Backend, MapRequest, PhysicalStore, ViewBuffer, VALUES_PER_PAGE};
+use asv_util::{Parallelism, ValueRange};
+use asv_vmem::{Backend, MapRequest, PhysicalStore, VALUES_PER_PAGE};
 
+use crate::kernel::{scan_view_with, ScanKernel, ScanMode, ScanOutput};
 use crate::page::{PageRef, PageScanResult, PAGE_ID_SLOT};
 use crate::updates::Update;
 
@@ -163,23 +164,36 @@ impl<B: Backend> Column<B> {
     /// Scans the *full view* and filters against `range` — the paper's
     /// full-scan baseline for query answering (§3.2).
     pub fn full_scan(&self, range: &ValueRange) -> PageScanResult {
-        let mut acc = PageScanResult::default();
-        for raw in self.full_view.iter_pages() {
-            let page = self.wrap_view_page(raw);
-            acc.merge(&page.scan_filter(range));
-        }
-        acc
+        self.full_scan_with(range, ScanMode::Aggregate, Parallelism::Sequential)
+            .result
     }
 
     /// Full scan that also collects the qualifying row ids.
     pub fn full_scan_collect(&self, range: &ValueRange) -> (PageScanResult, Vec<u64>) {
-        let mut acc = PageScanResult::default();
-        let mut rows = Vec::new();
-        for raw in self.full_view.iter_pages() {
-            let page = self.wrap_view_page(raw);
-            acc.merge(&page.scan_filter_collect(range, &mut rows));
-        }
-        (acc, rows)
+        let out = self.full_scan_with(range, ScanMode::CollectRows, Parallelism::Sequential);
+        (out.result, out.rows.unwrap_or_default())
+    }
+
+    /// Full scan through the unified page-range [`ScanKernel`], with an
+    /// explicit accumulation mode and degree of parallelism.
+    ///
+    /// With more than one worker, the full view's slot range is split into
+    /// balanced shards, scanned fork-join style on scoped threads, and the
+    /// partial [`ScanOutput`]s are merged in slot order — so the output is
+    /// identical to the sequential scan for every mode.
+    pub fn full_scan_with(
+        &self,
+        range: &ValueRange,
+        mode: ScanMode,
+        parallelism: Parallelism,
+    ) -> ScanOutput {
+        let kernel = ScanKernel::new(*range, mode);
+        scan_view_with(
+            &kernel,
+            &self.full_view,
+            |raw| self.wrap_view_page(raw),
+            parallelism,
+        )
     }
 
     /// Copies all values out of the column (test / debugging helper).
@@ -222,7 +236,7 @@ impl<B: Backend> Column<B> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use asv_vmem::{MmapBackend, SimBackend};
+    use asv_vmem::{MmapBackend, SimBackend, ViewBuffer};
 
     fn sample_values(n: usize) -> Vec<u64> {
         (0..n as u64).map(|i| i * 7 % 1000).collect()

@@ -1,0 +1,371 @@
+//! The unified page-range scan kernel.
+//!
+//! Every query path of the reproduction — `Column::full_scan`, the adaptive
+//! multi-view scan in `asv-core`, the virtual-view baseline in
+//! `asv-baselines` — boils down to the same loop: walk the mapped pages of a
+//! view buffer, filter each page against a value range, and fold the
+//! per-page results into an accumulated answer. [`ScanKernel`] is that loop,
+//! extracted once so that sequential and parallel execution share a single
+//! code path:
+//!
+//! * [`ScanKernel::scan_page`] — the per-page step (filter + merge),
+//!   parameterized by [`ScanMode`] (count-only fast path, count+sum
+//!   aggregation, or row-id collection);
+//! * [`ScanKernel::scan_view_slots`] — evaluates an arbitrary slot range of
+//!   any view buffer, the shard primitive of parallel execution;
+//! * [`scan_view`] — shards a whole view across a [`ThreadPool`] and merges
+//!   the partial [`ScanOutput`]s (slot-sharded: correct whenever the view
+//!   maps every physical page at most once, which holds for the full view
+//!   and for all partial views the creation path produces).
+//!
+//! Multi-view scans with *shared* physical pages additionally need
+//! cross-view deduplication; `asv-core::exec` builds that on top of
+//! [`ScanKernel::scan_view_slots`] with page-id-sharding.
+
+use std::ops::Range;
+
+use asv_util::{split_ranges, Parallelism, ThreadPool, ValueRange};
+use asv_vmem::ViewBuffer;
+
+use crate::page::{PageRef, PageScanResult};
+
+/// What a scan accumulates per qualifying value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ScanMode {
+    /// Count qualifying values only (`sum` stays 0) — the fast path for
+    /// count-only queries.
+    CountOnly,
+    /// Count and checksum-sum qualifying values (the default).
+    #[default]
+    Aggregate,
+    /// Count, sum, and collect the global row ids of qualifying values.
+    CollectRows,
+}
+
+/// The mergeable result of scanning a set of pages against a query range.
+///
+/// `result` folds the per-page [`PageScanResult`]s of *all* scanned pages;
+/// `below` / `above` track the widening bounds the adaptive layer derives
+/// from *non-qualifying* pages only (paper §2.2): if a page contributes no
+/// qualifying value, everything strictly between its largest below-range
+/// value and its smallest above-range value provably lives on other pages.
+#[derive(Clone, Debug, Default)]
+pub struct ScanOutput {
+    /// Aggregate over all scanned pages (count, checksum, per-page bounds).
+    pub result: PageScanResult,
+    /// Global row ids of qualifying values ([`ScanMode::CollectRows`] only).
+    pub rows: Option<Vec<u64>>,
+    /// Number of distinct pages scanned.
+    pub scanned_pages: usize,
+    /// Largest value `< range.low()` observed on *non-qualifying* pages.
+    pub below: Option<u64>,
+    /// Smallest value `> range.high()` observed on *non-qualifying* pages.
+    pub above: Option<u64>,
+    /// Physical page ids (in scan order) of pages with at least one
+    /// qualifying value, if tracking was requested — the input of adaptive
+    /// candidate-view creation.
+    pub qualifying_pages: Option<Vec<u64>>,
+}
+
+impl ScanOutput {
+    /// An empty output configured for `mode`, optionally tracking the
+    /// qualifying page ids.
+    pub fn new(mode: ScanMode, track_qualifying_pages: bool) -> Self {
+        Self {
+            rows: matches!(mode, ScanMode::CollectRows).then(Vec::new),
+            qualifying_pages: track_qualifying_pages.then(Vec::new),
+            ..Self::default()
+        }
+    }
+
+    /// Folds another (shard's) output into this one. All fields merge
+    /// order-independently except `rows` / `qualifying_pages`, which append
+    /// in call order — parallel callers merge shards in ascending page-range
+    /// order to keep the output deterministic.
+    pub fn merge(&mut self, other: ScanOutput) {
+        self.result.merge(&other.result);
+        self.scanned_pages += other.scanned_pages;
+        self.below = match (self.below, other.below) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+        self.above = match (self.above, other.above) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        match (&mut self.rows, other.rows) {
+            (Some(mine), Some(theirs)) => mine.extend(theirs),
+            (mine @ None, theirs @ Some(_)) => *mine = theirs,
+            _ => {}
+        }
+        match (&mut self.qualifying_pages, other.qualifying_pages) {
+            (Some(mine), Some(theirs)) => mine.extend(theirs),
+            (mine @ None, theirs @ Some(_)) => *mine = theirs,
+            _ => {}
+        }
+    }
+}
+
+/// The page-range scan kernel: a query range plus an accumulation mode.
+#[derive(Clone, Copy, Debug)]
+pub struct ScanKernel {
+    range: ValueRange,
+    mode: ScanMode,
+}
+
+impl ScanKernel {
+    /// Creates a kernel filtering against `range` in the given `mode`.
+    pub fn new(range: ValueRange, mode: ScanMode) -> Self {
+        Self { range, mode }
+    }
+
+    /// The query range this kernel filters against.
+    pub fn range(&self) -> &ValueRange {
+        &self.range
+    }
+
+    /// The accumulation mode.
+    pub fn mode(&self) -> ScanMode {
+        self.mode
+    }
+
+    /// Scans one page into `out` and returns the page's own result (so
+    /// callers can react to per-page outcomes, e.g. feed qualifying pages to
+    /// a view-creation sink in scan order).
+    pub fn scan_page(&self, page: PageRef<'_>, out: &mut ScanOutput) -> PageScanResult {
+        let res = match self.mode {
+            ScanMode::CountOnly => page.scan_filter_count(&self.range),
+            ScanMode::Aggregate => page.scan_filter(&self.range),
+            ScanMode::CollectRows => {
+                let rows = out.rows.get_or_insert_with(Vec::new);
+                page.scan_filter_collect(&self.range, rows)
+            }
+        };
+        out.scanned_pages += 1;
+        if res.count > 0 {
+            if let Some(pages) = out.qualifying_pages.as_mut() {
+                pages.push(page.page_id());
+            }
+        } else {
+            if let Some(b) = res.below_max {
+                out.below = Some(out.below.map_or(b, |cur| cur.max(b)));
+            }
+            if let Some(a) = res.above_min {
+                out.above = Some(out.above.map_or(a, |cur| cur.min(a)));
+            }
+        }
+        out.result.merge(&res);
+        res
+    }
+
+    /// Evaluates the view slots `slots` of `view`, wrapping each raw page
+    /// via `wrap` (which supplies the valid-value count; see
+    /// [`crate::Column::wrap_view_page`]).
+    ///
+    /// This is the shard primitive: a parallel scan hands each worker a
+    /// disjoint slot range of the same view.
+    pub fn scan_view_slots<'a, V, W>(
+        &self,
+        view: &'a V,
+        slots: Range<usize>,
+        wrap: W,
+        out: &mut ScanOutput,
+    ) where
+        V: ViewBuffer,
+        W: Fn(&'a [u64]) -> PageRef<'a>,
+    {
+        debug_assert!(slots.end <= view.mapped_pages());
+        for slot in slots {
+            self.scan_page(wrap(view.page(slot)), out);
+        }
+    }
+}
+
+/// Scans all mapped pages of `view` with `kernel`, sharding the slot range
+/// across `pool` and merging the partial outputs in slot order.
+///
+/// Slot-sharding assumes the view maps every physical page at most once
+/// (true for the full view and for every view the creation path builds);
+/// for multi-view scans with shared pages use the page-id-sharded scan in
+/// `asv-core::exec`.
+pub fn scan_view<'a, V, W>(
+    kernel: &ScanKernel,
+    view: &'a V,
+    wrap: W,
+    pool: &ThreadPool,
+) -> ScanOutput
+where
+    V: ViewBuffer,
+    W: Fn(&'a [u64]) -> PageRef<'a> + Sync,
+{
+    let mapped = view.mapped_pages();
+    let track = false;
+    if pool.workers() <= 1 || mapped < 2 {
+        let mut out = ScanOutput::new(kernel.mode(), track);
+        kernel.scan_view_slots(view, 0..mapped, &wrap, &mut out);
+        return out;
+    }
+    let shards = split_ranges(mapped, pool.workers());
+    let wrap = &wrap;
+    let partials = pool.scoped_map(
+        shards
+            .into_iter()
+            .map(|slots| {
+                move || {
+                    let mut out = ScanOutput::new(kernel.mode(), track);
+                    kernel.scan_view_slots(view, slots, wrap, &mut out);
+                    out
+                }
+            })
+            .collect(),
+    );
+    let mut merged = ScanOutput::new(kernel.mode(), track);
+    for partial in partials {
+        merged.merge(partial);
+    }
+    merged
+}
+
+/// Convenience wrapper: [`scan_view`] driven by a [`Parallelism`] setting.
+pub fn scan_view_with<'a, V, W>(
+    kernel: &ScanKernel,
+    view: &'a V,
+    wrap: W,
+    parallelism: Parallelism,
+) -> ScanOutput
+where
+    V: ViewBuffer,
+    W: Fn(&'a [u64]) -> PageRef<'a> + Sync,
+{
+    scan_view(kernel, view, wrap, &ThreadPool::new(parallelism))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+    use asv_vmem::{Backend, MmapBackend, SimBackend, VALUES_PER_PAGE};
+
+    fn clustered_column<B: Backend>(backend: B, pages: usize) -> Column<B> {
+        let values: Vec<u64> = (0..pages * VALUES_PER_PAGE)
+            .map(|i| ((i / VALUES_PER_PAGE) * 1000 + i % VALUES_PER_PAGE) as u64)
+            .collect();
+        Column::from_values(backend, &values).unwrap()
+    }
+
+    fn check_parallel_matches_sequential<B: Backend>(backend: B) {
+        let column = clustered_column(backend, 37);
+        let range = ValueRange::new(4_000, 21_300);
+        for mode in [
+            ScanMode::CountOnly,
+            ScanMode::Aggregate,
+            ScanMode::CollectRows,
+        ] {
+            let kernel = ScanKernel::new(range, mode);
+            let seq = scan_view(
+                &kernel,
+                column.full_view(),
+                |raw| column.wrap_view_page(raw),
+                &ThreadPool::with_workers(1),
+            );
+            for workers in [2usize, 3, 8] {
+                let par = scan_view(
+                    &kernel,
+                    column.full_view(),
+                    |raw| column.wrap_view_page(raw),
+                    &ThreadPool::with_workers(workers),
+                );
+                assert_eq!(par.result.count, seq.result.count, "{mode:?}/{workers}");
+                assert_eq!(par.result.sum, seq.result.sum, "{mode:?}/{workers}");
+                assert_eq!(par.scanned_pages, seq.scanned_pages, "{mode:?}/{workers}");
+                assert_eq!(par.below, seq.below, "{mode:?}/{workers}");
+                assert_eq!(par.above, seq.above, "{mode:?}/{workers}");
+                // Shards merge in slot order, so even row ids line up.
+                assert_eq!(par.rows, seq.rows, "{mode:?}/{workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_scan_matches_sequential_sim() {
+        check_parallel_matches_sequential(SimBackend::new());
+    }
+
+    #[test]
+    fn parallel_scan_matches_sequential_mmap() {
+        check_parallel_matches_sequential(MmapBackend::new());
+    }
+
+    #[test]
+    fn count_only_mode_skips_sum() {
+        let column = clustered_column(SimBackend::new(), 8);
+        let kernel = ScanKernel::new(ValueRange::new(1_000, 3_400), ScanMode::CountOnly);
+        let out = scan_view_with(
+            &kernel,
+            column.full_view(),
+            |raw| column.wrap_view_page(raw),
+            Parallelism::Sequential,
+        );
+        assert!(out.result.count > 0);
+        assert_eq!(out.result.sum, 0);
+        assert!(out.rows.is_none());
+    }
+
+    #[test]
+    fn qualifying_pages_and_widening_bounds_are_tracked() {
+        let column = clustered_column(SimBackend::new(), 16);
+        // Pages 5..=9 qualify for [5000, 9400].
+        let kernel = ScanKernel::new(ValueRange::new(5_000, 9_400), ScanMode::Aggregate);
+        let mut out = ScanOutput::new(kernel.mode(), true);
+        kernel.scan_view_slots(
+            column.full_view(),
+            0..column.num_pages(),
+            |raw| column.wrap_view_page(raw),
+            &mut out,
+        );
+        assert_eq!(out.qualifying_pages.as_deref(), Some(&[5, 6, 7, 8, 9][..]));
+        // Non-qualifying neighbours: page 4 tops out at 4510, page 10
+        // starts at 10000.
+        assert_eq!(out.below, Some(4_000 + VALUES_PER_PAGE as u64 - 1));
+        assert_eq!(out.above, Some(10_000));
+        assert_eq!(out.scanned_pages, 16);
+    }
+
+    #[test]
+    fn merge_combines_all_fields() {
+        let mut a = ScanOutput {
+            result: PageScanResult {
+                count: 2,
+                sum: 10,
+                below_max: None,
+                above_min: None,
+            },
+            rows: Some(vec![1, 2]),
+            scanned_pages: 3,
+            below: Some(5),
+            above: Some(100),
+            qualifying_pages: Some(vec![0]),
+        };
+        let b = ScanOutput {
+            result: PageScanResult {
+                count: 1,
+                sum: 7,
+                below_max: Some(3),
+                above_min: None,
+            },
+            rows: Some(vec![9]),
+            scanned_pages: 2,
+            below: Some(8),
+            above: Some(90),
+            qualifying_pages: Some(vec![4]),
+        };
+        a.merge(b);
+        assert_eq!(a.result.count, 3);
+        assert_eq!(a.result.sum, 17);
+        assert_eq!(a.scanned_pages, 5);
+        assert_eq!(a.below, Some(8));
+        assert_eq!(a.above, Some(90));
+        assert_eq!(a.rows.as_deref(), Some(&[1, 2, 9][..]));
+        assert_eq!(a.qualifying_pages.as_deref(), Some(&[0, 4][..]));
+    }
+}

@@ -11,11 +11,13 @@
 //! leaves everything view-related to `asv-core`.
 
 pub mod column;
+pub mod kernel;
 pub mod page;
 pub mod table;
 pub mod updates;
 
 pub use column::Column;
+pub use kernel::{scan_view, scan_view_with, ScanKernel, ScanMode, ScanOutput};
 pub use page::{PageRef, PageScanResult};
 pub use table::Table;
 pub use updates::{dedup_last_write_wins, group_by_page, Update, UpdateBatch};

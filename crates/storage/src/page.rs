@@ -155,6 +155,27 @@ impl<'a> PageRef<'a> {
         res
     }
 
+    /// Count-only variant of [`Self::scan_filter`]: tallies qualifying
+    /// values and the non-qualifying bounds but skips the checksum
+    /// accumulation (`sum` stays 0).
+    ///
+    /// This is the hot-path fast path for `COUNT(*)`-style queries: the
+    /// widening bounds are still tracked (adaptive view creation needs
+    /// them), but the per-value `u128` additions are gone.
+    pub fn scan_filter_count(&self, range: &ValueRange) -> PageScanResult {
+        let mut res = PageScanResult::default();
+        for &v in self.values() {
+            if range.contains(v) {
+                res.count += 1;
+            } else if v < range.low() {
+                res.below_max = Some(res.below_max.map_or(v, |b| b.max(v)));
+            } else {
+                res.above_min = Some(res.above_min.map_or(v, |a| a.min(v)));
+            }
+        }
+        res
+    }
+
     /// Like [`Self::scan_filter`], but additionally appends the global row
     /// ids of qualifying values to `rows_out`.
     ///
@@ -251,6 +272,19 @@ mod tests {
         assert!(res.is_empty());
         assert_eq!(res.below_max, Some(8));
         assert_eq!(res.above_min, Some(90));
+    }
+
+    #[test]
+    fn scan_filter_count_matches_full_filter_except_sum() {
+        let raw = make_page(3, &[5, 15, 25, 35, 45]);
+        let page = PageRef::new(&raw, 5);
+        let range = ValueRange::new(10, 30);
+        let full = page.scan_filter(&range);
+        let count_only = page.scan_filter_count(&range);
+        assert_eq!(count_only.count, full.count);
+        assert_eq!(count_only.below_max, full.below_max);
+        assert_eq!(count_only.above_min, full.above_min);
+        assert_eq!(count_only.sum, 0);
     }
 
     #[test]

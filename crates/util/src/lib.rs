@@ -13,17 +13,21 @@
 //!   (`[-∞, ∞]`) semantics views are described with (paper §2).
 //! * [`RunBuilder`] / [`Run`] — grouping of consecutive page numbers into
 //!   runs, used by the consecutive-mapping optimization (paper §2.3).
+//! * [`ThreadPool`] / [`Parallelism`] — a hand-rolled scoped fork-join pool
+//!   powering the sharded parallel scan path.
 //! * [`Timer`] and [`Summary`] — tiny measurement helpers for the
 //!   experiment harness.
 
 pub mod bimap;
 pub mod bitvec;
+pub mod pool;
 pub mod range;
 pub mod runs;
 pub mod stats;
 
 pub use bimap::BiMap;
 pub use bitvec::BitVec;
+pub use pool::{available_parallelism, split_ranges, Parallelism, ThreadPool};
 pub use range::ValueRange;
 pub use runs::{group_into_runs, Run, RunBuilder};
 pub use stats::{average_runtime, Summary, Timer};

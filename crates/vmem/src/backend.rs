@@ -45,7 +45,12 @@ pub trait PhysicalStore: Send + Sync {
 
 /// An over-allocated virtual memory area whose page slots map to physical
 /// pages of one store.
-pub trait ViewBuffer: Send {
+///
+/// Views are `Sync`: the parallel scan path shards a view's page range
+/// across worker threads that all read through the same `&View`. Mutation
+/// (mapping, truncation) goes through `&mut` on the [`Backend`] methods and
+/// therefore cannot race with shared scans.
+pub trait ViewBuffer: Send + Sync {
     /// Total number of page slots reserved for this view. Views are
     /// over-allocated to the size of the whole column because "we are
     /// unaware of how many physical pages will qualify" (paper §2).
