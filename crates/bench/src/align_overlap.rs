@@ -1,0 +1,260 @@
+//! align-overlap — query throughput *during* update alignment.
+//!
+//! Beyond the paper: measures what the background (epoch-handoff)
+//! alignment buys over the stop-the-world call. The setup mirrors
+//! Figure 7 (five partial views over 1/1024-ths of the domain, one
+//! uniform update batch), but instead of only timing the alignment it
+//! counts how many range queries the column answers *while* the batch is
+//! being aligned:
+//!
+//! * **sync** — `align_views` blocks the column for the whole batch; by
+//!   construction zero queries run during alignment.
+//! * **background** — `align_views_async` ships the planning to the
+//!   epoch-handoff worker; the driver pumps queries (answered on the
+//!   pre-batch view epoch) until the plan is ready, then publishes it.
+//!
+//! Both modes then answer the same post-publish query sequence; its
+//! checksum must match across modes (asserted here), since background and
+//! synchronous alignment produce identical view layouts.
+
+use asv_core::{
+    build_view_for_range_with, AdaptiveColumn, AdaptiveConfig, CreationOptions, Parallelism,
+    RangeQuery,
+};
+use asv_util::Timer;
+use asv_vmem::Backend;
+use asv_workloads::{Distribution, UpdateWorkload};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::fig7;
+use crate::report::Table;
+use crate::scale::Scale;
+
+/// Post-publish queries per cell (throughput baseline + cross-mode
+/// answer check).
+pub const QUERIES_AFTER: usize = 48;
+/// Distinct probe queries the during-alignment loop cycles through.
+const QUERY_POOL: usize = 32;
+/// Safety bound on the during-alignment loop (the worker always finishes;
+/// this only guards against pathological scheduling).
+const MAX_QUERIES_DURING: usize = 1_000_000;
+
+/// One measured (mode, batch size) cell.
+#[derive(Clone, Debug)]
+pub struct OverlapRow {
+    /// Alignment mode (`sync` / `background`).
+    pub mode: String,
+    /// Number of updates in the batch.
+    pub batch_size: usize,
+    /// Wall time from alignment start until the aligned views were
+    /// published, in milliseconds.
+    pub align_wall_ms: f64,
+    /// Queries answered between alignment start and publish.
+    pub queries_during: usize,
+    /// Query throughput during alignment (queries/s; 0 for sync).
+    pub qps_during: f64,
+    /// Query throughput after publish (queries/s).
+    pub qps_after: f64,
+    /// `(view, page)` additions performed by the alignment.
+    pub pages_added: usize,
+    /// `(view, page)` removals performed by the alignment.
+    pub pages_removed: usize,
+    /// Checksum over the post-publish query answers (must be identical
+    /// across modes for the same batch size).
+    pub checksum_after: u128,
+}
+
+/// Builds the Figure-7 column with the five partial views installed.
+fn build_column<B: Backend>(
+    backend: &B,
+    scale: &Scale,
+    seed: u64,
+    parallelism: Parallelism,
+) -> AdaptiveColumn<B> {
+    let dist = Distribution::Uniform {
+        max_value: u64::MAX,
+    };
+    let values = dist.generate_pages(scale.fig7_pages, seed);
+    let config = AdaptiveConfig::default()
+        .with_adaptive_creation(false)
+        .with_parallelism(parallelism);
+    let mut col = AdaptiveColumn::from_values(backend.clone(), &values, config).expect("column");
+    for range in fig7::draw_view_ranges(seed ^ 0xF167) {
+        let (buffer, _) =
+            build_view_for_range_with(col.column(), &range, &CreationOptions::ALL, parallelism)
+                .expect("view creation");
+        col.install_view(range, buffer);
+    }
+    col
+}
+
+/// Probe queries: sub-ranges of the installed view ranges, so the queries
+/// route through exactly the views being re-aligned.
+fn probe_queries(seed: u64) -> Vec<RangeQuery> {
+    let ranges = fig7::draw_view_ranges(seed ^ 0xF167);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0E41);
+    (0..QUERY_POOL)
+        .map(|_| {
+            let view = &ranges[rng.gen_range(0..ranges.len())];
+            let width = (view.width() / 8).max(1);
+            let lo = view.low() + rng.gen_range(0..=view.width() - width);
+            RangeQuery::new(lo, lo + width - 1)
+        })
+        .collect()
+}
+
+fn run_one<B: Backend>(
+    backend: &B,
+    scale: &Scale,
+    seed: u64,
+    parallelism: Parallelism,
+    batch_size: usize,
+    background: bool,
+) -> OverlapRow {
+    let mut col = build_column(backend, scale, seed, parallelism);
+    let queries = probe_queries(seed);
+    let writes = UpdateWorkload::new(seed ^ batch_size as u64).uniform_writes(
+        batch_size,
+        col.column().num_rows(),
+        u64::MAX,
+    );
+    let updates = col.write_batch(&writes);
+
+    let timer = Timer::start();
+    let mut queries_during = 0usize;
+    let stats = if background {
+        col.align_views_async(&updates).expect("async alignment");
+        loop {
+            if let Some(stats) = col.poll_aligned_views().expect("poll") {
+                break stats;
+            }
+            if queries_during >= MAX_QUERIES_DURING {
+                break col
+                    .publish_aligned_views()
+                    .expect("publish")
+                    .expect("a plan was pending");
+            }
+            let q = &queries[queries_during % queries.len()];
+            col.query(q).expect("mid-alignment query");
+            queries_during += 1;
+        }
+    } else {
+        col.align_views(&updates).expect("sync alignment")
+    };
+    let align_wall_ms = timer.elapsed_ms();
+
+    let after_timer = Timer::start();
+    let mut checksum_after = 0u128;
+    for i in 0..QUERIES_AFTER {
+        let out = col.query(&queries[i % queries.len()]).expect("query");
+        checksum_after = checksum_after
+            .wrapping_add(out.sum)
+            .wrapping_add(out.count as u128);
+    }
+    let after_ms = after_timer.elapsed_ms();
+
+    OverlapRow {
+        mode: if background { "background" } else { "sync" }.to_string(),
+        batch_size,
+        align_wall_ms,
+        queries_during,
+        qps_during: if align_wall_ms > 0.0 {
+            queries_during as f64 / (align_wall_ms / 1e3)
+        } else {
+            0.0
+        },
+        qps_after: if after_ms > 0.0 {
+            QUERIES_AFTER as f64 / (after_ms / 1e3)
+        } else {
+            0.0
+        },
+        pages_added: stats.pages_added,
+        pages_removed: stats.pages_removed,
+        checksum_after,
+    }
+}
+
+/// Runs the overlap experiment: every Figure-7 batch size, sync vs
+/// background, on `backend`.
+pub fn run_with<B: Backend>(
+    backend: &B,
+    scale: &Scale,
+    seed: u64,
+    parallelism: Parallelism,
+) -> Vec<OverlapRow> {
+    let mut rows = Vec::new();
+    for &batch_size in &scale.fig7_batch_sizes {
+        let sync = run_one(backend, scale, seed, parallelism, batch_size, false);
+        let background = run_one(backend, scale, seed, parallelism, batch_size, true);
+        assert_eq!(
+            sync.checksum_after, background.checksum_after,
+            "batch {batch_size}: sync and background answers diverge after publish"
+        );
+        assert_eq!(
+            (sync.pages_added, sync.pages_removed),
+            (background.pages_added, background.pages_removed),
+            "batch {batch_size}: sync and background alignments diverge"
+        );
+        rows.push(sync);
+        rows.push(background);
+    }
+    rows
+}
+
+/// [`run_with`] at the default (sequential) scan parallelism.
+pub fn run<B: Backend>(backend: &B, scale: &Scale, seed: u64) -> Vec<OverlapRow> {
+    run_with(backend, scale, seed, Parallelism::Sequential)
+}
+
+/// Renders the overlap rows.
+pub fn to_table(rows: &[OverlapRow]) -> Table {
+    let mut table = Table::new(
+        "align-overlap: query throughput during view alignment (sync vs background)",
+        &[
+            "mode",
+            "batch size",
+            "align wall ms",
+            "queries during",
+            "qps during",
+            "qps after",
+            "pages added",
+            "pages removed",
+        ],
+    );
+    for r in rows {
+        table.add_row(vec![
+            r.mode.clone(),
+            r.batch_size.to_string(),
+            format!("{:.2}", r.align_wall_ms),
+            r.queries_during.to_string(),
+            format!("{:.0}", r.qps_during),
+            format!("{:.0}", r.qps_after),
+            r.pages_added.to_string(),
+            r.pages_removed.to_string(),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_run_covers_both_modes_and_agrees_across_them() {
+        let scale = Scale::tiny();
+        let rows = run(&asv_vmem::SimBackend::new(), &scale, 7);
+        assert_eq!(rows.len(), 2 * scale.fig7_batch_sizes.len());
+        for pair in rows.chunks(2) {
+            assert_eq!(pair[0].mode, "sync");
+            assert_eq!(pair[1].mode, "background");
+            assert_eq!(pair[0].batch_size, pair[1].batch_size);
+            assert_eq!(pair[0].queries_during, 0, "sync blocks all queries");
+            assert_eq!(pair[0].checksum_after, pair[1].checksum_after);
+            assert!(pair[0].align_wall_ms >= 0.0 && pair[1].align_wall_ms >= 0.0);
+        }
+        let table = to_table(&rows);
+        assert_eq!(table.num_rows(), rows.len());
+    }
+}

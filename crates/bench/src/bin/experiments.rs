@@ -1,9 +1,10 @@
 //! Regenerates the paper's tables and figures as text tables and CSV files.
 //!
 //! ```text
-//! experiments [fig3|fig4|fig5|fig6|fig7|table1|ablation|scaling|all]
+//! experiments [fig3|fig4|fig5|fig6|fig7|table1|ablation|scaling|align-overlap|all]
 //!             [--backend sim|mmap] [--scale tiny|small|medium|paper]
 //!             [--seed N] [--csv-dir DIR] [--threads N]
+//!             [--align-mode sync|background]
 //! ```
 //!
 //! The backend defaults to real memory rewiring (`mmap`) on Linux and to
@@ -16,6 +17,12 @@
 //! to the pre-parallel harness. The `scaling` experiment ignores the flag
 //! and sweeps its own thread counts.
 //!
+//! `--align-mode background` makes `fig7` align its views via the
+//! epoch-handoff worker instead of the stop-the-world call (pages
+//! added/removed are identical; only the timings move off the query path).
+//! The `align-overlap` experiment always measures both modes against each
+//! other.
+//!
 //! Results are printed to stdout; with `--csv-dir` the per-figure series are
 //! additionally written as CSV files (one per figure), which is what
 //! `EXPERIMENTS.md` records.
@@ -23,7 +30,8 @@
 use std::process::ExitCode;
 
 use asv_bench::{
-    ablation, fig3, fig4, fig5, fig6, fig7, report, scaling, table1, Scale, DEFAULT_SEED,
+    ablation, align_overlap, fig3, fig4, fig5, fig6, fig7, report, scaling, table1, Scale,
+    DEFAULT_SEED,
 };
 use asv_core::Parallelism;
 use asv_vmem::{AnyBackend, Backend};
@@ -35,6 +43,7 @@ struct Args {
     seed: u64,
     csv_dir: Option<String>,
     parallelism: Parallelism,
+    align_mode: fig7::AlignMode,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -44,6 +53,7 @@ fn parse_args() -> Result<Args, String> {
     let mut seed = DEFAULT_SEED;
     let mut csv_dir = None;
     let mut parallelism = Parallelism::Sequential;
+    let mut align_mode = fig7::AlignMode::Sync;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -75,11 +85,18 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|_| format!("invalid thread count '{v}'"))?;
                 parallelism = Parallelism::from_threads(n);
             }
+            "--align-mode" => {
+                let v = args.next().ok_or("--align-mode needs a value")?;
+                align_mode = fig7::AlignMode::by_name(&v)
+                    .ok_or_else(|| format!("unknown align mode '{v}' (sync|background)"))?;
+            }
             "--help" | "-h" => {
                 return Err(
-                    "usage: experiments [fig3|fig4|fig5|fig6|fig7|table1|ablation|scaling|all] \
+                    "usage: experiments [fig3|fig4|fig5|fig6|fig7|table1|ablation|scaling|\
+                            align-overlap|all] \
                             [--backend sim|mmap] [--scale tiny|small|medium|paper] \
-                            [--seed N] [--csv-dir DIR] [--threads N]"
+                            [--seed N] [--csv-dir DIR] [--threads N] \
+                            [--align-mode sync|background]"
                         .to_string(),
                 );
             }
@@ -97,6 +114,7 @@ fn parse_args() -> Result<Args, String> {
         seed,
         csv_dir,
         parallelism,
+        align_mode,
     })
 }
 
@@ -183,15 +201,28 @@ fn run_fig6(args: &Args) {
 }
 
 fn run_fig7(args: &Args) {
-    let rows = with_concrete_backend!(&args.backend, |b| fig7::run_all_with(
+    let rows = with_concrete_backend!(&args.backend, |b| fig7::run_all_with_mode(
+        b,
+        &args.scale,
+        args.seed,
+        args.parallelism,
+        args.align_mode
+    ));
+    let table = fig7::to_table(&rows);
+    println!("{}", table.render());
+    maybe_write_csv(&args.csv_dir, "fig7", &table);
+}
+
+fn run_align_overlap(args: &Args) {
+    let rows = with_concrete_backend!(&args.backend, |b| align_overlap::run_with(
         b,
         &args.scale,
         args.seed,
         args.parallelism
     ));
-    let table = fig7::to_table(&rows);
+    let table = align_overlap::to_table(&rows);
     println!("{}", table.render());
-    maybe_write_csv(&args.csv_dir, "fig7", &table);
+    maybe_write_csv(&args.csv_dir, "align_overlap", &table);
 }
 
 fn run_ablation(args: &Args) {
@@ -234,11 +265,13 @@ fn main() -> ExitCode {
         }
     };
     println!(
-        "# adaptive-storage-views experiments (backend: {}, scale: {}, seed: {}, threads: {})",
+        "# adaptive-storage-views experiments (backend: {}, scale: {}, seed: {}, threads: {}, \
+         align mode: {})",
         args.backend.name(),
         args.scale.name,
         args.seed,
-        args.parallelism
+        args.parallelism,
+        args.align_mode.name()
     );
     println!(
         "# column sizes: fig3 {} pages, fig4/5 {} pages, fig6 {} pages, fig7 {} pages\n",
@@ -254,6 +287,7 @@ fn main() -> ExitCode {
             "table1" => run_table1(&args),
             "ablation" => run_ablation(&args),
             "scaling" => run_scaling(&args),
+            "align-overlap" => run_align_overlap(&args),
             "all" => {
                 run_fig3(&args);
                 run_fig4(&args);
@@ -263,6 +297,7 @@ fn main() -> ExitCode {
                 run_table1(&args);
                 run_ablation(&args);
                 run_scaling(&args);
+                run_align_overlap(&args);
             }
             other => {
                 eprintln!("unknown experiment '{other}'");

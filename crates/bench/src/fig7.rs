@@ -11,11 +11,12 @@
 //! the number of physical pages added/removed during alignment.
 
 use asv_core::{
-    align_views_after_updates, build_view_for_range_with, CreationOptions, Parallelism, ViewSet,
+    align_views_after_updates_with, apply_plan, build_view_for_range_with, snapshot_alignment,
+    spawn_alignment, CreationOptions, Parallelism, UpdateAlignmentStats, ViewSet,
 };
-use asv_storage::Column;
+use asv_storage::{Column, Update};
 use asv_util::{Timer, ValueRange};
-use asv_vmem::Backend;
+use asv_vmem::{Backend, VmemError};
 use asv_workloads::{Distribution, UpdateWorkload};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -27,6 +28,59 @@ use crate::scale::Scale;
 pub const NUM_VIEWS: usize = 5;
 /// Each view covers a 1/1024-th of the value range (as in the paper).
 pub const RANGE_FRACTION: u64 = 1024;
+
+/// How the views are aligned with the update batch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum AlignMode {
+    /// Stop-the-world alignment on the calling thread (the paper's setup;
+    /// the default, bit-identical to the pre-background harness).
+    #[default]
+    Sync,
+    /// Epoch-handoff alignment: snapshot on the caller, plan on a
+    /// background worker, publish on the caller.
+    Background,
+}
+
+impl AlignMode {
+    /// Parses a `--align-mode` value.
+    pub fn by_name(name: &str) -> Option<Self> {
+        match name {
+            "sync" => Some(AlignMode::Sync),
+            "background" => Some(AlignMode::Background),
+            _ => None,
+        }
+    }
+
+    /// The mode's display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AlignMode::Sync => "sync",
+            AlignMode::Background => "background",
+        }
+    }
+}
+
+/// Aligns `views` with `batch` in the given mode, returning the usual
+/// alignment stats. In background mode the caller blocks until the worker
+/// finishes (the figure measures alignment cost, not overlap — see the
+/// `align-overlap` experiment for throughput during alignment).
+pub fn align_with_mode<B: Backend>(
+    column: &Column<B>,
+    views: &mut ViewSet<B>,
+    batch: &[Update],
+    parallelism: Parallelism,
+    mode: AlignMode,
+) -> Result<UpdateAlignmentStats, VmemError> {
+    match mode {
+        AlignMode::Sync => align_views_after_updates_with(column, views, batch, parallelism),
+        AlignMode::Background => {
+            let snapshot = snapshot_alignment(column, views, batch)?;
+            let pending = spawn_alignment(snapshot, parallelism);
+            let plan = pending.join();
+            apply_plan(column, views, &plan)
+        }
+    }
+}
 
 /// One measured (distribution, batch size) cell of Figure 7.
 #[derive(Clone, Debug)]
@@ -89,14 +143,29 @@ pub fn run_distribution<B: Backend>(
 }
 
 /// [`run_distribution`] with an explicit scan parallelism (applied to the
-/// source scans of view creation and rebuild; the alignment algorithm
-/// itself is mapping-bound and stays single-threaded).
+/// source scans of view creation and rebuild, and to the per-view planning
+/// fork-join of the alignment itself).
 pub fn run_distribution_with<B: Backend>(
     backend: &B,
     dist: &Distribution,
     scale: &Scale,
     seed: u64,
     parallelism: Parallelism,
+) -> Vec<Fig7Row> {
+    run_distribution_with_mode(backend, dist, scale, seed, parallelism, AlignMode::Sync)
+}
+
+/// [`run_distribution_with`] with an explicit [`AlignMode`]: `Background`
+/// plans the alignment on the epoch-handoff worker instead of the calling
+/// thread. Pages added/removed are identical across modes by construction;
+/// only the timings differ.
+pub fn run_distribution_with_mode<B: Backend>(
+    backend: &B,
+    dist: &Distribution,
+    scale: &Scale,
+    seed: u64,
+    parallelism: Parallelism,
+    mode: AlignMode,
 ) -> Vec<Fig7Row> {
     let values = dist.generate_pages(scale.fig7_pages, seed);
     let ranges = draw_view_ranges(seed ^ 0xF167);
@@ -114,8 +183,8 @@ pub fn run_distribution_with<B: Backend>(
             u64::MAX,
         );
         let updates = column.write_batch(&writes);
-        let stats =
-            align_views_after_updates(&column, &mut views, &updates).expect("view alignment");
+        let stats = align_with_mode(&column, &mut views, &updates, parallelism, mode)
+            .expect("view alignment");
 
         // Rebuild-from-scratch comparison, measured on the updated column.
         let rebuild_timer = Timer::start();
@@ -150,6 +219,17 @@ pub fn run_all_with<B: Backend>(
     seed: u64,
     parallelism: Parallelism,
 ) -> Vec<Fig7Row> {
+    run_all_with_mode(backend, scale, seed, parallelism, AlignMode::Sync)
+}
+
+/// [`run_all_with`] with an explicit [`AlignMode`].
+pub fn run_all_with_mode<B: Backend>(
+    backend: &B,
+    scale: &Scale,
+    seed: u64,
+    parallelism: Parallelism,
+    mode: AlignMode,
+) -> Vec<Fig7Row> {
     let uniform = Distribution::Uniform {
         max_value: u64::MAX,
     };
@@ -157,13 +237,14 @@ pub fn run_all_with<B: Backend>(
         max_value: u64::MAX,
         period_pages: 100,
     };
-    let mut rows = run_distribution_with(backend, &uniform, scale, seed, parallelism);
-    rows.extend(run_distribution_with(
+    let mut rows = run_distribution_with_mode(backend, &uniform, scale, seed, parallelism, mode);
+    rows.extend(run_distribution_with_mode(
         backend,
         &sine,
         scale,
         seed,
         parallelism,
+        mode,
     ));
     rows
 }
@@ -226,6 +307,45 @@ mod tests {
         );
         let table = to_table(&rows);
         assert_eq!(table.num_rows(), rows.len());
+    }
+
+    #[test]
+    fn background_mode_matches_sync_page_counts() {
+        let scale = Scale::tiny();
+        let dist = Distribution::Uniform {
+            max_value: u64::MAX,
+        };
+        let b = asv_vmem::SimBackend::new();
+        let sync = run_distribution_with_mode(
+            &b,
+            &dist,
+            &scale,
+            9,
+            Parallelism::Sequential,
+            AlignMode::Sync,
+        );
+        let bg = run_distribution_with_mode(
+            &b,
+            &dist,
+            &scale,
+            9,
+            Parallelism::Threads(2),
+            AlignMode::Background,
+        );
+        assert_eq!(sync.len(), bg.len());
+        for (s, g) in sync.iter().zip(&bg) {
+            assert_eq!(s.batch_size, g.batch_size);
+            assert_eq!(s.pages_added, g.pages_added, "batch {}", s.batch_size);
+            assert_eq!(s.pages_removed, g.pages_removed, "batch {}", s.batch_size);
+            assert_eq!(s.indexed_pages_before, g.indexed_pages_before);
+        }
+        assert_eq!(
+            AlignMode::by_name("background"),
+            Some(AlignMode::Background)
+        );
+        assert_eq!(AlignMode::by_name("sync"), Some(AlignMode::Sync));
+        assert!(AlignMode::by_name("nope").is_none());
+        assert_eq!(AlignMode::default().name(), "sync");
     }
 
     #[test]

@@ -14,8 +14,10 @@
 //! | [`fig7`] | Figure 7 — update performance |
 //! | [`table1`] | Table 1 — accumulated response times |
 //! | [`scaling`] | Multicore scaling of the scan path (beyond the paper) |
+//! | [`align_overlap`] | Query throughput during view alignment (beyond the paper) |
 
 pub mod ablation;
+pub mod align_overlap;
 pub mod fig3;
 pub mod fig4;
 pub mod fig5;

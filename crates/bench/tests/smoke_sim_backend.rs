@@ -7,7 +7,7 @@
 //! For Figure 3 the reported result cardinalities are additionally checked
 //! against a scalar rescan of the (updated) raw values.
 
-use asv_bench::{ablation, fig3, fig4, fig5, fig6, fig7, scaling, table1, Scale};
+use asv_bench::{ablation, align_overlap, fig3, fig4, fig5, fig6, fig7, scaling, table1, Scale};
 use asv_util::{Parallelism, ValueRange};
 use asv_vmem::AnyBackend;
 use asv_workloads::{Distribution, UpdateWorkload, DEFAULT_MAX_VALUE};
@@ -124,6 +124,48 @@ fn fig7_alignment_touches_pages_and_reports_timings() {
         rows.iter().any(|r| r.pages_added + r.pages_removed > 0),
         "random updates over the full domain must change view membership"
     );
+}
+
+#[test]
+fn fig7_background_alignment_matches_sync_results() {
+    // Same figure, aligned via the epoch-handoff worker: identical page
+    // movements and view sizes, only the timings may differ.
+    let scale = Scale::tiny();
+    let sync = fig7::run_all(&backend(), &scale, SEED);
+    let bg = fig7::run_all_with_mode(
+        &backend(),
+        &scale,
+        SEED,
+        Parallelism::Threads(2),
+        fig7::AlignMode::Background,
+    );
+    assert_eq!(sync.len(), bg.len());
+    for (s, b) in sync.iter().zip(&bg) {
+        assert_eq!(s.distribution, b.distribution);
+        assert_eq!(s.batch_size, b.batch_size);
+        assert_eq!(
+            s.pages_added, b.pages_added,
+            "{}/{}",
+            s.distribution, s.batch_size
+        );
+        assert_eq!(s.pages_removed, b.pages_removed);
+        assert_eq!(s.indexed_pages_before, b.indexed_pages_before);
+    }
+}
+
+#[test]
+fn align_overlap_reports_both_modes_with_consistent_answers() {
+    let scale = Scale::tiny();
+    let rows = align_overlap::run(&backend(), &scale, SEED);
+    assert_eq!(rows.len(), 2 * scale.fig7_batch_sizes.len());
+    for pair in rows.chunks(2) {
+        assert_eq!(pair[0].mode, "sync");
+        assert_eq!(pair[1].mode, "background");
+        assert_eq!(pair[0].queries_during, 0, "sync alignment blocks queries");
+        // The run itself asserts cross-mode checksum equality; check shape.
+        assert_eq!(pair[0].checksum_after, pair[1].checksum_after);
+        assert!(pair[0].align_wall_ms >= 0.0 && pair[1].align_wall_ms >= 0.0);
+    }
 }
 
 #[test]

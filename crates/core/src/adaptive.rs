@@ -10,12 +10,13 @@ use asv_storage::{Column, ScanKernel, ScanMode, Update};
 use asv_util::{Timer, ValueRange};
 use asv_vmem::{Backend, ViewBuffer, VmemError};
 
+use crate::align::{apply_plan, snapshot_alignment, spawn_alignment, PendingAlignment};
 use crate::config::{AdaptiveConfig, RoutingMode};
 use crate::creation::create_while_scanning;
 use crate::exec::scan_selected_views;
 use crate::query::{QueryOutcome, RangeQuery, ViewMaintenance};
 use crate::router::{route, ViewId};
-use crate::updates::{align_views_after_updates, rebuild_all_views, UpdateAlignmentStats};
+use crate::updates::{align_views_after_updates_with, rebuild_all_views, UpdateAlignmentStats};
 use crate::viewset::ViewSet;
 
 /// A column equipped with the adaptive virtual-view layer.
@@ -23,6 +24,10 @@ pub struct AdaptiveColumn<B: Backend> {
     column: Column<B>,
     views: ViewSet<B>,
     config: AdaptiveConfig,
+    /// An in-flight background alignment, if any. While it is pending,
+    /// queries run against the pre-batch view epoch and adaptive view
+    /// creation is paused (so the planned view positions stay valid).
+    pending_alignment: Option<PendingAlignment>,
 }
 
 /// The [`ScanMode`] a query resolves to.
@@ -44,6 +49,7 @@ impl<B: Backend> AdaptiveColumn<B> {
             column,
             views,
             config,
+            pending_alignment: None,
         })
     }
 
@@ -92,19 +98,26 @@ impl<B: Backend> AdaptiveColumn<B> {
     /// honours the configured [`asv_util::Parallelism`] by sharding the full
     /// view's page range across the fork-join pool.
     pub fn full_scan(&self, query: &RangeQuery) -> QueryOutcome {
+        self.full_scan_impl(query, false)
+    }
+
+    /// Like [`Self::full_scan`], but also collects the qualifying row ids —
+    /// the row-level baseline [`Self::query_collect`] is compared against.
+    pub fn full_scan_collect(&self, query: &RangeQuery) -> QueryOutcome {
+        self.full_scan_impl(query, true)
+    }
+
+    fn full_scan_impl(&self, query: &RangeQuery, collect_rows: bool) -> QueryOutcome {
         let timer = Timer::start();
-        let result = self
-            .column
-            .full_scan_with(
-                query.range(),
-                scan_mode(query, false),
-                self.config.parallelism,
-            )
-            .result;
+        let out = self.column.full_scan_with(
+            query.range(),
+            scan_mode(query, collect_rows),
+            self.config.parallelism,
+        );
         QueryOutcome {
-            count: result.count,
-            sum: result.sum,
-            rows: None,
+            count: out.result.count,
+            sum: out.result.sum,
+            rows: out.rows,
             scanned_pages: self.column.num_pages(),
             views_used: vec![ViewId::Full],
             view_maintenance: ViewMaintenance::NotAttempted,
@@ -127,14 +140,92 @@ impl<B: Backend> AdaptiveColumn<B> {
     }
 
     /// Aligns all partial views with an already-applied batch of updates
-    /// (paper §2.4–2.5).
+    /// (paper §2.4–2.5), synchronously: queries cannot run until the call
+    /// returns. The per-view planning work is fork-joined across the
+    /// configured [`asv_util::Parallelism`].
+    ///
+    /// A still-pending background alignment is published first.
     pub fn align_views(&mut self, batch: &[Update]) -> Result<UpdateAlignmentStats, VmemError> {
-        align_views_after_updates(&self.column, &mut self.views, batch)
+        self.publish_aligned_views()?;
+        align_views_after_updates_with(
+            &self.column,
+            &mut self.views,
+            batch,
+            self.config.parallelism,
+        )
+    }
+
+    /// Starts aligning all partial views with an already-applied batch of
+    /// updates *in the background* (epoch handoff): the batch is shipped to
+    /// a worker thread that plans the alignment against shadow copies of
+    /// the view mappings, while queries keep running against the pre-batch
+    /// view epoch. The aligned views become visible only once the plan is
+    /// published ([`Self::poll_aligned_views`] / [`Self::publish_aligned_views`]),
+    /// which bumps the view-set generation.
+    ///
+    /// While an alignment is pending, adaptive view creation is paused so
+    /// the planned view positions stay valid; queries are answered as
+    /// usual. A previously pending alignment is published (blocking) before
+    /// the new one starts. Writes applied *after* this call are not seen by
+    /// the pending plan — collect them into their own batch.
+    pub fn align_views_async(&mut self, batch: &[Update]) -> Result<(), VmemError> {
+        self.publish_aligned_views()?;
+        if batch.is_empty() || self.views.is_empty() {
+            return Ok(());
+        }
+        let snapshot = snapshot_alignment(&self.column, &self.views, batch)?;
+        self.pending_alignment = Some(spawn_alignment(snapshot, self.config.parallelism));
+        Ok(())
+    }
+
+    /// Returns `true` while a background alignment is in flight.
+    pub fn alignment_pending(&self) -> bool {
+        self.pending_alignment.is_some()
+    }
+
+    /// Publishes the pending background alignment *if* the worker has
+    /// finished, without blocking. Returns the alignment stats when the
+    /// epoch was advanced, `None` if nothing was (or still is) pending.
+    pub fn poll_aligned_views(&mut self) -> Result<Option<UpdateAlignmentStats>, VmemError> {
+        match &self.pending_alignment {
+            Some(pending) if pending.is_finished() => self.publish_aligned_views(),
+            _ => Ok(None),
+        }
+    }
+
+    /// Waits for the pending background alignment (if any) and publishes
+    /// it: the recorded mapping manipulations are replayed onto the real
+    /// view buffers and the view-set generation is bumped. Queries issued
+    /// after this call run on the post-batch view epoch.
+    pub fn publish_aligned_views(&mut self) -> Result<Option<UpdateAlignmentStats>, VmemError> {
+        match self.pending_alignment.take() {
+            Some(pending) => {
+                let plan = pending.join();
+                let stats = apply_plan(&self.column, &mut self.views, &plan)?;
+                Ok(Some(stats))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// The current view epoch: bumped on every published alignment or
+    /// rebuild. Queries observe one epoch for their whole execution.
+    pub fn view_generation(&self) -> u64 {
+        self.views.generation()
+    }
+
+    /// Installs a pre-built partial view covering `range` (warm start /
+    /// experiment setup). The view bypasses the retention policy.
+    pub fn install_view(&mut self, range: ValueRange, buffer: B::View) -> u64 {
+        self.views.insert_unchecked(range, buffer)
     }
 
     /// Rebuilds every partial view from scratch (the comparison point for
     /// batched alignment in Figure 7). Returns the total rebuild time.
+    ///
+    /// A still-pending background alignment is published first.
     pub fn rebuild_views(&mut self) -> Result<std::time::Duration, VmemError> {
+        self.publish_aligned_views()?;
         rebuild_all_views(&self.column, &mut self.views, &self.config.creation)
     }
 
@@ -150,7 +241,12 @@ impl<B: Backend> AdaptiveColumn<B> {
             query.range(),
             self.config.routing,
         );
-        let create_candidate = self.config.adaptive_creation && self.views.can_create_views();
+        // Adaptive creation is paused while a background alignment is
+        // pending: the pending plan addresses views by position/id, so the
+        // set must stay stable until it is published.
+        let create_candidate = self.config.adaptive_creation
+            && self.views.can_create_views()
+            && self.pending_alignment.is_none();
 
         let column = &self.column;
         let views = &self.views;
@@ -383,6 +479,183 @@ mod tests {
         let mut sorted = rows.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, expected);
+    }
+
+    /// The row-collecting baseline: `query_collect` must return exactly the
+    /// rows `full_scan_collect` finds (up to order — views scan pages in
+    /// slot order, the full scan in physical order).
+    fn check_query_collect_matches_full_scan_collect<B: Backend>(backend: B, label: &str) {
+        let values = clustered_values(32);
+        let mut col = adaptive(backend, &values, AdaptiveConfig::default());
+        for (lo, hi) in [
+            (5_000, 9_400),
+            (6_000, 8_000),
+            (0, 40_000),
+            (31_400, 31_510),
+        ] {
+            let q = RangeQuery::new(lo, hi);
+            let out = col.query_collect(&q).unwrap();
+            let base = col.full_scan_collect(&q);
+            assert_eq!(out.count, base.count, "{label} [{lo},{hi}]");
+            assert_eq!(out.sum, base.sum, "{label} [{lo},{hi}]");
+            let mut rows = out.rows.expect("query_collect returns rows");
+            rows.sort_unstable();
+            let base_rows = base.rows.expect("full_scan_collect returns rows");
+            // The full scan visits pages in physical order: already sorted.
+            assert_eq!(rows, base_rows, "{label} [{lo},{hi}]");
+        }
+    }
+
+    #[test]
+    fn query_collect_matches_full_scan_collect() {
+        check_query_collect_matches_full_scan_collect(SimBackend::new(), "sim");
+        check_query_collect_matches_full_scan_collect(MmapBackend::new(), "mmap");
+    }
+
+    /// Background alignment: mid-alignment queries stay on the pre-batch
+    /// view epoch, publish advances the generation, and the published view
+    /// layout matches what synchronous alignment produces.
+    fn check_background_alignment_epoch_handoff<B: Backend>(make_backend: impl Fn() -> B) {
+        let values = clustered_values(32);
+        let config = AdaptiveConfig::default();
+        let mut bg = adaptive(make_backend(), &values, config);
+        let mut sync = adaptive(make_backend(), &values, config);
+        // Materialize the same partial views on both columns (the probe
+        // query inserts its own smaller view on first contact, so run it
+        // once up front to settle the view set identically on both twins).
+        let seed_query = RangeQuery::new(5_000, 9_400);
+        let probe = RangeQuery::new(6_000, 7_000);
+        for q in [&seed_query, &probe] {
+            bg.query(q).unwrap();
+            sync.query(q).unwrap();
+        }
+
+        let writes: Vec<(usize, u64)> = (12..20)
+            .map(|p| (p * VALUES_PER_PAGE + p, 6_000 + p as u64))
+            .collect();
+        let bg_updates = bg.write_batch(&writes);
+        let sync_updates = sync.write_batch(&writes);
+
+        // Freeze the pre-publish (stale-view) answer for a query routed
+        // through the partial views.
+        let stale = bg.query(&probe).unwrap();
+
+        let generation_before = bg.view_generation();
+        bg.align_views_async(&bg_updates).unwrap();
+        assert!(bg.alignment_pending());
+
+        // Mid-alignment: the query is answered on the pre-batch epoch —
+        // same views, same answer as before the alignment started — and no
+        // new views may appear while the plan is in flight.
+        let mid = bg.query(&probe).unwrap();
+        assert_eq!(mid.count, stale.count, "pre-batch epoch answer");
+        assert_eq!(mid.sum, stale.sum, "pre-batch epoch answer");
+        assert_eq!(mid.views_used, stale.views_used);
+        assert_eq!(bg.view_generation(), generation_before);
+        let uncovered = RangeQuery::new(25_000, 26_000);
+        let out = bg.query(&uncovered).unwrap();
+        assert_eq!(out.view_maintenance, ViewMaintenance::NotAttempted);
+
+        // Publish and compare against the synchronous twin.
+        let bg_stats = bg.publish_aligned_views().unwrap().expect("plan pending");
+        assert!(!bg.alignment_pending());
+        assert_eq!(bg.view_generation(), generation_before + 1);
+        let sync_stats = sync.align_views(&sync_updates).unwrap();
+        assert_eq!(bg_stats.pages_added, sync_stats.pages_added);
+        assert_eq!(bg_stats.pages_removed, sync_stats.pages_removed);
+        assert_eq!(
+            bg.views().partial_view(0).unwrap().num_pages(),
+            sync.views().partial_view(0).unwrap().num_pages()
+        );
+        // Post-publish answers match the full scan again.
+        let post = bg.query(&probe).unwrap();
+        let base = bg.full_scan(&probe);
+        assert_eq!(post.count, base.count);
+        assert_eq!(post.sum, base.sum);
+        // And view creation resumes.
+        let out = bg.query(&uncovered).unwrap();
+        assert_ne!(out.view_maintenance, ViewMaintenance::NotAttempted);
+    }
+
+    #[test]
+    fn background_alignment_epoch_handoff_sim() {
+        check_background_alignment_epoch_handoff(SimBackend::new);
+    }
+
+    #[test]
+    fn background_alignment_epoch_handoff_mmap() {
+        check_background_alignment_epoch_handoff(MmapBackend::new);
+    }
+
+    #[test]
+    fn poll_publishes_once_the_worker_finishes() {
+        let values = clustered_values(32);
+        let mut col = adaptive(SimBackend::new(), &values, AdaptiveConfig::default());
+        col.query(&RangeQuery::new(5_000, 9_400)).unwrap();
+        let updates = col.write_batch(&[(20 * VALUES_PER_PAGE, 6_000)]);
+        col.align_views_async(&updates).unwrap();
+        // Poll until the worker finishes (the plan is tiny, so this is
+        // quick); polling must never block and eventually publishes.
+        let stats = loop {
+            if let Some(stats) = col.poll_aligned_views().unwrap() {
+                break stats;
+            }
+            std::thread::yield_now();
+        };
+        assert_eq!(stats.pages_added, 1);
+        assert!(!col.alignment_pending());
+        assert_eq!(col.poll_aligned_views().unwrap(), None);
+    }
+
+    #[test]
+    fn async_with_empty_batch_or_no_views_is_a_noop() {
+        let values = clustered_values(8);
+        let mut col = adaptive(SimBackend::new(), &values, AdaptiveConfig::default());
+        // No views yet.
+        let updates = col.write_batch(&[(0, 42)]);
+        col.align_views_async(&updates).unwrap();
+        assert!(!col.alignment_pending());
+        // Views exist, but the batch is empty.
+        col.query(&RangeQuery::new(1_000, 2_000)).unwrap();
+        col.align_views_async(&[]).unwrap();
+        assert!(!col.alignment_pending());
+        assert_eq!(col.publish_aligned_views().unwrap(), None);
+    }
+
+    #[test]
+    fn starting_a_new_async_alignment_publishes_the_previous_one() {
+        let values = clustered_values(32);
+        let mut col = adaptive(SimBackend::new(), &values, AdaptiveConfig::default());
+        col.query(&RangeQuery::new(5_000, 9_400)).unwrap();
+        let first = col.write_batch(&[(20 * VALUES_PER_PAGE, 6_000)]);
+        col.align_views_async(&first).unwrap();
+        let second = col.write_batch(&[(25 * VALUES_PER_PAGE, 7_000)]);
+        col.align_views_async(&second).unwrap();
+        assert_eq!(col.view_generation(), 1, "first batch was published");
+        col.publish_aligned_views().unwrap();
+        assert_eq!(col.view_generation(), 2);
+        // Both pages made it into the view.
+        let q = RangeQuery::new(5_000, 9_400);
+        let out = col.query(&q).unwrap();
+        let base = col.full_scan(&q);
+        assert_eq!(out.count, base.count);
+    }
+
+    #[test]
+    fn install_view_bypasses_retention() {
+        let values = clustered_values(16);
+        let config = AdaptiveConfig::default().with_adaptive_creation(false);
+        let mut col = adaptive(SimBackend::new(), &values, config);
+        let range = ValueRange::new(5_000, 9_400);
+        let (buffer, _) =
+            crate::creation::build_view_for_range(col.column(), &range, &CreationOptions::ALL)
+                .unwrap();
+        col.install_view(range, buffer);
+        assert_eq!(col.views().num_partial_views(), 1);
+        let q = RangeQuery::new(6_000, 8_000);
+        let out = col.query(&q).unwrap();
+        assert_eq!(out.views_used, vec![ViewId::Partial(0)]);
+        assert_eq!(out.count, col.full_scan(&q).count);
     }
 
     #[test]

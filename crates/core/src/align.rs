@@ -1,0 +1,505 @@
+//! Background (epoch-handoff) view alignment.
+//!
+//! [`crate::updates::align_views_after_updates`] is a stop-the-world call:
+//! no query can run on the column while a whole batch is aligned. This
+//! module decomposes alignment into three phases so the expensive decision
+//! work can leave the query path entirely (related work: *Virtual-Memory
+//! Assisted Buffer Management* overlaps mapping changes with query
+//! execution; *The Virtual Block Interface* decouples mapping management
+//! from access latency):
+//!
+//! 1. **Snapshot** ([`snapshot_alignment`]) — on the caller thread, the
+//!    batch is deduplicated and grouped, the slot ↔ page mapping of every
+//!    partial view is materialized (one `/proc/self/maps` parse, §2.5), and
+//!    the *values of every updated page* are copied out. The snapshot is
+//!    plain owned data: it borrows nothing from the column.
+//! 2. **Plan** ([`plan_alignment`]) — pure computation over the snapshot:
+//!    for every view, the §2.4 add/remove decisions are replayed against a
+//!    *shadow copy* of its mapping table, recording the page-table
+//!    manipulations as [`ViewOp`]s. Because the snapshot is owned, this
+//!    phase can run on a background worker ([`spawn_alignment`]) while
+//!    queries keep executing against the untouched pre-batch views — and
+//!    the independent per-view work is fork-joined across the
+//!    [`asv_util::ThreadPool`].
+//! 3. **Publish** ([`apply_plan`]) — back on the owning thread, the
+//!    recorded ops are replayed onto the real view buffers (the only part
+//!    that must exclude queries: a handful of `mmap(MAP_FIXED)` /
+//!    truncate calls) and the [`ViewSet`] generation is bumped, moving the
+//!    column into the next view epoch.
+//!
+//! The synchronous path runs the exact same three phases back-to-back, so
+//! background and synchronous alignment produce bit-identical slot ↔ page
+//! layouts by construction. Pages are planned in ascending page-id order —
+//! never in `HashMap` iteration order — which pins the layout of newly
+//! mapped slots to a single deterministic outcome across runs.
+
+use std::collections::HashMap;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use asv_storage::{dedup_last_write_wins, sorted_page_groups, Column, Update};
+use asv_util::{Parallelism, ThreadPool, Timer, ValueRange};
+use asv_vmem::{Backend, MappingTable, VmemError};
+
+use crate::updates::UpdateAlignmentStats;
+use crate::viewset::ViewSet;
+
+/// One mapping manipulation recorded by the planner, replayed on the real
+/// view buffer at publish time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ViewOp {
+    /// Map `phys_page` into view slot `slot` (a single-page rewire).
+    Map {
+        /// Target view slot.
+        slot: usize,
+        /// Physical page to map there.
+        phys_page: usize,
+    },
+    /// Shrink the view's mapped prefix to `mapped_pages` slots.
+    Truncate {
+        /// New mapped-page count.
+        mapped_pages: usize,
+    },
+}
+
+/// The planned alignment of one partial view.
+#[derive(Clone, Debug)]
+pub struct ViewPlan {
+    /// Position of the view in the [`ViewSet`] the snapshot was taken from.
+    pub view_idx: usize,
+    /// Id of that view (guards against the set changing before publish).
+    pub view_id: u64,
+    /// Mapping manipulations to replay, in order.
+    pub ops: Vec<ViewOp>,
+    /// `(view, page)` additions planned for this view.
+    pub pages_added: usize,
+    /// `(view, page)` removals planned for this view.
+    pub pages_removed: usize,
+}
+
+/// The planned alignment of a whole view set for one update batch.
+#[derive(Clone, Debug)]
+pub struct AlignmentPlan {
+    /// Number of raw update records in the batch.
+    pub batch_size: usize,
+    /// Number of records after last-write-wins deduplication.
+    pub deduped_size: usize,
+    /// Time spent materializing the view mappings in the snapshot phase.
+    pub parse_time: Duration,
+    /// Time spent planning (the phase that runs off the query path).
+    pub plan_time: Duration,
+    /// Per-view plans; views whose mapping is unaffected are omitted.
+    pub views: Vec<ViewPlan>,
+}
+
+impl AlignmentPlan {
+    /// Total `(view, page)` additions across all views.
+    pub fn pages_added(&self) -> usize {
+        self.views.iter().map(|v| v.pages_added).sum()
+    }
+
+    /// Total `(view, page)` removals across all views.
+    pub fn pages_removed(&self) -> usize {
+        self.views.iter().map(|v| v.pages_removed).sum()
+    }
+}
+
+/// The owned state a background worker needs to plan an alignment: mapping
+/// tables, update groups and the values of every updated page. Borrows
+/// nothing — queries can keep scanning the column while a worker chews on
+/// this.
+#[derive(Clone, Debug)]
+pub struct AlignmentSnapshot {
+    batch_size: usize,
+    deduped_size: usize,
+    parse_time: Duration,
+    /// Updates grouped by modified page, sorted ascending by page id.
+    groups: Vec<(usize, Vec<Update>)>,
+    /// Per partial view: position, id, covered range, pre-batch mapping.
+    views: Vec<ViewSnapshot>,
+    /// Post-batch values (valid slots only) of every updated page some
+    /// view may have to re-inspect for a case-(2) removal.
+    page_values: HashMap<usize, Vec<u64>>,
+}
+
+#[derive(Clone, Debug)]
+struct ViewSnapshot {
+    idx: usize,
+    id: u64,
+    range: ValueRange,
+    table: MappingTable,
+}
+
+/// Captures everything the alignment planner needs from `column` / `views`
+/// for an already-applied `batch` (phase 1).
+///
+/// The mapping of every partial view is materialized once for the whole
+/// batch (one `/proc/self/maps` parse on the mmap backend, §2.5); the
+/// contents of the updated pages are copied so removal decisions can be
+/// taken without touching the column again.
+pub fn snapshot_alignment<B: Backend>(
+    column: &Column<B>,
+    views: &ViewSet<B>,
+    batch: &[Update],
+) -> Result<AlignmentSnapshot, VmemError> {
+    let deduped = dedup_last_write_wins(batch);
+    let deduped_size = deduped.len();
+    let groups: Vec<(usize, Vec<Update>)> = sorted_page_groups(&deduped)
+        .into_iter()
+        .map(|(page, updates)| (page as usize, updates))
+        // Defensive: updates beyond the column are ignored.
+        .filter(|(page, _)| *page < column.num_pages())
+        .collect();
+
+    // The parse timer covers the whole snapshot materialization: mapping
+    // tables plus the page-value copies (the work the synchronous path
+    // previously did lazily inside its align timer stays accounted for).
+    let parse_timer = Timer::start();
+    let tables: Vec<MappingTable> = {
+        let buffers: Vec<&B::View> = views.partial_views().iter().map(|v| v.buffer()).collect();
+        column.backend().mapping_tables(column.store(), &buffers)?
+    };
+
+    let view_snapshots: Vec<ViewSnapshot> = views
+        .iter()
+        .zip(tables)
+        .map(|((idx, view), table)| ViewSnapshot {
+            idx,
+            id: view.id(),
+            range: *view.range(),
+            table,
+        })
+        .collect();
+
+    // Copy only the pages some view may have to re-inspect for removal
+    // (case 2: indexed, no new value qualifies, some old value did) — the
+    // exact pages the synchronous algorithm used to read from the column.
+    let page_values = groups
+        .iter()
+        .filter(|(page, page_updates)| {
+            view_snapshots.iter().any(|view| {
+                view.table.contains_phys(*page)
+                    && !page_updates
+                        .iter()
+                        .any(|u| view.range.contains(u.new_value))
+                    && page_updates
+                        .iter()
+                        .any(|u| view.range.contains(u.old_value))
+            })
+        })
+        .map(|(page, _)| (*page, column.page_ref(*page).values().to_vec()))
+        .collect();
+    let parse_time = parse_timer.elapsed();
+
+    Ok(AlignmentSnapshot {
+        batch_size: batch.len(),
+        deduped_size,
+        parse_time,
+        groups,
+        views: view_snapshots,
+        page_values,
+    })
+}
+
+/// Plans the alignment of every view in the snapshot (phase 2) — pure
+/// computation, fork-joined per view across a pool sized by `parallelism`.
+pub fn plan_alignment(snapshot: &AlignmentSnapshot, parallelism: Parallelism) -> AlignmentPlan {
+    let plan_timer = Timer::start();
+    let pool = ThreadPool::new(parallelism);
+    let tasks: Vec<_> = snapshot
+        .views
+        .iter()
+        .map(|view| move || plan_view(view, &snapshot.groups, &snapshot.page_values))
+        .collect();
+    let views: Vec<ViewPlan> = pool
+        .scoped_map(tasks)
+        .into_iter()
+        .filter(|plan| !plan.ops.is_empty())
+        .collect();
+    AlignmentPlan {
+        batch_size: snapshot.batch_size,
+        deduped_size: snapshot.deduped_size,
+        parse_time: snapshot.parse_time,
+        plan_time: plan_timer.elapsed(),
+        views,
+    }
+}
+
+/// Replays the §2.4 add/remove rules for one view against a shadow copy of
+/// its mapping table, recording the resulting buffer manipulations.
+///
+/// This mirrors the in-place algorithm exactly: case-(1) additions append
+/// at the mapped prefix's end, case-(2) removals swap the last slot into
+/// the hole and truncate by one — so replaying the ops reproduces the same
+/// slot ↔ page layout the synchronous path builds.
+fn plan_view(
+    view: &ViewSnapshot,
+    groups: &[(usize, Vec<Update>)],
+    page_values: &HashMap<usize, Vec<u64>>,
+) -> ViewPlan {
+    let range = view.range;
+    let mut table = view.table.clone();
+    let mut mapped = table.len();
+    let mut ops = Vec::new();
+    let mut pages_added = 0usize;
+    let mut pages_removed = 0usize;
+    for (page, page_updates) in groups {
+        let page = *page;
+        let indexed = table.contains_phys(page);
+        let any_new_qualifies = page_updates.iter().any(|u| range.contains(u.new_value));
+        if !indexed {
+            // Case (1): the page is not indexed but received a value inside
+            // the view's range — map it into the first unused slot.
+            if any_new_qualifies {
+                ops.push(ViewOp::Map {
+                    slot: mapped,
+                    phys_page: page,
+                });
+                table.insert(mapped, page);
+                mapped += 1;
+                pages_added += 1;
+            }
+        } else if !any_new_qualifies {
+            // Case (2): the page is indexed and none of the new values keep
+            // it qualifying *because of this batch*. If no old value was in
+            // range either, the updates are irrelevant to this view;
+            // otherwise re-inspect the page and remove it if no remaining
+            // value falls into the range.
+            let any_old_qualified = page_updates.iter().any(|u| range.contains(u.old_value));
+            if any_old_qualified {
+                let still_qualifies = page_values
+                    .get(&page)
+                    .expect("snapshot holds every page needing re-inspection")
+                    .iter()
+                    .any(|v| range.contains(*v));
+                if !still_qualifies {
+                    // Swap-remove: rewire the last mapped slot into the
+                    // hole, then truncate by one page.
+                    let hole_slot = table
+                        .remove_phys(page)
+                        .expect("page is indexed by this view");
+                    let last_slot = mapped - 1;
+                    if hole_slot != last_slot {
+                        let last_phys = table
+                            .phys_for_slot(last_slot)
+                            .expect("dense views have a mapping for every slot");
+                        ops.push(ViewOp::Map {
+                            slot: hole_slot,
+                            phys_page: last_phys,
+                        });
+                        table.remove_slot(last_slot);
+                        table.insert(hole_slot, last_phys);
+                    }
+                    ops.push(ViewOp::Truncate {
+                        mapped_pages: last_slot,
+                    });
+                    mapped = last_slot;
+                    pages_removed += 1;
+                }
+            }
+        }
+    }
+    ViewPlan {
+        view_idx: view.idx,
+        view_id: view.id,
+        ops,
+        pages_added,
+        pages_removed,
+    }
+}
+
+/// Publishes a plan (phase 3): replays every recorded op onto the real view
+/// buffers and bumps the [`ViewSet`] generation, moving queries onto the
+/// post-batch view epoch.
+///
+/// Fails with [`VmemError::Unsupported`] if the view set changed since the
+/// snapshot was taken (a view at a planned position no longer carries the
+/// snapshotted id).
+pub fn apply_plan<B: Backend>(
+    column: &Column<B>,
+    views: &mut ViewSet<B>,
+    plan: &AlignmentPlan,
+) -> Result<UpdateAlignmentStats, VmemError> {
+    let apply_timer = Timer::start();
+    // Validate every planned view position/id up front, before any buffer
+    // is touched: a stale plan must fail cleanly, not half-published.
+    for view_plan in &plan.views {
+        if views
+            .partial_view(view_plan.view_idx)
+            .map(|v| v.id() != view_plan.view_id)
+            .unwrap_or(true)
+        {
+            return Err(VmemError::Unsupported(
+                "view set changed between alignment snapshot and publish",
+            ));
+        }
+    }
+    for view_plan in &plan.views {
+        let view = views
+            .partial_view_mut(view_plan.view_idx)
+            .expect("validated above");
+        for op in &view_plan.ops {
+            match *op {
+                ViewOp::Map { slot, phys_page } => {
+                    column.map_run_into(view.buffer_mut(), slot, phys_page, 1)?;
+                }
+                ViewOp::Truncate { mapped_pages } => {
+                    column
+                        .backend()
+                        .truncate_view(view.buffer_mut(), mapped_pages)?;
+                }
+            }
+        }
+    }
+    views.bump_generation();
+    Ok(UpdateAlignmentStats {
+        batch_size: plan.batch_size,
+        deduped_size: plan.deduped_size,
+        parse_time: plan.parse_time,
+        align_time: plan.plan_time + apply_timer.elapsed(),
+        pages_added: plan.pages_added(),
+        pages_removed: plan.pages_removed(),
+    })
+}
+
+/// A batch alignment planning on a background worker thread.
+///
+/// Produced by [`spawn_alignment`]; the owning column keeps serving queries
+/// on the pre-batch view epoch until the plan is [`PendingAlignment::join`]ed
+/// and published with [`apply_plan`].
+#[derive(Debug)]
+pub struct PendingAlignment {
+    handle: JoinHandle<AlignmentPlan>,
+}
+
+/// Ships an [`AlignmentSnapshot`] to a dedicated worker thread that plans
+/// the alignment off the query path. Within the batch, the worker
+/// fork-joins the per-view planning across a pool sized by `parallelism`.
+pub fn spawn_alignment(snapshot: AlignmentSnapshot, parallelism: Parallelism) -> PendingAlignment {
+    let handle = std::thread::Builder::new()
+        .name("asv-align".into())
+        .spawn(move || plan_alignment(&snapshot, parallelism))
+        .expect("spawn alignment worker thread");
+    PendingAlignment { handle }
+}
+
+impl PendingAlignment {
+    /// Returns `true` once the worker has finished planning (joining will
+    /// not block).
+    pub fn is_finished(&self) -> bool {
+        self.handle.is_finished()
+    }
+
+    /// Waits for the worker and returns the finished plan.
+    ///
+    /// A panic on the worker thread is propagated to the caller.
+    pub fn join(self) -> AlignmentPlan {
+        match self.handle.join() {
+            Ok(plan) => plan,
+            Err(panic) => std::panic::resume_unwind(panic),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CreationOptions;
+    use crate::creation::build_view_for_range;
+    use asv_vmem::{SimBackend, VALUES_PER_PAGE};
+
+    /// Clustered data: page p holds values in [p*1000, p*1000 + 510].
+    fn clustered_values(pages: usize) -> Vec<u64> {
+        (0..pages * VALUES_PER_PAGE)
+            .map(|i| ((i / VALUES_PER_PAGE) * 1000 + i % VALUES_PER_PAGE) as u64)
+            .collect()
+    }
+
+    fn column_with_views(
+        pages: usize,
+        ranges: &[ValueRange],
+    ) -> (Column<SimBackend>, ViewSet<SimBackend>) {
+        let column = Column::from_values(SimBackend::new(), &clustered_values(pages)).unwrap();
+        let mut views = ViewSet::new(10);
+        for r in ranges {
+            let (buffer, _) = build_view_for_range(&column, r, &CreationOptions::ALL).unwrap();
+            views.insert_unchecked(*r, buffer);
+        }
+        (column, views)
+    }
+
+    #[test]
+    fn snapshot_is_self_contained_and_sorted() {
+        let range = ValueRange::new(5_000, 9_400);
+        let (mut column, views) = column_with_views(32, &[range]);
+        let updates = column.write_batch(&[
+            (20 * VALUES_PER_PAGE + 3, 6_000),
+            (7 * VALUES_PER_PAGE, 900_000),
+            (2 * VALUES_PER_PAGE, 1),
+        ]);
+        let snap = snapshot_alignment(&column, &views, &updates).unwrap();
+        assert_eq!(snap.batch_size, 3);
+        assert_eq!(snap.deduped_size, 3);
+        let pages: Vec<usize> = snap.groups.iter().map(|(p, _)| *p).collect();
+        assert_eq!(pages, vec![2, 7, 20], "groups sorted by page id");
+        assert_eq!(snap.views.len(), 1);
+        // Only page 7 may need re-inspection (indexed, old value in range,
+        // new value out of range), so only its values are copied — pages 2
+        // (never indexed) and 20 (case-1 addition) are not.
+        assert_eq!(snap.page_values.len(), 1);
+        assert_eq!(snap.page_values[&7].len(), VALUES_PER_PAGE);
+        // The snapshot carries post-batch values.
+        assert_eq!(snap.page_values[&7][0], 900_000);
+    }
+
+    #[test]
+    fn plan_records_append_for_new_page() {
+        let range = ValueRange::new(5_000, 9_400);
+        let (mut column, views) = column_with_views(32, &[range]);
+        let before = views.partial_view(0).unwrap().num_pages();
+        let updates = column.write_batch(&[(20 * VALUES_PER_PAGE, 6_000)]);
+        let snap = snapshot_alignment(&column, &views, &updates).unwrap();
+        let plan = plan_alignment(&snap, Parallelism::Sequential);
+        assert_eq!(plan.pages_added(), 1);
+        assert_eq!(plan.pages_removed(), 0);
+        assert_eq!(plan.views.len(), 1);
+        assert_eq!(
+            plan.views[0].ops,
+            vec![ViewOp::Map {
+                slot: before,
+                phys_page: 20
+            }]
+        );
+    }
+
+    #[test]
+    fn publish_fails_if_view_set_changed() {
+        let range = ValueRange::new(5_000, 9_400);
+        let (mut column, mut views) = column_with_views(32, &[range]);
+        let updates = column.write_batch(&[(20 * VALUES_PER_PAGE, 6_000)]);
+        let snap = snapshot_alignment(&column, &views, &updates).unwrap();
+        let plan = plan_alignment(&snap, Parallelism::Sequential);
+        // Replace the view set's only view: ids no longer match.
+        views.clear();
+        let (buffer, _) = build_view_for_range(&column, &range, &CreationOptions::ALL).unwrap();
+        views.insert_unchecked(range, buffer);
+        assert!(apply_plan(&column, &mut views, &plan).is_err());
+    }
+
+    #[test]
+    fn background_planning_runs_off_thread() {
+        let range = ValueRange::new(5_000, 9_400);
+        let (mut column, mut views) = column_with_views(32, &[range]);
+        let updates = column.write_batch(&[(20 * VALUES_PER_PAGE, 6_000)]);
+        let snap = snapshot_alignment(&column, &views, &updates).unwrap();
+        let generation_before = views.generation();
+        let pending = spawn_alignment(snap, Parallelism::Threads(2));
+        // The snapshot is owned by the worker: the column stays fully
+        // usable here (this is the whole point of the handoff).
+        assert!(column.full_scan(&range).count > 0);
+        let plan = pending.join();
+        let stats = apply_plan(&column, &mut views, &plan).unwrap();
+        assert_eq!(stats.pages_added, 1);
+        assert_eq!(views.generation(), generation_before + 1);
+    }
+}

@@ -17,11 +17,16 @@
 //! * **optimized view creation** with consecutive-run coalescing and a
 //!   background mapping thread (paper §2.3, [`creation`]),
 //! * **batched update alignment** of partial views driven by the
-//!   materialized memory mapping (paper §2.4–2.5, [`updates`]).
+//!   materialized memory mapping (paper §2.4–2.5, [`updates`]),
+//! * **background (epoch-handoff) alignment** that plans a batch's
+//!   alignment on a worker thread while queries keep running against the
+//!   pre-batch views, publishing the aligned set atomically by bumping the
+//!   view-set generation ([`align`]).
 //!
 //! The entry point is [`AdaptiveColumn`].
 
 pub mod adaptive;
+pub mod align;
 pub mod config;
 pub mod creation;
 pub mod exec;
@@ -34,6 +39,10 @@ pub mod view;
 pub mod viewset;
 
 pub use adaptive::AdaptiveColumn;
+pub use align::{
+    apply_plan, plan_alignment, snapshot_alignment, spawn_alignment, AlignmentPlan,
+    AlignmentSnapshot, PendingAlignment, ViewOp, ViewPlan,
+};
 pub use config::{AdaptiveConfig, CreationOptions, RoutingMode};
 // Re-exported so downstream crates can configure the parallel execution
 // layer without depending on asv-util directly.
@@ -43,6 +52,9 @@ pub use query::{QueryOutcome, RangeQuery, ViewMaintenance};
 pub use router::{route, RouteSelection, ViewId};
 pub use stats::{QueryRecord, SequenceStats};
 pub use table::{AdaptiveTable, ConjunctiveOutcome};
-pub use updates::{align_views_after_updates, rebuild_all_views, UpdateAlignmentStats};
+pub use updates::{
+    align_views_after_updates, align_views_after_updates_with, rebuild_all_views,
+    UpdateAlignmentStats,
+};
 pub use view::PartialView;
 pub use viewset::ViewSet;

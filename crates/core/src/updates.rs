@@ -7,19 +7,27 @@
 //!    may temporarily index stale page sets.
 //! 2. [`align_views_after_updates`] re-aligns every partial view with a
 //!    whole *batch* of update records at once: the batch is reduced to the
-//!    last write per row, grouped by modified physical page, and each page
+//!    last write per row, grouped by modified physical page (in ascending
+//!    page order, so slot assignments are deterministic), and each page
 //!    is added to / removed from each view according to the rules of §2.4.
 //!    The current slot ↔ page mapping of each view is obtained once per
 //!    batch from the memory-mapping introspection of the backend
 //!    (`/proc/self/maps` on the mmap backend, §2.5) and maintained in
 //!    user-space while pages are added and removed.
+//!
+//! The synchronous entry points here run the three alignment phases of
+//! [`crate::align`] (snapshot → plan → publish) back-to-back; the same
+//! phases power the background (epoch-handoff) alignment of
+//! [`crate::AdaptiveColumn::align_views_async`], so both paths produce
+//! identical view layouts by construction.
 
 use std::time::Duration;
 
-use asv_storage::{dedup_last_write_wins, group_by_page, Column, Update};
-use asv_util::Timer;
-use asv_vmem::{Backend, MappingTable, ViewBuffer, VmemError};
+use asv_storage::{Column, Update};
+use asv_util::{Parallelism, Timer};
+use asv_vmem::{Backend, VmemError};
 
+use crate::align::{apply_plan, plan_alignment, snapshot_alignment};
 use crate::config::CreationOptions;
 use crate::creation::build_view_for_range;
 use crate::viewset::ViewSet;
@@ -32,14 +40,17 @@ pub struct UpdateAlignmentStats {
     pub batch_size: usize,
     /// Number of records after last-write-wins deduplication.
     pub deduped_size: usize,
-    /// Time spent materializing the view mappings (parsing
-    /// `/proc/self/maps` on the mmap backend).
+    /// Time spent materializing the alignment snapshot: the view mappings
+    /// (parsing `/proc/self/maps` on the mmap backend) plus the copies of
+    /// the updated pages that may need re-inspection.
     pub parse_time: Duration,
     /// Time spent deciding and executing page additions/removals.
     pub align_time: Duration,
-    /// Number of physical pages newly mapped into some partial view.
+    /// Number of `(view, page)` additions: physical pages newly mapped into
+    /// a partial view. A page entering several views counts once per view.
     pub pages_added: usize,
-    /// Number of physical pages removed from some partial view.
+    /// Number of `(view, page)` removals: physical pages unmapped from a
+    /// partial view. A page leaving several views counts once per view.
     pub pages_removed: usize,
 }
 
@@ -55,108 +66,36 @@ impl UpdateAlignmentStats {
 ///
 /// The batch must contain the update records produced when the writes were
 /// applied (old and new value per row); the physical column must already
-/// reflect the new values.
+/// reflect the new values. Pages are processed in ascending page-id order,
+/// so repeated runs of the same batch produce identical slot ↔ page
+/// layouts.
 pub fn align_views_after_updates<B: Backend>(
     column: &Column<B>,
     views: &mut ViewSet<B>,
     batch: &[Update],
 ) -> Result<UpdateAlignmentStats, VmemError> {
-    let mut stats = UpdateAlignmentStats {
-        batch_size: batch.len(),
-        ..Default::default()
-    };
-    if batch.is_empty() || views.is_empty() {
-        return Ok(stats);
-    }
-
-    // Step 1: keep only the last write per row (with the original old value).
-    let deduped = dedup_last_write_wins(batch);
-    stats.deduped_size = deduped.len();
-    // Step 2: group the surviving updates by modified physical page.
-    let groups = group_by_page(&deduped);
-
-    // Materialize the slot ↔ physical-page mapping of every partial view,
-    // parsing the process mappings only once for the whole batch (§2.5).
-    let parse_timer = Timer::start();
-    let mut tables: Vec<MappingTable> = {
-        let buffers: Vec<&B::View> = views.partial_views().iter().map(|v| v.buffer()).collect();
-        column.backend().mapping_tables(column.store(), &buffers)?
-    };
-    stats.parse_time = parse_timer.elapsed();
-
-    let align_timer = Timer::start();
-    for (view_idx, table) in tables.iter_mut().enumerate() {
-        let view = views
-            .partial_view_mut(view_idx)
-            .expect("table index matches view index");
-        let range = *view.range();
-        for (&page, page_updates) in &groups {
-            let page = page as usize;
-            if page >= column.num_pages() {
-                // Defensive: updates beyond the column are ignored.
-                continue;
-            }
-            let indexed = table.contains_phys(page);
-            let any_new_qualifies = page_updates.iter().any(|u| range.contains(u.new_value));
-            if !indexed {
-                // Case (1): the page is not indexed but received a value
-                // inside the view's range — map an unused virtual page.
-                if any_new_qualifies {
-                    let slot = view.buffer().mapped_pages();
-                    column.map_run_into(view.buffer_mut(), slot, page, 1)?;
-                    table.insert(slot, page);
-                    stats.pages_added += 1;
-                }
-            } else if !any_new_qualifies {
-                // Case (2): the page is indexed and none of the new values
-                // keep it qualifying *because of this batch*. If no old value
-                // was in range either, the updates are irrelevant to this
-                // view. Otherwise the page must be re-inspected and removed
-                // if no remaining value falls into the range.
-                let any_old_qualified = page_updates.iter().any(|u| range.contains(u.old_value));
-                if any_old_qualified {
-                    let still_qualifies = column
-                        .page_ref(page)
-                        .values()
-                        .iter()
-                        .any(|v| range.contains(*v));
-                    if !still_qualifies {
-                        remove_page_from_view(column, view, table, page)?;
-                        stats.pages_removed += 1;
-                    }
-                }
-            }
-        }
-    }
-    stats.align_time = align_timer.elapsed();
-    Ok(stats)
+    align_views_after_updates_with(column, views, batch, Parallelism::Sequential)
 }
 
-/// Removes `page` from the view by swap-remove: the last mapped slot is
-/// rewired into the removed page's slot and the view is truncated by one
-/// page, keeping the mapped prefix dense.
-fn remove_page_from_view<B: Backend>(
+/// [`align_views_after_updates`] with an explicit degree of parallelism:
+/// the independent per-view planning work is fork-joined across a pool of
+/// `parallelism` workers (the buffer manipulations are applied on the
+/// calling thread afterwards).
+pub fn align_views_after_updates_with<B: Backend>(
     column: &Column<B>,
-    view: &mut crate::view::PartialView<B>,
-    table: &mut MappingTable,
-    page: usize,
-) -> Result<(), VmemError> {
-    let hole_slot = table
-        .remove_phys(page)
-        .expect("page is indexed by this view");
-    let last_slot = view.buffer().mapped_pages() - 1;
-    if hole_slot != last_slot {
-        let last_phys = table
-            .phys_for_slot(last_slot)
-            .expect("dense views have a mapping for every slot");
-        column.map_run_into(view.buffer_mut(), hole_slot, last_phys, 1)?;
-        table.remove_slot(last_slot);
-        table.insert(hole_slot, last_phys);
+    views: &mut ViewSet<B>,
+    batch: &[Update],
+    parallelism: Parallelism,
+) -> Result<UpdateAlignmentStats, VmemError> {
+    if batch.is_empty() || views.is_empty() {
+        return Ok(UpdateAlignmentStats {
+            batch_size: batch.len(),
+            ..Default::default()
+        });
     }
-    column
-        .backend()
-        .truncate_view(view.buffer_mut(), last_slot)?;
-    Ok(())
+    let snapshot = snapshot_alignment(column, views, batch)?;
+    let plan = plan_alignment(&snapshot, parallelism);
+    apply_plan(column, views, &plan)
 }
 
 /// Rebuilds every partial view from scratch by re-scanning the column — the
@@ -177,6 +116,7 @@ pub fn rebuild_all_views<B: Backend>(
         let view = views.partial_view_mut(idx).expect("index within bounds");
         *view.buffer_mut() = buffer;
     }
+    views.bump_generation();
     Ok(timer.elapsed())
 }
 
@@ -367,6 +307,121 @@ mod tests {
                 "view {i} misaligned"
             );
         }
+    }
+
+    /// The slot → page layout of a view, in slot order.
+    fn slot_layout<B: Backend>(column: &Column<B>, views: &ViewSet<B>, idx: usize) -> Vec<usize> {
+        let view = views.partial_view(idx).unwrap();
+        let table = column
+            .backend()
+            .mapping_table(column.store(), view.buffer())
+            .unwrap();
+        (0..view.num_pages())
+            .map(|slot| table.phys_for_slot(slot).expect("dense mapped prefix"))
+            .collect()
+    }
+
+    /// Regression test for the `HashMap`-iteration-order bug: case-(1) page
+    /// additions must land in identical slots across repeated runs of the
+    /// same batch, and in ascending page order.
+    fn check_alignment_is_deterministic<B: Backend>(make_backend: impl Fn() -> B) {
+        let range = ValueRange::new(5_000, 9_400);
+        // Write a qualifying value into many previously unmapped pages so a
+        // nondeterministic iteration order would almost surely differ.
+        let writes: Vec<(usize, u64)> = (10..30)
+            .map(|p| (p * VALUES_PER_PAGE + p, 6_000 + p as u64))
+            .collect();
+        let mut layouts = Vec::new();
+        for _ in 0..3 {
+            let (mut column, mut views) = column_with_view(make_backend(), 32, range);
+            let updates = column.write_batch(&writes);
+            let stats = align_views_after_updates(&column, &mut views, &updates).unwrap();
+            assert_eq!(stats.pages_added, 20);
+            layouts.push(slot_layout(&column, &views, 0));
+        }
+        assert_eq!(layouts[0], layouts[1], "identical batches, identical slots");
+        assert_eq!(layouts[1], layouts[2], "identical batches, identical slots");
+        // Pages 5..=9 qualified initially; the additions follow in
+        // ascending page order.
+        let expected: Vec<usize> = (5..10).chain(10..30).collect();
+        assert_eq!(layouts[0], expected);
+    }
+
+    #[test]
+    fn alignment_is_deterministic_sim() {
+        check_alignment_is_deterministic(SimBackend::new);
+    }
+
+    #[test]
+    fn alignment_is_deterministic_mmap() {
+        check_alignment_is_deterministic(MmapBackend::new);
+    }
+
+    #[test]
+    fn stats_count_view_page_pairs_not_distinct_pages() {
+        // Two overlapping views both index page 5; removing / adding one
+        // physical page therefore counts once per affected view.
+        let ranges = [ValueRange::new(5_000, 5_510), ValueRange::new(4_000, 6_000)];
+        let mut column = Column::from_values(SimBackend::new(), &clustered_values(16)).unwrap();
+        let mut views = ViewSet::new(10);
+        for r in &ranges {
+            let (buffer, _) = build_view_for_range(&column, r, &CreationOptions::ALL).unwrap();
+            views.insert_unchecked(*r, buffer);
+        }
+        assert!(actual_pages(&column, &views, 0).contains(&5));
+        assert!(actual_pages(&column, &views, 1).contains(&5));
+        // Overwrite all of page 5 with values qualifying for neither view:
+        // one physical page leaves two views → pages_removed == 2.
+        let writes: Vec<(usize, u64)> = (0..VALUES_PER_PAGE)
+            .map(|slot| (5 * VALUES_PER_PAGE + slot, 900_000 + slot as u64))
+            .collect();
+        let updates = column.write_batch(&writes);
+        let stats = align_views_after_updates(&column, &mut views, &updates).unwrap();
+        assert_eq!(stats.pages_removed, 2, "one page, two views, two removals");
+        // And symmetrically: moving one row of page 12 into both ranges
+        // adds the same physical page to both views → pages_added == 2.
+        let updates = column.write_batch(&[(12 * VALUES_PER_PAGE, 5_100)]);
+        let stats = align_views_after_updates(&column, &mut views, &updates).unwrap();
+        assert_eq!(stats.pages_added, 2, "one page, two views, two additions");
+    }
+
+    #[test]
+    fn sync_alignment_bumps_the_view_generation() {
+        let range = ValueRange::new(5_000, 9_400);
+        let (mut column, mut views) = column_with_view(SimBackend::new(), 32, range);
+        assert_eq!(views.generation(), 0);
+        let updates = column.write_batch(&[(20 * VALUES_PER_PAGE, 6_000)]);
+        align_views_after_updates(&column, &mut views, &updates).unwrap();
+        assert_eq!(views.generation(), 1);
+        // Rebuilds are epoch changes, too.
+        rebuild_all_views(&column, &mut views, &CreationOptions::ALL).unwrap();
+        assert_eq!(views.generation(), 2);
+    }
+
+    #[test]
+    fn parallel_sync_alignment_matches_sequential() {
+        let range = ValueRange::new(5_000, 9_400);
+        let writes: Vec<(usize, u64)> = (10..30)
+            .map(|p| (p * VALUES_PER_PAGE + p, 6_000 + p as u64))
+            .collect();
+        let (mut seq_col, mut seq_views) = column_with_view(SimBackend::new(), 32, range);
+        let seq_updates = seq_col.write_batch(&writes);
+        let seq_stats = align_views_after_updates(&seq_col, &mut seq_views, &seq_updates).unwrap();
+        let (mut par_col, mut par_views) = column_with_view(SimBackend::new(), 32, range);
+        let par_updates = par_col.write_batch(&writes);
+        let par_stats = align_views_after_updates_with(
+            &par_col,
+            &mut par_views,
+            &par_updates,
+            asv_util::Parallelism::Threads(4),
+        )
+        .unwrap();
+        assert_eq!(seq_stats.pages_added, par_stats.pages_added);
+        assert_eq!(seq_stats.pages_removed, par_stats.pages_removed);
+        assert_eq!(
+            slot_layout(&seq_col, &seq_views, 0),
+            slot_layout(&par_col, &par_views, 0)
+        );
     }
 
     #[test]

@@ -19,6 +19,11 @@ pub struct ViewSet<B: Backend> {
     /// Once the view limit has been reached, view generation stops for good
     /// (paper §2.2), even if views are later removed.
     generation_stopped: bool,
+    /// The view epoch: bumped every time an update alignment (or rebuild)
+    /// publishes a re-aligned view set. Queries observe a single epoch for
+    /// their whole execution; a background alignment leaves the epoch
+    /// untouched until it is published.
+    generation: u64,
 }
 
 impl<B: Backend> ViewSet<B> {
@@ -29,7 +34,19 @@ impl<B: Backend> ViewSet<B> {
             max_views,
             next_id: 0,
             generation_stopped: false,
+            generation: 0,
         }
+    }
+
+    /// The current view epoch (number of published alignments/rebuilds).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Moves the set into the next view epoch. Called by the alignment /
+    /// rebuild machinery when a re-aligned view set is published.
+    pub(crate) fn bump_generation(&mut self) {
+        self.generation += 1;
     }
 
     /// Number of partial views currently held.
@@ -157,6 +174,7 @@ impl<B: Backend> std::fmt::Debug for ViewSet<B> {
             .field("num_partial_views", &self.partials.len())
             .field("max_views", &self.max_views)
             .field("generation_stopped", &self.generation_stopped)
+            .field("generation", &self.generation)
             .finish()
     }
 }
@@ -341,6 +359,16 @@ mod tests {
         // "altogether").
         set.clear();
         assert!(!set.can_create_views());
+    }
+
+    #[test]
+    fn generation_starts_at_zero_and_bumps() {
+        let mut set: ViewSet<SimBackend> = ViewSet::new(4);
+        assert_eq!(set.generation(), 0);
+        set.bump_generation();
+        set.bump_generation();
+        assert_eq!(set.generation(), 2);
+        assert!(format!("{set:?}").contains("generation"));
     }
 
     #[test]

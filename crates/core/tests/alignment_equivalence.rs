@@ -1,0 +1,270 @@
+//! Property test: background (epoch-handoff) alignment, synchronous
+//! alignment and a rebuild-from-scratch are semantically identical.
+//!
+//! Seeded-RNG property loops (the workspace's offline replacement for
+//! proptest) drive random update batches through three twin columns per
+//! case — one aligned in the background, one aligned synchronously, one
+//! rebuilt from scratch — and assert, on both backends:
+//!
+//! * all three answer random range queries identically after the batch is
+//!   visible (checked against a scalar rescan of the raw values);
+//! * background and synchronous alignment publish *identical slot ↔ page
+//!   layouts* (the epoch handoff replays the exact ops the synchronous
+//!   path executes — bit-identical by construction, verified here);
+//! * queries issued mid-alignment are answered on the pre-batch view epoch
+//!   (same answers as right before the alignment started) and the view
+//!   generation only advances at publish time.
+
+use asv_core::{
+    build_view_for_range, AdaptiveColumn, AdaptiveConfig, CreationOptions, Parallelism, RangeQuery,
+};
+use asv_storage::Column;
+use asv_util::ValueRange;
+use asv_vmem::{Backend, SimBackend, VALUES_PER_PAGE};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const PAGES: usize = 40;
+const VIEW_RANGES: [(u64, u64); 3] = [(3_000, 8_400), (12_000, 18_510), (25_000, 33_000)];
+const UPDATES_PER_BATCH: usize = 300;
+const QUERIES_PER_CASE: usize = 12;
+
+/// Clustered data: value ranges map to page ranges, so the partial views
+/// index meaningful page subsets.
+fn clustered_values(rng: &mut StdRng) -> Vec<u64> {
+    (0..PAGES * VALUES_PER_PAGE)
+        .map(|i| {
+            let page = (i / VALUES_PER_PAGE) as u64;
+            page * 1000 + rng.gen_range(0u64..1500)
+        })
+        .collect()
+}
+
+/// Random writes across the whole column; values land inside and around
+/// the view ranges so batches trigger both page additions and removals.
+fn random_writes(rng: &mut StdRng) -> Vec<(usize, u64)> {
+    let domain_max = PAGES as u64 * 1000 + 1500;
+    (0..UPDATES_PER_BATCH)
+        .map(|_| {
+            let row = rng.gen_range(0..PAGES * VALUES_PER_PAGE);
+            let value = rng.gen_range(0..domain_max);
+            (row, value)
+        })
+        .collect()
+}
+
+fn random_queries(rng: &mut StdRng) -> Vec<RangeQuery> {
+    let domain_max = PAGES as u64 * 1000 + 1500;
+    (0..QUERIES_PER_CASE)
+        .map(|_| {
+            let lo = rng.gen_range(0..domain_max - 1);
+            let width = rng.gen_range(500..domain_max / 4);
+            RangeQuery::new(lo, (lo + width).min(domain_max))
+        })
+        .collect()
+}
+
+/// Builds an adaptive column with the three fixed partial views installed
+/// (adaptive creation disabled so all twins keep identical view sets).
+fn column_with_views<B: Backend>(backend: B, values: &[u64]) -> AdaptiveColumn<B> {
+    let config = AdaptiveConfig::default().with_adaptive_creation(false);
+    let mut col = AdaptiveColumn::from_values(backend, values, config).expect("column");
+    for &(lo, hi) in &VIEW_RANGES {
+        let range = ValueRange::new(lo, hi);
+        let (buffer, _) =
+            build_view_for_range(col.column(), &range, &CreationOptions::ALL).expect("view");
+        col.install_view(range, buffer);
+    }
+    col
+}
+
+/// The slot → page layout of every partial view, in slot order.
+fn view_layouts<B: Backend>(col: &AdaptiveColumn<B>) -> Vec<Vec<usize>> {
+    col.views()
+        .partial_views()
+        .iter()
+        .map(|view| {
+            let table = col
+                .column()
+                .backend()
+                .mapping_table(col.column().store(), view.buffer())
+                .expect("mapping table");
+            (0..view.num_pages())
+                .map(|slot| table.phys_for_slot(slot).expect("dense mapped prefix"))
+                .collect()
+        })
+        .collect()
+}
+
+fn scalar_answer(values: &[u64], q: &RangeQuery) -> (u64, u128) {
+    let mut count = 0u64;
+    let mut sum = 0u128;
+    for &v in values {
+        if q.range().contains(v) {
+            count += 1;
+            sum += v as u128;
+        }
+    }
+    (count, sum)
+}
+
+fn check_backend<B: Backend>(make_backend: impl Fn() -> B, label: &str) {
+    for case_seed in 0u64..3 {
+        let mut rng = StdRng::seed_from_u64(0xA116_4E55 + case_seed);
+        let mut values = clustered_values(&mut rng);
+        let writes = random_writes(&mut rng);
+        let queries = random_queries(&mut rng);
+
+        let mut background = column_with_views(make_backend(), &values);
+        let mut sync = column_with_views(make_backend(), &values);
+        let mut rebuilt = column_with_views(make_backend(), &values);
+
+        let bg_updates = background.write_batch(&writes);
+        let sync_updates = sync.write_batch(&writes);
+        rebuilt.write_batch(&writes);
+        for &(row, value) in &writes {
+            values[row] = value;
+        }
+
+        // Freeze the pre-publish epoch: answers of all queries against the
+        // stale (pre-batch) views.
+        let stale: Vec<(u64, u128)> = queries
+            .iter()
+            .map(|q| {
+                let out = background.query(q).expect("stale query");
+                (out.count, out.sum)
+            })
+            .collect();
+
+        // Kick off the background alignment and interleave the query
+        // sequence with the in-flight worker: every answer must come from
+        // the pre-batch epoch.
+        let generation_before = background.view_generation();
+        background.align_views_async(&bg_updates).expect("async");
+        assert!(background.alignment_pending(), "{label}/case{case_seed}");
+        for (q, &(count, sum)) in queries.iter().zip(&stale) {
+            let out = background.query(q).expect("mid-alignment query");
+            assert_eq!(
+                (out.count, out.sum),
+                (count, sum),
+                "{label}/case{case_seed}: mid-alignment answer left the pre-batch epoch"
+            );
+        }
+        assert_eq!(background.view_generation(), generation_before);
+
+        // Publish; align the synchronous twin (planning fork-joined over 3
+        // workers — parallel and sequential planning must agree too);
+        // rebuild the third twin from scratch.
+        let bg_stats = background
+            .publish_aligned_views()
+            .expect("publish")
+            .expect("a plan was pending");
+        assert_eq!(background.view_generation(), generation_before + 1);
+        let sync_config_stats = {
+            let col = &mut sync;
+            col.align_views(&sync_updates).expect("sync align")
+        };
+        assert_eq!(
+            (bg_stats.pages_added, bg_stats.pages_removed),
+            (
+                sync_config_stats.pages_added,
+                sync_config_stats.pages_removed
+            ),
+            "{label}/case{case_seed}: background and sync stats diverge"
+        );
+        rebuilt.rebuild_views().expect("rebuild");
+
+        // Background == sync: identical slot ↔ page layouts, not just
+        // identical page sets.
+        assert_eq!(
+            view_layouts(&background),
+            view_layouts(&sync),
+            "{label}/case{case_seed}: background and sync layouts diverge"
+        );
+
+        // All three twins answer every query identically, and correctly.
+        for q in &queries {
+            let expected = scalar_answer(&values, q);
+            let b = background.query(q).expect("background query");
+            let s = sync.query(q).expect("sync query");
+            let r = rebuilt.query(q).expect("rebuilt query");
+            let f = background.full_scan(q);
+            for (who, out) in [
+                ("background", (b.count, b.sum)),
+                ("sync", (s.count, s.sum)),
+                ("rebuilt", (r.count, r.sum)),
+                ("full-scan", (f.count, f.sum)),
+            ] {
+                assert_eq!(
+                    out, expected,
+                    "{label}/case{case_seed}: {who} disagrees with the scalar rescan"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn background_sync_and_rebuild_agree_on_sim_backend() {
+    check_backend(SimBackend::new, "sim");
+}
+
+#[cfg(target_os = "linux")]
+#[test]
+fn background_sync_and_rebuild_agree_on_mmap_backend() {
+    check_backend(asv_vmem::MmapBackend::new, "mmap");
+}
+
+/// The raw (non-AdaptiveColumn) pipeline: planning with different degrees
+/// of parallelism must produce identical plans, and replaying a plan on a
+/// twin column must equal in-place synchronous alignment.
+#[test]
+fn plan_replay_equals_in_place_alignment() {
+    let mut rng = StdRng::seed_from_u64(0x5EED);
+    let values = clustered_values(&mut rng);
+    let writes = random_writes(&mut rng);
+
+    let build = || {
+        let column = Column::from_values(SimBackend::new(), &values).expect("column");
+        let mut views = asv_core::ViewSet::new(8);
+        for &(lo, hi) in &VIEW_RANGES {
+            let range = ValueRange::new(lo, hi);
+            let (buffer, _) =
+                build_view_for_range(&column, &range, &CreationOptions::ALL).expect("view");
+            views.insert_unchecked(range, buffer);
+        }
+        (column, views)
+    };
+
+    let (mut col_a, mut views_a) = build();
+    let updates = col_a.write_batch(&writes);
+    let snapshot = asv_core::snapshot_alignment(&col_a, &views_a, &updates).expect("snapshot");
+    let plan_seq = asv_core::plan_alignment(&snapshot, Parallelism::Sequential);
+    let plan_par = asv_core::plan_alignment(&snapshot, Parallelism::Threads(4));
+    for (a, b) in plan_seq.views.iter().zip(&plan_par.views) {
+        assert_eq!(a.ops, b.ops, "parallel planning changed the ops");
+        assert_eq!(a.view_idx, b.view_idx);
+    }
+    asv_core::apply_plan(&col_a, &mut views_a, &plan_seq).expect("apply");
+
+    let (mut col_b, mut views_b) = build();
+    let updates_b = col_b.write_batch(&writes);
+    asv_core::align_views_after_updates(&col_b, &mut views_b, &updates_b).expect("sync");
+
+    for idx in 0..views_a.num_partial_views() {
+        let table_a = col_a
+            .backend()
+            .mapping_table(col_a.store(), views_a.partial_view(idx).unwrap().buffer())
+            .unwrap();
+        let table_b = col_b
+            .backend()
+            .mapping_table(col_b.store(), views_b.partial_view(idx).unwrap().buffer())
+            .unwrap();
+        let layout = |t: &asv_vmem::MappingTable, n: usize| -> Vec<usize> {
+            (0..n).map(|s| t.phys_for_slot(s).unwrap()).collect()
+        };
+        let n = views_a.partial_view(idx).unwrap().num_pages();
+        assert_eq!(n, views_b.partial_view(idx).unwrap().num_pages());
+        assert_eq!(layout(&table_a, n), layout(&table_b, n), "view {idx}");
+    }
+}

@@ -20,6 +20,6 @@ pub use column::Column;
 pub use kernel::{scan_view, scan_view_with, ScanKernel, ScanMode, ScanOutput};
 pub use page::{PageRef, PageScanResult};
 pub use table::Table;
-pub use updates::{dedup_last_write_wins, group_by_page, Update, UpdateBatch};
+pub use updates::{dedup_last_write_wins, group_by_page, sorted_page_groups, Update, UpdateBatch};
 
 pub use asv_vmem::{PAGE_SIZE_BYTES, SLOTS_PER_PAGE, VALUES_PER_PAGE};

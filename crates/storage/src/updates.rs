@@ -85,6 +85,19 @@ pub fn group_by_page(batch: &[Update]) -> HashMap<u64, Vec<Update>> {
     groups
 }
 
+/// Like [`group_by_page`], but returns the groups sorted by ascending page
+/// id.
+///
+/// The alignment algorithm assigns view slots in iteration order, so
+/// iterating a `HashMap` directly would place newly mapped pages in
+/// nondeterministic slots across runs. Sorting pins the slot ↔ page layout
+/// of every aligned view to a single deterministic outcome.
+pub fn sorted_page_groups(batch: &[Update]) -> Vec<(u64, Vec<Update>)> {
+    let mut groups: Vec<(u64, Vec<Update>)> = group_by_page(batch).into_iter().collect();
+    groups.sort_unstable_by_key(|(page, _)| *page);
+    groups
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -158,5 +171,21 @@ mod tests {
     #[test]
     fn group_by_page_empty() {
         assert!(group_by_page(&[]).is_empty());
+    }
+
+    #[test]
+    fn sorted_page_groups_are_ordered_by_page() {
+        let vp = VALUES_PER_PAGE as u64;
+        let batch = vec![
+            Update::new(vp * 9, 1, 2),
+            Update::new(0, 3, 4),
+            Update::new(vp * 4 + 2, 5, 6),
+            Update::new(1, 7, 8),
+        ];
+        let groups = sorted_page_groups(&batch);
+        let pages: Vec<u64> = groups.iter().map(|(p, _)| *p).collect();
+        assert_eq!(pages, vec![0, 4, 9]);
+        assert_eq!(groups[0].1.len(), 2);
+        assert!(sorted_page_groups(&[]).is_empty());
     }
 }
