@@ -1,10 +1,12 @@
 //! Regenerates the paper's tables and figures as text tables and CSV files.
 //!
 //! ```text
-//! experiments [fig3|fig4|fig5|fig6|fig7|table1|ablation|scaling|align-overlap|all]
+//! experiments [fig3|fig4|fig5|fig6|fig7|table1|ablation|scaling|align-overlap|
+//!              table-scan|all]
 //!             [--backend sim|mmap] [--scale tiny|small|medium|paper]
 //!             [--seed N] [--csv-dir DIR] [--threads N]
 //!             [--align-mode sync|background]
+//! experiments compare DIR_A DIR_B [--max-delta-pct X]
 //! ```
 //!
 //! The backend defaults to real memory rewiring (`mmap`) on Linux and to
@@ -26,12 +28,18 @@
 //! Results are printed to stdout; with `--csv-dir` the per-figure series are
 //! additionally written as CSV files (one per figure), which is what
 //! `EXPERIMENTS.md` records.
+//!
+//! The `compare` subcommand diffs two `--csv-dir` outputs and prints
+//! per-experiment timing deltas; `--max-delta-pct X` turns it into a check
+//! that fails (exit code 1) when any per-row delta exceeds `X` percent
+//! (`--max-delta-pct 0` against the same directory twice is the harness
+//! self-check CI runs).
 
 use std::process::ExitCode;
 
 use asv_bench::{
-    ablation, align_overlap, fig3, fig4, fig5, fig6, fig7, report, scaling, table1, Scale,
-    DEFAULT_SEED,
+    ablation, align_overlap, compare, fig3, fig4, fig5, fig6, fig7, report, scaling, table1,
+    table_scan, Scale, DEFAULT_SEED,
 };
 use asv_core::Parallelism;
 use asv_vmem::{AnyBackend, Backend};
@@ -44,6 +52,7 @@ struct Args {
     csv_dir: Option<String>,
     parallelism: Parallelism,
     align_mode: fig7::AlignMode,
+    max_delta_pct: Option<f64>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -54,6 +63,7 @@ fn parse_args() -> Result<Args, String> {
     let mut csv_dir = None;
     let mut parallelism = Parallelism::Sequential;
     let mut align_mode = fig7::AlignMode::Sync;
+    let mut max_delta_pct = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -90,13 +100,26 @@ fn parse_args() -> Result<Args, String> {
                 align_mode = fig7::AlignMode::by_name(&v)
                     .ok_or_else(|| format!("unknown align mode '{v}' (sync|background)"))?;
             }
+            "--max-delta-pct" => {
+                let v = args.next().ok_or("--max-delta-pct needs a value")?;
+                let bound: f64 = v
+                    .parse()
+                    .map_err(|_| format!("invalid delta bound '{v}'"))?;
+                // NaN would make every `>` comparison false and turn the
+                // gate into a no-op; negative bounds are meaningless.
+                if !bound.is_finite() || bound < 0.0 {
+                    return Err(format!("delta bound '{v}' must be a finite value >= 0"));
+                }
+                max_delta_pct = Some(bound);
+            }
             "--help" | "-h" => {
                 return Err(
                     "usage: experiments [fig3|fig4|fig5|fig6|fig7|table1|ablation|scaling|\
-                            align-overlap|all] \
+                            align-overlap|table-scan|all] \
                             [--backend sim|mmap] [--scale tiny|small|medium|paper] \
                             [--seed N] [--csv-dir DIR] [--threads N] \
-                            [--align-mode sync|background]"
+                            [--align-mode sync|background]\n\
+                     usage: experiments compare DIR_A DIR_B [--max-delta-pct X]"
                         .to_string(),
                 );
             }
@@ -115,6 +138,7 @@ fn parse_args() -> Result<Args, String> {
         csv_dir,
         parallelism,
         align_mode,
+        max_delta_pct,
     })
 }
 
@@ -256,6 +280,62 @@ fn run_scaling(args: &Args) {
     maybe_write_csv(&args.csv_dir, "scaling", &table);
 }
 
+fn run_table_scan(args: &Args) {
+    let rows = with_concrete_backend!(&args.backend, |b| table_scan::run_with(
+        b,
+        &args.scale,
+        args.seed,
+        args.parallelism
+    ));
+    let table = table_scan::to_table(&rows);
+    println!("{}", table.render());
+    maybe_write_csv(&args.csv_dir, "table_scan", &table);
+}
+
+/// The `compare` subcommand: `experiments compare DIR_A DIR_B`.
+fn run_compare(args: &Args) -> ExitCode {
+    let [_, dir_a, dir_b] = args.experiments.as_slice() else {
+        eprintln!("usage: experiments compare DIR_A DIR_B [--max-delta-pct X]");
+        return ExitCode::from(2);
+    };
+    let report = match compare::compare_dirs(dir_a, dir_b) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("compare failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    println!("{}", report.to_table().render());
+    for name in &report.only_a {
+        println!("(only in {dir_a}: {name})");
+    }
+    for name in &report.only_b {
+        println!("(only in {dir_b}: {name})");
+    }
+    let max_delta = report.max_abs_delta_pct();
+    println!("max |Δ row|: {max_delta:.2}%");
+    if let Some(bound) = args.max_delta_pct {
+        // Coverage gaps and incomparable files fail the check too: a gate
+        // that silently skips half the measurements is no gate.
+        let mut failures = Vec::new();
+        if max_delta > bound {
+            failures.push(format!("max delta {max_delta:.2}% exceeds bound {bound}%"));
+        }
+        if report.has_incomparable() {
+            failures.push("incomparable file(s), see table".to_string());
+        }
+        if report.has_coverage_gaps() {
+            failures.push("directories hold different file sets".to_string());
+        }
+        if !failures.is_empty() {
+            eprintln!("compare check failed: {}", failures.join("; "));
+            return ExitCode::from(1);
+        }
+        println!("compare check passed (bound {bound}%)");
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -264,6 +344,9 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if args.experiments.first().map(String::as_str) == Some("compare") {
+        return run_compare(&args);
+    }
     println!(
         "# adaptive-storage-views experiments (backend: {}, scale: {}, seed: {}, threads: {}, \
          align mode: {})",
@@ -288,6 +371,7 @@ fn main() -> ExitCode {
             "ablation" => run_ablation(&args),
             "scaling" => run_scaling(&args),
             "align-overlap" => run_align_overlap(&args),
+            "table-scan" => run_table_scan(&args),
             "all" => {
                 run_fig3(&args);
                 run_fig4(&args);
@@ -298,6 +382,7 @@ fn main() -> ExitCode {
                 run_ablation(&args);
                 run_scaling(&args);
                 run_align_overlap(&args);
+                run_table_scan(&args);
             }
             other => {
                 eprintln!("unknown experiment '{other}'");

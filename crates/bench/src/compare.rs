@@ -1,0 +1,434 @@
+//! Diffing two experiment CSV directories (`experiments compare A B`).
+//!
+//! Perf PRs are reviewable only if their timing effect is visible: this
+//! module loads every `*.csv` that exists in both directories (the files
+//! `--csv-dir` writes), matches rows by position, and reports per-column
+//! deltas for every numeric column — mean over the file plus the largest
+//! per-row deviation. Non-numeric columns (labels like `variant` or
+//! `mode`) must match exactly; mismatching label cells mark the file as
+//! incomparable instead of producing nonsense deltas.
+//!
+//! Comparing a directory against itself must yield all-zero deltas — the
+//! CI self-check of the experiment harness.
+
+use std::io;
+use std::path::Path;
+
+use crate::report::Table;
+
+/// The delta of one (numeric) column of one CSV file.
+#[derive(Clone, Debug)]
+pub struct ColumnDelta {
+    /// Column name from the CSV header.
+    pub name: String,
+    /// Mean over all rows in directory A.
+    pub mean_a: f64,
+    /// Mean over all rows in directory B.
+    pub mean_b: f64,
+    /// Relative delta of the means in percent (`(b - a) / a * 100`; 0 when
+    /// both means are 0).
+    pub mean_delta_pct: f64,
+    /// Largest absolute per-row relative delta in percent.
+    pub max_row_delta_pct: f64,
+}
+
+/// The comparison result of one CSV file present in both directories.
+#[derive(Clone, Debug)]
+pub struct FileDelta {
+    /// File name (without directory).
+    pub file: String,
+    /// Rows compared (the minimum of both files' row counts).
+    pub rows: usize,
+    /// Per-column deltas of the numeric columns.
+    pub columns: Vec<ColumnDelta>,
+    /// Label columns (or headers/row counts) that do not line up; such a
+    /// file contributes no deltas.
+    pub incomparable: Option<String>,
+}
+
+/// The full comparison of two CSV directories.
+#[derive(Clone, Debug, Default)]
+pub struct CompareReport {
+    /// Per-file deltas, sorted by file name.
+    pub files: Vec<FileDelta>,
+    /// Files present only in directory A.
+    pub only_a: Vec<String>,
+    /// Files present only in directory B.
+    pub only_b: Vec<String>,
+}
+
+impl CompareReport {
+    /// The largest absolute per-row delta (percent) across all files and
+    /// columns — the single number the CI self-check gates on.
+    pub fn max_abs_delta_pct(&self) -> f64 {
+        self.files
+            .iter()
+            .flat_map(|f| f.columns.iter())
+            .map(|c| c.max_row_delta_pct)
+            .fold(0.0, f64::max)
+    }
+
+    /// Returns `true` if any file pair could not be compared.
+    pub fn has_incomparable(&self) -> bool {
+        self.files.iter().any(|f| f.incomparable.is_some())
+    }
+
+    /// Returns `true` if either directory holds CSV files the other lacks —
+    /// a coverage gap the delta bound alone would not catch.
+    pub fn has_coverage_gaps(&self) -> bool {
+        !self.only_a.is_empty() || !self.only_b.is_empty()
+    }
+
+    /// Renders the report as one table (a row per file × numeric column).
+    pub fn to_table(&self) -> Table {
+        let mut table = Table::new(
+            "Compare: per-experiment deltas (B relative to A)",
+            &[
+                "file",
+                "column",
+                "rows",
+                "mean A",
+                "mean B",
+                "Δ mean %",
+                "max |Δ row| %",
+            ],
+        );
+        for f in &self.files {
+            if let Some(reason) = &f.incomparable {
+                table.add_row(vec![
+                    f.file.clone(),
+                    format!("<incomparable: {reason}>"),
+                    f.rows.to_string(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                ]);
+                continue;
+            }
+            for c in &f.columns {
+                table.add_row(vec![
+                    f.file.clone(),
+                    c.name.clone(),
+                    f.rows.to_string(),
+                    format!("{:.4}", c.mean_a),
+                    format!("{:.4}", c.mean_b),
+                    format!("{:+.2}", c.mean_delta_pct),
+                    format!("{:.2}", c.max_row_delta_pct),
+                ]);
+            }
+        }
+        table
+    }
+}
+
+/// A parsed CSV file: header plus rows of cells.
+struct Csv {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+fn parse_csv(path: &Path) -> io::Result<Csv> {
+    let content = std::fs::read_to_string(path)?;
+    let mut lines = content.lines().filter(|l| !l.trim().is_empty());
+    let header = lines
+        .next()
+        .map(|l| l.split(',').map(|c| c.trim().to_string()).collect())
+        .unwrap_or_default();
+    let rows = lines
+        .map(|l| l.split(',').map(|c| c.trim().to_string()).collect())
+        .collect();
+    Ok(Csv { header, rows })
+}
+
+/// Parses a cell as a number, tolerating the report suffixes (`%`, `x`).
+fn parse_numeric(cell: &str) -> Option<f64> {
+    cell.trim_end_matches(['%', 'x']).parse::<f64>().ok()
+}
+
+/// Relative delta in percent. A change away from a zero baseline has no
+/// finite relative size, so it reports `+∞` — any finite `--max-delta-pct`
+/// bound then fails, instead of letting an unbounded regression hide
+/// behind a clamped value.
+fn relative_delta_pct(a: f64, b: f64) -> f64 {
+    if a == b {
+        0.0
+    } else if a == 0.0 {
+        f64::INFINITY
+    } else {
+        (b - a) / a.abs() * 100.0
+    }
+}
+
+fn compare_file(file: String, a: &Csv, b: &Csv) -> FileDelta {
+    if a.header != b.header {
+        return FileDelta {
+            file,
+            rows: 0,
+            columns: Vec::new(),
+            incomparable: Some("headers differ".into()),
+        };
+    }
+    if a.rows.len() != b.rows.len() {
+        return FileDelta {
+            file,
+            rows: a.rows.len().min(b.rows.len()),
+            columns: Vec::new(),
+            incomparable: Some(format!(
+                "row counts differ (A: {}, B: {})",
+                a.rows.len(),
+                b.rows.len()
+            )),
+        };
+    }
+    let rows = a.rows.len();
+    let mut columns = Vec::new();
+    for (col, name) in a.header.iter().enumerate() {
+        let mut sum_a = 0.0;
+        let mut sum_b = 0.0;
+        let mut max_row_delta_pct = 0.0f64;
+        let mut numeric = rows > 0;
+        let empty = String::new();
+        for row in 0..rows {
+            let cell_a = a.rows[row].get(col).unwrap_or(&empty);
+            let cell_b = b.rows[row].get(col).unwrap_or(&empty);
+            match (parse_numeric(cell_a), parse_numeric(cell_b)) {
+                (Some(va), Some(vb)) => {
+                    // NaN/inf would slip through every `>` bound check
+                    // (f64::max drops NaN operands): a non-finite
+                    // measurement makes the file incomparable instead.
+                    if !va.is_finite() || !vb.is_finite() {
+                        return FileDelta {
+                            file,
+                            rows,
+                            columns: Vec::new(),
+                            incomparable: Some(format!(
+                                "non-finite value in column '{name}' at row {row}"
+                            )),
+                        };
+                    }
+                    sum_a += va;
+                    sum_b += vb;
+                    max_row_delta_pct = max_row_delta_pct.max(relative_delta_pct(va, vb).abs());
+                }
+                _ => {
+                    // A label column: the cells must agree, otherwise the
+                    // rows describe different configurations.
+                    if cell_a != cell_b {
+                        return FileDelta {
+                            file,
+                            rows,
+                            columns: Vec::new(),
+                            incomparable: Some(format!(
+                                "label column '{name}' differs at row {row}"
+                            )),
+                        };
+                    }
+                    numeric = false;
+                }
+            }
+        }
+        if numeric {
+            let mean_a = sum_a / rows as f64;
+            let mean_b = sum_b / rows as f64;
+            columns.push(ColumnDelta {
+                name: name.clone(),
+                mean_a,
+                mean_b,
+                mean_delta_pct: relative_delta_pct(mean_a, mean_b),
+                max_row_delta_pct,
+            });
+        }
+    }
+    FileDelta {
+        file,
+        rows,
+        columns,
+        incomparable: None,
+    }
+}
+
+fn csv_files(dir: &Path) -> io::Result<Vec<String>> {
+    let mut names = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if name.ends_with(".csv") && entry.file_type()?.is_file() {
+            names.push(name);
+        }
+    }
+    names.sort();
+    Ok(names)
+}
+
+/// Compares all CSV files shared by `dir_a` and `dir_b`.
+pub fn compare_dirs(dir_a: impl AsRef<Path>, dir_b: impl AsRef<Path>) -> io::Result<CompareReport> {
+    let (dir_a, dir_b) = (dir_a.as_ref(), dir_b.as_ref());
+    let names_a = csv_files(dir_a)?;
+    let names_b = csv_files(dir_b)?;
+    let mut report = CompareReport::default();
+    for name in &names_a {
+        if !names_b.contains(name) {
+            report.only_a.push(name.clone());
+        }
+    }
+    for name in &names_b {
+        if !names_a.contains(name) {
+            report.only_b.push(name.clone());
+        }
+    }
+    for name in names_a.into_iter().filter(|n| names_b.contains(n)) {
+        let a = parse_csv(&dir_a.join(&name))?;
+        let b = parse_csv(&dir_b.join(&name))?;
+        report.files.push(compare_file(name, &a, &b));
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("asv-compare-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn same_directory_compares_to_zero_deltas() {
+        let dir = temp_dir("self");
+        std::fs::write(
+            dir.join("fig.csv"),
+            "k,variant,ms\n10,zonemap,12.5\n20,virtual,3.25\n",
+        )
+        .unwrap();
+        let report = compare_dirs(&dir, &dir).unwrap();
+        assert_eq!(report.files.len(), 1);
+        assert_eq!(report.max_abs_delta_pct(), 0.0);
+        assert!(!report.has_incomparable());
+        let f = &report.files[0];
+        assert_eq!(f.rows, 2);
+        // `variant` is a label column; `k` and `ms` are numeric.
+        let names: Vec<&str> = f.columns.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, vec!["k", "ms"]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn timing_deltas_are_reported_per_column() {
+        let a = temp_dir("a");
+        let b = temp_dir("b");
+        std::fs::write(a.join("t.csv"), "n,ms\n1,10.0\n2,20.0\n").unwrap();
+        std::fs::write(b.join("t.csv"), "n,ms\n1,11.0\n2,18.0\n").unwrap();
+        std::fs::write(a.join("only_a.csv"), "x\n1\n").unwrap();
+        std::fs::write(b.join("only_b.csv"), "x\n1\n").unwrap();
+        let report = compare_dirs(&a, &b).unwrap();
+        assert_eq!(report.only_a, vec!["only_a.csv"]);
+        assert_eq!(report.only_b, vec!["only_b.csv"]);
+        let ms = report.files[0]
+            .columns
+            .iter()
+            .find(|c| c.name == "ms")
+            .unwrap();
+        assert!((ms.mean_a - 15.0).abs() < 1e-9);
+        assert!((ms.mean_b - 14.5).abs() < 1e-9);
+        assert!((ms.mean_delta_pct - (-10.0 / 3.0)).abs() < 1e-6);
+        assert!((ms.max_row_delta_pct - 10.0).abs() < 1e-9);
+        let table = report.to_table();
+        assert!(table.num_rows() >= 2);
+        let _ = std::fs::remove_dir_all(&a);
+        let _ = std::fs::remove_dir_all(&b);
+    }
+
+    #[test]
+    fn label_mismatch_marks_file_incomparable() {
+        let a = temp_dir("la");
+        let b = temp_dir("lb");
+        std::fs::write(a.join("t.csv"), "variant,ms\nzonemap,1.0\n").unwrap();
+        std::fs::write(b.join("t.csv"), "variant,ms\nbitmap,1.0\n").unwrap();
+        let report = compare_dirs(&a, &b).unwrap();
+        assert!(report.has_incomparable());
+        assert_eq!(report.max_abs_delta_pct(), 0.0);
+        assert!(report.to_table().render().contains("incomparable"));
+        let _ = std::fs::remove_dir_all(&a);
+        let _ = std::fs::remove_dir_all(&b);
+    }
+
+    #[test]
+    fn suffixed_cells_parse_as_numbers() {
+        assert_eq!(parse_numeric("12.5"), Some(12.5));
+        assert_eq!(parse_numeric("85%"), Some(85.0));
+        assert_eq!(parse_numeric("1.25x"), Some(1.25));
+        assert_eq!(parse_numeric("zonemap"), None);
+        assert_eq!(relative_delta_pct(0.0, 0.0), 0.0);
+        assert_eq!(relative_delta_pct(10.0, 15.0), 50.0);
+        // Changes away from a zero baseline have no finite relative size:
+        // they must fail any finite bound instead of clamping to 100%.
+        assert_eq!(relative_delta_pct(0.0, 1.0), f64::INFINITY);
+        assert_eq!(relative_delta_pct(0.0, 5_000.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn row_count_mismatch_marks_file_incomparable() {
+        let a = temp_dir("ra");
+        let b = temp_dir("rb");
+        std::fs::write(a.join("t.csv"), "n,ms\n1,10.0\n2,20.0\n").unwrap();
+        std::fs::write(b.join("t.csv"), "n,ms\n1,10.0\n").unwrap();
+        let report = compare_dirs(&a, &b).unwrap();
+        assert!(report.has_incomparable());
+        assert!(report.files[0]
+            .incomparable
+            .as_deref()
+            .unwrap()
+            .contains("row counts differ"));
+        assert!(!report.has_coverage_gaps());
+        let _ = std::fs::remove_dir_all(&a);
+        let _ = std::fs::remove_dir_all(&b);
+    }
+
+    #[test]
+    fn non_finite_values_mark_file_incomparable() {
+        let a = temp_dir("na");
+        let b = temp_dir("nb");
+        std::fs::write(a.join("t.csv"), "n,ms\n1,12.5\n").unwrap();
+        std::fs::write(b.join("t.csv"), "n,ms\n1,NaN\n").unwrap();
+        let report = compare_dirs(&a, &b).unwrap();
+        assert!(report.has_incomparable());
+        assert!(report.files[0]
+            .incomparable
+            .as_deref()
+            .unwrap()
+            .contains("non-finite"));
+        let _ = std::fs::remove_dir_all(&a);
+        let _ = std::fs::remove_dir_all(&b);
+    }
+
+    #[test]
+    fn zero_baseline_regressions_exceed_any_finite_bound() {
+        let a = temp_dir("za");
+        let b = temp_dir("zb");
+        std::fs::write(a.join("t.csv"), "n,pages\n1,0\n").unwrap();
+        std::fs::write(b.join("t.csv"), "n,pages\n1,5000\n").unwrap();
+        let report = compare_dirs(&a, &b).unwrap();
+        assert!(!report.has_incomparable());
+        assert_eq!(report.max_abs_delta_pct(), f64::INFINITY);
+        let _ = std::fs::remove_dir_all(&a);
+        let _ = std::fs::remove_dir_all(&b);
+    }
+
+    #[test]
+    fn missing_files_are_coverage_gaps() {
+        let a = temp_dir("ga");
+        let b = temp_dir("gb");
+        std::fs::write(a.join("t.csv"), "n\n1\n").unwrap();
+        std::fs::write(b.join("t.csv"), "n\n1\n").unwrap();
+        std::fs::write(a.join("extra.csv"), "n\n1\n").unwrap();
+        let report = compare_dirs(&a, &b).unwrap();
+        assert!(report.has_coverage_gaps());
+        assert_eq!(report.max_abs_delta_pct(), 0.0);
+        let _ = std::fs::remove_dir_all(&a);
+        let _ = std::fs::remove_dir_all(&b);
+    }
+}

@@ -15,9 +15,15 @@
 //! | [`table1`] | Table 1 — accumulated response times |
 //! | [`scaling`] | Multicore scaling of the scan path (beyond the paper) |
 //! | [`align_overlap`] | Query throughput during view alignment (beyond the paper) |
+//! | [`table_scan`] | Planned vs naive multi-column conjunctive scans (beyond the paper) |
+//!
+//! The [`compare`] module diffs two `--csv-dir` outputs (the `compare`
+//! subcommand of the `experiments` binary), making timing changes between
+//! two commits reviewable.
 
 pub mod ablation;
 pub mod align_overlap;
+pub mod compare;
 pub mod fig3;
 pub mod fig4;
 pub mod fig5;
@@ -27,6 +33,7 @@ pub mod report;
 pub mod scale;
 pub mod scaling;
 pub mod table1;
+pub mod table_scan;
 
 pub use report::{write_csv, Table};
 pub use scale::Scale;

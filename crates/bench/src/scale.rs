@@ -28,6 +28,12 @@ pub struct Scale {
     pub fig7_batch_sizes: Vec<usize>,
     /// Repetitions per measurement (paper: 3).
     pub repetitions: usize,
+    /// Pages per column of the multi-column `table-scan` experiment.
+    pub table_pages: usize,
+    /// Conjunctive queries per `table-scan` configuration.
+    pub table_queries: usize,
+    /// Column counts the `table-scan` experiment sweeps.
+    pub table_columns: Vec<usize>,
 }
 
 impl Scale {
@@ -43,6 +49,9 @@ impl Scale {
             fig7_pages: 256,
             fig7_batch_sizes: vec![10, 100],
             repetitions: 1,
+            table_pages: 64,
+            table_queries: 10,
+            table_columns: vec![2, 3],
         }
     }
 
@@ -59,6 +68,9 @@ impl Scale {
             fig7_pages: 16_384,
             fig7_batch_sizes: vec![100, 1_000, 10_000, 100_000],
             repetitions: 3,
+            table_pages: 2_048,
+            table_queries: 40,
+            table_columns: vec![2, 3, 4],
         }
     }
 
@@ -74,6 +86,9 @@ impl Scale {
             fig7_pages: 131_072,
             fig7_batch_sizes: vec![100, 1_000, 10_000, 100_000, 1_000_000],
             repetitions: 3,
+            table_pages: 16_384,
+            table_queries: 100,
+            table_columns: vec![2, 4, 8],
         }
     }
 
@@ -90,6 +105,9 @@ impl Scale {
             fig7_pages: 1_000_000,
             fig7_batch_sizes: vec![100, 1_000, 10_000, 100_000, 1_000_000],
             repetitions: 3,
+            table_pages: 65_536,
+            table_queries: 250,
+            table_columns: vec![2, 4, 8],
         }
     }
 

@@ -14,7 +14,7 @@ use crate::align::{apply_plan, snapshot_alignment, spawn_alignment, PendingAlign
 use crate::config::{AdaptiveConfig, RoutingMode};
 use crate::creation::create_while_scanning;
 use crate::exec::scan_selected_views;
-use crate::query::{QueryOutcome, RangeQuery, ViewMaintenance};
+use crate::query::{QueryExecution, QueryOutcome, RangeQuery, ViewMaintenance};
 use crate::router::{route, ViewId};
 use crate::updates::{align_views_after_updates_with, rebuild_all_views, UpdateAlignmentStats};
 use crate::viewset::ViewSet;
@@ -121,6 +121,7 @@ impl<B: Backend> AdaptiveColumn<B> {
             scanned_pages: self.column.num_pages(),
             views_used: vec![ViewId::Full],
             view_maintenance: ViewMaintenance::NotAttempted,
+            executed: QueryExecution::FullScan,
             elapsed: timer.elapsed(),
         }
     }
@@ -290,6 +291,7 @@ impl<B: Backend> AdaptiveColumn<B> {
             scanned_pages: scan.scanned_pages,
             views_used: selection.views,
             view_maintenance: maintenance,
+            executed: QueryExecution::Adaptive,
             elapsed: timer.elapsed(),
         })
     }

@@ -21,15 +21,20 @@
 //! * **background (epoch-handoff) alignment** that plans a batch's
 //!   alignment on a worker thread while queries keep running against the
 //!   pre-batch views, publishing the aligned set atomically by bumping the
-//!   view-set generation ([`align`]).
+//!   view-set generation ([`align`]),
+//! * a **multi-column query planner** that orders the predicates of a
+//!   conjunctive query by estimated result cardinality, drives the cheapest
+//!   one through the adaptive path and evaluates the rest as semi-join
+//!   probes over the surviving rows ([`plan`] / [`AdaptiveTable`]).
 //!
-//! The entry point is [`AdaptiveColumn`].
+//! The entry points are [`AdaptiveColumn`] and [`AdaptiveTable`].
 
 pub mod adaptive;
 pub mod align;
 pub mod config;
 pub mod creation;
 pub mod exec;
+pub mod plan;
 pub mod query;
 pub mod router;
 pub mod stats;
@@ -48,9 +53,13 @@ pub use config::{AdaptiveConfig, CreationOptions, RoutingMode};
 // layer without depending on asv-util directly.
 pub use asv_util::{Parallelism, ThreadPool};
 pub use creation::{build_view_for_range, build_view_for_range_with, create_while_scanning};
-pub use query::{QueryOutcome, RangeQuery, ViewMaintenance};
+pub use plan::{
+    plan_conjunctive, CardinalityEstimate, ConjunctivePlan, PlanInput, PlanStep, PlannerConfig,
+    PredicateEstimate, ProbeTracker, StepKind, ZoneStats,
+};
+pub use query::{QueryExecution, QueryOutcome, RangeQuery, ViewMaintenance};
 pub use router::{route, RouteSelection, ViewId};
-pub use stats::{QueryRecord, SequenceStats};
+pub use stats::{ConjunctiveRecord, ConjunctiveStats, QueryRecord, SequenceStats};
 pub use table::{AdaptiveTable, ConjunctiveOutcome};
 pub use updates::{
     align_views_after_updates, align_views_after_updates_with, rebuild_all_views,

@@ -103,9 +103,28 @@ pub struct QueryOutcome {
     /// What happened to the candidate partial view created alongside the
     /// query.
     pub view_maintenance: ViewMaintenance,
+    /// Which execution strategy produced this outcome.
+    pub executed: QueryExecution,
     /// Wall-clock time spent answering the query (including adaptive view
     /// creation).
     pub elapsed: Duration,
+}
+
+/// The execution strategy behind a [`QueryOutcome`] — planned conjunctive
+/// execution mixes strategies within one query, and effort reporting must
+/// tell them apart (a probe's `scanned_pages` are candidate pages touched,
+/// not full view scans).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum QueryExecution {
+    /// The adaptive path: routed to views, scanned, candidate view
+    /// maintained (Listing 1).
+    #[default]
+    Adaptive,
+    /// A plain full scan of the column, bypassing all views.
+    FullScan,
+    /// A semi-join residual probe restricted to candidate rows; touches
+    /// only the pages containing candidates and maintains no views.
+    Probe,
 }
 
 impl QueryOutcome {
@@ -186,6 +205,7 @@ mod tests {
         o.views_used.push(ViewId::Partial(3));
         assert_eq!(o.num_views_used(), 2);
         assert!(o.elapsed_ms() >= 0.0);
+        assert_eq!(o.executed, QueryExecution::Adaptive);
     }
 
     #[test]

@@ -1,26 +1,53 @@
-//! Adaptive tables: one adaptive view layer per column.
+//! Adaptive tables: one adaptive view layer per column, with a planned
+//! conjunctive query path.
 //!
 //! Figure 1 of the paper shows the full table representation: every column
 //! of a table carries its own physical column, full view and partial views.
 //! [`AdaptiveTable`] is that composition — a catalog of [`AdaptiveColumn`]s
-//! over the same row space — plus a simple conjunctive multi-column query
-//! path that routes each predicate to the corresponding column's views and
-//! intersects the qualifying row sets.
+//! over the same row space — plus conjunctive multi-column execution.
+//!
+//! Conjunctive queries run through the planner of [`crate::plan`] by
+//! default: predicates are ordered by estimated result cardinality, the
+//! cheapest one drives through the full adaptive path (fork-joined with any
+//! promoted residuals over the [`asv_util::ThreadPool`]), and the remaining
+//! predicates are evaluated as semi-join probes restricted to the surviving
+//! rows. Intermediate row sets live in a [`RowSet`] bitset, so every
+//! intersection is word-wise. The pre-planner behaviour — materialize every
+//! predicate fully, then intersect sorted vectors — remains available as
+//! [`AdaptiveTable::query_conjunctive_naive`] and is the equivalence
+//! baseline of the property tests.
 
 use std::collections::HashMap;
+use std::time::Duration;
 
+use asv_storage::ScanMode;
+use asv_util::{RowSet, Timer};
 use asv_vmem::{Backend, VmemError};
 
 use crate::adaptive::AdaptiveColumn;
 use crate::config::AdaptiveConfig;
-use crate::query::{QueryOutcome, RangeQuery};
+use crate::exec::scan_columns_fork_join;
+use crate::plan::{
+    plan_conjunctive, ConjunctivePlan, PlanInput, PlannerConfig, ProbeTracker, StepKind, ZoneStats,
+};
+use crate::query::{QueryExecution, QueryOutcome, RangeQuery, ViewMaintenance};
+
+/// One column of an [`AdaptiveTable`]: the adaptive layer plus the planner
+/// state attached to it (zone statistics and the probe tracker).
+struct TableColumn<B: Backend> {
+    name: String,
+    column: AdaptiveColumn<B>,
+    stats: ZoneStats,
+    tracker: ProbeTracker,
+}
 
 /// A table whose columns are all equipped with the adaptive view layer.
 pub struct AdaptiveTable<B: Backend> {
     name: String,
-    columns: Vec<(String, AdaptiveColumn<B>)>,
+    columns: Vec<TableColumn<B>>,
     index: HashMap<String, usize>,
     num_rows: usize,
+    planner: PlannerConfig,
 }
 
 /// The result of a conjunctive multi-column query.
@@ -28,9 +55,33 @@ pub struct AdaptiveTable<B: Backend> {
 pub struct ConjunctiveOutcome {
     /// Row ids satisfying *all* predicates, in ascending order.
     pub rows: Vec<u64>,
-    /// The per-column outcomes, in predicate order (exposes per-column scan
-    /// effort and view usage).
+    /// The per-predicate outcomes **in executed order** (the planner
+    /// reorders predicates): `per_column[k]` is the outcome of the step
+    /// that ran `k`-th, and `executed_order[k]` names the input predicate
+    /// it answered. Use [`Self::outcome_for_input`] to look outcomes up by
+    /// input position.
     pub per_column: Vec<QueryOutcome>,
+    /// `executed_order[k]` = index into the input predicate slice of the
+    /// `k`-th executed step. The naive path executes in input order, so
+    /// this is the identity there.
+    pub executed_order: Vec<usize>,
+    /// The plan that produced this outcome (`None` on the naive path).
+    pub plan: Option<ConjunctivePlan>,
+    /// Wall-clock time of the whole conjunctive execution.
+    pub elapsed: Duration,
+}
+
+impl ConjunctiveOutcome {
+    /// The outcome of the step that answered input predicate `input_index`.
+    pub fn outcome_for_input(&self, input_index: usize) -> Option<&QueryOutcome> {
+        let pos = self.executed_order.iter().position(|&i| i == input_index)?;
+        self.per_column.get(pos)
+    }
+
+    /// Total pages touched across all steps (scans and probes).
+    pub fn total_scanned_pages(&self) -> usize {
+        self.per_column.iter().map(|o| o.scanned_pages).sum()
+    }
 }
 
 impl<B: Backend> AdaptiveTable<B> {
@@ -41,6 +92,7 @@ impl<B: Backend> AdaptiveTable<B> {
             columns: Vec::new(),
             index: HashMap::new(),
             num_rows: 0,
+            planner: PlannerConfig::default(),
         }
     }
 
@@ -64,8 +116,18 @@ impl<B: Backend> AdaptiveTable<B> {
         self.columns.is_empty()
     }
 
+    /// The active planner configuration.
+    pub fn planner_config(&self) -> &PlannerConfig {
+        &self.planner
+    }
+
+    /// Replaces the planner configuration.
+    pub fn set_planner_config(&mut self, planner: PlannerConfig) {
+        self.planner = planner;
+    }
+
     /// Adds a column materialized from `values` with its own adaptive
-    /// configuration.
+    /// configuration. Zone statistics for the planner are built alongside.
     ///
     /// # Panics
     /// Panics if a column of that name exists or the row count differs from
@@ -96,26 +158,47 @@ impl<B: Backend> AdaptiveTable<B> {
             self.num_rows = values.len();
         }
         let column = AdaptiveColumn::from_values(backend, values, config)?;
+        let stats = ZoneStats::build(column.column());
         self.index.insert(name.clone(), self.columns.len());
-        self.columns.push((name, column));
+        self.columns.push(TableColumn {
+            name,
+            column,
+            stats,
+            tracker: ProbeTracker::default(),
+        });
         Ok(())
     }
 
     /// Looks up a column's adaptive layer by name.
     pub fn column(&self, name: &str) -> Option<&AdaptiveColumn<B>> {
-        self.index.get(name).map(|&i| &self.columns[i].1)
+        self.index.get(name).map(|&i| &self.columns[i].column)
     }
 
     /// Looks up a column's adaptive layer by name, mutably (needed for
     /// querying, since query processing maintains views).
+    ///
+    /// Writes applied directly through this handle bypass the planner's
+    /// zone statistics — prefer [`Self::write`] / [`Self::write_batch`],
+    /// which keep them in sync (stale statistics only degrade plan quality,
+    /// never correctness).
     pub fn column_mut(&mut self, name: &str) -> Option<&mut AdaptiveColumn<B>> {
         let i = *self.index.get(name)?;
-        Some(&mut self.columns[i].1)
+        Some(&mut self.columns[i].column)
+    }
+
+    /// The planner's zone statistics of a column.
+    pub fn zone_stats(&self, name: &str) -> Option<&ZoneStats> {
+        self.index.get(name).map(|&i| &self.columns[i].stats)
+    }
+
+    /// The planner's probe tracker of a column.
+    pub fn probe_tracker(&self, name: &str) -> Option<&ProbeTracker> {
+        self.index.get(name).map(|&i| &self.columns[i].tracker)
     }
 
     /// Names of all columns in insertion order.
     pub fn column_names(&self) -> Vec<&str> {
-        self.columns.iter().map(|(n, _)| n.as_str()).collect()
+        self.columns.iter().map(|c| c.name.as_str()).collect()
     }
 
     /// Answers a single-column range query through that column's adaptive
@@ -135,9 +218,22 @@ impl<B: Backend> AdaptiveTable<B> {
     }
 
     /// Answers a conjunctive query: every `(column, range)` predicate must
-    /// hold. Each predicate is routed to its column's views (creating
-    /// partial views as a side-product, as usual); the per-column row sets
-    /// are then intersected.
+    /// hold. With the planner enabled (the default) execution is
+    /// selectivity-ordered: the cheapest predicate drives through the
+    /// adaptive path, promoted residuals fork-join alongside it, and the
+    /// rest are probed against the surviving rows only. With the planner
+    /// disabled — or when several predicates target the *same* column,
+    /// which the fork-join cannot express — execution falls back to
+    /// [`Self::query_conjunctive_naive`]. Both paths return identical row
+    /// sets.
+    ///
+    /// The equivalence (and, as for single-column queries, view-routed
+    /// exactness in general) assumes the partial views are aligned with all
+    /// applied writes: between a write batch and its
+    /// [`AdaptiveColumn::align_views`] call, view-routed scans may miss a
+    /// moved value that a probe (which reads the physical column) still
+    /// sees — align before querying, exactly as the single-column write
+    /// path documents.
     ///
     /// # Panics
     /// Panics if any referenced column does not exist or no predicate is
@@ -147,6 +243,161 @@ impl<B: Backend> AdaptiveTable<B> {
         predicates: &[(&str, RangeQuery)],
     ) -> Result<ConjunctiveOutcome, VmemError> {
         assert!(!predicates.is_empty(), "need at least one predicate");
+        let col_indices: Vec<usize> = predicates
+            .iter()
+            .map(|(column, _)| {
+                *self
+                    .index
+                    .get(*column)
+                    .unwrap_or_else(|| panic!("unknown column '{column}'"))
+            })
+            .collect();
+        let mut distinct = col_indices.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        if !self.planner.enabled || distinct.len() != col_indices.len() {
+            return self.query_conjunctive_naive(predicates);
+        }
+        self.query_conjunctive_planned(predicates, &col_indices)
+    }
+
+    fn query_conjunctive_planned(
+        &mut self,
+        predicates: &[(&str, RangeQuery)],
+        col_indices: &[usize],
+    ) -> Result<ConjunctiveOutcome, VmemError> {
+        let timer = Timer::start();
+        let promote_after = self.planner.promote_after;
+        let plan = {
+            let inputs: Vec<PlanInput<'_, B>> = predicates
+                .iter()
+                .zip(col_indices)
+                .map(|((_, query), &col_idx)| {
+                    let tc = &self.columns[col_idx];
+                    let promoted = tc.tracker.should_promote(promote_after)
+                        && tc.column.config().adaptive_creation
+                        && tc.column.views().can_create_views();
+                    PlanInput {
+                        column: &tc.column,
+                        stats: &tc.stats,
+                        query,
+                        promoted,
+                    }
+                })
+                .collect();
+            plan_conjunctive(&inputs)
+        };
+
+        // Phase 1 — the full adaptive scans (driving + promoted), fork-joined
+        // across their (distinct) columns.
+        let num_scans = plan.num_scans();
+        let scan_steps = &plan.steps[..num_scans];
+        let mut scan_outcomes: Vec<QueryOutcome> = {
+            let mut by_col: HashMap<usize, &mut TableColumn<B>> = self
+                .columns
+                .iter_mut()
+                .enumerate()
+                .filter(|(i, _)| scan_steps.iter().any(|s| col_indices[s.input_index] == *i))
+                .collect();
+            let tasks: Vec<(&mut AdaptiveColumn<B>, RangeQuery)> = scan_steps
+                .iter()
+                .map(|step| {
+                    let tc = by_col
+                        .remove(&col_indices[step.input_index])
+                        .expect("scan columns are distinct");
+                    (&mut tc.column, predicates[step.input_index].1)
+                })
+                .collect();
+            scan_columns_fork_join(tasks, self.planner.parallelism)
+                .into_iter()
+                .collect::<Result<_, _>>()?
+        };
+        // A column that just ran the adaptive path had its chance to build a
+        // view: its probe tracker restarts.
+        for step in scan_steps {
+            self.columns[col_indices[step.input_index]].tracker.reset();
+        }
+
+        // Intersect the scan row sets in the bitset representation.
+        let mut survivors: Option<RowSet> = None;
+        for outcome in &mut scan_outcomes {
+            let rows = outcome.rows.take().expect("query_collect returns rows");
+            let set = RowSet::from_rows(&rows, self.num_rows);
+            outcome.rows = Some(rows);
+            survivors = Some(match survivors {
+                None => set,
+                Some(mut s) => {
+                    s.intersect_with(&set);
+                    s
+                }
+            });
+        }
+        let survivors = survivors.expect("at least the driving scan ran");
+
+        // Phase 2 — semi-join probes over the shrinking survivor set. The
+        // bitset representation is left exactly once: probes consume and
+        // produce *ascending* row lists (each a subset of its input), so no
+        // further domain-sized structures are touched and the last probe's
+        // output IS the final row set.
+        let mut candidates = survivors.to_sorted_vec();
+        let mut per_column = scan_outcomes;
+        for step in &plan.steps[num_scans..] {
+            debug_assert_eq!(step.kind, StepKind::Probe);
+            let (_, query) = &predicates[step.input_index];
+            let tc = &mut self.columns[col_indices[step.input_index]];
+            let step_timer = Timer::start();
+            let mut outcome = QueryOutcome {
+                executed: QueryExecution::Probe,
+                rows: Some(Vec::new()),
+                ..QueryOutcome::default()
+            };
+            if !candidates.is_empty() {
+                let out = tc.column.column().probe_rows_with(
+                    query.range(),
+                    ScanMode::CollectRows,
+                    &candidates,
+                    tc.column.config().parallelism,
+                );
+                candidates = out.rows.unwrap_or_default();
+                outcome.count = out.result.count;
+                outcome.sum = out.result.sum;
+                outcome.scanned_pages = out.scanned_pages;
+                outcome.rows = Some(candidates.clone());
+                // The probe answered the predicate without giving the
+                // column a chance to adapt; count it towards promotion when
+                // the views could not have covered the range.
+                tc.tracker
+                    .note_probe(query.range(), !step.estimate.full_scan_fallback);
+            }
+            outcome.view_maintenance = ViewMaintenance::NotAttempted;
+            outcome.elapsed = step_timer.elapsed();
+            per_column.push(outcome);
+        }
+
+        Ok(ConjunctiveOutcome {
+            rows: candidates,
+            per_column,
+            executed_order: plan.executed_order(),
+            plan: Some(plan),
+            elapsed: timer.elapsed(),
+        })
+    }
+
+    /// The pre-planner conjunctive path: every predicate is routed to its
+    /// column's views and materialized fully (creating partial views as a
+    /// side-product, as usual); the per-column row sets are then
+    /// intersected in input order. Kept as the equivalence baseline —
+    /// planned execution must return bit-identical row sets.
+    ///
+    /// # Panics
+    /// Panics if any referenced column does not exist or no predicate is
+    /// given.
+    pub fn query_conjunctive_naive(
+        &mut self,
+        predicates: &[(&str, RangeQuery)],
+    ) -> Result<ConjunctiveOutcome, VmemError> {
+        assert!(!predicates.is_empty(), "need at least one predicate");
+        let timer = Timer::start();
         let mut per_column = Vec::with_capacity(predicates.len());
         let mut result_rows: Option<Vec<u64>> = None;
         for (column, query) in predicates {
@@ -165,23 +416,76 @@ impl<B: Backend> AdaptiveTable<B> {
         Ok(ConjunctiveOutcome {
             rows: result_rows.unwrap_or_default(),
             per_column,
+            executed_order: (0..predicates.len()).collect(),
+            plan: None,
+            elapsed: timer.elapsed(),
         })
     }
 
     /// Writes `new_value` into `row` of `column` and returns the update
-    /// record (see [`AdaptiveColumn::write`]).
+    /// record (see [`AdaptiveColumn::write`]). The planner's zone
+    /// statistics are widened alongside.
     ///
     /// # Panics
     /// Panics if the column does not exist.
     pub fn write(&mut self, column: &str, row: usize, new_value: u64) -> asv_storage::Update {
-        self.column_mut(column)
-            .unwrap_or_else(|| panic!("unknown column '{column}'"))
-            .write(row, new_value)
+        let i = *self
+            .index
+            .get(column)
+            .unwrap_or_else(|| panic!("unknown column '{column}'"));
+        let tc = &mut self.columns[i];
+        tc.stats.note_write(row, new_value);
+        tc.column.write(row, new_value)
+    }
+
+    /// Applies a batch of `(row, value)` writes to `column`, keeping the
+    /// planner's zone statistics in sync, and returns the update records to
+    /// later pass to [`AdaptiveColumn::align_views`].
+    ///
+    /// # Panics
+    /// Panics if the column does not exist.
+    pub fn write_batch(
+        &mut self,
+        column: &str,
+        writes: &[(usize, u64)],
+    ) -> Vec<asv_storage::Update> {
+        let i = *self
+            .index
+            .get(column)
+            .unwrap_or_else(|| panic!("unknown column '{column}'"));
+        let tc = &mut self.columns[i];
+        for &(row, value) in writes {
+            tc.stats.note_write(row, value);
+        }
+        tc.column.write_batch(writes)
     }
 }
 
 /// Intersects two ascending, duplicate-free row-id lists.
-fn intersect_sorted(a: &[u64], b: &[u64]) -> Vec<u64> {
+///
+/// Dispatches on the size ratio: similar sizes use the classic linear
+/// merge; once one side is at least [`GALLOP_RATIO`] times larger, each
+/// element of the small side is located in the large side by galloping
+/// (exponential search + binary search), which is
+/// `O(small * log(large / small))` instead of `O(small + large)`.
+pub(crate) fn intersect_sorted(a: &[u64], b: &[u64]) -> Vec<u64> {
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if small.is_empty() {
+        return Vec::new();
+    }
+    if large.len() / small.len() >= GALLOP_RATIO {
+        intersect_galloping(small, large)
+    } else {
+        intersect_linear(a, b)
+    }
+}
+
+/// Size ratio at which [`intersect_sorted`] switches from the linear merge
+/// to galloping.
+const GALLOP_RATIO: usize = 8;
+
+/// The classic two-pointer linear merge intersection.
+fn intersect_linear(a: &[u64], b: &[u64]) -> Vec<u64> {
     let mut out = Vec::with_capacity(a.len().min(b.len()));
     let (mut i, mut j) = (0usize, 0usize);
     while i < a.len() && j < b.len() {
@@ -198,12 +502,46 @@ fn intersect_sorted(a: &[u64], b: &[u64]) -> Vec<u64> {
     out
 }
 
+/// Galloping intersection: every element of `small` is searched in the
+/// still-unconsumed suffix of `large` by doubling the probe distance until
+/// it overshoots, then binary-searching the bracketed window.
+fn intersect_galloping(small: &[u64], large: &[u64]) -> Vec<u64> {
+    let mut out = Vec::with_capacity(small.len());
+    let mut base = 0usize;
+    for &x in small {
+        if base >= large.len() {
+            break;
+        }
+        // Exponential probe: double the distance until large[base + bound]
+        // is no longer < x (or the suffix ends).
+        let mut bound = 1usize;
+        while base + bound < large.len() && large[base + bound] < x {
+            bound *= 2;
+        }
+        // large[lo] is the last probe known to be < x (or lo == base); the
+        // element at base + bound may equal x, so the window includes it.
+        let lo = base + bound / 2;
+        let hi = (base + bound + 1).min(large.len());
+        match large[lo..hi].binary_search(&x) {
+            Ok(pos) => {
+                out.push(x);
+                base = lo + pos + 1;
+            }
+            Err(pos) => {
+                base = lo + pos;
+            }
+        }
+    }
+    out
+}
+
 impl<B: Backend> std::fmt::Debug for AdaptiveTable<B> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("AdaptiveTable")
             .field("name", &self.name)
             .field("num_columns", &self.columns.len())
             .field("num_rows", &self.num_rows)
+            .field("planner", &self.planner)
             .finish()
     }
 }
@@ -230,6 +568,13 @@ mod tests {
         (t, a, b)
     }
 
+    fn expected_rows(a: &[u64], b: &[u64], qa: &RangeQuery, qb: &RangeQuery) -> Vec<u64> {
+        (0..a.len())
+            .filter(|&i| qa.range().contains(a[i]) && qb.range().contains(b[i]))
+            .map(|i| i as u64)
+            .collect()
+    }
+
     #[test]
     fn catalog_accessors() {
         let (t, a, _) = table();
@@ -240,6 +585,9 @@ mod tests {
         assert_eq!(t.column_names(), vec!["a", "b"]);
         assert!(t.column("a").is_some());
         assert!(t.column("missing").is_none());
+        assert!(t.zone_stats("a").is_some());
+        assert!(t.probe_tracker("b").is_some());
+        assert!(t.planner_config().enabled);
         assert!(format!("{t:?}").contains("readings"));
     }
 
@@ -261,15 +609,131 @@ mod tests {
         let qa = RangeQuery::new(2_000, 9_000);
         let qb = RangeQuery::new(8_000, 13_000);
         let outcome = t.query_conjunctive(&[("a", qa), ("b", qb)]).unwrap();
+        assert_eq!(outcome.rows, expected_rows(&a, &b, &qa, &qb));
+        assert_eq!(outcome.per_column.len(), 2);
+        let plan = outcome.plan.as_ref().expect("planned execution");
+        assert_eq!(plan.num_scans(), 1);
+        assert_eq!(plan.num_probes(), 1);
+        // b's predicate ([8000,13000] on stride 2000 ≈ 3 pages) is cheaper
+        // than a's ([2000,9000] on stride 1000 ≈ 8 pages): b drives.
+        assert_eq!(outcome.executed_order, vec![1, 0]);
+        assert_eq!(outcome.per_column[0].executed, QueryExecution::Adaptive);
+        assert_eq!(outcome.per_column[1].executed, QueryExecution::Probe);
+        // The probe touches at most the pages holding survivors — never
+        // more than the driving result spans.
+        assert!(outcome.per_column[1].scanned_pages <= outcome.per_column[0].count as usize);
+        // Only the driving column built a view; the probed column adapts
+        // later via promotion.
+        assert!(t.column("b").unwrap().views().num_partial_views() >= 1);
+        assert_eq!(t.column("a").unwrap().views().num_partial_views(), 0);
+        assert_eq!(t.probe_tracker("a").unwrap().probes(), 1);
+        // outcome_for_input maps back to input positions.
+        assert_eq!(
+            outcome.outcome_for_input(1).unwrap().executed,
+            QueryExecution::Adaptive
+        );
+        assert_eq!(
+            outcome.outcome_for_input(0).unwrap().executed,
+            QueryExecution::Probe
+        );
+        assert!(outcome.outcome_for_input(2).is_none());
+    }
+
+    #[test]
+    fn planned_matches_naive_row_sets() {
+        let (mut planned, a, b) = table();
+        let (mut naive, _, _) = table();
+        naive.set_planner_config(PlannerConfig::default().with_enabled(false));
+        for (lo_a, hi_a, lo_b, hi_b) in [
+            (2_000u64, 9_000u64, 8_000u64, 13_000u64),
+            (0, 15_500, 0, 30_500),
+            (5_000, 5_400, 10_000, 10_400),
+            (0, 100, 30_000, 31_000),
+        ] {
+            let preds = [
+                ("a", RangeQuery::new(lo_a, hi_a)),
+                ("b", RangeQuery::new(lo_b, hi_b)),
+            ];
+            let p = planned.query_conjunctive(&preds).unwrap();
+            let n = naive.query_conjunctive(&preds).unwrap();
+            assert!(p.plan.is_some());
+            assert!(n.plan.is_none());
+            assert_eq!(n.executed_order, vec![0, 1]);
+            assert_eq!(p.rows, n.rows, "[{lo_a},{hi_a}]x[{lo_b},{hi_b}]");
+            assert_eq!(p.rows, expected_rows(&a, &b, &preds[0].1, &preds[1].1));
+        }
+    }
+
+    #[test]
+    fn probe_tracker_promotes_the_probed_column() {
+        let (mut t, a, b) = table();
+        let threshold = t.planner_config().promote_after;
+        // Fire the same shape repeatedly: b drives, a is probed and its
+        // views never cover the predicate -> uncovered probes accumulate.
+        let qa = RangeQuery::new(2_000, 9_000);
+        let qb = RangeQuery::new(8_000, 13_000);
+        for i in 0..threshold {
+            let out = t.query_conjunctive(&[("a", qa), ("b", qb)]).unwrap();
+            assert_eq!(out.plan.as_ref().unwrap().num_probes(), 1, "round {i}");
+            assert_eq!(t.probe_tracker("a").unwrap().uncovered_probes(), i + 1);
+            assert_eq!(t.column("a").unwrap().views().num_partial_views(), 0);
+        }
+        // Next execution promotes a to a full adaptive scan: the column
+        // finally materializes a partial view and the tracker resets.
+        let out = t.query_conjunctive(&[("a", qa), ("b", qb)]).unwrap();
+        let plan = out.plan.as_ref().unwrap();
+        assert_eq!(plan.num_scans(), 2);
+        assert_eq!(plan.num_probes(), 0);
+        assert!(plan.steps.iter().any(|s| s.kind == StepKind::AdaptiveScan));
+        assert!(t.column("a").unwrap().views().num_partial_views() >= 1);
+        assert_eq!(t.probe_tracker("a").unwrap().probes(), 0);
+        assert_eq!(out.rows, expected_rows(&a, &b, &qa, &qb));
+        // Afterwards the view covers the range: probes count as covered
+        // and no further promotion builds up.
+        let out = t.query_conjunctive(&[("a", qa), ("b", qb)]).unwrap();
+        assert_eq!(out.rows, expected_rows(&a, &b, &qa, &qb));
+        assert_eq!(t.probe_tracker("a").unwrap().uncovered_probes(), 0);
+    }
+
+    #[test]
+    fn duplicate_column_predicates_fall_back_to_naive() {
+        let (mut t, a, _) = table();
+        let q1 = RangeQuery::new(2_000, 9_000);
+        let q2 = RangeQuery::new(5_000, 13_000);
+        let out = t.query_conjunctive(&[("a", q1), ("a", q2)]).unwrap();
+        assert!(out.plan.is_none(), "same-column conjunction runs naive");
         let expected: Vec<u64> = (0..a.len())
-            .filter(|&i| qa.range().contains(a[i]) && qb.range().contains(b[i]))
+            .filter(|&i| q1.range().contains(a[i]) && q2.range().contains(a[i]))
             .map(|i| i as u64)
             .collect();
-        assert_eq!(outcome.rows, expected);
-        assert_eq!(outcome.per_column.len(), 2);
-        // Both columns built views as a side product of the predicates.
-        assert!(t.column("a").unwrap().views().num_partial_views() >= 1);
-        assert!(t.column("b").unwrap().views().num_partial_views() >= 1);
+        assert_eq!(out.rows, expected);
+    }
+
+    #[test]
+    fn empty_survivors_short_circuit_remaining_probes() {
+        let a = clustered(16, 1_000);
+        let b = clustered(16, 2_000);
+        let c = clustered(16, 3_000);
+        let mut t = AdaptiveTable::new("readings");
+        for (name, values) in [("a", &a), ("b", &b), ("c", &c)] {
+            t.add_column(name, SimBackend::new(), values, AdaptiveConfig::default())
+                .unwrap();
+        }
+        // a and b are disjoint on rows; c would match plenty.
+        let out = t
+            .query_conjunctive(&[
+                ("a", RangeQuery::new(0, 100)),
+                ("b", RangeQuery::new(30_000, 31_000)),
+                ("c", RangeQuery::new(0, 45_000)),
+            ])
+            .unwrap();
+        assert!(out.rows.is_empty());
+        assert_eq!(out.per_column.len(), 3);
+        // The last probe ran against an empty survivor set: zero pages.
+        let last = out.per_column.last().unwrap();
+        assert_eq!(last.executed, QueryExecution::Probe);
+        assert_eq!(last.scanned_pages, 0);
+        assert_eq!(last.count, 0);
     }
 
     #[test]
@@ -285,6 +749,20 @@ mod tests {
     }
 
     #[test]
+    fn single_predicate_conjunction_is_just_the_driving_scan() {
+        let (mut t, a, _) = table();
+        let q = RangeQuery::new(3_000, 6_500);
+        let out = t.query_conjunctive(&[("a", q)]).unwrap();
+        let expected: Vec<u64> = (0..a.len())
+            .filter(|&i| q.range().contains(a[i]))
+            .map(|i| i as u64)
+            .collect();
+        assert_eq!(out.rows, expected);
+        assert_eq!(out.executed_order, vec![0]);
+        assert_eq!(out.plan.as_ref().unwrap().num_probes(), 0);
+    }
+
+    #[test]
     fn writes_go_through_the_adaptive_column() {
         let (mut t, a, _) = table();
         let upd = t.write("a", 5, 77_777);
@@ -293,6 +771,26 @@ mod tests {
             .query_column("a", &RangeQuery::new(77_777, 77_777))
             .unwrap();
         assert_eq!(outcome.count, 1);
+        // The zone statistics saw the write: the band around page 0 now
+        // includes 77777.
+        let est = t
+            .zone_stats("a")
+            .unwrap()
+            .estimate(&asv_util::ValueRange::new(77_000, 78_000));
+        assert!(est.est_pages >= 1);
+    }
+
+    #[test]
+    fn write_batch_updates_stats_and_returns_records() {
+        let (mut t, a, _) = table();
+        let updates = t.write_batch("a", &[(0, 99_000), (1, 98_000)]);
+        assert_eq!(updates.len(), 2);
+        assert_eq!(updates[0].old_value, a[0]);
+        let est = t
+            .zone_stats("a")
+            .unwrap()
+            .estimate(&asv_util::ValueRange::new(98_000, 99_000));
+        assert!(est.est_pages >= 1);
     }
 
     #[test]
@@ -300,6 +798,13 @@ mod tests {
     fn unknown_column_panics() {
         let (mut t, _, _) = table();
         let _ = t.query_column("zzz", &RangeQuery::new(0, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown column")]
+    fn unknown_conjunctive_column_panics() {
+        let (mut t, _, _) = table();
+        let _ = t.query_conjunctive(&[("zzz", RangeQuery::new(0, 1))]);
     }
 
     #[test]
@@ -323,6 +828,12 @@ mod tests {
         .unwrap();
     }
 
+    /// Reference intersection for cross-checking both strategies.
+    fn reference_intersect(a: &[u64], b: &[u64]) -> Vec<u64> {
+        let set: std::collections::HashSet<u64> = b.iter().copied().collect();
+        a.iter().copied().filter(|x| set.contains(x)).collect()
+    }
+
     #[test]
     fn intersect_sorted_helper() {
         assert_eq!(
@@ -331,5 +842,59 @@ mod tests {
         );
         assert_eq!(intersect_sorted(&[], &[1]), Vec::<u64>::new());
         assert_eq!(intersect_sorted(&[1, 2], &[]), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn galloping_intersection_handles_asymmetric_sizes() {
+        // Large side far bigger than small side (ratio >= GALLOP_RATIO
+        // guarantees the galloping path runs), matches scattered across
+        // the front, middle, back and beyond.
+        let large: Vec<u64> = (0..10_000u64).map(|i| i * 3).collect(); // 0,3,6,...
+        for small in [
+            vec![0u64],                                      // first element
+            vec![29_997],                                    // last element
+            vec![1, 2, 4, 5],                                // no matches
+            vec![0, 3, 29_997],                              // ends + start
+            vec![2_997, 2_998, 2_999, 3_000],                // mixed hit/miss cluster
+            vec![50_000, 60_000],                            // beyond the large side
+            (0..50u64).map(|i| i * 601).collect::<Vec<_>>(), // strided
+        ] {
+            assert!(large.len() / small.len().max(1) >= GALLOP_RATIO);
+            assert_eq!(
+                intersect_sorted(&small, &large),
+                reference_intersect(&small, &large),
+                "small={small:?}"
+            );
+            // Argument order must not matter.
+            assert_eq!(
+                intersect_sorted(&large, &small),
+                reference_intersect(&small, &large),
+                "flipped small={small:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn galloping_and_linear_agree_on_random_sets() {
+        // Deterministic pseudo-random sets across many size ratios.
+        let mut state = 0x2545F4914F6CDD1Du64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for (small_n, large_n) in [(1usize, 100usize), (5, 1_000), (64, 640), (100, 50_000)] {
+            let mut small: Vec<u64> = (0..small_n).map(|_| next() % 100_000).collect();
+            let mut large: Vec<u64> = (0..large_n).map(|_| next() % 100_000).collect();
+            small.sort_unstable();
+            small.dedup();
+            large.sort_unstable();
+            large.dedup();
+            let linear = intersect_linear(&small, &large);
+            let galloping = intersect_galloping(&small, &large);
+            assert_eq!(linear, galloping, "{small_n}x{large_n}");
+            assert_eq!(intersect_sorted(&small, &large), linear);
+        }
     }
 }

@@ -1,0 +1,181 @@
+//! Property test: planned conjunctive execution returns bit-identical row
+//! sets to the naive scan-all-then-intersect path — across seeds, column
+//! counts, correlations, selectivities, thread counts and both backends —
+//! and both agree with a reference filter over the raw values.
+//!
+//! The two tables evolve their view sets independently (the planned table
+//! only adapts the driving/promoted columns), so agreement here proves the
+//! *answers* are execution-strategy-independent, which is the acceptance
+//! bar of the planner refactor.
+
+use asv_core::{
+    AdaptiveConfig, AdaptiveTable, Parallelism, PlannerConfig, QueryExecution, RangeQuery,
+};
+use asv_vmem::{Backend, MmapBackend, SimBackend};
+
+/// Deterministic pseudo-random stream (xorshift) — the core crate's tests
+/// avoid depending on `rand`.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+}
+
+const PAGES: usize = 12;
+const MAX: u64 = 1_000_000;
+
+/// Page-clustered column data; `mirror` flips the ramp (anti-correlation).
+fn column_values(pages: usize, mirror: bool, rng: &mut Rng) -> Vec<u64> {
+    let values_per_page = asv_vmem::VALUES_PER_PAGE;
+    let mut values = Vec::with_capacity(pages * values_per_page);
+    for page in 0..pages {
+        let level = page as u64 * MAX / pages as u64;
+        let band = (MAX / pages as u64) * 2;
+        for _ in 0..values_per_page {
+            let v = (level + rng.next() % band).min(MAX);
+            values.push(if mirror { MAX - v } else { v });
+        }
+    }
+    values
+}
+
+fn build_table<B: Backend>(
+    make_backend: &impl Fn() -> B,
+    columns: &[Vec<u64>],
+    threads: usize,
+    planned: bool,
+) -> AdaptiveTable<B> {
+    let parallelism = Parallelism::from_threads(threads);
+    let config = AdaptiveConfig::default().with_parallelism(parallelism);
+    let mut table = AdaptiveTable::new("t");
+    for (i, values) in columns.iter().enumerate() {
+        table
+            .add_column(format!("c{i}"), make_backend(), values, config)
+            .unwrap();
+    }
+    table.set_planner_config(
+        PlannerConfig::default()
+            .with_enabled(planned)
+            .with_parallelism(parallelism),
+    );
+    table
+}
+
+fn reference_rows(columns: &[Vec<u64>], predicates: &[(String, RangeQuery)]) -> Vec<u64> {
+    let num_rows = columns[0].len();
+    (0..num_rows)
+        .filter(|&row| {
+            predicates.iter().enumerate().all(|(c, (_, q))| {
+                // Predicate c targets column c by construction.
+                q.range().contains(columns[c][row])
+            })
+        })
+        .map(|row| row as u64)
+        .collect()
+}
+
+fn check_equivalence<B: Backend>(make_backend: impl Fn() -> B, label: &str) {
+    for seed in [3u64, 77] {
+        for num_columns in [2usize, 3] {
+            for mirrored in [false, true] {
+                for selectivity in [0.02f64, 0.25] {
+                    for threads in [1usize, 3] {
+                        let mut rng = Rng(seed * 0x9E37_79B9 + 1);
+                        let columns: Vec<Vec<u64>> = (0..num_columns)
+                            .map(|c| column_values(PAGES, mirrored && c % 2 == 1, &mut rng))
+                            .collect();
+                        let mut planned = build_table(&make_backend, &columns, threads, true);
+                        let mut naive = build_table(&make_backend, &columns, threads, false);
+
+                        let width = ((MAX as f64 * selectivity) as u64).max(1);
+                        for q in 0..8 {
+                            let anchor = rng.next() % (MAX - width);
+                            // Alternate aligned and per-column anchors so
+                            // the driving choice varies.
+                            let predicates: Vec<(String, RangeQuery)> = (0..num_columns)
+                                .map(|c| {
+                                    let start = if q % 2 == 0 {
+                                        anchor
+                                    } else {
+                                        rng.next() % (MAX - width)
+                                    };
+                                    (format!("c{c}"), RangeQuery::new(start, start + width - 1))
+                                })
+                                .collect();
+                            let refs: Vec<(&str, RangeQuery)> =
+                                predicates.iter().map(|(n, q)| (n.as_str(), *q)).collect();
+                            let p = planned.query_conjunctive(&refs).unwrap();
+                            let n = naive.query_conjunctive(&refs).unwrap();
+                            let expected = reference_rows(&columns, &predicates);
+                            let ctx = format!(
+                                "{label} seed={seed} cols={num_columns} mirrored={mirrored} \
+                                 sel={selectivity} threads={threads} q={q}"
+                            );
+                            assert_eq!(p.rows, expected, "planned vs reference: {ctx}");
+                            assert_eq!(n.rows, expected, "naive vs reference: {ctx}");
+                            assert!(p.plan.is_some(), "{ctx}");
+                            assert!(n.plan.is_none(), "{ctx}");
+                            // Executed-order bookkeeping is a permutation of
+                            // the inputs and maps every predicate to an
+                            // outcome.
+                            let mut order = p.executed_order.clone();
+                            order.sort_unstable();
+                            assert_eq!(order, (0..num_columns).collect::<Vec<_>>(), "{ctx}");
+                            for input in 0..num_columns {
+                                assert!(p.outcome_for_input(input).is_some(), "{ctx}");
+                            }
+                            // The driving step ran the adaptive path.
+                            assert_eq!(p.per_column[0].executed, QueryExecution::Adaptive, "{ctx}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn planned_matches_naive_and_reference_sim() {
+    check_equivalence(SimBackend::new, "sim");
+}
+
+#[test]
+fn planned_matches_naive_and_reference_mmap() {
+    check_equivalence(MmapBackend::new, "mmap");
+}
+
+/// Thread counts must not change planned answers *or* plans: the same
+/// query sequence on tables that only differ in parallelism produces
+/// identical row sets, executed orders and per-step page counts.
+#[test]
+fn planned_execution_is_thread_count_invariant() {
+    let mut rng = Rng(0xDEADBEEF);
+    let columns: Vec<Vec<u64>> = (0..3)
+        .map(|_| column_values(PAGES, false, &mut rng))
+        .collect();
+    let make = SimBackend::new;
+    let mut sequential = build_table(&make, &columns, 1, true);
+    let mut threaded = build_table(&make, &columns, 4, true);
+    for q in 0..10 {
+        let width = 30_000 + (q as u64) * 11_000;
+        let anchor = rng.next() % (MAX - width);
+        let predicates: Vec<(String, RangeQuery)> = (0..3)
+            .map(|c| (format!("c{c}"), RangeQuery::new(anchor, anchor + width - 1)))
+            .collect();
+        let refs: Vec<(&str, RangeQuery)> =
+            predicates.iter().map(|(n, q)| (n.as_str(), *q)).collect();
+        let a = sequential.query_conjunctive(&refs).unwrap();
+        let b = threaded.query_conjunctive(&refs).unwrap();
+        assert_eq!(a.rows, b.rows, "q={q}");
+        assert_eq!(a.executed_order, b.executed_order, "q={q}");
+        let pages = |o: &asv_core::ConjunctiveOutcome| -> Vec<usize> {
+            o.per_column.iter().map(|s| s.scanned_pages).collect()
+        };
+        assert_eq!(pages(&a), pages(&b), "q={q}");
+    }
+}

@@ -1,0 +1,164 @@
+//! AdaptiveTable under updates: after applying a write batch to one column
+//! and re-aligning its views — synchronously or via the background
+//! (epoch-handoff) worker — conjunctive answers must match a table rebuilt
+//! from scratch over the post-update values, on both backends and in both
+//! execution modes (planned and naive).
+
+use asv_core::{AdaptiveConfig, AdaptiveTable, PlannerConfig, RangeQuery};
+use asv_vmem::{Backend, MmapBackend, SimBackend, VALUES_PER_PAGE};
+
+const PAGES: usize = 16;
+const MAX: u64 = 1_000_000;
+
+/// Page-clustered deterministic values; `salt` decorrelates the columns.
+fn column_values(salt: u64) -> Vec<u64> {
+    (0..PAGES * VALUES_PER_PAGE)
+        .map(|i| {
+            let page = (i / VALUES_PER_PAGE) as u64;
+            let level = page * MAX / PAGES as u64;
+            let jitter = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15 ^ salt) % (MAX / 64);
+            (level + jitter).min(MAX)
+        })
+        .collect()
+}
+
+/// The query shapes exercised before and after the updates.
+fn query_suite() -> Vec<[RangeQuery; 2]> {
+    vec![
+        [
+            RangeQuery::new(100_000, 240_000),
+            RangeQuery::new(120_000, 300_000),
+        ],
+        [RangeQuery::new(0, 80_000), RangeQuery::new(0, 60_000)],
+        [
+            RangeQuery::new(870_000, 999_999),
+            RangeQuery::new(840_000, 999_999),
+        ],
+        [RangeQuery::new(0, MAX), RangeQuery::new(420_000, 560_000)],
+    ]
+}
+
+fn build_table<B: Backend>(
+    make_backend: &impl Fn() -> B,
+    a: &[u64],
+    b: &[u64],
+    planned: bool,
+) -> AdaptiveTable<B> {
+    let mut table = AdaptiveTable::new("t");
+    table
+        .add_column("a", make_backend(), a, AdaptiveConfig::default())
+        .unwrap();
+    table
+        .add_column("b", make_backend(), b, AdaptiveConfig::default())
+        .unwrap();
+    table.set_planner_config(PlannerConfig::default().with_enabled(planned));
+    table
+}
+
+fn conjunctive_rows<B: Backend>(
+    table: &mut AdaptiveTable<B>,
+    [qa, qb]: &[RangeQuery; 2],
+) -> Vec<u64> {
+    table
+        .query_conjunctive(&[("a", *qa), ("b", *qb)])
+        .unwrap()
+        .rows
+}
+
+/// The batch touches pages across the whole column, moving some rows into
+/// far-away value ranges (so partial views must gain *and* lose pages).
+fn update_batch() -> Vec<(usize, u64)> {
+    (0..PAGES)
+        .flat_map(|page| {
+            let row = page * VALUES_PER_PAGE + page;
+            [
+                (row, (page as u64 * 61_803) % MAX),
+                (row + 7, MAX - (page as u64 * 41_421) % MAX),
+            ]
+        })
+        .collect()
+}
+
+fn check_alignment_mode<B: Backend>(
+    make_backend: impl Fn() -> B,
+    background: bool,
+    planned: bool,
+    label: &str,
+) {
+    let a = column_values(1);
+    let b = column_values(2);
+    let mut table = build_table(&make_backend, &a, &b, planned);
+
+    // Warm the view sets (and the probe trackers) with the query suite.
+    for queries in &query_suite() {
+        conjunctive_rows(&mut table, queries);
+    }
+    assert!(
+        table.column("a").unwrap().views().num_partial_views() >= 1
+            || table.column("b").unwrap().views().num_partial_views() >= 1,
+        "{label}: warm-up must create views"
+    );
+
+    // Apply the batch to column a and re-align its views.
+    let writes = update_batch();
+    let updates = table.write_batch("a", &writes);
+    let mut a_updated = a.clone();
+    for &(row, value) in &writes {
+        a_updated[row] = value;
+    }
+    let col_a = table.column_mut("a").unwrap();
+    if background {
+        col_a.align_views_async(&updates).unwrap();
+        let stats = col_a
+            .publish_aligned_views()
+            .unwrap()
+            .expect("a background plan was pending");
+        assert_eq!(stats.batch_size, updates.len());
+    } else {
+        col_a.align_views(&updates).unwrap();
+    }
+
+    // A rebuilt-from-scratch table over the post-update values is ground
+    // truth for every conjunctive shape, in both execution modes.
+    let mut rebuilt = build_table(&make_backend, &a_updated, &b, planned);
+    for queries in &query_suite() {
+        let aligned = conjunctive_rows(&mut table, queries);
+        let reference = conjunctive_rows(&mut rebuilt, queries);
+        assert_eq!(
+            aligned, reference,
+            "{label}: post-alignment answers diverge for {queries:?}"
+        );
+        // Sanity: the reference matches a plain filter over the raw data.
+        let expected: Vec<u64> = (0..a_updated.len())
+            .filter(|&i| {
+                queries[0].range().contains(a_updated[i]) && queries[1].range().contains(b[i])
+            })
+            .map(|i| i as u64)
+            .collect();
+        assert_eq!(reference, expected, "{label}: rebuilt table is wrong");
+    }
+}
+
+#[test]
+fn sync_alignment_matches_rebuild_sim() {
+    check_alignment_mode(SimBackend::new, false, true, "sim/sync/planned");
+    check_alignment_mode(SimBackend::new, false, false, "sim/sync/naive");
+}
+
+#[test]
+fn background_alignment_matches_rebuild_sim() {
+    check_alignment_mode(SimBackend::new, true, true, "sim/background/planned");
+    check_alignment_mode(SimBackend::new, true, false, "sim/background/naive");
+}
+
+#[test]
+fn sync_alignment_matches_rebuild_mmap() {
+    check_alignment_mode(MmapBackend::new, false, true, "mmap/sync/planned");
+    check_alignment_mode(MmapBackend::new, false, false, "mmap/sync/naive");
+}
+
+#[test]
+fn background_alignment_matches_rebuild_mmap() {
+    check_alignment_mode(MmapBackend::new, true, true, "mmap/background/planned");
+    check_alignment_mode(MmapBackend::new, true, false, "mmap/background/naive");
+}

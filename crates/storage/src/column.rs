@@ -5,7 +5,7 @@
 //! `v[-∞,∞]` that maps the entire physical column (paper §2, component (a)
 //! and the default member of component (b)).
 
-use asv_util::{Parallelism, ValueRange};
+use asv_util::{Parallelism, ThreadPool, ValueRange};
 use asv_vmem::{Backend, MapRequest, PhysicalStore, VALUES_PER_PAGE};
 
 use crate::kernel::{scan_view_with, ScanKernel, ScanMode, ScanOutput};
@@ -194,6 +194,21 @@ impl<B: Backend> Column<B> {
             |raw| self.wrap_view_page(raw),
             parallelism,
         )
+    }
+
+    /// Probes `rows` (ascending global row ids) against `range`, touching
+    /// only the physical pages that contain candidates — the semi-join
+    /// residual step of planned conjunctive execution (see
+    /// [`crate::kernel::probe_rows`]).
+    pub fn probe_rows_with(
+        &self,
+        range: &ValueRange,
+        mode: ScanMode,
+        rows: &[u64],
+        parallelism: Parallelism,
+    ) -> ScanOutput {
+        let kernel = ScanKernel::new(*range, mode);
+        crate::kernel::probe_rows(&kernel, self, rows, &ThreadPool::new(parallelism))
     }
 
     /// Copies all values out of the column (test / debugging helper).

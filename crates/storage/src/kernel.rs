@@ -21,12 +21,21 @@
 //! Multi-view scans with *shared* physical pages additionally need
 //! cross-view deduplication; `asv-core::exec` builds that on top of
 //! [`ScanKernel::scan_view_slots`] with page-id-sharding.
+//!
+//! Besides full page-range scans the kernel offers a **probe mode**
+//! ([`ScanKernel::probe_page_rows`] / [`probe_rows`]): given a set of
+//! candidate row ids it touches only the physical pages containing them and
+//! re-checks the filter per candidate slot instead of per page value. This
+//! is the semi-join building block of planned conjunctive execution: after a
+//! driving predicate has produced a (small) survivor set, the residual
+//! predicates are evaluated against exactly those rows.
 
 use std::ops::Range;
 
 use asv_util::{split_ranges, Parallelism, ThreadPool, ValueRange};
-use asv_vmem::ViewBuffer;
+use asv_vmem::{Backend, ViewBuffer, VALUES_PER_PAGE};
 
+use crate::column::Column;
 use crate::page::{PageRef, PageScanResult};
 
 /// What a scan accumulates per qualifying value.
@@ -158,6 +167,42 @@ impl ScanKernel {
         res
     }
 
+    /// Probes the candidate rows `rows` (ascending global row ids, all on
+    /// the page `page`) against the kernel's range, re-checking each
+    /// candidate slot individually instead of scanning the whole page.
+    ///
+    /// Qualifying rows accumulate into `out` exactly like a scan would
+    /// accumulate them ([`ScanMode`] is honoured: `CountOnly` skips the
+    /// checksum, `CollectRows` appends the surviving row ids). The widening
+    /// bounds `below`/`above` stay untouched — a probe observes individual
+    /// slots, not whole pages, so nothing can be claimed about the page's
+    /// non-qualifying content.
+    pub fn probe_page_rows(&self, page: PageRef<'_>, rows: &[u64], out: &mut ScanOutput) {
+        let base_row = page.page_id() * VALUES_PER_PAGE as u64;
+        let mut res = PageScanResult::default();
+        for &row in rows {
+            debug_assert_eq!(row / VALUES_PER_PAGE as u64, page.page_id());
+            let slot = (row - base_row) as usize;
+            let v = page.value(slot);
+            if self.range.contains(v) {
+                res.count += 1;
+                if !matches!(self.mode, ScanMode::CountOnly) {
+                    res.sum += v as u128;
+                }
+                if matches!(self.mode, ScanMode::CollectRows) {
+                    out.rows.get_or_insert_with(Vec::new).push(row);
+                }
+            }
+        }
+        out.scanned_pages += 1;
+        if res.count > 0 {
+            if let Some(pages) = out.qualifying_pages.as_mut() {
+                pages.push(page.page_id());
+            }
+        }
+        out.result.merge(&res);
+    }
+
     /// Evaluates the view slots `slots` of `view`, wrapping each raw page
     /// via `wrap` (which supplies the valid-value count; see
     /// [`crate::Column::wrap_view_page`]).
@@ -240,11 +285,79 @@ where
     scan_view(kernel, view, wrap, &ThreadPool::new(parallelism))
 }
 
+/// Groups ascending candidate rows into per-page runs: each run is a
+/// `(physical page, index range into rows)` pair.
+fn group_rows_by_page(rows: &[u64]) -> Vec<(usize, Range<usize>)> {
+    let mut runs: Vec<(usize, Range<usize>)> = Vec::new();
+    let mut start = 0usize;
+    while start < rows.len() {
+        let page = (rows[start] / VALUES_PER_PAGE as u64) as usize;
+        let mut end = start + 1;
+        while end < rows.len() && (rows[end] / VALUES_PER_PAGE as u64) as usize == page {
+            end += 1;
+        }
+        runs.push((page, start..end));
+        start = end;
+    }
+    runs
+}
+
+/// Probes `rows` (ascending, duplicate-free global row ids of `column`)
+/// against `kernel`'s range, touching only the physical pages that contain
+/// candidates — the semi-join residual step of planned conjunctive
+/// execution.
+///
+/// The per-page runs are sharded across `pool` and the partial outputs are
+/// merged in ascending page order, so `rows` in the output (with
+/// [`ScanMode::CollectRows`]) stay ascending and the result is identical
+/// for every worker count. `scanned_pages` reports the number of *distinct*
+/// pages touched, which is the probe's entire page effort.
+pub fn probe_rows<B: Backend>(
+    kernel: &ScanKernel,
+    column: &Column<B>,
+    rows: &[u64],
+    pool: &ThreadPool,
+) -> ScanOutput {
+    debug_assert!(rows.windows(2).all(|w| w[0] < w[1]), "rows must ascend");
+    let mut merged = ScanOutput::new(kernel.mode(), false);
+    if rows.is_empty() {
+        return merged;
+    }
+    let runs = group_rows_by_page(rows);
+    let probe_runs = |slice: &[(usize, Range<usize>)], out: &mut ScanOutput| {
+        for (page, idx) in slice {
+            kernel.probe_page_rows(column.page_ref(*page), &rows[idx.clone()], out);
+        }
+    };
+    if pool.workers() <= 1 || runs.len() < 2 {
+        probe_runs(&runs, &mut merged);
+        return merged;
+    }
+    let shards = split_ranges(runs.len(), pool.workers());
+    let runs = &runs;
+    let probe_runs = &probe_runs;
+    let partials = pool.scoped_map(
+        shards
+            .into_iter()
+            .map(|shard| {
+                move || {
+                    let mut out = ScanOutput::new(kernel.mode(), false);
+                    probe_runs(&runs[shard], &mut out);
+                    out
+                }
+            })
+            .collect(),
+    );
+    for partial in partials {
+        merged.merge(partial);
+    }
+    merged
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::column::Column;
-    use asv_vmem::{Backend, MmapBackend, SimBackend, VALUES_PER_PAGE};
+    use asv_vmem::{MmapBackend, SimBackend};
 
     fn clustered_column<B: Backend>(backend: B, pages: usize) -> Column<B> {
         let values: Vec<u64> = (0..pages * VALUES_PER_PAGE)
@@ -329,6 +442,80 @@ mod tests {
         assert_eq!(out.below, Some(4_000 + VALUES_PER_PAGE as u64 - 1));
         assert_eq!(out.above, Some(10_000));
         assert_eq!(out.scanned_pages, 16);
+    }
+
+    fn check_probe_matches_reference<B: Backend>(backend: B) {
+        let column = clustered_column(backend, 24);
+        let values = column.to_vec();
+        let range = ValueRange::new(6_000, 14_200);
+        // Candidates: every third row of pages 4..=20 (some qualify, some
+        // don't, some pages contain no candidate at all).
+        let rows: Vec<u64> = (4 * VALUES_PER_PAGE..21 * VALUES_PER_PAGE)
+            .step_by(3)
+            .map(|r| r as u64)
+            .collect();
+        let expected: Vec<u64> = rows
+            .iter()
+            .copied()
+            .filter(|&r| range.contains(values[r as usize]))
+            .collect();
+        let expected_sum: u128 = expected.iter().map(|&r| values[r as usize] as u128).sum();
+        let candidate_pages = 21 - 4; // distinct pages holding candidates
+
+        let kernel = ScanKernel::new(range, ScanMode::CollectRows);
+        let seq = probe_rows(&kernel, &column, &rows, &ThreadPool::with_workers(1));
+        assert_eq!(seq.rows.as_deref(), Some(&expected[..]));
+        assert_eq!(seq.result.count, expected.len() as u64);
+        assert_eq!(seq.result.sum, expected_sum);
+        assert_eq!(
+            seq.scanned_pages, candidate_pages,
+            "touches only candidate pages"
+        );
+        assert_eq!(seq.below, None);
+        assert_eq!(seq.above, None);
+
+        for workers in [2usize, 3, 8] {
+            let par = probe_rows(&kernel, &column, &rows, &ThreadPool::with_workers(workers));
+            assert_eq!(par.rows, seq.rows, "workers={workers}");
+            assert_eq!(par.result.count, seq.result.count, "workers={workers}");
+            assert_eq!(par.result.sum, seq.result.sum, "workers={workers}");
+            assert_eq!(par.scanned_pages, seq.scanned_pages, "workers={workers}");
+        }
+
+        // Count-only probes skip the checksum.
+        let count_only =
+            column.probe_rows_with(&range, ScanMode::CountOnly, &rows, Parallelism::Sequential);
+        assert_eq!(count_only.result.count, expected.len() as u64);
+        assert_eq!(count_only.result.sum, 0);
+        assert!(count_only.rows.is_none());
+    }
+
+    #[test]
+    fn probe_matches_reference_sim() {
+        check_probe_matches_reference(SimBackend::new());
+    }
+
+    #[test]
+    fn probe_matches_reference_mmap() {
+        check_probe_matches_reference(MmapBackend::new());
+    }
+
+    #[test]
+    fn probe_with_no_candidates_is_free() {
+        let column = clustered_column(SimBackend::new(), 4);
+        let kernel = ScanKernel::new(ValueRange::new(0, 10), ScanMode::CollectRows);
+        let out = probe_rows(&kernel, &column, &[], &ThreadPool::with_workers(4));
+        assert_eq!(out.scanned_pages, 0);
+        assert_eq!(out.result.count, 0);
+    }
+
+    #[test]
+    fn group_rows_by_page_splits_runs() {
+        let vpp = VALUES_PER_PAGE as u64;
+        let rows = [0, 1, vpp - 1, vpp, 3 * vpp + 2, 3 * vpp + 3];
+        let runs = group_rows_by_page(&rows);
+        assert_eq!(runs, vec![(0, 0..3), (1, 3..4), (3, 4..6)]);
+        assert!(group_rows_by_page(&[]).is_empty());
     }
 
     #[test]

@@ -17,7 +17,7 @@ pub mod table;
 pub mod updates;
 
 pub use column::Column;
-pub use kernel::{scan_view, scan_view_with, ScanKernel, ScanMode, ScanOutput};
+pub use kernel::{probe_rows, scan_view, scan_view_with, ScanKernel, ScanMode, ScanOutput};
 pub use page::{PageRef, PageScanResult};
 pub use table::Table;
 pub use updates::{dedup_last_write_wins, group_by_page, sorted_page_groups, Update, UpdateBatch};

@@ -9,6 +9,8 @@
 //! * [`BiMap`] — a bidirectional map between virtual and physical page
 //!   numbers, replacing the Boost `bimap` the paper materializes from
 //!   `/proc/self/maps` (paper §2.5).
+//! * [`RowSet`] — a bitset over row ids, the intermediate representation of
+//!   conjunctive multi-column execution (word-wise intersection).
 //! * [`ValueRange`] — closed integer ranges `[l, u]` with the "full range"
 //!   (`[-∞, ∞]`) semantics views are described with (paper §2).
 //! * [`RunBuilder`] / [`Run`] — grouping of consecutive page numbers into
@@ -22,6 +24,7 @@ pub mod bimap;
 pub mod bitvec;
 pub mod pool;
 pub mod range;
+pub mod rowset;
 pub mod runs;
 pub mod stats;
 
@@ -29,5 +32,6 @@ pub use bimap::BiMap;
 pub use bitvec::BitVec;
 pub use pool::{available_parallelism, split_ranges, Parallelism, ThreadPool};
 pub use range::ValueRange;
+pub use rowset::RowSet;
 pub use runs::{group_into_runs, Run, RunBuilder};
 pub use stats::{average_runtime, Summary, Timer};

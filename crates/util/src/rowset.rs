@@ -1,0 +1,168 @@
+//! A bitset over row ids — the intermediate representation of conjunctive
+//! query execution.
+//!
+//! Multi-column conjunctive queries intersect per-predicate row sets. With
+//! sorted `Vec<u64>` representations every intersection is `O(|a| + |b|)`
+//! comparisons plus an allocation; a fixed-domain bitset intersects
+//! word-wise — `O(rows / 64)` independent of how the surviving rows are
+//! distributed, and without sorting the (view-ordered, unsorted) row lists
+//! adaptive scans produce. [`RowSet`] is that representation: a [`BitVec`]
+//! over the table's row space plus a maintained cardinality.
+
+use crate::bitvec::BitVec;
+
+/// A set of row ids over a fixed row domain `0..num_rows`, backed by a
+/// bitvector.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RowSet {
+    bits: BitVec,
+    len: usize,
+}
+
+impl RowSet {
+    /// Creates an empty set over the domain `0..num_rows`.
+    pub fn empty(num_rows: usize) -> Self {
+        Self {
+            bits: BitVec::new(num_rows),
+            len: 0,
+        }
+    }
+
+    /// Builds a set from a slice of row ids (duplicates are tolerated, any
+    /// order). All ids must be `< num_rows`.
+    ///
+    /// # Panics
+    /// Panics if a row id is out of the domain.
+    pub fn from_rows(rows: &[u64], num_rows: usize) -> Self {
+        let mut set = Self::empty(num_rows);
+        for &row in rows {
+            set.insert(row as usize);
+        }
+        set
+    }
+
+    /// The size of the row domain (not the cardinality).
+    pub fn domain(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Number of rows in the set.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the set holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Returns `true` if `row` is in the set.
+    ///
+    /// # Panics
+    /// Panics if `row` is outside the domain.
+    pub fn contains(&self, row: usize) -> bool {
+        self.bits.get(row)
+    }
+
+    /// Inserts `row`, returning `true` if it was newly inserted.
+    ///
+    /// # Panics
+    /// Panics if `row` is outside the domain.
+    pub fn insert(&mut self, row: usize) -> bool {
+        let was_set = self.bits.test_and_set(row);
+        if !was_set {
+            self.len += 1;
+        }
+        !was_set
+    }
+
+    /// In-place intersection with another set of the same domain — the O(1)
+    /// per-word core of conjunctive execution.
+    ///
+    /// # Panics
+    /// Panics if the domains differ.
+    pub fn intersect_with(&mut self, other: &RowSet) {
+        self.bits.intersect_with(&other.bits);
+        self.len = self.bits.count_ones();
+    }
+
+    /// Iterates the rows in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        self.bits.iter_ones().map(|i| i as u64)
+    }
+
+    /// Collects the rows into an ascending `Vec<u64>`.
+    pub fn to_sorted_vec(&self) -> Vec<u64> {
+        let mut out = Vec::with_capacity(self.len);
+        out.extend(self.iter());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_set() {
+        let s = RowSet::empty(100);
+        assert_eq!(s.domain(), 100);
+        assert_eq!(s.len(), 0);
+        assert!(s.is_empty());
+        assert!(!s.contains(42));
+        assert!(s.to_sorted_vec().is_empty());
+    }
+
+    #[test]
+    fn from_rows_deduplicates_and_sorts() {
+        let s = RowSet::from_rows(&[7, 3, 99, 3, 0], 100);
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.to_sorted_vec(), vec![0, 3, 7, 99]);
+        assert!(s.contains(7));
+        assert!(!s.contains(8));
+    }
+
+    #[test]
+    fn insert_tracks_cardinality() {
+        let mut s = RowSet::empty(10);
+        assert!(s.insert(4));
+        assert!(!s.insert(4));
+        assert!(s.insert(9));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn intersection_matches_reference() {
+        let a = RowSet::from_rows(&[1, 3, 5, 64, 65, 99], 128);
+        let b = RowSet::from_rows(&[3, 5, 64, 100], 128);
+        let mut i = a.clone();
+        i.intersect_with(&b);
+        assert_eq!(i.to_sorted_vec(), vec![3, 5, 64]);
+        assert_eq!(i.len(), 3);
+        // Intersecting with itself is a no-op.
+        let mut same = a.clone();
+        same.intersect_with(&a);
+        assert_eq!(same, a);
+    }
+
+    #[test]
+    fn intersection_with_empty_clears() {
+        let mut a = RowSet::from_rows(&[0, 1, 2], 4);
+        a.intersect_with(&RowSet::empty(4));
+        assert!(a.is_empty());
+        assert_eq!(a.len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_domain_row_panics() {
+        RowSet::from_rows(&[8], 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn domain_mismatch_panics() {
+        let mut a = RowSet::empty(8);
+        a.intersect_with(&RowSet::empty(9));
+    }
+}

@@ -8,13 +8,19 @@
 //!   selectivity sweep (Figure 4) and fixed-selectivity sequences
 //!   (Figure 5).
 //! * [`UpdateWorkload`] — random point updates (§3.1 and §3.4).
+//! * [`TableWorkload`] — multi-column tables with
+//!   correlated/anti-correlated/independent columns plus conjunctive query
+//!   sequences, the workload of the multi-column query planner (beyond the
+//!   paper).
 //!
 //! All generators are seeded and fully deterministic for a given seed.
 
 pub mod distributions;
 pub mod queries;
+pub mod tables;
 pub mod updates;
 
 pub use distributions::{Distribution, DEFAULT_MAX_VALUE};
 pub use queries::{QueryWorkload, SweepSpec};
+pub use tables::{ColumnCorrelation, ConjunctiveQuery, TableWorkload};
 pub use updates::UpdateWorkload;

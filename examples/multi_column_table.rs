@@ -81,14 +81,18 @@ fn main() {
         "\nconjunctive query over 3 columns: {} matching rows",
         conjunctive.rows.len()
     );
-    for (outcome, name) in
-        conjunctive
-            .per_column
-            .iter()
-            .zip(["temperature", "pressure", "error_code"])
+    // The planner reorders predicates by estimated cardinality:
+    // `executed_order` maps each executed step back to its input predicate.
+    let names = ["temperature", "pressure", "error_code"];
+    for (outcome, &input_idx) in conjunctive
+        .per_column
+        .iter()
+        .zip(&conjunctive.executed_order)
     {
+        let name = names[input_idx];
         println!(
-            "  predicate on {name:<12}: {:>8} qualifying rows from {:>5} scanned pages using {} view(s)",
+            "  predicate on {name:<12} [{:?}]: {:>8} surviving rows from {:>5} touched pages using {} view(s)",
+            outcome.executed,
             outcome.count,
             outcome.scanned_pages,
             outcome.num_views_used()

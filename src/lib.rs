@@ -52,8 +52,8 @@ pub use asv_workloads as workloads;
 /// Commonly used types, re-exported for convenience.
 pub mod prelude {
     pub use asv_core::{
-        AdaptiveColumn, AdaptiveConfig, CreationOptions, QueryOutcome, RangeQuery, RoutingMode,
-        ViewSet,
+        AdaptiveColumn, AdaptiveConfig, AdaptiveTable, ConjunctiveOutcome, CreationOptions,
+        PlannerConfig, QueryOutcome, RangeQuery, RoutingMode, ViewSet,
     };
     pub use asv_storage::{Column, Table, Update};
     pub use asv_util::ValueRange;
