@@ -1,29 +1,37 @@
-//! align-overlap — query throughput *during* update alignment.
+//! align-overlap — query + write throughput *during* update alignment.
 //!
-//! Beyond the paper: measures what the background (epoch-handoff)
-//! alignment buys over the stop-the-world call. The setup mirrors
-//! Figure 7 (five partial views over 1/1024-ths of the domain, one
-//! uniform update batch), but instead of only timing the alignment it
-//! counts how many range queries the column answers *while* the batch is
-//! being aligned:
+//! Beyond the paper: measures what background (epoch-handoff) alignment,
+//! chunked publishing and the pending-writes queue buy over the
+//! stop-the-world call. The setup mirrors Figure 7 (five partial views
+//! over 1/1024-ths of the domain, one uniform update batch), but instead
+//! of only timing the alignment it sweeps **chunk size × write rate** and
+//! records what happens *while* the batch is being aligned:
 //!
 //! * **sync** — `align_views` blocks the column for the whole batch; by
-//!   construction zero queries run during alignment.
+//!   construction zero queries run during alignment and the single
+//!   query-excluding window spans the entire batch (reported as the
+//!   publish latency).
 //! * **background** — `align_views_async` ships the planning to the
-//!   epoch-handoff worker; the driver pumps queries (answered on the
-//!   pre-batch view epoch) until the plan is ready, then publishes it.
+//!   epoch-handoff worker with the configured
+//!   [`asv_core::AlignChunking::chunk_updates`]; the driver pumps queries
+//!   (answered on the pre-batch view epoch, overlay-corrected) and, at the
+//!   configured write rate, submits write bursts that are *queued
+//!   mid-alignment* and folded into follow-up rounds automatically. The
+//!   loop polls one chunk at a time until every round has drained, so the
+//!   reported publish-latency percentiles are per-chunk — the quantity
+//!   chunking bounds.
 //!
-//! Both modes then answer the same post-publish query sequence; its
-//! checksum must match across modes (asserted here), since background and
-//! synchronous alignment produce identical view layouts.
+//! Every background cell is checked against a synchronous twin that
+//! applies the same base batch and the same queued bursts with
+//! stop-the-world alignments: the post-drain answer checksums must match.
 
 use asv_core::{
-    build_view_for_range_with, AdaptiveColumn, AdaptiveConfig, CreationOptions, Parallelism,
-    RangeQuery,
+    build_view_for_range_with, AdaptiveColumn, AdaptiveConfig, AlignChunking, ChunkPublishStats,
+    CreationOptions, Parallelism, RangeQuery,
 };
 use asv_util::Timer;
 use asv_vmem::Backend;
-use asv_workloads::{Distribution, UpdateWorkload};
+use asv_workloads::{Distribution, MixedOp, MixedSpec, MixedWorkload, UpdateWorkload};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -31,8 +39,8 @@ use crate::fig7;
 use crate::report::Table;
 use crate::scale::Scale;
 
-/// Post-publish queries per cell (throughput baseline + cross-mode
-/// answer check).
+/// Post-drain queries per cell (throughput baseline + cross-mode answer
+/// check).
 pub const QUERIES_AFTER: usize = 48;
 /// Distinct probe queries the during-alignment loop cycles through.
 const QUERY_POOL: usize = 32;
@@ -40,28 +48,87 @@ const QUERY_POOL: usize = 32;
 /// this only guards against pathological scheduling).
 const MAX_QUERIES_DURING: usize = 1_000_000;
 
-/// One measured (mode, batch size) cell.
+/// Sweep parameters of the overlap experiment.
+#[derive(Clone, Debug)]
+pub struct OverlapConfig {
+    /// Chunk sizes (updates per published chunk) swept per batch size.
+    /// `None` derives `[0, max(batch / 8, 1)]` per batch (0 = unchunked).
+    pub chunk_sizes: Option<Vec<usize>>,
+    /// Write rates swept: a burst is queued every `write_every`
+    /// during-alignment queries (0 = read-only during alignment).
+    pub write_everys: Vec<usize>,
+    /// Writes per queued burst.
+    pub write_burst: usize,
+    /// Maximum bursts queued per cell (bounds the auto-fold cascade).
+    pub max_bursts: usize,
+}
+
+impl Default for OverlapConfig {
+    fn default() -> Self {
+        Self {
+            chunk_sizes: None,
+            write_everys: vec![0, 8],
+            write_burst: 32,
+            max_bursts: 6,
+        }
+    }
+}
+
+impl OverlapConfig {
+    /// The chunk sizes swept for `batch_size`.
+    fn chunk_sizes_for(&self, batch_size: usize) -> Vec<usize> {
+        match &self.chunk_sizes {
+            Some(sizes) => sizes.clone(),
+            None => {
+                let derived = (batch_size / 8).max(1);
+                if derived > 1 {
+                    vec![0, derived]
+                } else {
+                    vec![0]
+                }
+            }
+        }
+    }
+}
+
+/// One measured cell of the sweep.
 #[derive(Clone, Debug)]
 pub struct OverlapRow {
     /// Alignment mode (`sync` / `background`).
     pub mode: String,
-    /// Number of updates in the batch.
+    /// Number of updates in the base batch.
     pub batch_size: usize,
-    /// Wall time from alignment start until the aligned views were
-    /// published, in milliseconds.
+    /// Updates per published chunk (0 = whole batch in one epoch).
+    pub chunk_updates: usize,
+    /// A write burst was queued every this many during-alignment queries
+    /// (0 = none).
+    pub write_every: usize,
+    /// Writes acknowledged mid-alignment (queued + auto-folded).
+    pub writes_queued: usize,
+    /// Wall time from alignment start until every round had drained, in
+    /// milliseconds.
     pub align_wall_ms: f64,
-    /// Queries answered between alignment start and publish.
+    /// Queries answered between alignment start and final drain.
     pub queries_during: usize,
     /// Query throughput during alignment (queries/s; 0 for sync).
     pub qps_during: f64,
-    /// Query throughput after publish (queries/s).
+    /// Query throughput after the drain (queries/s).
     pub qps_after: f64,
-    /// `(view, page)` additions performed by the alignment.
+    /// Chunks (epochs) published.
+    pub chunks_published: usize,
+    /// Median per-chunk publish latency in milliseconds (the
+    /// query-excluding window; for sync, the whole alignment call).
+    pub publish_p50_ms: f64,
+    /// 95th-percentile per-chunk publish latency in milliseconds.
+    pub publish_p95_ms: f64,
+    /// Largest per-chunk publish latency in milliseconds.
+    pub publish_max_ms: f64,
+    /// `(view, page)` additions performed across all rounds.
     pub pages_added: usize,
-    /// `(view, page)` removals performed by the alignment.
+    /// `(view, page)` removals performed across all rounds.
     pub pages_removed: usize,
-    /// Checksum over the post-publish query answers (must be identical
-    /// across modes for the same batch size).
+    /// Checksum over the post-drain query answers (must be identical to
+    /// the synchronous twin fed the same writes).
     pub checksum_after: u128,
 }
 
@@ -71,6 +138,7 @@ fn build_column<B: Backend>(
     scale: &Scale,
     seed: u64,
     parallelism: Parallelism,
+    chunk_updates: usize,
 ) -> AdaptiveColumn<B> {
     let dist = Distribution::Uniform {
         max_value: u64::MAX,
@@ -78,7 +146,8 @@ fn build_column<B: Backend>(
     let values = dist.generate_pages(scale.fig7_pages, seed);
     let config = AdaptiveConfig::default()
         .with_adaptive_creation(false)
-        .with_parallelism(parallelism);
+        .with_parallelism(parallelism)
+        .with_chunking(AlignChunking::default().with_chunk_updates(chunk_updates));
     let mut col = AdaptiveColumn::from_values(backend.clone(), &values, config).expect("column");
     for range in fig7::draw_view_ranges(seed ^ 0xF167) {
         let (buffer, _) =
@@ -104,59 +173,121 @@ fn probe_queries(seed: u64) -> Vec<RangeQuery> {
         .collect()
 }
 
-fn run_one<B: Backend>(
+/// The write bursts a cell may queue mid-alignment, drawn from the mixed
+/// read/write stream generator.
+fn queued_bursts(seed: u64, num_rows: usize, cfg: &OverlapConfig) -> Vec<Vec<(usize, u64)>> {
+    let spec = MixedSpec {
+        num_ops: cfg.max_bursts,
+        write_every: 1,
+        writes_per_burst: cfg.write_burst,
+        query_width: 1,
+        max_value: u64::MAX,
+    };
+    MixedWorkload::new(seed ^ 0xB00C)
+        .ops(&spec, num_rows)
+        .into_iter()
+        .filter_map(|op| match op {
+            MixedOp::WriteBatch(writes) => Some(writes),
+            MixedOp::Query(_) => None,
+        })
+        .collect()
+}
+
+/// Post-drain throughput + answer checksum.
+fn measure_after<B: Backend>(col: &mut AdaptiveColumn<B>, queries: &[RangeQuery]) -> (f64, u128) {
+    let timer = Timer::start();
+    let mut checksum = 0u128;
+    for i in 0..QUERIES_AFTER {
+        let out = col.query(&queries[i % queries.len()]).expect("query");
+        checksum = checksum
+            .wrapping_add(out.sum)
+            .wrapping_add(out.count as u128);
+    }
+    let ms = timer.elapsed_ms();
+    let qps = if ms > 0.0 {
+        QUERIES_AFTER as f64 / (ms / 1e3)
+    } else {
+        0.0
+    };
+    (qps, checksum)
+}
+
+/// Runs one background cell; returns the row plus the bursts it queued
+/// (so the synchronous twin can replay exactly the same writes).
+#[allow(clippy::too_many_arguments)]
+fn run_background<B: Backend>(
     backend: &B,
     scale: &Scale,
     seed: u64,
     parallelism: Parallelism,
     batch_size: usize,
-    background: bool,
-) -> OverlapRow {
-    let mut col = build_column(backend, scale, seed, parallelism);
+    chunk_updates: usize,
+    write_every: usize,
+    cfg: &OverlapConfig,
+) -> (OverlapRow, usize) {
+    let mut col = build_column(backend, scale, seed, parallelism, chunk_updates);
     let queries = probe_queries(seed);
     let writes = UpdateWorkload::new(seed ^ batch_size as u64).uniform_writes(
         batch_size,
         col.column().num_rows(),
         u64::MAX,
     );
+    let bursts = queued_bursts(seed, col.column().num_rows(), cfg);
     let updates = col.write_batch(&writes);
 
     let timer = Timer::start();
     let mut queries_during = 0usize;
-    let stats = if background {
-        col.align_views_async(&updates).expect("async alignment");
-        loop {
-            if let Some(stats) = col.poll_aligned_views().expect("poll") {
-                break stats;
-            }
-            if queries_during >= MAX_QUERIES_DURING {
-                break col
-                    .publish_aligned_views()
-                    .expect("publish")
-                    .expect("a plan was pending");
-            }
-            let q = &queries[queries_during % queries.len()];
-            col.query(q).expect("mid-alignment query");
-            queries_during += 1;
-        }
-    } else {
-        col.align_views(&updates).expect("sync alignment")
-    };
-    let align_wall_ms = timer.elapsed_ms();
-
-    let after_timer = Timer::start();
-    let mut checksum_after = 0u128;
-    for i in 0..QUERIES_AFTER {
-        let out = col.query(&queries[i % queries.len()]).expect("query");
-        checksum_after = checksum_after
-            .wrapping_add(out.sum)
-            .wrapping_add(out.count as u128);
+    let mut bursts_used = 0usize;
+    let mut writes_queued = 0usize;
+    let mut pages_added = 0usize;
+    let mut pages_removed = 0usize;
+    col.align_views_async(&updates).expect("async alignment");
+    // The first burst arrives right after the round starts (alignment is
+    // pending until the first poll, so this is guaranteed to be queued);
+    // further bursts follow every `write_every` queries.
+    if write_every > 0 && !bursts.is_empty() {
+        col.write_batch(&bursts[0]);
+        writes_queued += bursts[0].len();
+        bursts_used = 1;
     }
-    let after_ms = after_timer.elapsed_ms();
+    while col.alignment_pending() {
+        if let Some(stats) = col.poll_aligned_views().expect("poll") {
+            pages_added += stats.pages_added;
+            pages_removed += stats.pages_removed;
+            continue;
+        }
+        if queries_during >= MAX_QUERIES_DURING {
+            let stats = col
+                .flush_pending_writes()
+                .expect("flush")
+                .expect("work was pending");
+            pages_added += stats.pages_added;
+            pages_removed += stats.pages_removed;
+            break;
+        }
+        let q = &queries[queries_during % queries.len()];
+        col.query(q).expect("mid-alignment query");
+        queries_during += 1;
+        if write_every > 0
+            && queries_during.is_multiple_of(write_every)
+            && bursts_used < bursts.len()
+        {
+            let burst = &bursts[bursts_used];
+            col.write_batch(burst);
+            writes_queued += burst.len();
+            bursts_used += 1;
+        }
+    }
+    let align_wall_ms = timer.elapsed_ms();
+    let publish = ChunkPublishStats::from_records(col.take_chunk_records());
+    let (qps_after, checksum_after) = measure_after(&mut col, &queries);
 
-    OverlapRow {
-        mode: if background { "background" } else { "sync" }.to_string(),
+    let row = OverlapRow {
+        mode: "background".to_string(),
         batch_size,
+        chunk_updates,
+        write_every,
+        writes_queued,
         align_wall_ms,
         queries_during,
         qps_during: if align_wall_ms > 0.0 {
@@ -164,42 +295,153 @@ fn run_one<B: Backend>(
         } else {
             0.0
         },
-        qps_after: if after_ms > 0.0 {
-            QUERIES_AFTER as f64 / (after_ms / 1e3)
-        } else {
-            0.0
-        },
+        qps_after,
+        chunks_published: publish.len(),
+        publish_p50_ms: publish.publish_ms_percentile(50.0),
+        publish_p95_ms: publish.publish_ms_percentile(95.0),
+        publish_max_ms: publish.max_publish_ms(),
+        pages_added,
+        pages_removed,
+        checksum_after,
+    };
+    (row, bursts_used)
+}
+
+/// Runs the synchronous twin of a cell: the same base batch, then the same
+/// `bursts_used` bursts, each applied directly and aligned stop-the-world.
+fn run_sync<B: Backend>(
+    backend: &B,
+    scale: &Scale,
+    seed: u64,
+    parallelism: Parallelism,
+    batch_size: usize,
+    bursts_used: usize,
+    cfg: &OverlapConfig,
+) -> OverlapRow {
+    let mut col = build_column(backend, scale, seed, parallelism, 0);
+    let queries = probe_queries(seed);
+    let writes = UpdateWorkload::new(seed ^ batch_size as u64).uniform_writes(
+        batch_size,
+        col.column().num_rows(),
+        u64::MAX,
+    );
+    let bursts = queued_bursts(seed, col.column().num_rows(), cfg);
+
+    // Each stop-the-world alignment call is one query-excluding window;
+    // reuse the per-chunk collector so sync and background percentiles
+    // come from the same nearest-rank implementation.
+    let mut publish = ChunkPublishStats::new();
+    let mut record_window = |index: usize, updates: usize, duration| {
+        publish.record(asv_core::ChunkPublishRecord {
+            chunk_index: index,
+            updates,
+            pages_added: 0,
+            pages_removed: 0,
+            publish_time: duration,
+            generation: index as u64 + 1,
+        });
+    };
+
+    let timer = Timer::start();
+    let updates = col.write_batch(&writes);
+    let batch_timer = Timer::start();
+    let mut stats = col.align_views(&updates).expect("sync alignment");
+    record_window(0, updates.len(), batch_timer.elapsed());
+    let mut writes_queued = 0usize;
+    for (i, burst) in bursts.iter().take(bursts_used).enumerate() {
+        let updates = col.write_batch(burst);
+        let burst_timer = Timer::start();
+        stats.absorb(&col.align_views(&updates).expect("sync burst alignment"));
+        record_window(i + 1, updates.len(), burst_timer.elapsed());
+        writes_queued += burst.len();
+    }
+    let align_wall_ms = timer.elapsed_ms();
+    let (qps_after, checksum_after) = measure_after(&mut col, &queries);
+
+    OverlapRow {
+        mode: "sync".to_string(),
+        batch_size,
+        chunk_updates: 0,
+        write_every: 0,
+        writes_queued,
+        align_wall_ms,
+        queries_during: 0,
+        qps_during: 0.0,
+        qps_after,
+        chunks_published: publish.len(),
+        publish_p50_ms: publish.publish_ms_percentile(50.0),
+        publish_p95_ms: publish.publish_ms_percentile(95.0),
+        publish_max_ms: publish.max_publish_ms(),
         pages_added: stats.pages_added,
         pages_removed: stats.pages_removed,
         checksum_after,
     }
 }
 
-/// Runs the overlap experiment: every Figure-7 batch size, sync vs
-/// background, on `backend`.
+/// Runs the overlap sweep: every Figure-7 batch size × chunk size × write
+/// rate, background cells checked against synchronous twins, on `backend`.
+pub fn run_with_config<B: Backend>(
+    backend: &B,
+    scale: &Scale,
+    seed: u64,
+    parallelism: Parallelism,
+    cfg: &OverlapConfig,
+) -> Vec<OverlapRow> {
+    let mut rows = Vec::new();
+    for &batch_size in &scale.fig7_batch_sizes {
+        // The read-only stop-the-world baseline.
+        rows.push(run_sync(
+            backend,
+            scale,
+            seed,
+            parallelism,
+            batch_size,
+            0,
+            cfg,
+        ));
+        for &chunk_updates in &cfg.chunk_sizes_for(batch_size) {
+            for &write_every in &cfg.write_everys {
+                let (row, bursts_used) = run_background(
+                    backend,
+                    scale,
+                    seed,
+                    parallelism,
+                    batch_size,
+                    chunk_updates,
+                    write_every,
+                    cfg,
+                );
+                // Cross-mode check: a synchronous twin fed the identical
+                // base batch + queued bursts must answer identically.
+                let twin = run_sync(
+                    backend,
+                    scale,
+                    seed,
+                    parallelism,
+                    batch_size,
+                    bursts_used,
+                    cfg,
+                );
+                assert_eq!(
+                    row.checksum_after, twin.checksum_after,
+                    "batch {batch_size} chunk {chunk_updates} rate {write_every}: \
+                     background and sync answers diverge after drain"
+                );
+                rows.push(row);
+            }
+        }
+    }
+    rows
+}
+
+/// [`run_with_config`] with the default sweep.
 pub fn run_with<B: Backend>(
     backend: &B,
     scale: &Scale,
     seed: u64,
     parallelism: Parallelism,
 ) -> Vec<OverlapRow> {
-    let mut rows = Vec::new();
-    for &batch_size in &scale.fig7_batch_sizes {
-        let sync = run_one(backend, scale, seed, parallelism, batch_size, false);
-        let background = run_one(backend, scale, seed, parallelism, batch_size, true);
-        assert_eq!(
-            sync.checksum_after, background.checksum_after,
-            "batch {batch_size}: sync and background answers diverge after publish"
-        );
-        assert_eq!(
-            (sync.pages_added, sync.pages_removed),
-            (background.pages_added, background.pages_removed),
-            "batch {batch_size}: sync and background alignments diverge"
-        );
-        rows.push(sync);
-        rows.push(background);
-    }
-    rows
+    run_with_config(backend, scale, seed, parallelism, &OverlapConfig::default())
 }
 
 /// [`run_with`] at the default (sequential) scan parallelism.
@@ -210,14 +452,21 @@ pub fn run<B: Backend>(backend: &B, scale: &Scale, seed: u64) -> Vec<OverlapRow>
 /// Renders the overlap rows.
 pub fn to_table(rows: &[OverlapRow]) -> Table {
     let mut table = Table::new(
-        "align-overlap: query throughput during view alignment (sync vs background)",
+        "align-overlap: query/write throughput during view alignment (chunk size × write rate)",
         &[
             "mode",
             "batch size",
+            "chunk updates",
+            "write every",
+            "writes queued",
             "align wall ms",
             "queries during",
             "qps during",
             "qps after",
+            "chunks",
+            "publish p50 ms",
+            "publish p95 ms",
+            "publish max ms",
             "pages added",
             "pages removed",
         ],
@@ -226,10 +475,17 @@ pub fn to_table(rows: &[OverlapRow]) -> Table {
         table.add_row(vec![
             r.mode.clone(),
             r.batch_size.to_string(),
+            r.chunk_updates.to_string(),
+            r.write_every.to_string(),
+            r.writes_queued.to_string(),
             format!("{:.2}", r.align_wall_ms),
             r.queries_during.to_string(),
             format!("{:.0}", r.qps_during),
             format!("{:.0}", r.qps_after),
+            r.chunks_published.to_string(),
+            format!("{:.4}", r.publish_p50_ms),
+            format!("{:.4}", r.publish_p95_ms),
+            format!("{:.4}", r.publish_max_ms),
             r.pages_added.to_string(),
             r.pages_removed.to_string(),
         ]);
@@ -242,17 +498,53 @@ mod tests {
     use super::*;
 
     #[test]
-    fn tiny_run_covers_both_modes_and_agrees_across_them() {
+    fn tiny_sweep_covers_modes_chunks_and_write_rates() {
         let scale = Scale::tiny();
-        let rows = run(&asv_vmem::SimBackend::new(), &scale, 7);
-        assert_eq!(rows.len(), 2 * scale.fig7_batch_sizes.len());
-        for pair in rows.chunks(2) {
-            assert_eq!(pair[0].mode, "sync");
-            assert_eq!(pair[1].mode, "background");
-            assert_eq!(pair[0].batch_size, pair[1].batch_size);
-            assert_eq!(pair[0].queries_during, 0, "sync blocks all queries");
-            assert_eq!(pair[0].checksum_after, pair[1].checksum_after);
-            assert!(pair[0].align_wall_ms >= 0.0 && pair[1].align_wall_ms >= 0.0);
+        let cfg = OverlapConfig {
+            chunk_sizes: Some(vec![0, 4]),
+            write_everys: vec![0, 4],
+            write_burst: 8,
+            max_bursts: 2,
+        };
+        let rows = run_with_config(
+            &asv_vmem::SimBackend::new(),
+            &scale,
+            7,
+            Parallelism::Sequential,
+            &cfg,
+        );
+        // Per batch size: 1 sync baseline + 2 chunk sizes × 2 write rates.
+        assert_eq!(rows.len(), scale.fig7_batch_sizes.len() * 5);
+        for batch_rows in rows.chunks(5) {
+            let sync = &batch_rows[0];
+            assert_eq!(sync.mode, "sync");
+            assert_eq!(sync.queries_during, 0, "sync blocks all queries");
+            assert_eq!(sync.writes_queued, 0, "baseline queues nothing");
+            for bg in &batch_rows[1..] {
+                assert_eq!(bg.mode, "background");
+                assert_eq!(bg.batch_size, sync.batch_size);
+                assert!(bg.chunks_published >= 1);
+                assert!(bg.publish_p50_ms <= bg.publish_p95_ms + 1e-9);
+                assert!(bg.publish_p95_ms <= bg.publish_max_ms + 1e-9);
+                if bg.write_every == 0 {
+                    assert_eq!(bg.writes_queued, 0);
+                    // Identical logical writes: checksum equals the
+                    // read-only sync baseline.
+                    assert_eq!(bg.checksum_after, sync.checksum_after);
+                } else {
+                    assert!(
+                        bg.writes_queued >= cfg.write_burst,
+                        "the first burst is always queued mid-alignment"
+                    );
+                }
+                if bg.chunk_updates > 0 && bg.batch_size > bg.chunk_updates {
+                    assert!(
+                        bg.chunks_published > 1,
+                        "chunking splits batch {} into epochs",
+                        bg.batch_size
+                    );
+                }
+            }
         }
         let table = to_table(&rows);
         assert_eq!(table.num_rows(), rows.len());

@@ -6,6 +6,7 @@
 //!             [--backend sim|mmap] [--scale tiny|small|medium|paper]
 //!             [--seed N] [--csv-dir DIR] [--threads N]
 //!             [--align-mode sync|background]
+//!             [--chunk-updates LIST] [--write-every LIST]
 //! experiments compare DIR_A DIR_B [--max-delta-pct X]
 //! ```
 //!
@@ -23,7 +24,10 @@
 //! epoch-handoff worker instead of the stop-the-world call (pages
 //! added/removed are identical; only the timings move off the query path).
 //! The `align-overlap` experiment always measures both modes against each
-//! other.
+//! other; `--chunk-updates 0,64,256` overrides the chunk sizes it sweeps
+//! (0 = unchunked; default derives `[0, batch/8]` per batch size) and
+//! `--write-every 0,8` the write rates (a queued burst every N
+//! during-alignment queries; 0 = read-only).
 //!
 //! Results are printed to stdout; with `--csv-dir` the per-figure series are
 //! additionally written as CSV files (one per figure), which is what
@@ -52,7 +56,20 @@ struct Args {
     csv_dir: Option<String>,
     parallelism: Parallelism,
     align_mode: fig7::AlignMode,
+    overlap: align_overlap::OverlapConfig,
     max_delta_pct: Option<f64>,
+}
+
+/// Parses a comma-separated list of non-negative integers.
+fn parse_usize_list(flag: &str, value: &str) -> Result<Vec<usize>, String> {
+    value
+        .split(',')
+        .map(|part| {
+            part.trim()
+                .parse::<usize>()
+                .map_err(|_| format!("invalid {flag} entry '{part}'"))
+        })
+        .collect()
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -63,6 +80,7 @@ fn parse_args() -> Result<Args, String> {
     let mut csv_dir = None;
     let mut parallelism = Parallelism::Sequential;
     let mut align_mode = fig7::AlignMode::Sync;
+    let mut overlap = align_overlap::OverlapConfig::default();
     let mut max_delta_pct = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -100,6 +118,18 @@ fn parse_args() -> Result<Args, String> {
                 align_mode = fig7::AlignMode::by_name(&v)
                     .ok_or_else(|| format!("unknown align mode '{v}' (sync|background)"))?;
             }
+            "--chunk-updates" => {
+                let v = args.next().ok_or("--chunk-updates needs a value")?;
+                overlap.chunk_sizes = Some(parse_usize_list("--chunk-updates", &v)?);
+            }
+            "--write-every" => {
+                let v = args.next().ok_or("--write-every needs a value")?;
+                let rates = parse_usize_list("--write-every", &v)?;
+                if rates.is_empty() {
+                    return Err("--write-every needs at least one entry".to_string());
+                }
+                overlap.write_everys = rates;
+            }
             "--max-delta-pct" => {
                 let v = args.next().ok_or("--max-delta-pct needs a value")?;
                 let bound: f64 = v
@@ -118,7 +148,8 @@ fn parse_args() -> Result<Args, String> {
                             align-overlap|table-scan|all] \
                             [--backend sim|mmap] [--scale tiny|small|medium|paper] \
                             [--seed N] [--csv-dir DIR] [--threads N] \
-                            [--align-mode sync|background]\n\
+                            [--align-mode sync|background] \
+                            [--chunk-updates LIST] [--write-every LIST]\n\
                      usage: experiments compare DIR_A DIR_B [--max-delta-pct X]"
                         .to_string(),
                 );
@@ -138,6 +169,7 @@ fn parse_args() -> Result<Args, String> {
         csv_dir,
         parallelism,
         align_mode,
+        overlap,
         max_delta_pct,
     })
 }
@@ -238,11 +270,12 @@ fn run_fig7(args: &Args) {
 }
 
 fn run_align_overlap(args: &Args) {
-    let rows = with_concrete_backend!(&args.backend, |b| align_overlap::run_with(
+    let rows = with_concrete_backend!(&args.backend, |b| align_overlap::run_with_config(
         b,
         &args.scale,
         args.seed,
-        args.parallelism
+        args.parallelism,
+        &args.overlap
     ));
     let table = align_overlap::to_table(&rows);
     println!("{}", table.render());

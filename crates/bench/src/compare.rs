@@ -419,6 +419,89 @@ mod tests {
     }
 
     #[test]
+    fn empty_csv_dirs_compare_to_an_empty_report() {
+        // Directories with no CSV files at all: nothing to diff, no
+        // incomparable files, no coverage gaps — the bound check passes
+        // vacuously (exit-code behaviour lives in the binary).
+        let a = temp_dir("ea");
+        let b = temp_dir("eb");
+        std::fs::write(a.join("notes.txt"), "not a csv").unwrap();
+        let report = compare_dirs(&a, &b).unwrap();
+        assert!(report.files.is_empty());
+        assert!(report.only_a.is_empty(), "non-CSV files are ignored");
+        assert!(report.only_b.is_empty());
+        assert!(!report.has_incomparable());
+        assert!(!report.has_coverage_gaps());
+        assert_eq!(report.max_abs_delta_pct(), 0.0);
+        // A nonexistent directory is an I/O error, not an empty report.
+        assert!(compare_dirs(a.join("missing"), &b).is_err());
+        let _ = std::fs::remove_dir_all(&a);
+        let _ = std::fs::remove_dir_all(&b);
+    }
+
+    #[test]
+    fn single_row_files_report_exact_deltas() {
+        // One data row: the mean delta and the max per-row delta coincide,
+        // and a header-only file (zero rows) contributes no columns.
+        let a = temp_dir("sa");
+        let b = temp_dir("sb");
+        std::fs::write(a.join("one.csv"), "n,ms\n1,10.0\n").unwrap();
+        std::fs::write(b.join("one.csv"), "n,ms\n1,12.5\n").unwrap();
+        std::fs::write(a.join("headeronly.csv"), "n,ms\n").unwrap();
+        std::fs::write(b.join("headeronly.csv"), "n,ms\n").unwrap();
+        let report = compare_dirs(&a, &b).unwrap();
+        assert!(!report.has_incomparable());
+        let one = report.files.iter().find(|f| f.file == "one.csv").unwrap();
+        assert_eq!(one.rows, 1);
+        let ms = one.columns.iter().find(|c| c.name == "ms").unwrap();
+        assert!((ms.mean_delta_pct - 25.0).abs() < 1e-9);
+        assert!((ms.max_row_delta_pct - 25.0).abs() < 1e-9);
+        let header_only = report
+            .files
+            .iter()
+            .find(|f| f.file == "headeronly.csv")
+            .unwrap();
+        assert_eq!(header_only.rows, 0);
+        assert!(
+            header_only.columns.is_empty(),
+            "zero rows yield no numeric columns (and no NaN means)"
+        );
+        assert!((report.max_abs_delta_pct() - 25.0).abs() < 1e-9);
+        let _ = std::fs::remove_dir_all(&a);
+        let _ = std::fs::remove_dir_all(&b);
+    }
+
+    #[test]
+    fn nan_vs_nan_cells_fail_the_bound_check() {
+        // NaN == NaN is false and NaN slips through every `>` bound, so a
+        // NaN-vs-NaN cell must NOT count as "equal, delta 0": the file is
+        // incomparable, which the `--max-delta-pct` gate treats as a
+        // failure (PR 4's rule: a gate that skips measurements is no gate).
+        let a = temp_dir("nna");
+        let b = temp_dir("nnb");
+        std::fs::write(a.join("t.csv"), "n,ms\n1,NaN\n").unwrap();
+        std::fs::write(b.join("t.csv"), "n,ms\n1,NaN\n").unwrap();
+        let report = compare_dirs(&a, &b).unwrap();
+        assert!(report.has_incomparable());
+        assert!(report.files[0]
+            .incomparable
+            .as_deref()
+            .unwrap()
+            .contains("non-finite"));
+        assert!(
+            report.files[0].columns.is_empty(),
+            "no deltas are reported for an incomparable file"
+        );
+        assert_eq!(
+            report.max_abs_delta_pct(),
+            0.0,
+            "the delta bound alone would pass — has_incomparable is what fails the check"
+        );
+        let _ = std::fs::remove_dir_all(&a);
+        let _ = std::fs::remove_dir_all(&b);
+    }
+
+    #[test]
     fn missing_files_are_coverage_gaps() {
         let a = temp_dir("ga");
         let b = temp_dir("gb");

@@ -32,8 +32,32 @@
 //! layouts by construction. Pages are planned in ascending page-id order —
 //! never in `HashMap` iteration order — which pins the layout of newly
 //! mapped slots to a single deterministic outcome across runs.
+//!
+//! # Write ingestion and chunked publishing
+//!
+//! Two additions lift the remaining stop-the-world costs off the write and
+//! publish paths:
+//!
+//! * **Chunked alignment** ([`plan_alignment_chunked`]) splits a large
+//!   batch into consecutive chunks of bounded update count (whole page
+//!   groups are never split) and plans *all* of them in one background
+//!   pass against the same evolving shadow mapping tables. Each chunk then
+//!   publishes as its own [`ViewSet`] epoch, so the query-excluding publish
+//!   step is bounded by the chunk size — concatenating the chunks of a
+//!   [`ChunkedAlignmentPlan`] reproduces the unchunked plan op-for-op, so
+//!   chunked and unchunked alignment end in bit-identical layouts.
+//! * **A pending-writes queue** ([`WriteOverlay`]) lets
+//!   [`crate::AdaptiveColumn`] accept `write` / `write_batch` while a plan
+//!   is in flight: the writes are queued instead of hitting the physical
+//!   column, reads resolve through the overlay (scans mask the queued rows
+//!   via [`asv_storage::ScanKernel::with_excluded_rows`] and the query
+//!   layer substitutes the queued values), and the queue drains into the
+//!   next alignment round automatically when the current round's last
+//!   chunk publishes.
 
+use std::cell::{Cell, Ref, RefCell};
 use std::collections::HashMap;
+use std::ops::Range;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -237,74 +261,230 @@ fn plan_view(
     groups: &[(usize, Vec<Update>)],
     page_values: &HashMap<usize, Vec<u64>>,
 ) -> ViewPlan {
+    let whole_batch = 0..groups.len();
+    plan_view_chunks(
+        view,
+        groups,
+        std::slice::from_ref(&whole_batch),
+        page_values,
+    )
+    .pop()
+    .expect("one boundary, one plan")
+}
+
+/// [`plan_view`] over explicit chunk boundaries: the shadow mapping table
+/// persists across boundaries, so the k-th returned [`ViewPlan`] holds
+/// exactly the ops of groups `boundaries[k]` *as they would appear within
+/// one uninterrupted pass*. Concatenating all chunks reproduces the
+/// unchunked plan op-for-op.
+fn plan_view_chunks(
+    view: &ViewSnapshot,
+    groups: &[(usize, Vec<Update>)],
+    boundaries: &[Range<usize>],
+    page_values: &HashMap<usize, Vec<u64>>,
+) -> Vec<ViewPlan> {
     let range = view.range;
     let mut table = view.table.clone();
     let mut mapped = table.len();
-    let mut ops = Vec::new();
-    let mut pages_added = 0usize;
-    let mut pages_removed = 0usize;
-    for (page, page_updates) in groups {
-        let page = *page;
-        let indexed = table.contains_phys(page);
-        let any_new_qualifies = page_updates.iter().any(|u| range.contains(u.new_value));
-        if !indexed {
-            // Case (1): the page is not indexed but received a value inside
-            // the view's range — map it into the first unused slot.
-            if any_new_qualifies {
-                ops.push(ViewOp::Map {
-                    slot: mapped,
-                    phys_page: page,
-                });
-                table.insert(mapped, page);
-                mapped += 1;
-                pages_added += 1;
-            }
-        } else if !any_new_qualifies {
-            // Case (2): the page is indexed and none of the new values keep
-            // it qualifying *because of this batch*. If no old value was in
-            // range either, the updates are irrelevant to this view;
-            // otherwise re-inspect the page and remove it if no remaining
-            // value falls into the range.
-            let any_old_qualified = page_updates.iter().any(|u| range.contains(u.old_value));
-            if any_old_qualified {
-                let still_qualifies = page_values
-                    .get(&page)
-                    .expect("snapshot holds every page needing re-inspection")
-                    .iter()
-                    .any(|v| range.contains(*v));
-                if !still_qualifies {
-                    // Swap-remove: rewire the last mapped slot into the
-                    // hole, then truncate by one page.
-                    let hole_slot = table
-                        .remove_phys(page)
-                        .expect("page is indexed by this view");
-                    let last_slot = mapped - 1;
-                    if hole_slot != last_slot {
-                        let last_phys = table
-                            .phys_for_slot(last_slot)
-                            .expect("dense views have a mapping for every slot");
-                        ops.push(ViewOp::Map {
-                            slot: hole_slot,
-                            phys_page: last_phys,
-                        });
-                        table.remove_slot(last_slot);
-                        table.insert(hole_slot, last_phys);
-                    }
-                    ops.push(ViewOp::Truncate {
-                        mapped_pages: last_slot,
+    let mut chunks = Vec::with_capacity(boundaries.len());
+    for boundary in boundaries {
+        let mut ops = Vec::new();
+        let mut pages_added = 0usize;
+        let mut pages_removed = 0usize;
+        for (page, page_updates) in &groups[boundary.clone()] {
+            let page = *page;
+            let indexed = table.contains_phys(page);
+            let any_new_qualifies = page_updates.iter().any(|u| range.contains(u.new_value));
+            if !indexed {
+                // Case (1): the page is not indexed but received a value
+                // inside the view's range — map it into the first unused
+                // slot.
+                if any_new_qualifies {
+                    ops.push(ViewOp::Map {
+                        slot: mapped,
+                        phys_page: page,
                     });
-                    mapped = last_slot;
-                    pages_removed += 1;
+                    table.insert(mapped, page);
+                    mapped += 1;
+                    pages_added += 1;
+                }
+            } else if !any_new_qualifies {
+                // Case (2): the page is indexed and none of the new values
+                // keep it qualifying *because of this batch*. If no old
+                // value was in range either, the updates are irrelevant to
+                // this view; otherwise re-inspect the page and remove it if
+                // no remaining value falls into the range.
+                let any_old_qualified = page_updates.iter().any(|u| range.contains(u.old_value));
+                if any_old_qualified {
+                    let still_qualifies = page_values
+                        .get(&page)
+                        .expect("snapshot holds every page needing re-inspection")
+                        .iter()
+                        .any(|v| range.contains(*v));
+                    if !still_qualifies {
+                        // Swap-remove: rewire the last mapped slot into the
+                        // hole, then truncate by one page.
+                        let hole_slot = table
+                            .remove_phys(page)
+                            .expect("page is indexed by this view");
+                        let last_slot = mapped - 1;
+                        if hole_slot != last_slot {
+                            let last_phys = table
+                                .phys_for_slot(last_slot)
+                                .expect("dense views have a mapping for every slot");
+                            ops.push(ViewOp::Map {
+                                slot: hole_slot,
+                                phys_page: last_phys,
+                            });
+                            table.remove_slot(last_slot);
+                            table.insert(hole_slot, last_phys);
+                        }
+                        ops.push(ViewOp::Truncate {
+                            mapped_pages: last_slot,
+                        });
+                        mapped = last_slot;
+                        pages_removed += 1;
+                    }
                 }
             }
         }
+        chunks.push(ViewPlan {
+            view_idx: view.idx,
+            view_id: view.id,
+            ops,
+            pages_added,
+            pages_removed,
+        });
     }
-    ViewPlan {
-        view_idx: view.idx,
-        view_id: view.id,
-        ops,
-        pages_added,
-        pages_removed,
+    chunks
+}
+
+/// Splits the (deduplicated, page-grouped, page-sorted) update groups into
+/// consecutive chunk boundaries of at most `chunk_updates` updates each.
+///
+/// Page groups are never split across chunks — a chunk exceeds the bound
+/// only when a single group already does. `chunk_updates == 0` disables
+/// chunking (one boundary covering everything). An empty group list yields
+/// one empty boundary, so every alignment round publishes at least one
+/// epoch (matching the synchronous path, which bumps the generation even
+/// for batches that touch no view).
+pub fn chunk_boundaries(
+    groups: &[(usize, Vec<Update>)],
+    chunk_updates: usize,
+) -> Vec<Range<usize>> {
+    if groups.is_empty() || chunk_updates == 0 {
+        return std::iter::once(0..groups.len()).collect();
+    }
+    let mut boundaries = Vec::new();
+    let mut start = 0usize;
+    let mut in_chunk = 0usize;
+    for (idx, (_, updates)) in groups.iter().enumerate() {
+        if idx > start && in_chunk + updates.len() > chunk_updates {
+            boundaries.push(start..idx);
+            start = idx;
+            in_chunk = 0;
+        }
+        in_chunk += updates.len();
+    }
+    boundaries.push(start..groups.len());
+    boundaries
+}
+
+/// The planned alignment of a whole batch, split into consecutive chunks
+/// that publish as separate [`ViewSet`] epochs.
+///
+/// Produced by [`plan_alignment_chunked`]. The chunks partition the
+/// batch's sorted page groups; concatenating their per-view ops in chunk
+/// order reproduces the unchunked [`AlignmentPlan`] exactly, so the final
+/// slot ↔ page layout is independent of the chunk size — only the number
+/// of intermediate epochs (and the per-publish latency) changes.
+#[derive(Clone, Debug)]
+pub struct ChunkedAlignmentPlan {
+    /// Number of raw update records in the whole batch.
+    pub batch_size: usize,
+    /// Number of records after last-write-wins deduplication.
+    pub deduped_size: usize,
+    /// The per-chunk plans, in publish order. Each chunk's
+    /// `batch_size`/`deduped_size` count only the updates it folds; the
+    /// snapshot's parse time and the (whole-pass) plan time are attributed
+    /// to the first chunk so that summing per-chunk stats reproduces the
+    /// round totals.
+    pub chunks: Vec<AlignmentPlan>,
+}
+
+impl ChunkedAlignmentPlan {
+    /// Number of chunks (≥ 1).
+    pub fn num_chunks(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Total `(view, page)` additions across all chunks.
+    pub fn pages_added(&self) -> usize {
+        self.chunks.iter().map(|c| c.pages_added()).sum()
+    }
+
+    /// Total `(view, page)` removals across all chunks.
+    pub fn pages_removed(&self) -> usize {
+        self.chunks.iter().map(|c| c.pages_removed()).sum()
+    }
+}
+
+/// Plans the alignment of every view in the snapshot as a sequence of
+/// chunks of at most `chunk_updates` updates each (phase 2, chunked).
+///
+/// The whole pass runs once — per view, fork-joined across a pool sized by
+/// `parallelism` — against shadow mapping tables that persist across chunk
+/// boundaries, so the concatenation of all chunks equals the unchunked
+/// [`plan_alignment`] op-for-op. Publishing chunk-by-chunk therefore walks
+/// through intermediate epochs towards the *same* final layout.
+pub fn plan_alignment_chunked(
+    snapshot: &AlignmentSnapshot,
+    parallelism: Parallelism,
+    chunk_updates: usize,
+) -> ChunkedAlignmentPlan {
+    let plan_timer = Timer::start();
+    let boundaries = chunk_boundaries(&snapshot.groups, chunk_updates);
+    let pool = ThreadPool::new(parallelism);
+    let tasks: Vec<_> = snapshot
+        .views
+        .iter()
+        .map(|view| {
+            let boundaries = &boundaries;
+            move || plan_view_chunks(view, &snapshot.groups, boundaries, &snapshot.page_values)
+        })
+        .collect();
+    let per_view: Vec<Vec<ViewPlan>> = pool.scoped_map(tasks);
+    let plan_time = plan_timer.elapsed();
+
+    let chunks: Vec<AlignmentPlan> = boundaries
+        .iter()
+        .enumerate()
+        .map(|(k, boundary)| {
+            let updates_in_chunk: usize = snapshot.groups[boundary.clone()]
+                .iter()
+                .map(|(_, updates)| updates.len())
+                .sum();
+            AlignmentPlan {
+                batch_size: updates_in_chunk,
+                deduped_size: updates_in_chunk,
+                parse_time: if k == 0 {
+                    snapshot.parse_time
+                } else {
+                    Duration::ZERO
+                },
+                plan_time: if k == 0 { plan_time } else { Duration::ZERO },
+                views: per_view
+                    .iter()
+                    .filter(|chunks| !chunks[k].ops.is_empty())
+                    .map(|chunks| chunks[k].clone())
+                    .collect(),
+            }
+        })
+        .collect();
+    ChunkedAlignmentPlan {
+        batch_size: snapshot.batch_size,
+        deduped_size: snapshot.deduped_size,
+        chunks,
     }
 }
 
@@ -401,6 +581,182 @@ impl PendingAlignment {
     }
 }
 
+/// A chunked batch alignment planning on a background worker thread.
+///
+/// Produced by [`spawn_alignment_chunked`]; the owning column keeps serving
+/// queries on the pre-batch view epoch until the plan is joined, then
+/// publishes the chunks one epoch at a time.
+#[derive(Debug)]
+pub struct PendingChunkedAlignment {
+    handle: JoinHandle<ChunkedAlignmentPlan>,
+}
+
+/// Ships an [`AlignmentSnapshot`] to a dedicated worker thread that plans
+/// the alignment off the query path as a [`ChunkedAlignmentPlan`] with at
+/// most `chunk_updates` updates per chunk (`0` = one chunk). Within the
+/// pass, the per-view planning fork-joins across a pool sized by
+/// `parallelism`.
+pub fn spawn_alignment_chunked(
+    snapshot: AlignmentSnapshot,
+    parallelism: Parallelism,
+    chunk_updates: usize,
+) -> PendingChunkedAlignment {
+    let handle = std::thread::Builder::new()
+        .name("asv-align".into())
+        .spawn(move || plan_alignment_chunked(&snapshot, parallelism, chunk_updates))
+        .expect("spawn alignment worker thread");
+    PendingChunkedAlignment { handle }
+}
+
+impl PendingChunkedAlignment {
+    /// Returns `true` once the worker has finished planning (joining will
+    /// not block).
+    pub fn is_finished(&self) -> bool {
+        self.handle.is_finished()
+    }
+
+    /// Waits for the worker and returns the finished chunked plan.
+    ///
+    /// A panic on the worker thread is propagated to the caller.
+    pub fn join(self) -> ChunkedAlignmentPlan {
+        match self.handle.join() {
+            Ok(plan) => plan,
+            Err(panic) => std::panic::resume_unwind(panic),
+        }
+    }
+}
+
+/// The pending-writes queue of an adaptive column: rows written while an
+/// alignment round is in flight, visible to reads through an overlay.
+///
+/// Entries live through two stages:
+///
+/// 1. **Queued** — the write has *not* reached the physical column yet; the
+///    overlay value is the only copy. Scans mask the row (via
+///    [`asv_storage::ScanKernel::with_excluded_rows`]) and the query layer
+///    answers it from the overlay.
+/// 2. **Aligning** — the queue was drained into an alignment round
+///    ([`WriteOverlay::take_queued`]): the value now lives in the physical
+///    column too, but the partial views are not yet re-aligned with it, so
+///    the row stays masked-and-overlaid until the round's last chunk
+///    publishes ([`WriteOverlay::retire_aligned`]).
+///
+/// In both stages the overlay carries the acknowledged value, so a read
+/// issued any time between the `write` acknowledgement and the publish of
+/// the round that folds it sees the written value exactly once.
+#[derive(Debug, Default)]
+pub struct WriteOverlay {
+    /// Row → acknowledged value plus stage (`true` = still queued).
+    entries: HashMap<u64, OverlayEntry>,
+    /// Cached mirror of `entries`' keys — the scan exclusion list. New
+    /// rows append unsorted and the cache re-sorts lazily when read
+    /// ([`Self::rows`]), so write ingestion stays O(1) amortized per
+    /// newly-queued row instead of O(queue) for a sorted insert.
+    rows: RefCell<Vec<u64>>,
+    /// `true` while `rows` may be out of ascending order.
+    rows_dirty: Cell<bool>,
+    /// Arrival-ordered log of queued `(row, value)` writes, drained into
+    /// the next alignment round. Repeated writes to a row appear once per
+    /// write here (the alignment's last-write-wins dedup collapses them),
+    /// while `entries` always carries the latest value.
+    log: Vec<(usize, u64)>,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct OverlayEntry {
+    value: u64,
+    queued: bool,
+}
+
+impl WriteOverlay {
+    /// Creates an empty overlay.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns `true` if no rows are overlaid.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of distinct overlaid rows (queued + aligning).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Number of queued writes not yet drained into a round (counts every
+    /// write, including repeated writes to the same row).
+    pub fn queued_writes(&self) -> usize {
+        self.log.len()
+    }
+
+    /// The overlaid rows, ascending — the scan exclusion list. Sorts the
+    /// cache lazily if writes arrived since the last read.
+    pub fn rows(&self) -> Ref<'_, Vec<u64>> {
+        if self.rows_dirty.get() {
+            self.rows.borrow_mut().sort_unstable();
+            self.rows_dirty.set(false);
+        }
+        self.rows.borrow()
+    }
+
+    /// The acknowledged value of `row`, if the row is overlaid.
+    pub fn value(&self, row: u64) -> Option<u64> {
+        self.entries.get(&row).map(|e| e.value)
+    }
+
+    /// Queues a write of `value` into `row`.
+    pub fn push(&mut self, row: usize, value: u64) {
+        let key = row as u64;
+        match self.entries.insert(
+            key,
+            OverlayEntry {
+                value,
+                queued: true,
+            },
+        ) {
+            Some(_) => {}
+            None => {
+                self.rows.get_mut().push(key);
+                self.rows_dirty.set(true);
+            }
+        }
+        self.log.push((row, value));
+    }
+
+    /// Drains the queued write log for the next alignment round, moving
+    /// every queued entry into the *aligning* stage (it stays overlaid
+    /// until [`Self::retire_aligned`]). Returns the writes in arrival
+    /// order, ready for `Column::write_batch`.
+    pub fn take_queued(&mut self) -> Vec<(usize, u64)> {
+        for entry in self.entries.values_mut() {
+            entry.queued = false;
+        }
+        std::mem::take(&mut self.log)
+    }
+
+    /// Retires every *aligning* entry: their rows are now covered by the
+    /// just-published alignment round, so reads no longer need the overlay.
+    /// Entries re-queued since the drain stay.
+    pub fn retire_aligned(&mut self) {
+        self.entries.retain(|_, e| e.queued);
+        let rows = self.rows.get_mut();
+        rows.retain(|r| self.entries.contains_key(r));
+    }
+
+    /// Folds the overlaid values qualifying under `range` into an answer:
+    /// calls `f(row, value)` for every overlaid row whose acknowledged
+    /// value falls into `range`, in ascending row order.
+    pub fn for_each_qualifying(&self, range: &ValueRange, mut f: impl FnMut(u64, u64)) {
+        for &row in self.rows().iter() {
+            let value = self.entries[&row].value;
+            if range.contains(value) {
+                f(row, value);
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -484,6 +840,155 @@ mod tests {
         let (buffer, _) = build_view_for_range(&column, &range, &CreationOptions::ALL).unwrap();
         views.insert_unchecked(range, buffer);
         assert!(apply_plan(&column, &mut views, &plan).is_err());
+    }
+
+    #[test]
+    fn chunk_boundaries_pack_whole_page_groups() {
+        let groups: Vec<(usize, Vec<Update>)> = [(2usize, 3usize), (5, 2), (7, 4), (9, 1), (11, 2)]
+            .iter()
+            .map(|&(page, n)| (page, (0..n).map(|i| Update::new(i as u64, 0, 1)).collect()))
+            .collect();
+        // Unchunked: one boundary.
+        assert_eq!(chunk_boundaries(&groups, 0), vec![0..5]);
+        // Bound 5: [3, 2] = 5, [4, 1] = 5, [2].
+        assert_eq!(chunk_boundaries(&groups, 5), vec![0..2, 2..4, 4..5]);
+        // Bound 1: every group its own chunk, oversized groups allowed.
+        assert_eq!(
+            chunk_boundaries(&groups, 1),
+            vec![0..1, 1..2, 2..3, 3..4, 4..5]
+        );
+        // Empty groups: one empty boundary (one epoch, like the sync path).
+        assert_eq!(chunk_boundaries(&[], 4), vec![0..0]);
+    }
+
+    #[test]
+    fn chunked_plan_concatenates_to_the_unchunked_plan() {
+        let ranges = [
+            ValueRange::new(5_000, 9_400),
+            ValueRange::new(12_000, 20_510),
+        ];
+        let (mut column, views) = column_with_views(32, &ranges);
+        // A mix of additions and removals across many pages: move rows into
+        // the first range, wipe page 13 out of the second.
+        let mut writes: Vec<(usize, u64)> = (20..30)
+            .map(|p| (p * VALUES_PER_PAGE + p, 6_000 + p as u64))
+            .collect();
+        writes.extend((0..VALUES_PER_PAGE).map(|s| (13 * VALUES_PER_PAGE + s, 1 + s as u64)));
+        let updates = column.write_batch(&writes);
+        let snap = snapshot_alignment(&column, &views, &updates).unwrap();
+        let flat = plan_alignment(&snap, Parallelism::Sequential);
+        for chunk_updates in [1usize, 3, 64, 1_000] {
+            let chunked = plan_alignment_chunked(&snap, Parallelism::Sequential, chunk_updates);
+            assert_eq!(chunked.batch_size, flat.batch_size);
+            assert_eq!(chunked.deduped_size, flat.deduped_size);
+            assert_eq!(chunked.pages_added(), flat.pages_added());
+            assert_eq!(chunked.pages_removed(), flat.pages_removed());
+            let total_updates: usize = chunked.chunks.iter().map(|c| c.deduped_size).sum();
+            assert_eq!(total_updates, snap.deduped_size);
+            // Concatenating the per-view ops across chunks reproduces the
+            // unchunked plan op-for-op.
+            for view_idx in 0..ranges.len() {
+                let concat: Vec<ViewOp> = chunked
+                    .chunks
+                    .iter()
+                    .flat_map(|c| c.views.iter().filter(|v| v.view_idx == view_idx))
+                    .flat_map(|v| v.ops.iter().copied())
+                    .collect();
+                let flat_ops: Vec<ViewOp> = flat
+                    .views
+                    .iter()
+                    .filter(|v| v.view_idx == view_idx)
+                    .flat_map(|v| v.ops.iter().copied())
+                    .collect();
+                assert_eq!(concat, flat_ops, "chunk_updates={chunk_updates}");
+            }
+        }
+        // Chunked planning fork-joined matches sequential planning.
+        let par = plan_alignment_chunked(&snap, Parallelism::Threads(4), 3);
+        let seq = plan_alignment_chunked(&snap, Parallelism::Sequential, 3);
+        assert_eq!(par.num_chunks(), seq.num_chunks());
+        for (a, b) in par.chunks.iter().zip(&seq.chunks) {
+            assert_eq!(a.views.len(), b.views.len());
+            for (va, vb) in a.views.iter().zip(&b.views) {
+                assert_eq!(va.ops, vb.ops);
+            }
+        }
+    }
+
+    #[test]
+    fn publishing_chunks_one_by_one_reaches_the_synchronous_layout() {
+        let range = ValueRange::new(5_000, 9_400);
+        let writes: Vec<(usize, u64)> = (10..30)
+            .map(|p| (p * VALUES_PER_PAGE + p, 6_000 + p as u64))
+            .collect();
+        // Chunked column: publish each chunk as its own epoch.
+        let (mut column, mut views) = column_with_views(32, &[range]);
+        let updates = column.write_batch(&writes);
+        let snap = snapshot_alignment(&column, &views, &updates).unwrap();
+        let chunked = plan_alignment_chunked(&snap, Parallelism::Sequential, 4);
+        assert_eq!(chunked.num_chunks(), 5);
+        let generation_before = views.generation();
+        for chunk in &chunked.chunks {
+            apply_plan(&column, &mut views, chunk).unwrap();
+        }
+        assert_eq!(views.generation(), generation_before + 5);
+        // Synchronous twin.
+        let (mut sync_col, mut sync_views) = column_with_views(32, &[range]);
+        let sync_updates = sync_col.write_batch(&writes);
+        crate::updates::align_views_after_updates(&sync_col, &mut sync_views, &sync_updates)
+            .unwrap();
+        let layout = |col: &Column<SimBackend>, views: &ViewSet<SimBackend>| -> Vec<usize> {
+            let view = views.partial_view(0).unwrap();
+            let table = col
+                .backend()
+                .mapping_table(col.store(), view.buffer())
+                .unwrap();
+            (0..view.num_pages())
+                .map(|slot| table.phys_for_slot(slot).unwrap())
+                .collect()
+        };
+        assert_eq!(
+            layout(&column, &views),
+            layout(&sync_col, &sync_views),
+            "chunked publishes end bit-identical to one synchronous pass"
+        );
+    }
+
+    #[test]
+    fn write_overlay_stages_and_retirement() {
+        let mut overlay = WriteOverlay::new();
+        assert!(overlay.is_empty());
+        overlay.push(10, 100);
+        overlay.push(3, 30);
+        overlay.push(10, 111); // overwrite: same row, newer value
+        assert_eq!(overlay.len(), 2);
+        assert_eq!(overlay.queued_writes(), 3, "log keeps every write");
+        assert_eq!(
+            overlay.rows().as_slice(),
+            &[3, 10],
+            "ascending exclusion list"
+        );
+        assert_eq!(overlay.value(10), Some(111));
+        assert_eq!(overlay.value(3), Some(30));
+        assert_eq!(overlay.value(4), None);
+
+        let mut seen = Vec::new();
+        overlay.for_each_qualifying(&ValueRange::new(50, 200), |row, v| seen.push((row, v)));
+        assert_eq!(seen, vec![(10, 111)]);
+
+        // Drain into a round: entries stay visible, log empties.
+        let writes = overlay.take_queued();
+        assert_eq!(writes, vec![(10, 100), (3, 30), (10, 111)]);
+        assert_eq!(overlay.queued_writes(), 0);
+        assert_eq!(overlay.len(), 2, "aligning entries stay overlaid");
+        // A re-queued row survives retirement; the rest retire.
+        overlay.push(3, 33);
+        overlay.retire_aligned();
+        assert_eq!(overlay.rows().as_slice(), &[3]);
+        assert_eq!(overlay.value(3), Some(33));
+        overlay.take_queued();
+        overlay.retire_aligned();
+        assert!(overlay.is_empty());
     }
 
     #[test]

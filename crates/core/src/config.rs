@@ -56,6 +56,52 @@ impl Default for CreationOptions {
     }
 }
 
+/// Chunking and write-queue knobs of background view alignment (the write
+/// ingestion subsystem of [`crate::align`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AlignChunking {
+    /// Maximum number of *deduplicated* updates folded into one published
+    /// alignment chunk. A batch larger than this splits into consecutive
+    /// chunks (whole page groups are never split), each planned and
+    /// published as its own [`crate::ViewSet`] epoch — so the query-blocking
+    /// publish step is bounded by the chunk size, not the batch size. A
+    /// chunk may exceed the bound only when a *single page's* update group
+    /// already does.
+    ///
+    /// `0` disables chunking: the whole batch publishes as one epoch (the
+    /// pre-chunking behaviour, and the default).
+    pub chunk_updates: usize,
+    /// Maximum number of rows the pending-writes queue may hold while
+    /// alignments are in flight. A write that would grow the queue beyond
+    /// this bound first flushes all pending alignment work (backpressure),
+    /// then applies directly. Queue size is counted in *distinct rows*
+    /// (repeated writes to a row overwrite its queue entry).
+    pub max_queued_writes: usize,
+}
+
+impl AlignChunking {
+    /// Builder-style setter for the per-chunk update bound.
+    pub fn with_chunk_updates(mut self, chunk_updates: usize) -> Self {
+        self.chunk_updates = chunk_updates;
+        self
+    }
+
+    /// Builder-style setter for the queue bound.
+    pub fn with_max_queued_writes(mut self, max_queued_writes: usize) -> Self {
+        self.max_queued_writes = max_queued_writes;
+        self
+    }
+}
+
+impl Default for AlignChunking {
+    fn default() -> Self {
+        Self {
+            chunk_updates: 0,
+            max_queued_writes: 1 << 20,
+        }
+    }
+}
+
 /// Configuration of an [`crate::AdaptiveColumn`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct AdaptiveConfig {
@@ -84,6 +130,8 @@ pub struct AdaptiveConfig {
     /// result bit-identical to the single-threaded code path; `Threads(n)` /
     /// `Auto` shard scans fork-join style across worker threads.
     pub parallelism: Parallelism,
+    /// Chunking and write-queue knobs of background alignment.
+    pub chunking: AlignChunking,
 }
 
 impl Default for AdaptiveConfig {
@@ -96,6 +144,7 @@ impl Default for AdaptiveConfig {
             adaptive_creation: true,
             creation: CreationOptions::default(),
             parallelism: Parallelism::Sequential,
+            chunking: AlignChunking::default(),
         }
     }
 }
@@ -159,6 +208,12 @@ impl AdaptiveConfig {
         self.parallelism = parallelism;
         self
     }
+
+    /// Builder-style setter for the alignment chunking / write-queue knobs.
+    pub fn with_chunking(mut self, chunking: AlignChunking) -> Self {
+        self.chunking = chunking;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -175,6 +230,19 @@ mod tests {
         assert!(c.adaptive_creation);
         assert_eq!(c.creation, CreationOptions::ALL);
         assert_eq!(c.parallelism, Parallelism::Sequential);
+        assert_eq!(c.chunking.chunk_updates, 0, "chunking off by default");
+        assert!(c.chunking.max_queued_writes >= 1 << 20);
+    }
+
+    #[test]
+    fn chunking_builder() {
+        let c = AdaptiveConfig::default().with_chunking(
+            AlignChunking::default()
+                .with_chunk_updates(128)
+                .with_max_queued_writes(4_096),
+        );
+        assert_eq!(c.chunking.chunk_updates, 128);
+        assert_eq!(c.chunking.max_queued_writes, 4_096);
     }
 
     #[test]

@@ -1,14 +1,14 @@
 //! The parallel execution layer: sharded scans over the selected views.
 //!
 //! Query answering scans the views chosen by the router, skipping physical
-//! pages shared between views (paper §2.1). [`scan_selected_views`] is the
+//! pages shared between views (paper §2.1). `scan_selected_views` is the
 //! single entry point for that scan, in two interchangeable strategies built
 //! on the unified [`ScanKernel`] of `asv-storage`:
 //!
 //! * **Sequential** (the default, [`Parallelism::Sequential`]): one pass in
 //!   view order with a [`BitVec`] of processed pages — byte-for-byte the
 //!   behaviour of the pre-parallel code path, including feeding qualifying
-//!   pages to the candidate-view [`PageSink`] *while* scanning (so the
+//!   pages to the candidate-view `PageSink` *while* scanning (so the
 //!   concurrent-mapping optimization of §2.3 still overlaps mapping with
 //!   scanning).
 //! * **Sharded fork-join** ([`Parallelism::Threads`] / `Auto`): the physical
@@ -83,7 +83,7 @@ pub(crate) fn scan_selected_views<B: Backend>(
     column: &Column<B>,
     views: &ViewSet<B>,
     selection: &RouteSelection,
-    kernel: &ScanKernel,
+    kernel: &ScanKernel<'_>,
     parallelism: Parallelism,
     sink: Option<&mut PageSink<'_, B>>,
 ) -> Result<ScanOutput, VmemError> {
@@ -101,7 +101,7 @@ pub(crate) fn scan_selected_views<B: Backend>(
 fn scan_sequential<B: Backend>(
     column: &Column<B>,
     buffers: &[&B::View],
-    kernel: &ScanKernel,
+    kernel: &ScanKernel<'_>,
     mut sink: Option<&mut PageSink<'_, B>>,
 ) -> Result<ScanOutput, VmemError> {
     let num_pages = column.num_pages();
@@ -129,7 +129,7 @@ fn scan_sequential<B: Backend>(
 fn scan_sharded<B: Backend>(
     column: &Column<B>,
     buffers: &[&B::View],
-    kernel: &ScanKernel,
+    kernel: &ScanKernel<'_>,
     workers: usize,
     sink: Option<&mut PageSink<'_, B>>,
 ) -> Result<ScanOutput, VmemError> {

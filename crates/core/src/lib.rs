@@ -45,10 +45,12 @@ pub mod viewset;
 
 pub use adaptive::AdaptiveColumn;
 pub use align::{
-    apply_plan, plan_alignment, snapshot_alignment, spawn_alignment, AlignmentPlan,
-    AlignmentSnapshot, PendingAlignment, ViewOp, ViewPlan,
+    apply_plan, chunk_boundaries, plan_alignment, plan_alignment_chunked, snapshot_alignment,
+    spawn_alignment, spawn_alignment_chunked, AlignmentPlan, AlignmentSnapshot,
+    ChunkedAlignmentPlan, PendingAlignment, PendingChunkedAlignment, ViewOp, ViewPlan,
+    WriteOverlay,
 };
-pub use config::{AdaptiveConfig, CreationOptions, RoutingMode};
+pub use config::{AdaptiveConfig, AlignChunking, CreationOptions, RoutingMode};
 // Re-exported so downstream crates can configure the parallel execution
 // layer without depending on asv-util directly.
 pub use asv_util::{Parallelism, ThreadPool};
@@ -59,7 +61,10 @@ pub use plan::{
 };
 pub use query::{QueryExecution, QueryOutcome, RangeQuery, ViewMaintenance};
 pub use router::{route, RouteSelection, ViewId};
-pub use stats::{ConjunctiveRecord, ConjunctiveStats, QueryRecord, SequenceStats};
+pub use stats::{
+    ChunkPublishRecord, ChunkPublishStats, ConjunctiveRecord, ConjunctiveStats, QueryRecord,
+    SequenceStats,
+};
 pub use table::{AdaptiveTable, ConjunctiveOutcome};
 pub use updates::{
     align_views_after_updates, align_views_after_updates_with, rebuild_all_views,

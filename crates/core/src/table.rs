@@ -229,11 +229,14 @@ impl<B: Backend> AdaptiveTable<B> {
     ///
     /// The equivalence (and, as for single-column queries, view-routed
     /// exactness in general) assumes the partial views are aligned with all
-    /// applied writes: between a write batch and its
-    /// [`AdaptiveColumn::align_views`] call, view-routed scans may miss a
-    /// moved value that a probe (which reads the physical column) still
-    /// sees — align before querying, exactly as the single-column write
-    /// path documents.
+    /// *directly applied* writes: between a `write_batch` issued while no
+    /// alignment was in flight and its [`AdaptiveColumn::align_views`]
+    /// call, view-routed scans may miss a moved value that a probe (which
+    /// reads the physical column) still sees — align before querying.
+    /// Writes submitted *while* an alignment round is in flight carry no
+    /// such window: they are queued in the column's write overlay, and
+    /// scans and probes alike resolve them from there until the round that
+    /// folds them publishes.
     ///
     /// # Panics
     /// Panics if any referenced column does not exist or no predicate is
@@ -352,7 +355,9 @@ impl<B: Backend> AdaptiveTable<B> {
                 ..QueryOutcome::default()
             };
             if !candidates.is_empty() {
-                let out = tc.column.column().probe_rows_with(
+                // Overlay-aware: candidates with queued (not yet aligned)
+                // writes are answered from the column's write overlay.
+                let out = tc.column.probe_rows_with(
                     query.range(),
                     ScanMode::CollectRows,
                     &candidates,
@@ -458,6 +463,47 @@ impl<B: Backend> AdaptiveTable<B> {
             tc.stats.note_write(row, value);
         }
         tc.column.write_batch(writes)
+    }
+
+    /// Starts a background (chunked) alignment round on `column` for an
+    /// already-applied batch — see
+    /// [`AdaptiveColumn::align_views_async`]. Writes submitted to the
+    /// column while the round is in flight (via [`Self::write`] /
+    /// [`Self::write_batch`]) are queued in its overlay, stay visible to
+    /// every query — including conjunctive probes — and fold into the next
+    /// round automatically.
+    ///
+    /// # Panics
+    /// Panics if the column does not exist.
+    pub fn align_views_async(
+        &mut self,
+        column: &str,
+        batch: &[asv_storage::Update],
+    ) -> Result<(), VmemError> {
+        self.column_mut(column)
+            .unwrap_or_else(|| panic!("unknown column '{column}'"))
+            .align_views_async(batch)
+    }
+
+    /// Polls every column for a ready alignment chunk and publishes it
+    /// (non-blocking). Returns `true` if any column still has alignment
+    /// work pending afterwards.
+    pub fn poll_aligned_views(&mut self) -> Result<bool, VmemError> {
+        let mut pending = false;
+        for tc in &mut self.columns {
+            tc.column.poll_aligned_views()?;
+            pending |= tc.column.alignment_pending();
+        }
+        Ok(pending)
+    }
+
+    /// Blocks until no column has alignment work or queued writes left —
+    /// see [`AdaptiveColumn::flush_pending_writes`].
+    pub fn flush_pending_writes(&mut self) -> Result<(), VmemError> {
+        for tc in &mut self.columns {
+            tc.column.flush_pending_writes()?;
+        }
+        Ok(())
     }
 }
 

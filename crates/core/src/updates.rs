@@ -59,6 +59,18 @@ impl UpdateAlignmentStats {
     pub fn total_time(&self) -> Duration {
         self.parse_time + self.align_time
     }
+
+    /// Folds another run's measurements into this one, field-wise. Used to
+    /// aggregate the per-chunk stats of a chunked alignment round (and the
+    /// per-round stats of a queue flush) into one record.
+    pub fn absorb(&mut self, other: &UpdateAlignmentStats) {
+        self.batch_size += other.batch_size;
+        self.deduped_size += other.deduped_size;
+        self.parse_time += other.parse_time;
+        self.align_time += other.align_time;
+        self.pages_added += other.pages_added;
+        self.pages_removed += other.pages_removed;
+    }
 }
 
 /// Aligns all partial views of `views` with an *already applied* batch of

@@ -1,0 +1,387 @@
+//! Property test: concurrent write ingestion + chunked epoch alignment.
+//!
+//! Seeded-RNG property loops drive a column through the full write-
+//! ingestion lifecycle — a directly-applied base batch shipped to a
+//! chunked background alignment round, write bursts queued *mid-flight*
+//! (acknowledged into the overlay), chunk-at-a-time publishing, and the
+//! automatic folding of the queue into follow-up rounds — and assert, on
+//! both backends, across thread counts and chunk sizes:
+//!
+//! * **Acknowledged-write visibility**: every read issued between a queued
+//!   `write_batch` acknowledgement and the publish of the round folding it
+//!   returns the written values — full scans match a scalar rescan of the
+//!   model at all times, and queued rows appear in (or vanish from)
+//!   collected row sets exactly as their overlay values dictate. Once the
+//!   base batch's round has published, *adaptive* queries are exact against
+//!   the model too, at every intermediate chunk epoch.
+//! * **Drain-then-sync equivalence**: after the queue drains through its
+//!   rounds, the column is bit-identical — answers *and* slot ↔ page
+//!   layouts — to a twin that applied the same batches and synchronously
+//!   aligned round by round; and answer-identical to a twin that applied
+//!   *all* writes and ran one synchronous alignment.
+//! * **Chunk-size invariance**: the final layouts do not depend on the
+//!   chunk size or the planning thread count; only the number of published
+//!   epochs does.
+
+use std::collections::HashSet;
+
+use asv_core::{
+    build_view_for_range, AdaptiveColumn, AdaptiveConfig, AlignChunking, CreationOptions,
+    Parallelism, RangeQuery,
+};
+use asv_util::ValueRange;
+use asv_vmem::{Backend, SimBackend, VALUES_PER_PAGE};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const PAGES: usize = 40;
+const VIEW_RANGES: [(u64, u64); 3] = [(3_000, 8_400), (12_000, 18_510), (25_000, 33_000)];
+const BASE_UPDATES: usize = 200;
+const QUERIES_PER_CASE: usize = 10;
+/// Write bursts queued while round 1 (the base batch) is in flight.
+const ROUND2_BURSTS: usize = 3;
+/// Write bursts queued while round 2 (the first drained queue) publishes.
+const ROUND3_BURSTS: usize = 2;
+const WRITES_PER_BURST: usize = 40;
+
+fn domain_max() -> u64 {
+    PAGES as u64 * 1000 + 1500
+}
+
+/// Clustered data: value ranges map to page ranges, so the partial views
+/// index meaningful page subsets.
+fn clustered_values(rng: &mut StdRng) -> Vec<u64> {
+    (0..PAGES * VALUES_PER_PAGE)
+        .map(|i| {
+            let page = (i / VALUES_PER_PAGE) as u64;
+            page * 1000 + rng.gen_range(0u64..1500)
+        })
+        .collect()
+}
+
+fn random_writes(rng: &mut StdRng, count: usize) -> Vec<(usize, u64)> {
+    (0..count)
+        .map(|_| {
+            (
+                rng.gen_range(0..PAGES * VALUES_PER_PAGE),
+                rng.gen_range(0..domain_max()),
+            )
+        })
+        .collect()
+}
+
+fn random_queries(rng: &mut StdRng) -> Vec<RangeQuery> {
+    (0..QUERIES_PER_CASE)
+        .map(|_| {
+            let lo = rng.gen_range(0..domain_max() - 1);
+            let width = rng.gen_range(500..domain_max() / 4);
+            RangeQuery::new(lo, (lo + width).min(domain_max()))
+        })
+        .collect()
+}
+
+fn column_with_views<B: Backend>(
+    backend: B,
+    values: &[u64],
+    config: AdaptiveConfig,
+) -> AdaptiveColumn<B> {
+    let mut col = AdaptiveColumn::from_values(backend, values, config).expect("column");
+    for &(lo, hi) in &VIEW_RANGES {
+        let range = ValueRange::new(lo, hi);
+        let (buffer, _) =
+            build_view_for_range(col.column(), &range, &CreationOptions::ALL).expect("view");
+        col.install_view(range, buffer);
+    }
+    col
+}
+
+/// The slot → page layout of every partial view, in slot order.
+fn view_layouts<B: Backend>(col: &AdaptiveColumn<B>) -> Vec<Vec<usize>> {
+    col.views()
+        .partial_views()
+        .iter()
+        .map(|view| {
+            let table = col
+                .column()
+                .backend()
+                .mapping_table(col.column().store(), view.buffer())
+                .expect("mapping table");
+            (0..view.num_pages())
+                .map(|slot| table.phys_for_slot(slot).expect("dense mapped prefix"))
+                .collect()
+        })
+        .collect()
+}
+
+fn scalar_answer(values: &[u64], q: &RangeQuery) -> (u64, u128) {
+    let mut count = 0u64;
+    let mut sum = 0u128;
+    for &v in values {
+        if q.range().contains(v) {
+            count += 1;
+            sum += v as u128;
+        }
+    }
+    (count, sum)
+}
+
+/// Asserts adaptive query, full scan and row collection against the model.
+fn assert_exact<B: Backend>(
+    col: &mut AdaptiveColumn<B>,
+    model: &[u64],
+    queries: &[RangeQuery],
+    ctx: &str,
+) {
+    for q in queries {
+        let expected = scalar_answer(model, q);
+        let out = col.query(q).expect("query");
+        assert_eq!((out.count, out.sum), expected, "{ctx}: adaptive query");
+        let full = col.full_scan(q);
+        assert_eq!((full.count, full.sum), expected, "{ctx}: full scan");
+        let mut rows = col.query_collect(q).expect("collect").rows.expect("rows");
+        rows.sort_unstable();
+        let expected_rows: Vec<u64> = model
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| q.range().contains(**v))
+            .map(|(i, _)| i as u64)
+            .collect();
+        assert_eq!(rows, expected_rows, "{ctx}: collected rows");
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn check_case<B: Backend>(
+    make_backend: &impl Fn() -> B,
+    label: &str,
+    parallelism: Parallelism,
+    chunk_updates: usize,
+    case_seed: u64,
+) {
+    let ctx = format!("{label}/threads={parallelism}/chunk={chunk_updates}/case={case_seed}");
+    let mut rng = StdRng::seed_from_u64(0x1D6E_57ED ^ (case_seed * 7919));
+    let values = clustered_values(&mut rng);
+    let base_writes = random_writes(&mut rng, BASE_UPDATES);
+    let round2_bursts: Vec<Vec<(usize, u64)>> = (0..ROUND2_BURSTS)
+        .map(|_| random_writes(&mut rng, WRITES_PER_BURST))
+        .collect();
+    let round3_bursts: Vec<Vec<(usize, u64)>> = (0..ROUND3_BURSTS)
+        .map(|_| random_writes(&mut rng, WRITES_PER_BURST))
+        .collect();
+    let queries = random_queries(&mut rng);
+
+    let config = AdaptiveConfig::default()
+        .with_adaptive_creation(false)
+        .with_parallelism(parallelism)
+        .with_chunking(AlignChunking::default().with_chunk_updates(chunk_updates));
+    let mut col = column_with_views(make_backend(), &values, config);
+    let mut model = values.clone();
+
+    // Round 1: the base batch, applied directly and shipped to a chunked
+    // background round.
+    let base_updates = col.write_batch(&base_writes);
+    for &(row, v) in &base_writes {
+        model[row] = v;
+    }
+    col.align_views_async(&base_updates).expect("async");
+    assert!(col.alignment_pending(), "{ctx}");
+
+    // Queue the round-2 bursts mid-flight. Every acknowledged write is
+    // immediately visible: full scans match the model exactly, and queued
+    // rows appear in collected row sets iff their overlay value qualifies.
+    for burst in &round2_bursts {
+        for &(row, v) in burst {
+            model[row] = v;
+        }
+        col.write_batch(burst);
+    }
+    let queued_rows: HashSet<u64> = round2_bursts
+        .iter()
+        .flatten()
+        .map(|&(row, _)| row as u64)
+        .collect();
+    assert_eq!(col.write_overlay().len(), queued_rows.len(), "{ctx}");
+    for q in &queries {
+        let expected = scalar_answer(&model, q);
+        let full = col.full_scan(q);
+        assert_eq!(
+            (full.count, full.sum),
+            expected,
+            "{ctx}: mid-round-1 full scan must see every acknowledged write"
+        );
+        // Adaptive queries run on the pre-batch view epoch (the base batch
+        // may be invisible through stale views), but the *queued* rows are
+        // overlay-resolved: their membership is exact.
+        let out = col.query_collect(q).expect("collect");
+        let rows: HashSet<u64> = out.rows.as_deref().expect("rows").iter().copied().collect();
+        assert_eq!(rows.len() as u64, out.count, "{ctx}: count matches rows");
+        for &row in &queued_rows {
+            let acked = model[row as usize];
+            assert_eq!(
+                rows.contains(&row),
+                q.range().contains(acked),
+                "{ctx}: queued row {row} (acked {acked}) membership in [{}, {}]",
+                q.low(),
+                q.high()
+            );
+        }
+    }
+
+    // Publish round 1 completely; the queue auto-folds into round 2.
+    let generation_before = col.view_generation();
+    let r1 = col
+        .publish_aligned_views()
+        .expect("publish")
+        .expect("round 1");
+    assert_eq!(r1.batch_size, base_updates.len(), "{ctx}");
+    assert!(
+        col.view_generation() > generation_before,
+        "{ctx}: publishing advanced at least one epoch"
+    );
+    assert!(
+        col.alignment_pending(),
+        "{ctx}: the queued bursts spawned round 2 automatically"
+    );
+    // From here on every affected row is either aligned (base batch) or
+    // overlay-resolved (queued), so adaptive queries are exact at every
+    // intermediate epoch.
+    assert_exact(
+        &mut col,
+        &model,
+        &queries,
+        &format!("{ctx}: during round 2"),
+    );
+
+    // Queue the round-3 bursts while round 2 publishes.
+    for burst in &round3_bursts {
+        for &(row, v) in burst {
+            model[row] = v;
+        }
+        col.write_batch(burst);
+    }
+
+    // Drive everything to completion one chunk at a time, interleaving
+    // queries with the publishes: exactness must hold at every epoch.
+    let mut polls = 0usize;
+    while col.alignment_pending() {
+        col.poll_aligned_views().expect("poll");
+        let q = &queries[polls % queries.len()];
+        let expected = scalar_answer(&model, q);
+        let out = col.query(q).expect("between-chunk query");
+        assert_eq!(
+            (out.count, out.sum),
+            expected,
+            "{ctx}: between-chunk epoch {}",
+            col.view_generation()
+        );
+        polls += 1;
+        assert!(polls < 1_000_000, "{ctx}: poll loop runaway");
+    }
+    assert!(col.write_overlay().is_empty(), "{ctx}: queue drained");
+    let records = col.take_chunk_records();
+    assert_eq!(
+        col.view_generation(),
+        records.len() as u64,
+        "{ctx}: one epoch per published chunk"
+    );
+    if chunk_updates > 0 {
+        assert!(
+            records.len() as u64 >= 3,
+            "{ctx}: three rounds publish at least three chunks"
+        );
+    }
+    assert_exact(&mut col, &model, &queries, &format!("{ctx}: after flush"));
+
+    // Twin (a): same batches, synchronously aligned round by round — the
+    // drained queue replayed as explicit write-then-align rounds. Layouts
+    // must be bit-identical.
+    let mut sync_col = column_with_views(make_backend(), &values, config);
+    for batch in std::iter::once(&base_writes[..])
+        .chain(std::iter::once(&round2_bursts.concat()[..]))
+        .chain(std::iter::once(&round3_bursts.concat()[..]))
+    {
+        let updates = sync_col.write_batch(batch);
+        sync_col.align_views(&updates).expect("sync align");
+    }
+    assert_eq!(
+        view_layouts(&col),
+        view_layouts(&sync_col),
+        "{ctx}: chunked background and round-matched sync layouts diverge"
+    );
+
+    // Twin (b): drain everything and run ONE synchronous alignment —
+    // answers must be identical (the indexed page sets agree even though
+    // batch grouping may shuffle slot orders).
+    let mut oneshot = column_with_views(make_backend(), &values, config);
+    let mut all_writes = base_writes.clone();
+    all_writes.extend(round2_bursts.concat());
+    all_writes.extend(round3_bursts.concat());
+    let updates = oneshot.write_batch(&all_writes);
+    oneshot.align_views(&updates).expect("one-shot align");
+    for q in &queries {
+        let expected = scalar_answer(&model, q);
+        let a = col.query(q).expect("chunked query");
+        let b = oneshot.query(q).expect("one-shot query");
+        assert_eq!((a.count, a.sum), expected, "{ctx}: chunked vs model");
+        assert_eq!((b.count, b.sum), expected, "{ctx}: one-shot vs model");
+    }
+}
+
+fn check_backend<B: Backend>(make_backend: impl Fn() -> B, label: &str) {
+    let cases = [
+        (Parallelism::Sequential, 0usize),
+        (Parallelism::Sequential, 5),
+        (Parallelism::Sequential, 64),
+        (Parallelism::Threads(3), 0),
+        (Parallelism::Threads(3), 5),
+    ];
+    for case_seed in 0u64..2 {
+        for &(parallelism, chunk_updates) in &cases {
+            check_case(&make_backend, label, parallelism, chunk_updates, case_seed);
+        }
+    }
+}
+
+#[test]
+fn write_ingestion_properties_hold_on_sim_backend() {
+    check_backend(SimBackend::new, "sim");
+}
+
+#[cfg(target_os = "linux")]
+#[test]
+fn write_ingestion_properties_hold_on_mmap_backend() {
+    check_backend(asv_vmem::MmapBackend::new, "mmap");
+}
+
+/// Layouts are invariant under chunk size and planning thread count: every
+/// (chunk, threads) combination ends in the byte-identical view layout.
+#[test]
+fn layouts_are_invariant_under_chunk_size_and_threads() {
+    let mut rng = StdRng::seed_from_u64(0xC4_0FF);
+    let values = clustered_values(&mut rng);
+    let base = random_writes(&mut rng, 150);
+    let queued = random_writes(&mut rng, 80);
+
+    let mut reference: Option<Vec<Vec<usize>>> = None;
+    for chunk_updates in [0usize, 1, 7, 1_000] {
+        for parallelism in [Parallelism::Sequential, Parallelism::Threads(4)] {
+            let config = AdaptiveConfig::default()
+                .with_adaptive_creation(false)
+                .with_parallelism(parallelism)
+                .with_chunking(AlignChunking::default().with_chunk_updates(chunk_updates));
+            let mut col = column_with_views(SimBackend::new(), &values, config);
+            let updates = col.write_batch(&base);
+            col.align_views_async(&updates).expect("async");
+            col.write_batch(&queued); // queued mid-flight, auto-folded
+            col.flush_pending_writes().expect("flush");
+            let layouts = view_layouts(&col);
+            match &reference {
+                None => reference = Some(layouts),
+                Some(expected) => assert_eq!(
+                    &layouts, expected,
+                    "chunk={chunk_updates}/threads={parallelism} layout diverged"
+                ),
+            }
+        }
+    }
+}

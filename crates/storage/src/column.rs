@@ -196,6 +196,28 @@ impl<B: Backend> Column<B> {
         )
     }
 
+    /// Like [`Self::full_scan_with`], but masking `excluded_rows` (ascending
+    /// global row ids) from the scan: their stored values contribute nothing
+    /// to the result. This is the storage half of the overlay-aware read
+    /// path — the adaptive layer excludes the rows of queued (not yet
+    /// aligned) writes and substitutes the queued values itself, so answers
+    /// reflect every acknowledged write exactly once.
+    pub fn full_scan_excluding(
+        &self,
+        range: &ValueRange,
+        mode: ScanMode,
+        parallelism: Parallelism,
+        excluded_rows: &[u64],
+    ) -> ScanOutput {
+        let kernel = ScanKernel::new(*range, mode).with_excluded_rows(excluded_rows);
+        scan_view_with(
+            &kernel,
+            &self.full_view,
+            |raw| self.wrap_view_page(raw),
+            parallelism,
+        )
+    }
+
     /// Probes `rows` (ascending global row ids) against `range`, touching
     /// only the physical pages that contain candidates — the semi-join
     /// residual step of planned conjunctive execution (see

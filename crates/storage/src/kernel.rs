@@ -115,17 +115,44 @@ impl ScanOutput {
     }
 }
 
-/// The page-range scan kernel: a query range plus an accumulation mode.
+/// The page-range scan kernel: a query range plus an accumulation mode,
+/// optionally masking a set of *excluded rows* (the overlay-aware read
+/// path: rows with queued-but-unaligned writes are skipped by the scan and
+/// answered from the write queue by the caller).
 #[derive(Clone, Copy, Debug)]
-pub struct ScanKernel {
+pub struct ScanKernel<'a> {
     range: ValueRange,
     mode: ScanMode,
+    /// Ascending global row ids the scan must treat as absent. Empty on
+    /// every ordinary scan — the per-page fast paths are untouched then.
+    excluded_rows: &'a [u64],
 }
 
-impl ScanKernel {
+impl<'a> ScanKernel<'a> {
     /// Creates a kernel filtering against `range` in the given `mode`.
     pub fn new(range: ValueRange, mode: ScanMode) -> Self {
-        Self { range, mode }
+        Self {
+            range,
+            mode,
+            excluded_rows: &[],
+        }
+    }
+
+    /// Masks `rows` (ascending global row ids) from every scanned page:
+    /// excluded rows contribute neither to the aggregate nor to the
+    /// widening bounds nor to the collected row ids.
+    ///
+    /// This powers the overlay-aware read path of the adaptive layer: while
+    /// writes are queued during a background alignment, scans skip the
+    /// stored (stale or not-yet-written) values of the queued rows and the
+    /// query layer adds the queued values back afterwards, so every
+    /// acknowledged write is reflected exactly once. Probes
+    /// ([`Self::probe_page_rows`]) ignore the mask — their candidate lists
+    /// are filtered by the caller instead.
+    pub fn with_excluded_rows(mut self, rows: &'a [u64]) -> Self {
+        debug_assert!(rows.windows(2).all(|w| w[0] < w[1]), "rows must ascend");
+        self.excluded_rows = rows;
+        self
     }
 
     /// The query range this kernel filters against.
@@ -138,16 +165,46 @@ impl ScanKernel {
         self.mode
     }
 
+    /// The rows masked from every scan (empty unless the overlay-aware read
+    /// path is active).
+    pub fn excluded_rows(&self) -> &'a [u64] {
+        self.excluded_rows
+    }
+
+    /// The excluded value slots falling on `page`, as ascending slot
+    /// indexes. Empty for all pages outside the exclusion list.
+    fn excluded_slots_on(&self, page: &PageRef<'_>) -> Vec<usize> {
+        if self.excluded_rows.is_empty() {
+            return Vec::new();
+        }
+        let base = page.page_id() * VALUES_PER_PAGE as u64;
+        let end = base + VALUES_PER_PAGE as u64;
+        let lo = self.excluded_rows.partition_point(|&r| r < base);
+        let hi = self.excluded_rows.partition_point(|&r| r < end);
+        self.excluded_rows[lo..hi]
+            .iter()
+            .map(|&r| (r - base) as usize)
+            .collect()
+    }
+
     /// Scans one page into `out` and returns the page's own result (so
     /// callers can react to per-page outcomes, e.g. feed qualifying pages to
     /// a view-creation sink in scan order).
     pub fn scan_page(&self, page: PageRef<'_>, out: &mut ScanOutput) -> PageScanResult {
-        let res = match self.mode {
-            ScanMode::CountOnly => page.scan_filter_count(&self.range),
-            ScanMode::Aggregate => page.scan_filter(&self.range),
-            ScanMode::CollectRows => {
-                let rows = out.rows.get_or_insert_with(Vec::new);
-                page.scan_filter_collect(&self.range, rows)
+        let excluded = self.excluded_slots_on(&page);
+        let res = if !excluded.is_empty() {
+            let count_only = matches!(self.mode, ScanMode::CountOnly);
+            let rows = matches!(self.mode, ScanMode::CollectRows)
+                .then(|| out.rows.get_or_insert_with(Vec::new));
+            page.scan_filter_excluding(&self.range, &excluded, count_only, rows)
+        } else {
+            match self.mode {
+                ScanMode::CountOnly => page.scan_filter_count(&self.range),
+                ScanMode::Aggregate => page.scan_filter(&self.range),
+                ScanMode::CollectRows => {
+                    let rows = out.rows.get_or_insert_with(Vec::new);
+                    page.scan_filter_collect(&self.range, rows)
+                }
             }
         };
         out.scanned_pages += 1;
@@ -209,15 +266,15 @@ impl ScanKernel {
     ///
     /// This is the shard primitive: a parallel scan hands each worker a
     /// disjoint slot range of the same view.
-    pub fn scan_view_slots<'a, V, W>(
+    pub fn scan_view_slots<'p, V, W>(
         &self,
-        view: &'a V,
+        view: &'p V,
         slots: Range<usize>,
         wrap: W,
         out: &mut ScanOutput,
     ) where
         V: ViewBuffer,
-        W: Fn(&'a [u64]) -> PageRef<'a>,
+        W: Fn(&'p [u64]) -> PageRef<'p>,
     {
         debug_assert!(slots.end <= view.mapped_pages());
         for slot in slots {
@@ -234,7 +291,7 @@ impl ScanKernel {
 /// for multi-view scans with shared pages use the page-id-sharded scan in
 /// `asv-core::exec`.
 pub fn scan_view<'a, V, W>(
-    kernel: &ScanKernel,
+    kernel: &ScanKernel<'_>,
     view: &'a V,
     wrap: W,
     pool: &ThreadPool,
@@ -273,7 +330,7 @@ where
 
 /// Convenience wrapper: [`scan_view`] driven by a [`Parallelism`] setting.
 pub fn scan_view_with<'a, V, W>(
-    kernel: &ScanKernel,
+    kernel: &ScanKernel<'_>,
     view: &'a V,
     wrap: W,
     parallelism: Parallelism,
@@ -313,7 +370,7 @@ fn group_rows_by_page(rows: &[u64]) -> Vec<(usize, Range<usize>)> {
 /// for every worker count. `scanned_pages` reports the number of *distinct*
 /// pages touched, which is the probe's entire page effort.
 pub fn probe_rows<B: Backend>(
-    kernel: &ScanKernel,
+    kernel: &ScanKernel<'_>,
     column: &Column<B>,
     rows: &[u64],
     pool: &ThreadPool,
@@ -516,6 +573,79 @@ mod tests {
         let runs = group_rows_by_page(&rows);
         assert_eq!(runs, vec![(0, 0..3), (1, 3..4), (3, 4..6)]);
         assert!(group_rows_by_page(&[]).is_empty());
+    }
+
+    fn check_excluded_rows_are_invisible<B: Backend>(backend: B) {
+        let column = clustered_column(backend, 12);
+        let values = column.to_vec();
+        let range = ValueRange::new(3_000, 8_400);
+        // Exclude a scattering of rows, qualifying and not, across pages.
+        let excluded: Vec<u64> = [
+            0usize,
+            3 * VALUES_PER_PAGE,
+            3 * VALUES_PER_PAGE + 7,
+            5 * VALUES_PER_PAGE + 100,
+            11 * VALUES_PER_PAGE + VALUES_PER_PAGE - 1,
+        ]
+        .iter()
+        .map(|&r| r as u64)
+        .collect();
+        let expected: Vec<u64> = (0..values.len() as u64)
+            .filter(|r| !excluded.contains(r) && range.contains(values[*r as usize]))
+            .collect();
+        let expected_sum: u128 = expected.iter().map(|&r| values[r as usize] as u128).sum();
+        for mode in [
+            ScanMode::CountOnly,
+            ScanMode::Aggregate,
+            ScanMode::CollectRows,
+        ] {
+            let kernel = ScanKernel::new(range, mode).with_excluded_rows(&excluded);
+            for workers in [1usize, 3] {
+                let out = scan_view(
+                    &kernel,
+                    column.full_view(),
+                    |raw| column.wrap_view_page(raw),
+                    &ThreadPool::with_workers(workers),
+                );
+                assert_eq!(out.result.count, expected.len() as u64, "{mode:?}");
+                match mode {
+                    ScanMode::CountOnly => assert_eq!(out.result.sum, 0),
+                    _ => assert_eq!(out.result.sum, expected_sum, "{mode:?}"),
+                }
+                if mode == ScanMode::CollectRows {
+                    assert_eq!(out.rows.as_deref(), Some(&expected[..]), "{mode:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn excluded_rows_are_invisible_sim() {
+        check_excluded_rows_are_invisible(SimBackend::new());
+    }
+
+    #[test]
+    fn excluded_rows_are_invisible_mmap() {
+        check_excluded_rows_are_invisible(MmapBackend::new());
+    }
+
+    #[test]
+    fn excluded_rows_do_not_feed_widening_bounds() {
+        let column = clustered_column(SimBackend::new(), 16);
+        // Page 4's maximum (4510) is the widening bound below [5000, 9400];
+        // excluding that row must push the bound down to 4509.
+        let top_of_page_4 = (4 * VALUES_PER_PAGE + VALUES_PER_PAGE - 1) as u64;
+        let kernel = ScanKernel::new(ValueRange::new(5_000, 9_400), ScanMode::Aggregate)
+            .with_excluded_rows(std::slice::from_ref(&top_of_page_4));
+        assert_eq!(kernel.excluded_rows(), &[top_of_page_4]);
+        let out = scan_view(
+            &kernel,
+            column.full_view(),
+            |raw| column.wrap_view_page(raw),
+            &ThreadPool::with_workers(1),
+        );
+        assert_eq!(out.below, Some(4_509));
+        assert_eq!(out.above, Some(10_000));
     }
 
     #[test]

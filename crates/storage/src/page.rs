@@ -205,6 +205,55 @@ impl<'a> PageRef<'a> {
     }
 }
 
+impl PageRef<'_> {
+    /// Filters the page against `range` while treating the given ascending
+    /// value-slot indexes as *absent*: excluded slots contribute neither to
+    /// the aggregate nor to the widening bounds nor to the collected rows.
+    ///
+    /// This is the slow path of the overlay-aware read path: while an
+    /// adaptive column holds queued (not yet aligned) writes, the scan
+    /// skips the stored values of the affected rows entirely and the query
+    /// layer substitutes the queued values afterwards — so answers reflect
+    /// every acknowledged write exactly once. `count_only` skips the
+    /// checksum accumulation (the [`Self::scan_filter_count`] equivalent);
+    /// `rows_out` enables row-id collection (the
+    /// [`Self::scan_filter_collect`] equivalent).
+    ///
+    /// Slots in `excluded_slots` beyond the valid value count are ignored.
+    pub fn scan_filter_excluding(
+        &self,
+        range: &ValueRange,
+        excluded_slots: &[usize],
+        count_only: bool,
+        mut rows_out: Option<&mut Vec<u64>>,
+    ) -> PageScanResult {
+        debug_assert!(excluded_slots.windows(2).all(|w| w[0] < w[1]));
+        let mut res = PageScanResult::default();
+        let base_row = self.page_id() * VALUES_PER_PAGE as u64;
+        let mut skip = excluded_slots.iter().copied().peekable();
+        for (idx, &v) in self.values().iter().enumerate() {
+            if skip.peek() == Some(&idx) {
+                skip.next();
+                continue;
+            }
+            if range.contains(v) {
+                res.count += 1;
+                if !count_only {
+                    res.sum += v as u128;
+                }
+                if let Some(rows) = rows_out.as_deref_mut() {
+                    rows.push(base_row + idx as u64);
+                }
+            } else if v < range.low() {
+                res.below_max = Some(res.below_max.map_or(v, |b| b.max(v)));
+            } else {
+                res.above_min = Some(res.above_min.map_or(v, |a| a.min(v)));
+            }
+        }
+        res
+    }
+}
+
 /// Writes the page header (embedded pageID) and values into a raw page
 /// buffer. Used by the column builder and by tests.
 pub fn write_page(raw: &mut [u64], page_id: u64, values: &[u64]) {

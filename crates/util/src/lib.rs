@@ -20,6 +20,8 @@
 //! * [`Timer`] and [`Summary`] — tiny measurement helpers for the
 //!   experiment harness.
 
+#![warn(missing_docs)]
+
 pub mod bimap;
 pub mod bitvec;
 pub mod pool;

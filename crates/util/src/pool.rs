@@ -119,6 +119,29 @@ pub fn split_ranges(len: usize, parts: usize) -> Vec<Range<usize>> {
 /// state. Tasks are distributed through an [`std::sync::mpsc`] channel
 /// (shared behind a mutex on the receiving side), and results travel back
 /// through a second channel tagged with their task index.
+///
+/// # Example
+///
+/// Sharding a borrowed slice across workers and merging the partial sums —
+/// the shape of every parallel scan in the workspace:
+///
+/// ```
+/// use asv_util::{split_ranges, Parallelism, ThreadPool};
+///
+/// let values: Vec<u64> = (0..10_000).collect();
+/// let pool = ThreadPool::new(Parallelism::Threads(4));
+/// let tasks: Vec<_> = split_ranges(values.len(), pool.workers())
+///     .into_iter()
+///     // The closures borrow `values` — no `Arc`, no `'static` bound.
+///     .map(|shard| {
+///         let values = &values;
+///         move || values[shard].iter().sum::<u64>()
+///     })
+///     .collect();
+/// let total: u64 = pool.scoped_map(tasks).into_iter().sum();
+///
+/// assert_eq!(total, values.iter().sum::<u64>());
+/// ```
 #[derive(Clone, Debug)]
 pub struct ThreadPool {
     workers: usize,

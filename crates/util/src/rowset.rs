@@ -13,6 +13,23 @@ use crate::bitvec::BitVec;
 
 /// A set of row ids over a fixed row domain `0..num_rows`, backed by a
 /// bitvector.
+///
+/// # Example
+///
+/// Intersecting two predicates' row sets word-wise — the core loop of
+/// conjunctive execution:
+///
+/// ```
+/// use asv_util::RowSet;
+///
+/// let price_matches = RowSet::from_rows(&[2, 5, 9, 11], 16);
+/// let mut survivors = RowSet::from_rows(&[0, 5, 9, 15], 16);
+/// survivors.intersect_with(&price_matches);
+///
+/// assert_eq!(survivors.to_sorted_vec(), vec![5, 9]);
+/// assert_eq!(survivors.len(), 2);
+/// assert!(survivors.contains(5) && !survivors.contains(2));
+/// ```
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RowSet {
     bits: BitVec,

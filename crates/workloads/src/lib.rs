@@ -12,15 +12,20 @@
 //!   correlated/anti-correlated/independent columns plus conjunctive query
 //!   sequences, the workload of the multi-column query planner (beyond the
 //!   paper).
+//! * [`MixedWorkload`] — interleaved read/write streams whose write bursts
+//!   arrive mid-alignment, the workload of the write-ingestion subsystem
+//!   (beyond the paper).
 //!
 //! All generators are seeded and fully deterministic for a given seed.
 
 pub mod distributions;
 pub mod queries;
+pub mod streams;
 pub mod tables;
 pub mod updates;
 
 pub use distributions::{Distribution, DEFAULT_MAX_VALUE};
 pub use queries::{QueryWorkload, SweepSpec};
+pub use streams::{MixedOp, MixedSpec, MixedWorkload};
 pub use tables::{ColumnCorrelation, ConjunctiveQuery, TableWorkload};
 pub use updates::UpdateWorkload;
