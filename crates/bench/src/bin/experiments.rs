@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! experiments [fig3|fig4|fig5|fig6|fig7|table1|ablation|scaling|align-overlap|
-//!              table-scan|all]
+//!              table-scan|filter-kernel|all]
 //!             [--backend sim|mmap] [--scale tiny|small|medium|paper]
 //!             [--seed N] [--csv-dir DIR] [--threads N]
 //!             [--align-mode sync|background]
@@ -33,6 +33,14 @@
 //! additionally written as CSV files (one per figure), which is what
 //! `EXPERIMENTS.md` records.
 //!
+//! The `filter-kernel` experiment additionally appends one JSON line of
+//! timing history to `BENCH_filter_kernel.json` (inside `--csv-dir` when
+//! given, else the working directory) and — with `--csv-dir` — writes the
+//! per-variant answer tables to `DIR/filter_kernel_scalar/` and
+//! `DIR/filter_kernel_chunked/`, so
+//! `experiments compare DIR/filter_kernel_scalar DIR/filter_kernel_chunked
+//! --max-delta-pct 0` gates the chunked kernels on exact answer equality.
+//!
 //! The `compare` subcommand diffs two `--csv-dir` outputs and prints
 //! per-experiment timing deltas; `--max-delta-pct X` turns it into a check
 //! that fails (exit code 1) when any per-row delta exceeds `X` percent
@@ -42,8 +50,8 @@
 use std::process::ExitCode;
 
 use asv_bench::{
-    ablation, align_overlap, compare, fig3, fig4, fig5, fig6, fig7, report, scaling, table1,
-    table_scan, Scale, DEFAULT_SEED,
+    ablation, align_overlap, compare, fig3, fig4, fig5, fig6, fig7, filter_kernel, report, scaling,
+    table1, table_scan, Scale, DEFAULT_SEED,
 };
 use asv_core::Parallelism;
 use asv_vmem::{AnyBackend, Backend};
@@ -145,7 +153,7 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 return Err(
                     "usage: experiments [fig3|fig4|fig5|fig6|fig7|table1|ablation|scaling|\
-                            align-overlap|table-scan|all] \
+                            align-overlap|table-scan|filter-kernel|all] \
                             [--backend sim|mmap] [--scale tiny|small|medium|paper] \
                             [--seed N] [--csv-dir DIR] [--threads N] \
                             [--align-mode sync|background] \
@@ -325,6 +333,51 @@ fn run_table_scan(args: &Args) {
     maybe_write_csv(&args.csv_dir, "table_scan", &table);
 }
 
+fn run_filter_kernel(args: &Args) {
+    let report = with_concrete_backend!(&args.backend, |b| filter_kernel::run_with(
+        b,
+        &args.scale,
+        args.seed
+    ));
+    let table = filter_kernel::to_table(&report);
+    println!("{}", table.render());
+    println!(
+        "count-only speedup (chunked vs scalar, mean over selectivities): {:.2}x\n",
+        report.count_only_speedup()
+    );
+    maybe_write_csv(&args.csv_dir, "filter_kernel", &table);
+    if let Some(dir) = &args.csv_dir {
+        for variant in filter_kernel::VARIANTS {
+            let answers = filter_kernel::answers_table(&report, variant);
+            let path = format!("{dir}/filter_kernel_{variant}/answers.csv");
+            if let Err(e) = report::write_csv(&path, &answers.to_csv()) {
+                eprintln!("warning: could not write {path}: {e}");
+            } else {
+                println!("(wrote {path})");
+            }
+        }
+    }
+    let unix_ms = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_millis());
+    let line = filter_kernel::bench_json_line(
+        &report,
+        args.backend.name(),
+        args.scale.name,
+        args.seed,
+        unix_ms,
+    );
+    let bench_path = match &args.csv_dir {
+        Some(dir) => format!("{dir}/BENCH_filter_kernel.json"),
+        None => "BENCH_filter_kernel.json".to_string(),
+    };
+    if let Err(e) = report::append_line(&bench_path, &line) {
+        eprintln!("warning: could not append to {bench_path}: {e}");
+    } else {
+        println!("(appended perf-history line to {bench_path})");
+    }
+}
+
 /// The `compare` subcommand: `experiments compare DIR_A DIR_B`.
 fn run_compare(args: &Args) -> ExitCode {
     let [_, dir_a, dir_b] = args.experiments.as_slice() else {
@@ -405,6 +458,7 @@ fn main() -> ExitCode {
             "scaling" => run_scaling(&args),
             "align-overlap" => run_align_overlap(&args),
             "table-scan" => run_table_scan(&args),
+            "filter-kernel" => run_filter_kernel(&args),
             "all" => {
                 run_fig3(&args);
                 run_fig4(&args);
@@ -416,6 +470,7 @@ fn main() -> ExitCode {
                 run_scaling(&args);
                 run_align_overlap(&args);
                 run_table_scan(&args);
+                run_filter_kernel(&args);
             }
             other => {
                 eprintln!("unknown experiment '{other}'");

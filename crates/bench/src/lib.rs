@@ -16,6 +16,7 @@
 //! | [`scaling`] | Multicore scaling of the scan path (beyond the paper) |
 //! | [`align_overlap`] | Query throughput during view alignment (beyond the paper) |
 //! | [`table_scan`] | Planned vs naive multi-column conjunctive scans (beyond the paper) |
+//! | [`filter_kernel`] | Chunked vs scalar page-filter kernels (beyond the paper) |
 //!
 //! The [`compare`] module diffs two `--csv-dir` outputs (the `compare`
 //! subcommand of the `experiments` binary), making timing changes between
@@ -29,6 +30,7 @@ pub mod fig4;
 pub mod fig5;
 pub mod fig6;
 pub mod fig7;
+pub mod filter_kernel;
 pub mod report;
 pub mod scale;
 pub mod scaling;

@@ -34,6 +34,11 @@ pub struct Scale {
     pub table_queries: usize,
     /// Column counts the `table-scan` experiment sweeps.
     pub table_columns: Vec<usize>,
+    /// Pages of the `filter-kernel` microbench column.
+    pub kernel_pages: usize,
+    /// Timed passes per `filter-kernel` cell (mean/p95 are computed over
+    /// these).
+    pub kernel_passes: usize,
 }
 
 impl Scale {
@@ -52,6 +57,8 @@ impl Scale {
             table_pages: 64,
             table_queries: 10,
             table_columns: vec![2, 3],
+            kernel_pages: 64,
+            kernel_passes: 5,
         }
     }
 
@@ -71,6 +78,8 @@ impl Scale {
             table_pages: 2_048,
             table_queries: 40,
             table_columns: vec![2, 3, 4],
+            kernel_pages: 2_048,
+            kernel_passes: 9,
         }
     }
 
@@ -89,6 +98,8 @@ impl Scale {
             table_pages: 16_384,
             table_queries: 100,
             table_columns: vec![2, 4, 8],
+            kernel_pages: 8_192,
+            kernel_passes: 9,
         }
     }
 
@@ -108,6 +119,8 @@ impl Scale {
             table_pages: 65_536,
             table_queries: 250,
             table_columns: vec![2, 4, 8],
+            kernel_pages: 65_536,
+            kernel_passes: 9,
         }
     }
 

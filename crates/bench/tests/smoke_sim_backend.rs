@@ -7,7 +7,9 @@
 //! For Figure 3 the reported result cardinalities are additionally checked
 //! against a scalar rescan of the (updated) raw values.
 
-use asv_bench::{ablation, align_overlap, fig3, fig4, fig5, fig6, fig7, scaling, table1, Scale};
+use asv_bench::{
+    ablation, align_overlap, fig3, fig4, fig5, fig6, fig7, filter_kernel, scaling, table1, Scale,
+};
 use asv_util::{Parallelism, ValueRange};
 use asv_vmem::AnyBackend;
 use asv_workloads::{Distribution, UpdateWorkload, DEFAULT_MAX_VALUE};
@@ -251,6 +253,35 @@ fn parallel_drivers_agree_with_sequential_drivers() {
             "{}/{}",
             s.distribution, s.variant
         );
+    }
+}
+
+#[test]
+fn filter_kernel_chunked_matches_scalar_on_sim() {
+    // `run_with` itself asserts per-cell bit-identical answers between the
+    // chunked kernels and the scalar references; here we check the report's
+    // shape and that the exported answer tables (the compare-gate inputs)
+    // render identically for both variants.
+    let report = with_sim_backend(|b| filter_kernel::run_with(b, &Scale::tiny(), SEED));
+    assert_eq!(
+        report.cells.len(),
+        filter_kernel::MODES.len()
+            * filter_kernel::SELECTIVITIES.len()
+            * filter_kernel::VARIANTS.len()
+    );
+    let scalar = filter_kernel::answers_table(&report, "scalar").to_csv();
+    let chunked = filter_kernel::answers_table(&report, "chunked").to_csv();
+    assert_eq!(scalar, chunked);
+    let line = filter_kernel::bench_json_line(&report, "sim", "tiny", SEED, 0);
+    assert!(line.contains("\"count_only_speedup\""));
+}
+
+/// Runs `f` against the concrete `SimBackend` inside `AnyBackend::sim()`.
+fn with_sim_backend<R>(f: impl FnOnce(&asv_vmem::SimBackend) -> R) -> R {
+    match backend() {
+        AnyBackend::Sim(b) => f(&b),
+        #[cfg(target_os = "linux")]
+        AnyBackend::Mmap(_) => unreachable!("backend() is always sim"),
     }
 }
 

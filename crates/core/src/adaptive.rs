@@ -185,11 +185,11 @@ impl<B: Backend> AdaptiveColumn<B> {
             self.column
                 .full_scan_with(query.range(), mode, self.config.parallelism)
         } else {
-            self.column.full_scan_excluding(
+            self.column.full_scan_excluding_masks(
                 query.range(),
                 mode,
                 self.config.parallelism,
-                &self.overlay.rows(),
+                &self.overlay.exclusion_masks(),
             )
         };
         apply_overlay_to_answer(
@@ -578,8 +578,8 @@ impl<B: Backend> AdaptiveColumn<B> {
         // Rows with queued writes are masked from the scan and answered
         // from the overlay below, so mid-alignment reads see every
         // acknowledged write exactly once.
-        let overlay_rows = self.overlay.rows();
-        let kernel = ScanKernel::new(*query.range(), mode).with_excluded_rows(&overlay_rows);
+        let overlay_masks = self.overlay.exclusion_masks();
+        let kernel = ScanKernel::new(*query.range(), mode).with_exclusion_masks(&overlay_masks);
         let parallelism = self.config.parallelism;
 
         let (candidate, mut scan) = if create_candidate {

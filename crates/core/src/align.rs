@@ -61,7 +61,7 @@ use std::ops::Range;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use asv_storage::{dedup_last_write_wins, sorted_page_groups, Column, Update};
+use asv_storage::{dedup_last_write_wins, sorted_page_groups, Column, ExclusionMasks, Update};
 use asv_util::{Parallelism, ThreadPool, Timer, ValueRange};
 use asv_vmem::{Backend, MappingTable, VmemError};
 
@@ -655,6 +655,12 @@ pub struct WriteOverlay {
     rows: RefCell<Vec<u64>>,
     /// `true` while `rows` may be out of ascending order.
     rows_dirty: Cell<bool>,
+    /// Per-page exclusion bitmasks derived from `rows`, built lazily on the
+    /// first masked scan of an overlay epoch and reused until the row set
+    /// changes (a newly-overlaid row or a retire). Value-only rewrites keep
+    /// the cache — the masks depend on *which* rows are overlaid, not on
+    /// their values.
+    masks: RefCell<Option<ExclusionMasks>>,
     /// Arrival-ordered log of queued `(row, value)` writes, drained into
     /// the next alignment round. Repeated writes to a row appear once per
     /// write here (the alignment's last-write-wins dedup collapses them),
@@ -700,6 +706,22 @@ impl WriteOverlay {
         self.rows.borrow()
     }
 
+    /// The per-page exclusion bitmasks over the overlaid rows, for
+    /// [`asv_storage::ScanKernel::with_exclusion_masks`]. Built once per
+    /// overlay epoch — the first masked scan after the row set changed pays
+    /// the build, every further scan of the epoch reuses it. With no writes
+    /// queued the overlay is empty and callers never reach this path, so
+    /// the read-only fast path stays zero-cost.
+    pub fn exclusion_masks(&self) -> Ref<'_, ExclusionMasks> {
+        if self.masks.borrow().is_none() {
+            let rows = self.rows().clone();
+            *self.masks.borrow_mut() = Some(ExclusionMasks::from_rows(rows));
+        }
+        Ref::map(self.masks.borrow(), |m| {
+            m.as_ref().expect("exclusion masks built above")
+        })
+    }
+
     /// The acknowledged value of `row`, if the row is overlaid.
     pub fn value(&self, row: u64) -> Option<u64> {
         self.entries.get(&row).map(|e| e.value)
@@ -719,6 +741,7 @@ impl WriteOverlay {
             None => {
                 self.rows.get_mut().push(key);
                 self.rows_dirty.set(true);
+                *self.masks.get_mut() = None;
             }
         }
         self.log.push((row, value));
@@ -742,6 +765,7 @@ impl WriteOverlay {
         self.entries.retain(|_, e| e.queued);
         let rows = self.rows.get_mut();
         rows.retain(|r| self.entries.contains_key(r));
+        *self.masks.get_mut() = None;
     }
 
     /// Folds the overlaid values qualifying under `range` into an answer:

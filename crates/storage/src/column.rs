@@ -218,6 +218,26 @@ impl<B: Backend> Column<B> {
         )
     }
 
+    /// Like [`Self::full_scan_excluding`], but reusing per-page exclusion
+    /// bitmasks the caller precomputed once per overlay epoch
+    /// ([`crate::ExclusionMasks`]) instead of re-deriving each visited
+    /// page's excluded slots.
+    pub fn full_scan_excluding_masks(
+        &self,
+        range: &ValueRange,
+        mode: ScanMode,
+        parallelism: Parallelism,
+        masks: &crate::ExclusionMasks,
+    ) -> ScanOutput {
+        let kernel = ScanKernel::new(*range, mode).with_exclusion_masks(masks);
+        scan_view_with(
+            &kernel,
+            &self.full_view,
+            |raw| self.wrap_view_page(raw),
+            parallelism,
+        )
+    }
+
     /// Probes `rows` (ascending global row ids) against `range`, touching
     /// only the physical pages that contain candidates — the semi-join
     /// residual step of planned conjunctive execution (see

@@ -37,6 +37,7 @@ use asv_vmem::{Backend, ViewBuffer, VALUES_PER_PAGE};
 
 use crate::column::Column;
 use crate::page::{PageRef, PageScanResult};
+use crate::simd::{self, ExclusionMasks, PageExclusionMask};
 
 /// What a scan accumulates per qualifying value.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -126,6 +127,10 @@ pub struct ScanKernel<'a> {
     /// Ascending global row ids the scan must treat as absent. Empty on
     /// every ordinary scan — the per-page fast paths are untouched then.
     excluded_rows: &'a [u64],
+    /// Precomputed per-page exclusion bitmasks for `excluded_rows`, when
+    /// the caller holds them (built once per overlay epoch). Without them
+    /// the kernel derives each visited page's mask on the fly.
+    excluded_masks: Option<&'a ExclusionMasks>,
 }
 
 impl<'a> ScanKernel<'a> {
@@ -135,6 +140,7 @@ impl<'a> ScanKernel<'a> {
             range,
             mode,
             excluded_rows: &[],
+            excluded_masks: None,
         }
     }
 
@@ -149,9 +155,23 @@ impl<'a> ScanKernel<'a> {
     /// acknowledged write is reflected exactly once. Probes
     /// ([`Self::probe_page_rows`]) ignore the mask — their candidate lists
     /// are filtered by the caller instead.
+    ///
+    /// Callers that scan the same exclusion set repeatedly should build an
+    /// [`ExclusionMasks`] once and pass it via
+    /// [`Self::with_exclusion_masks`] instead.
     pub fn with_excluded_rows(mut self, rows: &'a [u64]) -> Self {
         debug_assert!(rows.windows(2).all(|w| w[0] < w[1]), "rows must ascend");
         self.excluded_rows = rows;
+        self.excluded_masks = None;
+        self
+    }
+
+    /// Like [`Self::with_excluded_rows`], but reusing per-page exclusion
+    /// bitmasks the caller precomputed (once per overlay epoch) instead of
+    /// re-deriving them on every page visit.
+    pub fn with_exclusion_masks(mut self, masks: &'a ExclusionMasks) -> Self {
+        self.excluded_rows = masks.rows();
+        self.excluded_masks = Some(masks);
         self
     }
 
@@ -171,32 +191,39 @@ impl<'a> ScanKernel<'a> {
         self.excluded_rows
     }
 
-    /// The excluded value slots falling on `page`, as ascending slot
-    /// indexes. Empty for all pages outside the exclusion list.
-    fn excluded_slots_on(&self, page: &PageRef<'_>) -> Vec<usize> {
+    /// The exclusion bitmask covering `page`, if any of its slots are
+    /// excluded: the precomputed one when the kernel carries
+    /// [`ExclusionMasks`], otherwise derived from the row list.
+    fn exclusion_mask_on(&self, page: &PageRef<'_>) -> Option<PageExclusionMask> {
+        if let Some(masks) = self.excluded_masks {
+            return masks.mask_for(page.page_id()).copied();
+        }
         if self.excluded_rows.is_empty() {
-            return Vec::new();
+            return None;
         }
         let base = page.page_id() * VALUES_PER_PAGE as u64;
         let end = base + VALUES_PER_PAGE as u64;
         let lo = self.excluded_rows.partition_point(|&r| r < base);
         let hi = self.excluded_rows.partition_point(|&r| r < end);
-        self.excluded_rows[lo..hi]
-            .iter()
-            .map(|&r| (r - base) as usize)
-            .collect()
+        if lo == hi {
+            return None;
+        }
+        Some(PageExclusionMask::from_slots(
+            self.excluded_rows[lo..hi]
+                .iter()
+                .map(|&r| (r - base) as usize),
+        ))
     }
 
     /// Scans one page into `out` and returns the page's own result (so
     /// callers can react to per-page outcomes, e.g. feed qualifying pages to
     /// a view-creation sink in scan order).
     pub fn scan_page(&self, page: PageRef<'_>, out: &mut ScanOutput) -> PageScanResult {
-        let excluded = self.excluded_slots_on(&page);
-        let res = if !excluded.is_empty() {
+        let res = if let Some(mask) = self.exclusion_mask_on(&page) {
             let count_only = matches!(self.mode, ScanMode::CountOnly);
             let rows = matches!(self.mode, ScanMode::CollectRows)
                 .then(|| out.rows.get_or_insert_with(Vec::new));
-            page.scan_filter_excluding(&self.range, &excluded, count_only, rows)
+            page.scan_filter_excluding(&self.range, &mask, count_only, rows)
         } else {
             match self.mode {
                 ScanMode::CountOnly => page.scan_filter_count(&self.range),
@@ -235,22 +262,32 @@ impl<'a> ScanKernel<'a> {
     /// slots, not whole pages, so nothing can be claimed about the page's
     /// non-qualifying content.
     pub fn probe_page_rows(&self, page: PageRef<'_>, rows: &[u64], out: &mut ScanOutput) {
+        debug_assert!(rows
+            .iter()
+            .all(|&row| row / VALUES_PER_PAGE as u64 == page.page_id()));
         let base_row = page.page_id() * VALUES_PER_PAGE as u64;
-        let mut res = PageScanResult::default();
-        for &row in rows {
-            debug_assert_eq!(row / VALUES_PER_PAGE as u64, page.page_id());
-            let slot = (row - base_row) as usize;
-            let v = page.value(slot);
-            if self.range.contains(v) {
-                res.count += 1;
-                if !matches!(self.mode, ScanMode::CountOnly) {
-                    res.sum += v as u128;
-                }
-                if matches!(self.mode, ScanMode::CollectRows) {
-                    out.rows.get_or_insert_with(Vec::new).push(row);
-                }
-            }
+        // Candidate slots are batched into fixed-width lanes and qualified
+        // with a branch-free mask (see `simd::probe_rows_chunked`); the
+        // slot-bounds contract of `PageRef::value` is preserved by checking
+        // the batch's largest slot against the valid count up front.
+        if let Some(&last) = rows.last() {
+            let last_slot = (last - base_row) as usize;
+            assert!(
+                last_slot < page.valid_values(),
+                "value slot {last_slot} out of bounds"
+            );
         }
+        let count_only = matches!(self.mode, ScanMode::CountOnly);
+        let rows_out = matches!(self.mode, ScanMode::CollectRows)
+            .then(|| out.rows.get_or_insert_with(Vec::new));
+        let res = simd::probe_rows_chunked(
+            page.values(),
+            &self.range,
+            base_row,
+            rows,
+            count_only,
+            rows_out,
+        );
         out.scanned_pages += 1;
         if res.count > 0 {
             if let Some(pages) = out.qualifying_pages.as_mut() {

@@ -13,12 +13,14 @@
 pub mod column;
 pub mod kernel;
 pub mod page;
+pub mod simd;
 pub mod table;
 pub mod updates;
 
 pub use column::Column;
 pub use kernel::{probe_rows, scan_view, scan_view_with, ScanKernel, ScanMode, ScanOutput};
 pub use page::{PageRef, PageScanResult};
+pub use simd::{ExclusionMasks, PageExclusionMask, LANES};
 pub use table::Table;
 pub use updates::{dedup_last_write_wins, group_by_page, sorted_page_groups, Update, UpdateBatch};
 

@@ -8,6 +8,8 @@
 use asv_util::ValueRange;
 use asv_vmem::{SLOTS_PER_PAGE, VALUES_PER_PAGE};
 
+use crate::simd::{self, PageExclusionMask};
+
 /// Index of the slot holding the embedded pageID.
 pub const PAGE_ID_SLOT: usize = 0;
 
@@ -118,29 +120,97 @@ impl<'a> PageRef<'a> {
     }
 
     /// Minimum and maximum of the valid values, if the page is non-empty.
+    ///
+    /// Computed with the chunked branch-free fold of [`crate::simd`].
     pub fn min_max(&self) -> Option<(u64, u64)> {
-        let vals = self.values();
-        if vals.is_empty() {
-            return None;
-        }
-        let mut min = vals[0];
-        let mut max = vals[0];
-        for &v in &vals[1..] {
-            if v < min {
-                min = v;
-            }
-            if v > max {
-                max = v;
-            }
-        }
-        Some((min, max))
+        simd::min_max_chunked(self.values())
     }
 
     /// Filters the page against `range`, producing counts, a checksum and
     /// the non-qualifying bounds needed for range widening.
     ///
-    /// This is the `page.scanAndFilter(q)` primitive of Listing 1.
+    /// This is the `page.scanAndFilter(q)` primitive of Listing 1,
+    /// evaluated by the chunked branch-free kernel of [`crate::simd`]
+    /// (bit-identical to [`Self::scan_filter_scalar`]).
     pub fn scan_filter(&self, range: &ValueRange) -> PageScanResult {
+        simd::scan_filter_chunked(self.values(), range)
+    }
+
+    /// Count-only variant of [`Self::scan_filter`]: tallies qualifying
+    /// values and the non-qualifying bounds but skips the checksum
+    /// accumulation (`sum` stays 0).
+    ///
+    /// This is the hot-path fast path for `COUNT(*)`-style queries: fully
+    /// branch-free lane-mask accumulation — the widening bounds are still
+    /// tracked (adaptive view creation needs them), but neither the
+    /// checksum lanes nor any per-value branch remain.
+    pub fn scan_filter_count(&self, range: &ValueRange) -> PageScanResult {
+        simd::scan_filter_count_chunked(self.values(), range)
+    }
+
+    /// Like [`Self::scan_filter`], but additionally appends the global row
+    /// ids of qualifying values to `rows_out` (chunk-mask → index
+    /// compaction).
+    ///
+    /// The global row id is reconstructed from the embedded pageID — this is
+    /// exactly why the paper embeds it: a partial view maps an arbitrary
+    /// subset of pages, so the slot position within the view says nothing
+    /// about the tuple.
+    pub fn scan_filter_collect(
+        &self,
+        range: &ValueRange,
+        rows_out: &mut Vec<u64>,
+    ) -> PageScanResult {
+        let base_row = self.page_id() * VALUES_PER_PAGE as u64;
+        simd::scan_filter_collect_chunked(self.values(), range, base_row, rows_out)
+    }
+}
+
+impl PageRef<'_> {
+    /// Filters the page against `range` while treating the slots set in
+    /// `exclusion` as *absent*: excluded slots contribute neither to the
+    /// aggregate nor to the widening bounds nor to the collected rows.
+    ///
+    /// This is the slow path of the overlay-aware read path: while an
+    /// adaptive column holds queued (not yet aligned) writes, the scan
+    /// skips the stored values of the affected rows entirely and the query
+    /// layer substitutes the queued values afterwards — so answers reflect
+    /// every acknowledged write exactly once. `count_only` skips the
+    /// checksum accumulation (the [`Self::scan_filter_count`] equivalent);
+    /// `rows_out` enables row-id collection (the
+    /// [`Self::scan_filter_collect`] equivalent).
+    ///
+    /// Exclusion bits beyond the valid value count are ignored (the scan
+    /// never reads those slots).
+    pub fn scan_filter_excluding(
+        &self,
+        range: &ValueRange,
+        exclusion: &PageExclusionMask,
+        count_only: bool,
+        rows_out: Option<&mut Vec<u64>>,
+    ) -> PageScanResult {
+        let base_row = self.page_id() * VALUES_PER_PAGE as u64;
+        simd::scan_filter_excluding_chunked(
+            self.values(),
+            range,
+            exclusion,
+            count_only,
+            base_row,
+            rows_out,
+        )
+    }
+}
+
+/// Scalar reference implementations.
+///
+/// These are the original per-value loops the chunked kernels of
+/// [`crate::simd`] replaced. They are kept (and exercised) for two reasons:
+/// the differential property tests assert the chunked kernels match them
+/// bit-identically, and the `filter-kernel` microbench measures the chunked
+/// speedup against them.
+impl PageRef<'_> {
+    /// Scalar reference of [`Self::scan_filter`] (branchy per-value loop).
+    pub fn scan_filter_scalar(&self, range: &ValueRange) -> PageScanResult {
         let mut res = PageScanResult::default();
         for &v in self.values() {
             if range.contains(v) {
@@ -155,14 +225,8 @@ impl<'a> PageRef<'a> {
         res
     }
 
-    /// Count-only variant of [`Self::scan_filter`]: tallies qualifying
-    /// values and the non-qualifying bounds but skips the checksum
-    /// accumulation (`sum` stays 0).
-    ///
-    /// This is the hot-path fast path for `COUNT(*)`-style queries: the
-    /// widening bounds are still tracked (adaptive view creation needs
-    /// them), but the per-value `u128` additions are gone.
-    pub fn scan_filter_count(&self, range: &ValueRange) -> PageScanResult {
+    /// Scalar reference of [`Self::scan_filter_count`].
+    pub fn scan_filter_count_scalar(&self, range: &ValueRange) -> PageScanResult {
         let mut res = PageScanResult::default();
         for &v in self.values() {
             if range.contains(v) {
@@ -176,14 +240,8 @@ impl<'a> PageRef<'a> {
         res
     }
 
-    /// Like [`Self::scan_filter`], but additionally appends the global row
-    /// ids of qualifying values to `rows_out`.
-    ///
-    /// The global row id is reconstructed from the embedded pageID — this is
-    /// exactly why the paper embeds it: a partial view maps an arbitrary
-    /// subset of pages, so the slot position within the view says nothing
-    /// about the tuple.
-    pub fn scan_filter_collect(
+    /// Scalar reference of [`Self::scan_filter_collect`].
+    pub fn scan_filter_collect_scalar(
         &self,
         range: &ValueRange,
         rows_out: &mut Vec<u64>,
@@ -203,24 +261,11 @@ impl<'a> PageRef<'a> {
         }
         res
     }
-}
 
-impl PageRef<'_> {
-    /// Filters the page against `range` while treating the given ascending
-    /// value-slot indexes as *absent*: excluded slots contribute neither to
-    /// the aggregate nor to the widening bounds nor to the collected rows.
-    ///
-    /// This is the slow path of the overlay-aware read path: while an
-    /// adaptive column holds queued (not yet aligned) writes, the scan
-    /// skips the stored values of the affected rows entirely and the query
-    /// layer substitutes the queued values afterwards — so answers reflect
-    /// every acknowledged write exactly once. `count_only` skips the
-    /// checksum accumulation (the [`Self::scan_filter_count`] equivalent);
-    /// `rows_out` enables row-id collection (the
-    /// [`Self::scan_filter_collect`] equivalent).
-    ///
-    /// Slots in `excluded_slots` beyond the valid value count are ignored.
-    pub fn scan_filter_excluding(
+    /// Scalar reference of [`Self::scan_filter_excluding`], taking the
+    /// exclusions as ascending value-slot indexes and skipping them with a
+    /// peekable iterator — the shape of the pre-kernel implementation.
+    pub fn scan_filter_excluding_scalar(
         &self,
         range: &ValueRange,
         excluded_slots: &[usize],
@@ -248,6 +293,33 @@ impl PageRef<'_> {
                 res.below_max = Some(res.below_max.map_or(v, |b| b.max(v)));
             } else {
                 res.above_min = Some(res.above_min.map_or(v, |a| a.min(v)));
+            }
+        }
+        res
+    }
+
+    /// Scalar reference of [`crate::ScanKernel::probe_page_rows`]'s
+    /// per-candidate qualification (branchy per-row loop).
+    pub fn probe_rows_scalar(
+        &self,
+        range: &ValueRange,
+        rows: &[u64],
+        count_only: bool,
+        mut rows_out: Option<&mut Vec<u64>>,
+    ) -> PageScanResult {
+        let base_row = self.page_id() * VALUES_PER_PAGE as u64;
+        let mut res = PageScanResult::default();
+        for &row in rows {
+            let slot = (row - base_row) as usize;
+            let v = self.value(slot);
+            if range.contains(v) {
+                res.count += 1;
+                if !count_only {
+                    res.sum += v as u128;
+                }
+                if let Some(rows) = rows_out.as_deref_mut() {
+                    rows.push(row);
+                }
             }
         }
         res

@@ -1,0 +1,696 @@
+//! Branch-free, fixed-width-lane chunked filter kernels.
+//!
+//! Every page the adaptive path and the full-scan baseline touch goes
+//! through `page.scanAndFilter(q)` (Listing 1), so its inner loop is the
+//! hottest code of the whole reproduction. The scalar loops in
+//! [`crate::page`] evaluate `low <= v && v <= high` with data-dependent
+//! branches — at mid selectivities the branch predictor loses every other
+//! guess. The kernels in this module restructure the same computation into
+//! chunks of [`LANES`] independent lanes with **no data-dependent branch**
+//! anywhere on the value path, which lets LLVM auto-vectorize them on
+//! stable Rust (and, where it only partially vectorizes, still removes all
+//! branch mispredictions):
+//!
+//! * the predicate becomes a 0/1 lane mask `q = (v >= low) & (v <= high)`;
+//! * the count accumulates `q` per lane;
+//! * the checksum accumulates the masked value `v & (0 - q)` split into
+//!   32-bit halves (`sum_lo`/`sum_hi` per lane), so the final
+//!   `lo + (hi << 32)` reduction is *exactly* the scalar `u128` sum — the
+//!   split sidesteps `u128` lane arithmetic, which LLVM does not vectorize;
+//! * the widening bounds (paper §2.2) survive vectorization as lane-wise
+//!   `max(v & below_mask)` / `min(v | !above_mask)` folds plus has-any
+//!   flags, reduced once at the end of the page;
+//! * row-id collection compresses each chunk's qualify mask into a bitmask
+//!   and converts set bits to indexes (`trailing_zeros`) — the only
+//!   remaining branch is per *qualifying chunk*, not per value;
+//! * exclusions (the overlay-aware read path) apply a precomputed per-page
+//!   bitmask ([`PageExclusionMask`]) as a second lane mask instead of
+//!   stepping a skip iterator per value.
+//!
+//! All kernels are bit-identical to the scalar reference implementations in
+//! [`crate::page`] (`*_scalar`), which are kept for differential tests and
+//! the `filter-kernel` microbench.
+//!
+//! Accumulating the 32-bit checksum halves in `u64` lanes is exact for any
+//! slice of up to 2³² values; pages hold at most
+//! [`VALUES_PER_PAGE`] (= 511) values, so per-page sums cannot overflow.
+
+use asv_util::ValueRange;
+use asv_vmem::VALUES_PER_PAGE;
+
+use crate::page::PageScanResult;
+
+/// Number of values processed per chunk. Eight `u64` lanes are one 64-byte
+/// cache line — two AVX2 registers or one AVX-512 register — and divide the
+/// 64-bit words of [`PageExclusionMask`] evenly.
+pub const LANES: usize = 8;
+
+/// Words needed to carry one exclusion bit per value slot of a page.
+const MASK_WORDS: usize = VALUES_PER_PAGE.div_ceil(64);
+
+/// A per-page exclusion bitmask: one bit per value slot, set = the slot is
+/// treated as absent by [`crate::PageRef::scan_filter_excluding`].
+///
+/// This replaces the sorted-slot-list walk of the overlay-aware read path:
+/// instead of peeking a skip iterator per value, the chunked kernel loads
+/// [`LANES`] exclusion bits at once and folds them into the lane masks.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PageExclusionMask {
+    words: [u64; MASK_WORDS],
+}
+
+impl PageExclusionMask {
+    /// An empty mask (no slot excluded).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a mask from ascending value-slot indexes. Slots beyond
+    /// [`VALUES_PER_PAGE`] are rejected.
+    ///
+    /// # Panics
+    /// Panics if a slot is `>= VALUES_PER_PAGE`.
+    pub fn from_slots(slots: impl IntoIterator<Item = usize>) -> Self {
+        let mut mask = Self::default();
+        for slot in slots {
+            mask.set(slot);
+        }
+        mask
+    }
+
+    /// Marks `slot` as excluded.
+    ///
+    /// # Panics
+    /// Panics if `slot >= VALUES_PER_PAGE`.
+    #[inline]
+    pub fn set(&mut self, slot: usize) {
+        assert!(slot < VALUES_PER_PAGE, "slot {slot} out of page bounds");
+        self.words[slot / 64] |= 1u64 << (slot % 64);
+    }
+
+    /// Returns `true` if `slot` is excluded.
+    #[inline]
+    pub fn excluded(&self, slot: usize) -> bool {
+        debug_assert!(slot < VALUES_PER_PAGE);
+        (self.words[slot / 64] >> (slot % 64)) & 1 == 1
+    }
+
+    /// Returns `true` if no slot is excluded.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// The *keep* bits (1 = not excluded) of chunk `chunk` as the low
+    /// [`LANES`] bits. `LANES` divides 64, so a chunk never straddles words.
+    #[inline]
+    fn keep_bits(&self, chunk: usize) -> u64 {
+        const PER_WORD: usize = 64 / LANES;
+        !(self.words[chunk / PER_WORD] >> ((chunk % PER_WORD) * LANES)) & ((1 << LANES) - 1)
+    }
+}
+
+/// Precomputed per-page exclusion bitmasks for a set of excluded global row
+/// ids — built **once per overlay epoch** instead of re-deriving slot lists
+/// on every page visit of every scan.
+///
+/// The overlay's excluded row set only changes when a write queues a new
+/// row or an alignment round retires rows, so the adaptive layer caches one
+/// `ExclusionMasks` per overlay generation and hands scans a reference
+/// (`ScanKernel::with_exclusion_masks`).
+#[derive(Clone, Debug, Default)]
+pub struct ExclusionMasks {
+    rows: Vec<u64>,
+    pages: Vec<u64>,
+    masks: Vec<PageExclusionMask>,
+}
+
+impl ExclusionMasks {
+    /// Builds the per-page masks from ascending, duplicate-free global row
+    /// ids.
+    pub fn from_rows(rows: Vec<u64>) -> Self {
+        debug_assert!(rows.windows(2).all(|w| w[0] < w[1]), "rows must ascend");
+        let mut pages = Vec::new();
+        let mut masks: Vec<PageExclusionMask> = Vec::new();
+        for &row in &rows {
+            let page = row / VALUES_PER_PAGE as u64;
+            let slot = (row % VALUES_PER_PAGE as u64) as usize;
+            if pages.last() != Some(&page) {
+                pages.push(page);
+                masks.push(PageExclusionMask::new());
+            }
+            masks.last_mut().expect("pushed above").set(slot);
+        }
+        Self { rows, pages, masks }
+    }
+
+    /// The excluded rows, ascending.
+    pub fn rows(&self) -> &[u64] {
+        &self.rows
+    }
+
+    /// Returns `true` if no row is excluded.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The exclusion mask of `page_id`, if any of its slots are excluded.
+    #[inline]
+    pub fn mask_for(&self, page_id: u64) -> Option<&PageExclusionMask> {
+        self.pages
+            .binary_search(&page_id)
+            .ok()
+            .map(|idx| &self.masks[idx])
+    }
+}
+
+/// Lane-wise accumulator of one page scan. Reduced once per page by
+/// [`Acc::finish`].
+#[derive(Clone, Copy)]
+struct Acc {
+    count: [u64; LANES],
+    sum_lo: [u64; LANES],
+    sum_hi: [u64; LANES],
+    below: [u64; LANES],
+    has_below: [u64; LANES],
+    above: [u64; LANES],
+    has_above: [u64; LANES],
+}
+
+impl Acc {
+    #[inline]
+    fn new() -> Self {
+        Self {
+            count: [0; LANES],
+            sum_lo: [0; LANES],
+            sum_hi: [0; LANES],
+            below: [0; LANES],
+            has_below: [0; LANES],
+            above: [u64::MAX; LANES],
+            has_above: [0; LANES],
+        }
+    }
+
+    /// Reduces the lanes into a [`PageScanResult`]. Exactness: the checksum
+    /// halves are re-joined as `lo + (hi << 32)` in `u128`, which equals the
+    /// scalar order-independent sum; the bound folds are plain max/min, with
+    /// non-participating lanes contributing the fold identities (0 for the
+    /// below-max, `u64::MAX` for the above-min).
+    #[inline]
+    fn finish<const SUM: bool>(&self) -> PageScanResult {
+        let count: u64 = self.count.iter().sum();
+        let sum = if SUM {
+            let lo: u64 = self.sum_lo.iter().sum();
+            let hi: u64 = self.sum_hi.iter().sum();
+            lo as u128 + ((hi as u128) << 32)
+        } else {
+            0
+        };
+        let below_max = self
+            .has_below
+            .iter()
+            .any(|&m| m != 0)
+            .then(|| self.below.iter().copied().max().unwrap_or(0));
+        let above_min = self
+            .has_above
+            .iter()
+            .any(|&m| m != 0)
+            .then(|| self.above.iter().copied().min().unwrap_or(u64::MAX));
+        PageScanResult {
+            count,
+            sum,
+            below_max,
+            above_min,
+        }
+    }
+}
+
+/// One full chunk step: classifies [`LANES`] values against `[low, high]`
+/// and folds them into `acc` without any data-dependent branch. Returns the
+/// chunk's qualify bits (bit `i` set = lane `i` qualifies).
+#[inline(always)]
+fn chunk_step<const SUM: bool>(chunk: &[u64], low: u64, high: u64, acc: &mut Acc) -> u64 {
+    let mut qbits = 0u64;
+    for (i, &v) in chunk.iter().enumerate() {
+        let q = (v >= low) as u64 & (v <= high) as u64;
+        let qm = q.wrapping_neg();
+        acc.count[i] += q;
+        if SUM {
+            let masked = v & qm;
+            acc.sum_lo[i] += masked & 0xFFFF_FFFF;
+            acc.sum_hi[i] += masked >> 32;
+        }
+        let bm = ((v < low) as u64).wrapping_neg();
+        acc.has_below[i] |= bm;
+        acc.below[i] = acc.below[i].max(v & bm);
+        let am = ((v > high) as u64).wrapping_neg();
+        acc.has_above[i] |= am;
+        acc.above[i] = acc.above[i].min(v | !am);
+        qbits |= q << i;
+    }
+    qbits
+}
+
+/// Like [`chunk_step`], but additionally masked by `keep_bits` (bit `i`
+/// clear = lane `i` is treated as absent). Used for excluded slots and for
+/// the final partial chunk of a page.
+#[inline(always)]
+fn chunk_step_masked<const SUM: bool>(
+    chunk: &[u64],
+    keep_bits: u64,
+    low: u64,
+    high: u64,
+    acc: &mut Acc,
+) -> u64 {
+    let mut qbits = 0u64;
+    for (i, &v) in chunk.iter().enumerate() {
+        let keep = (keep_bits >> i) & 1;
+        let km = keep.wrapping_neg();
+        let q = (v >= low) as u64 & (v <= high) as u64 & keep;
+        let qm = q.wrapping_neg();
+        acc.count[i] += q;
+        if SUM {
+            let masked = v & qm;
+            acc.sum_lo[i] += masked & 0xFFFF_FFFF;
+            acc.sum_hi[i] += masked >> 32;
+        }
+        let bm = ((v < low) as u64).wrapping_neg() & km;
+        acc.has_below[i] |= bm;
+        acc.below[i] = acc.below[i].max(v & bm);
+        let am = ((v > high) as u64).wrapping_neg() & km;
+        acc.has_above[i] |= am;
+        acc.above[i] = acc.above[i].min(v | !am);
+        qbits |= q << i;
+    }
+    qbits
+}
+
+/// Converts a chunk's qualify bits into global row ids appended to
+/// `rows_out` (mask → index compaction).
+#[inline(always)]
+fn push_qualifying_rows(mut qbits: u64, first_row: u64, rows_out: &mut Vec<u64>) {
+    while qbits != 0 {
+        let lane = qbits.trailing_zeros() as u64;
+        rows_out.push(first_row + lane);
+        qbits &= qbits - 1;
+    }
+}
+
+/// Chunked core shared by every scan entry point. `COLLECT` appends
+/// qualifying global row ids (`base_row + index`) to `rows_out`; `SUM`
+/// accumulates the checksum.
+#[inline(always)]
+fn scan_core<const SUM: bool, const COLLECT: bool>(
+    values: &[u64],
+    range: &ValueRange,
+    exclusion: Option<&PageExclusionMask>,
+    base_row: u64,
+    rows_out: &mut Vec<u64>,
+) -> PageScanResult {
+    let (low, high) = (range.low(), range.high());
+    let mut acc = Acc::new();
+    let mut chunks = values.chunks_exact(LANES);
+    let mut chunk_idx = 0usize;
+    for chunk in &mut chunks {
+        let qbits = match exclusion {
+            Some(mask) => {
+                chunk_step_masked::<SUM>(chunk, mask.keep_bits(chunk_idx), low, high, &mut acc)
+            }
+            None => chunk_step::<SUM>(chunk, low, high, &mut acc),
+        };
+        if COLLECT {
+            push_qualifying_rows(qbits, base_row + (chunk_idx * LANES) as u64, rows_out);
+        }
+        chunk_idx += 1;
+    }
+    let tail = chunks.remainder();
+    if !tail.is_empty() {
+        // The tail runs as a masked chunk: lanes beyond the slice are
+        // dropped by the keep mask, excluded lanes by the exclusion bits.
+        let mut keep = (1u64 << tail.len()) - 1;
+        if let Some(mask) = exclusion {
+            keep &= mask.keep_bits(chunk_idx);
+        }
+        let qbits = chunk_step_masked::<SUM>(tail, keep, low, high, &mut acc);
+        if COLLECT {
+            push_qualifying_rows(qbits, base_row + (chunk_idx * LANES) as u64, rows_out);
+        }
+    }
+    acc.finish::<SUM>()
+}
+
+/// Chunked [`crate::PageRef::scan_filter`]: count + checksum + widening
+/// bounds.
+pub fn scan_filter_chunked(values: &[u64], range: &ValueRange) -> PageScanResult {
+    let mut none = Vec::new();
+    scan_core::<true, false>(values, range, None, 0, &mut none)
+}
+
+/// Chunked [`crate::PageRef::scan_filter_count`]: the fully branch-free
+/// count-only fast path (no checksum accumulation at all).
+pub fn scan_filter_count_chunked(values: &[u64], range: &ValueRange) -> PageScanResult {
+    let mut none = Vec::new();
+    scan_core::<false, false>(values, range, None, 0, &mut none)
+}
+
+/// Chunked [`crate::PageRef::scan_filter_collect`]: also appends qualifying
+/// global row ids (`base_row + slot`) via mask → index compaction.
+pub fn scan_filter_collect_chunked(
+    values: &[u64],
+    range: &ValueRange,
+    base_row: u64,
+    rows_out: &mut Vec<u64>,
+) -> PageScanResult {
+    scan_core::<true, true>(values, range, None, base_row, rows_out)
+}
+
+/// Chunked [`crate::PageRef::scan_filter_excluding`]: the exclusion bits
+/// ride along as a second lane mask. `count_only` skips the checksum (the
+/// result's `sum` stays 0), matching the scalar reference bit-for-bit.
+pub fn scan_filter_excluding_chunked(
+    values: &[u64],
+    range: &ValueRange,
+    exclusion: &PageExclusionMask,
+    count_only: bool,
+    base_row: u64,
+    rows_out: Option<&mut Vec<u64>>,
+) -> PageScanResult {
+    match (count_only, rows_out) {
+        (true, None) => {
+            let mut none = Vec::new();
+            scan_core::<false, false>(values, range, Some(exclusion), base_row, &mut none)
+        }
+        (false, None) => {
+            let mut none = Vec::new();
+            scan_core::<true, false>(values, range, Some(exclusion), base_row, &mut none)
+        }
+        (false, Some(rows)) => {
+            scan_core::<true, true>(values, range, Some(exclusion), base_row, rows)
+        }
+        (true, Some(rows)) => {
+            scan_core::<false, true>(values, range, Some(exclusion), base_row, rows)
+        }
+    }
+}
+
+/// Chunked branch-free min/max fold over the valid values of a page.
+pub fn min_max_chunked(values: &[u64]) -> Option<(u64, u64)> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut mins = [u64::MAX; LANES];
+    let mut maxs = [0u64; LANES];
+    let mut chunks = values.chunks_exact(LANES);
+    for chunk in &mut chunks {
+        for (i, &v) in chunk.iter().enumerate() {
+            mins[i] = mins[i].min(v);
+            maxs[i] = maxs[i].max(v);
+        }
+    }
+    for &v in chunks.remainder() {
+        mins[0] = mins[0].min(v);
+        maxs[0] = maxs[0].max(v);
+    }
+    let min = mins.iter().copied().min().unwrap_or(u64::MAX);
+    let max = maxs.iter().copied().max().unwrap_or(0);
+    Some((min, max))
+}
+
+/// Chunked probe kernel: gathers the candidate slots' values in batches of
+/// [`LANES`] and qualifies them with a branch-free lane mask. The widening
+/// bounds stay untouched — a probe observes individual slots, not whole
+/// pages (see [`crate::ScanKernel::probe_page_rows`]).
+///
+/// `rows` are ascending global row ids, all located on the page whose
+/// values and base row are given.
+///
+/// # Panics
+/// Panics if a row's slot is outside `values` (same contract as
+/// [`crate::PageRef::value`]).
+pub fn probe_rows_chunked(
+    values: &[u64],
+    range: &ValueRange,
+    base_row: u64,
+    rows: &[u64],
+    count_only: bool,
+    rows_out: Option<&mut Vec<u64>>,
+) -> PageScanResult {
+    if count_only {
+        probe_core::<false>(values, range, base_row, rows, rows_out)
+    } else {
+        probe_core::<true>(values, range, base_row, rows, rows_out)
+    }
+}
+
+#[inline(always)]
+fn probe_core<const SUM: bool>(
+    values: &[u64],
+    range: &ValueRange,
+    base_row: u64,
+    rows: &[u64],
+    mut rows_out: Option<&mut Vec<u64>>,
+) -> PageScanResult {
+    let (low, high) = (range.low(), range.high());
+    let mut count = [0u64; LANES];
+    let mut sum_lo = [0u64; LANES];
+    let mut sum_hi = [0u64; LANES];
+    let mut buf = [0u64; LANES];
+    let mut chunks = rows.chunks_exact(LANES);
+    for chunk in &mut chunks {
+        // Gather: scalar loads, but the qualify/accumulate stage below is
+        // branch-free lane arithmetic over the batched candidates.
+        for (i, &row) in chunk.iter().enumerate() {
+            buf[i] = values[(row - base_row) as usize];
+        }
+        let mut qbits = 0u64;
+        for (i, &v) in buf.iter().enumerate() {
+            let q = (v >= low) as u64 & (v <= high) as u64;
+            let qm = q.wrapping_neg();
+            count[i] += q;
+            if SUM {
+                let masked = v & qm;
+                sum_lo[i] += masked & 0xFFFF_FFFF;
+                sum_hi[i] += masked >> 32;
+            }
+            qbits |= q << i;
+        }
+        if let Some(out) = rows_out.as_deref_mut() {
+            while qbits != 0 {
+                let lane = qbits.trailing_zeros() as usize;
+                out.push(chunk[lane]);
+                qbits &= qbits - 1;
+            }
+        }
+    }
+    for (i, &row) in chunks.remainder().iter().enumerate() {
+        let v = values[(row - base_row) as usize];
+        let q = (v >= low) as u64 & (v <= high) as u64;
+        let qm = q.wrapping_neg();
+        count[i] += q;
+        if SUM {
+            let masked = v & qm;
+            sum_lo[i] += masked & 0xFFFF_FFFF;
+            sum_hi[i] += masked >> 32;
+        }
+        if q == 1 {
+            if let Some(out) = rows_out.as_deref_mut() {
+                out.push(row);
+            }
+        }
+    }
+    let sum = if SUM {
+        let lo: u64 = sum_lo.iter().sum();
+        let hi: u64 = sum_hi.iter().sum();
+        lo as u128 + ((hi as u128) << 32)
+    } else {
+        0
+    };
+    PageScanResult {
+        count: count.iter().sum(),
+        sum,
+        below_max: None,
+        above_min: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xorshift(state: &mut u64) -> u64 {
+        *state ^= *state << 13;
+        *state ^= *state >> 7;
+        *state ^= *state << 17;
+        *state
+    }
+
+    /// Scalar reference of the full filter, written independently of the
+    /// implementations in `page.rs`.
+    fn reference(values: &[u64], range: &ValueRange, excluded: &[usize]) -> PageScanResult {
+        let mut res = PageScanResult::default();
+        for (idx, &v) in values.iter().enumerate() {
+            if excluded.contains(&idx) {
+                continue;
+            }
+            if range.contains(v) {
+                res.count += 1;
+                res.sum += v as u128;
+            } else if v < range.low() {
+                res.below_max = Some(res.below_max.map_or(v, |b| b.max(v)));
+            } else {
+                res.above_min = Some(res.above_min.map_or(v, |a| a.min(v)));
+            }
+        }
+        res
+    }
+
+    fn random_values(len: usize, state: &mut u64) -> Vec<u64> {
+        (0..len)
+            .map(|_| match xorshift(state) % 10 {
+                0 => 0,
+                1 => u64::MAX,
+                _ => xorshift(state) % 1_000,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn chunked_matches_reference_across_lengths_and_ranges() {
+        let mut state = 0x1234_5678_9abc_def0u64;
+        for len in [0usize, 1, 7, 8, 9, 63, 64, 100, VALUES_PER_PAGE] {
+            let values = random_values(len, &mut state);
+            for range in [
+                ValueRange::new(100, 600),
+                ValueRange::full(),
+                ValueRange::point(0),
+                ValueRange::new(0, 0),
+                ValueRange::new(999, u64::MAX),
+            ] {
+                let expected = reference(&values, &range, &[]);
+                assert_eq!(scan_filter_chunked(&values, &range), expected, "len {len}");
+                let count_only = scan_filter_count_chunked(&values, &range);
+                assert_eq!(count_only.count, expected.count);
+                assert_eq!(count_only.sum, 0);
+                assert_eq!(count_only.below_max, expected.below_max);
+                assert_eq!(count_only.above_min, expected.above_min);
+                let mut rows = Vec::new();
+                let collected = scan_filter_collect_chunked(&values, &range, 1000, &mut rows);
+                assert_eq!(collected, expected);
+                let expected_rows: Vec<u64> = values
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, v)| range.contains(**v))
+                    .map(|(i, _)| 1000 + i as u64)
+                    .collect();
+                assert_eq!(rows, expected_rows, "len {len}");
+            }
+        }
+    }
+
+    #[test]
+    fn checksum_is_exact_at_domain_extremes() {
+        // u64::MAX values stress the 32-bit-split accumulation.
+        let values = vec![u64::MAX; VALUES_PER_PAGE];
+        let res = scan_filter_chunked(&values, &ValueRange::full());
+        assert_eq!(res.count, VALUES_PER_PAGE as u64);
+        assert_eq!(res.sum, (u64::MAX as u128) * VALUES_PER_PAGE as u128);
+    }
+
+    #[test]
+    fn exclusion_mask_matches_reference() {
+        let mut state = 0xdead_beefu64;
+        for len in [1usize, 8, 17, 200, VALUES_PER_PAGE] {
+            let values = random_values(len, &mut state);
+            let excluded: Vec<usize> = (0..len)
+                .filter(|_| xorshift(&mut state).is_multiple_of(4))
+                .collect();
+            let mask = PageExclusionMask::from_slots(excluded.iter().copied());
+            assert_eq!(mask.is_empty(), excluded.is_empty());
+            let range = ValueRange::new(50, 700);
+            let expected = reference(&values, &range, &excluded);
+            let got = scan_filter_excluding_chunked(&values, &range, &mask, false, 0, None);
+            assert_eq!(got, expected, "len {len}");
+            // Count-only zeroes the checksum but keeps everything else.
+            let count_only = scan_filter_excluding_chunked(&values, &range, &mask, true, 0, None);
+            assert_eq!(count_only.count, expected.count);
+            assert_eq!(count_only.sum, 0);
+            assert_eq!(count_only.below_max, expected.below_max);
+            // Collection honours the exclusions.
+            let mut rows = Vec::new();
+            scan_filter_excluding_chunked(&values, &range, &mask, false, 0, Some(&mut rows));
+            let expected_rows: Vec<u64> = values
+                .iter()
+                .enumerate()
+                .filter(|(i, v)| !excluded.contains(i) && range.contains(**v))
+                .map(|(i, _)| i as u64)
+                .collect();
+            assert_eq!(rows, expected_rows);
+        }
+    }
+
+    #[test]
+    fn exclusion_masks_index_per_page() {
+        let vpp = VALUES_PER_PAGE as u64;
+        let rows = vec![3, 5, vpp, 2 * vpp + 7, 2 * vpp + 8];
+        let masks = ExclusionMasks::from_rows(rows.clone());
+        assert_eq!(masks.rows(), &rows[..]);
+        assert!(!masks.is_empty());
+        assert!(masks.mask_for(0).unwrap().excluded(3));
+        assert!(masks.mask_for(0).unwrap().excluded(5));
+        assert!(!masks.mask_for(0).unwrap().excluded(4));
+        assert!(masks.mask_for(1).unwrap().excluded(0));
+        assert!(masks.mask_for(2).unwrap().excluded(7));
+        assert!(masks.mask_for(3).is_none());
+        assert!(ExclusionMasks::from_rows(Vec::new()).is_empty());
+    }
+
+    #[test]
+    fn min_max_matches_iterator_fold() {
+        let mut state = 42u64;
+        for len in [0usize, 1, 5, 8, 64, 100, VALUES_PER_PAGE] {
+            let values = random_values(len, &mut state);
+            let expected = values
+                .iter()
+                .copied()
+                .min()
+                .zip(values.iter().copied().max());
+            assert_eq!(min_max_chunked(&values), expected, "len {len}");
+        }
+    }
+
+    #[test]
+    fn probe_matches_reference() {
+        let mut state = 7u64;
+        let values = random_values(VALUES_PER_PAGE, &mut state);
+        let base = 5 * VALUES_PER_PAGE as u64;
+        let rows: Vec<u64> = (0..VALUES_PER_PAGE as u64)
+            .filter(|_| xorshift(&mut state).is_multiple_of(3))
+            .map(|slot| base + slot)
+            .collect();
+        let range = ValueRange::new(100, 800);
+        let expected_rows: Vec<u64> = rows
+            .iter()
+            .copied()
+            .filter(|&r| range.contains(values[(r - base) as usize]))
+            .collect();
+        let expected_sum: u128 = expected_rows
+            .iter()
+            .map(|&r| values[(r - base) as usize] as u128)
+            .sum();
+        let mut got_rows = Vec::new();
+        let res = probe_rows_chunked(&values, &range, base, &rows, false, Some(&mut got_rows));
+        assert_eq!(res.count, expected_rows.len() as u64);
+        assert_eq!(res.sum, expected_sum);
+        assert_eq!(res.below_max, None);
+        assert_eq!(res.above_min, None);
+        assert_eq!(got_rows, expected_rows);
+        let count_only = probe_rows_chunked(&values, &range, base, &rows, true, None);
+        assert_eq!(count_only.count, expected_rows.len() as u64);
+        assert_eq!(count_only.sum, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of page bounds")]
+    fn mask_rejects_out_of_page_slots() {
+        PageExclusionMask::from_slots([VALUES_PER_PAGE]);
+    }
+}

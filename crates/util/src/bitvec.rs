@@ -174,10 +174,26 @@ impl BitVec {
     /// # Panics
     /// Panics if the lengths differ.
     pub fn intersect_with(&mut self, other: &BitVec) {
+        self.intersect_with_count(other);
+    }
+
+    /// In-place intersection that also returns the resulting popcount.
+    ///
+    /// Conjunctive execution needs the surviving cardinality after every
+    /// intersection; fusing the popcount into the AND loop reads each word
+    /// once instead of making a second `count_ones` pass over the result.
+    ///
+    /// # Panics
+    /// Panics if the lengths differ.
+    pub fn intersect_with_count(&mut self, other: &BitVec) -> usize {
         assert_eq!(self.len, other.len, "bitvector length mismatch");
+        let mut ones = 0usize;
         for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
-            *a &= *b;
+            let w = *a & *b;
+            *a = w;
+            ones += w.count_ones() as usize;
         }
+        ones
     }
 }
 
@@ -297,6 +313,35 @@ mod tests {
         let mut i = a.clone();
         i.intersect_with(&b);
         assert_eq!(i.iter_ones().collect::<Vec<_>>(), vec![50]);
+    }
+
+    #[test]
+    fn intersect_with_count_matches_separate_popcount() {
+        let mut state = 0x9e37_79b9_7f4a_7c15u64;
+        let mut xorshift = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for len in [0usize, 1, 63, 64, 65, 200, 512] {
+            let mut a = BitVec::new(len);
+            let mut b = BitVec::new(len);
+            for i in 0..len {
+                if xorshift().is_multiple_of(2) {
+                    a.set(i);
+                }
+                if xorshift().is_multiple_of(3) {
+                    b.set(i);
+                }
+            }
+            let mut reference = a.clone();
+            reference.intersect_with(&b);
+            let expected = reference.count_ones();
+            let fused = a.intersect_with_count(&b);
+            assert_eq!(fused, expected, "len {len}");
+            assert_eq!(a, reference, "len {len}");
+        }
     }
 
     #[test]

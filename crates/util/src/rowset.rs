@@ -99,8 +99,7 @@ impl RowSet {
     /// # Panics
     /// Panics if the domains differ.
     pub fn intersect_with(&mut self, other: &RowSet) {
-        self.bits.intersect_with(&other.bits);
-        self.len = self.bits.count_ones();
+        self.len = self.bits.intersect_with_count(&other.bits);
     }
 
     /// Iterates the rows in ascending order.
@@ -168,6 +167,16 @@ mod tests {
         a.intersect_with(&RowSet::empty(4));
         assert!(a.is_empty());
         assert_eq!(a.len(), 0);
+    }
+
+    #[test]
+    fn fused_intersection_cardinality_matches_recount() {
+        let a = RowSet::from_rows(&[0, 2, 63, 64, 127, 200, 511], 512);
+        let b = RowSet::from_rows(&[2, 64, 127, 300, 511], 512);
+        let mut i = a.clone();
+        i.intersect_with(&b);
+        assert_eq!(i.len(), i.to_sorted_vec().len());
+        assert_eq!(i.to_sorted_vec(), vec![2, 64, 127, 511]);
     }
 
     #[test]

@@ -1,0 +1,153 @@
+//! Inputs of the `filter-kernel` microbench (beyond the paper).
+//!
+//! The microbench isolates the page-filter hot path from the adaptive
+//! machinery around it, so its workload is deliberately minimal: one
+//! uniformly distributed column, a small excluded-row set standing in for
+//! an overlay's queued writes, a probe-row set standing in for semi-join
+//! candidates, and predicate ranges hitting prescribed selectivities.
+//! Everything is seeded and deterministic.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use asv_util::ValueRange;
+use asv_vmem::VALUES_PER_PAGE;
+
+use crate::distributions::Distribution;
+
+/// Fraction of rows masked out by the synthetic exclusion set (mimics an
+/// overlay with ~1% of rows carrying queued writes).
+const EXCLUDED_ROW_FRACTION: f64 = 0.01;
+
+/// Fraction of rows probed by the synthetic semi-join candidate set.
+const PROBE_ROW_FRACTION: f64 = 0.05;
+
+/// The deterministic input set of one `filter-kernel` run.
+#[derive(Clone, Debug)]
+pub struct KernelWorkload {
+    values: Vec<u64>,
+    excluded_rows: Vec<u64>,
+    probe_rows: Vec<u64>,
+    max_value: u64,
+}
+
+impl KernelWorkload {
+    /// Generates the workload for a column of `num_pages` pages,
+    /// deterministically from `seed`.
+    pub fn generate(num_pages: usize, seed: u64) -> Self {
+        let dist = Distribution::uniform();
+        let values = dist.generate_pages(num_pages, seed);
+        let num_rows = values.len() as u64;
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x6b65_726e_656c_7321);
+        let excluded_rows = sorted_row_sample(&mut rng, num_rows, EXCLUDED_ROW_FRACTION);
+        let probe_rows = sorted_row_sample(&mut rng, num_rows, PROBE_ROW_FRACTION);
+        Self {
+            values,
+            excluded_rows,
+            probe_rows,
+            max_value: dist.max_value(),
+        }
+    }
+
+    /// The column's values, page-structured ([`VALUES_PER_PAGE`] per page).
+    pub fn values(&self) -> &[u64] {
+        &self.values
+    }
+
+    /// Number of pages of the column.
+    pub fn num_pages(&self) -> usize {
+        self.values.len() / VALUES_PER_PAGE
+    }
+
+    /// Ascending, duplicate-free row ids excluded from scans (~1% of rows).
+    pub fn excluded_rows(&self) -> &[u64] {
+        &self.excluded_rows
+    }
+
+    /// Ascending, duplicate-free row ids probed point-wise (~5% of rows).
+    pub fn probe_rows(&self) -> &[u64] {
+        &self.probe_rows
+    }
+
+    /// Upper bound of the value domain.
+    pub fn max_value(&self) -> u64 {
+        self.max_value
+    }
+
+    /// A predicate range centered in the value domain that qualifies
+    /// approximately `selectivity_pct` percent of a uniform column.
+    ///
+    /// # Panics
+    /// Panics unless `0 < selectivity_pct <= 100`.
+    pub fn range_for_selectivity(&self, selectivity_pct: f64) -> ValueRange {
+        assert!(
+            selectivity_pct > 0.0 && selectivity_pct <= 100.0,
+            "selectivity {selectivity_pct}% out of (0, 100]"
+        );
+        let domain = self.max_value as f64;
+        let width = (domain * selectivity_pct / 100.0).max(1.0);
+        let low = ((domain - width) / 2.0) as u64;
+        let high = (low as f64 + width).min(domain) as u64;
+        ValueRange::new(low, high)
+    }
+}
+
+/// Samples each row independently with probability `fraction`, yielding an
+/// ascending duplicate-free row id list.
+fn sorted_row_sample(rng: &mut StdRng, num_rows: u64, fraction: f64) -> Vec<u64> {
+    let expected = (num_rows as f64 * fraction) as usize;
+    let mut rows = Vec::with_capacity(expected + expected / 8 + 1);
+    for row in 0..num_rows {
+        if rng.gen_bool(fraction) {
+            rows.push(row);
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = KernelWorkload::generate(16, 7);
+        let b = KernelWorkload::generate(16, 7);
+        assert_eq!(a.values(), b.values());
+        assert_eq!(a.excluded_rows(), b.excluded_rows());
+        assert_eq!(a.probe_rows(), b.probe_rows());
+        let c = KernelWorkload::generate(16, 8);
+        assert_ne!(a.values(), c.values());
+    }
+
+    #[test]
+    fn row_samples_are_sorted_in_bounds_and_sized() {
+        let w = KernelWorkload::generate(64, 3);
+        let rows = (w.num_pages() * VALUES_PER_PAGE) as u64;
+        for sample in [w.excluded_rows(), w.probe_rows()] {
+            assert!(sample.windows(2).all(|p| p[0] < p[1]));
+            assert!(sample.iter().all(|&r| r < rows));
+        }
+        let excl_frac = w.excluded_rows().len() as f64 / rows as f64;
+        let probe_frac = w.probe_rows().len() as f64 / rows as f64;
+        assert!((0.005..0.02).contains(&excl_frac), "{excl_frac}");
+        assert!((0.03..0.07).contains(&probe_frac), "{probe_frac}");
+    }
+
+    #[test]
+    fn selectivity_ranges_hit_their_targets() {
+        let w = KernelWorkload::generate(64, 11);
+        for pct in [1.0, 10.0, 50.0, 90.0, 100.0] {
+            let range = w.range_for_selectivity(pct);
+            let hits = w.values().iter().filter(|v| range.contains(**v)).count();
+            let actual = 100.0 * hits as f64 / w.values().len() as f64;
+            assert!((actual - pct).abs() < 1.5, "target {pct}% got {actual:.2}%");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of (0, 100]")]
+    fn zero_selectivity_panics() {
+        KernelWorkload::generate(1, 0).range_for_selectivity(0.0);
+    }
+}
