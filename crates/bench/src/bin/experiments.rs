@@ -2,11 +2,11 @@
 //!
 //! ```text
 //! experiments [fig3|fig4|fig5|fig6|fig7|table1|ablation|scaling|align-overlap|
-//!              table-scan|filter-kernel|all]
+//!              table-scan|filter-kernel|serve|all]
 //!             [--backend sim|mmap] [--scale tiny|small|medium|paper]
 //!             [--seed N] [--csv-dir DIR] [--threads N]
 //!             [--align-mode sync|background]
-//!             [--chunk-updates LIST] [--write-every LIST]
+//!             [--chunk-updates LIST] [--write-every LIST] [--clients LIST]
 //! experiments compare DIR_A DIR_B [--max-delta-pct X]
 //! ```
 //!
@@ -41,6 +41,15 @@
 //! `experiments compare DIR/filter_kernel_scalar DIR/filter_kernel_chunked
 //! --max-delta-pct 0` gates the chunked kernels on exact answer equality.
 //!
+//! The `serve` experiment sweeps reader-thread counts (`--clients 1,2,4,8`
+//! overrides the list) over the concurrent serving layer, asserts every
+//! client count answers bit-identically to a single-threaded twin, appends
+//! one JSON line of throughput/tail-latency history to `BENCH_serve.json`
+//! and — with `--csv-dir` — writes each client count's answer table to
+//! `DIR/serve_clients_{N}/` (the twin to `DIR/serve_clients_seq/`), so
+//! `experiments compare DIR/serve_clients_seq DIR/serve_clients_2
+//! --max-delta-pct 0` gates cross-client determinism.
+//!
 //! The `compare` subcommand diffs two `--csv-dir` outputs and prints
 //! per-experiment timing deltas; `--max-delta-pct X` turns it into a check
 //! that fails (exit code 1) when any per-row delta exceeds `X` percent
@@ -51,7 +60,7 @@ use std::process::ExitCode;
 
 use asv_bench::{
     ablation, align_overlap, compare, fig3, fig4, fig5, fig6, fig7, filter_kernel, report, scaling,
-    table1, table_scan, Scale, DEFAULT_SEED,
+    serve, table1, table_scan, Scale, DEFAULT_SEED,
 };
 use asv_core::Parallelism;
 use asv_vmem::{AnyBackend, Backend};
@@ -65,6 +74,7 @@ struct Args {
     parallelism: Parallelism,
     align_mode: fig7::AlignMode,
     overlap: align_overlap::OverlapConfig,
+    clients: Vec<usize>,
     max_delta_pct: Option<f64>,
 }
 
@@ -89,6 +99,7 @@ fn parse_args() -> Result<Args, String> {
     let mut parallelism = Parallelism::Sequential;
     let mut align_mode = fig7::AlignMode::Sync;
     let mut overlap = align_overlap::OverlapConfig::default();
+    let mut clients = serve::DEFAULT_CLIENTS.to_vec();
     let mut max_delta_pct = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -138,6 +149,14 @@ fn parse_args() -> Result<Args, String> {
                 }
                 overlap.write_everys = rates;
             }
+            "--clients" => {
+                let v = args.next().ok_or("--clients needs a value")?;
+                let list = parse_usize_list("--clients", &v)?;
+                if list.is_empty() || list.contains(&0) {
+                    return Err("--clients needs at least one positive entry".to_string());
+                }
+                clients = list;
+            }
             "--max-delta-pct" => {
                 let v = args.next().ok_or("--max-delta-pct needs a value")?;
                 let bound: f64 = v
@@ -153,11 +172,11 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 return Err(
                     "usage: experiments [fig3|fig4|fig5|fig6|fig7|table1|ablation|scaling|\
-                            align-overlap|table-scan|filter-kernel|all] \
+                            align-overlap|table-scan|filter-kernel|serve|all] \
                             [--backend sim|mmap] [--scale tiny|small|medium|paper] \
                             [--seed N] [--csv-dir DIR] [--threads N] \
                             [--align-mode sync|background] \
-                            [--chunk-updates LIST] [--write-every LIST]\n\
+                            [--chunk-updates LIST] [--write-every LIST] [--clients LIST]\n\
                      usage: experiments compare DIR_A DIR_B [--max-delta-pct X]"
                         .to_string(),
                 );
@@ -178,6 +197,7 @@ fn parse_args() -> Result<Args, String> {
         parallelism,
         align_mode,
         overlap,
+        clients,
         max_delta_pct,
     })
 }
@@ -378,6 +398,59 @@ fn run_filter_kernel(args: &Args) {
     }
 }
 
+fn run_serve(args: &Args) {
+    let report = with_concrete_backend!(&args.backend, |b| serve::run_with(
+        b,
+        &args.scale,
+        args.seed,
+        args.parallelism,
+        &args.clients
+    ));
+    let table = serve::to_table(&report);
+    println!("{}", table.render());
+    println!(
+        "best read-throughput speedup over the sequential twin: {:.2}x\n",
+        report.best_speedup()
+    );
+    maybe_write_csv(&args.csv_dir, "serve", &table);
+    if let Some(dir) = &args.csv_dir {
+        for cell in &report.cells {
+            let label = if cell.clients == 0 {
+                "seq".to_string()
+            } else {
+                cell.clients.to_string()
+            };
+            let answers = serve::answers_table(cell);
+            let path = format!("{dir}/serve_clients_{label}/answers.csv");
+            if let Err(e) = report::write_csv(&path, &answers.to_csv()) {
+                eprintln!("warning: could not write {path}: {e}");
+            } else {
+                println!("(wrote {path})");
+            }
+        }
+    }
+    let unix_ms = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_millis());
+    let line = serve::bench_json_line(
+        &report,
+        args.backend.name(),
+        args.scale.name,
+        args.seed,
+        &args.parallelism.to_string(),
+        unix_ms,
+    );
+    let bench_path = match &args.csv_dir {
+        Some(dir) => format!("{dir}/BENCH_serve.json"),
+        None => "BENCH_serve.json".to_string(),
+    };
+    if let Err(e) = report::append_line(&bench_path, &line) {
+        eprintln!("warning: could not append to {bench_path}: {e}");
+    } else {
+        println!("(appended perf-history line to {bench_path})");
+    }
+}
+
 /// The `compare` subcommand: `experiments compare DIR_A DIR_B`.
 fn run_compare(args: &Args) -> ExitCode {
     let [_, dir_a, dir_b] = args.experiments.as_slice() else {
@@ -459,6 +532,7 @@ fn main() -> ExitCode {
             "align-overlap" => run_align_overlap(&args),
             "table-scan" => run_table_scan(&args),
             "filter-kernel" => run_filter_kernel(&args),
+            "serve" => run_serve(&args),
             "all" => {
                 run_fig3(&args);
                 run_fig4(&args);
@@ -471,6 +545,7 @@ fn main() -> ExitCode {
                 run_align_overlap(&args);
                 run_table_scan(&args);
                 run_filter_kernel(&args);
+                run_serve(&args);
             }
             other => {
                 eprintln!("unknown experiment '{other}'");

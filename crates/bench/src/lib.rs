@@ -17,6 +17,7 @@
 //! | [`align_overlap`] | Query throughput during view alignment (beyond the paper) |
 //! | [`table_scan`] | Planned vs naive multi-column conjunctive scans (beyond the paper) |
 //! | [`filter_kernel`] | Chunked vs scalar page-filter kernels (beyond the paper) |
+//! | [`serve`] | Concurrent serving: read throughput/tail latency vs client count (beyond the paper) |
 //!
 //! The [`compare`] module diffs two `--csv-dir` outputs (the `compare`
 //! subcommand of the `experiments` binary), making timing changes between
@@ -34,6 +35,7 @@ pub mod filter_kernel;
 pub mod report;
 pub mod scale;
 pub mod scaling;
+pub mod serve;
 pub mod table1;
 pub mod table_scan;
 

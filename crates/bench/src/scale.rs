@@ -39,6 +39,14 @@ pub struct Scale {
     /// Timed passes per `filter-kernel` cell (mean/p95 are computed over
     /// these).
     pub kernel_passes: usize,
+    /// Pages per column of the two-column `serve` experiment.
+    pub serve_pages: usize,
+    /// Barrier-phased rounds of the `serve` experiment.
+    pub serve_rounds: usize,
+    /// Reads per `serve` round (split across the client threads).
+    pub serve_reads_per_round: usize,
+    /// Writes the maintenance thread commits before each `serve` round.
+    pub serve_writes_per_round: usize,
 }
 
 impl Scale {
@@ -59,6 +67,10 @@ impl Scale {
             table_columns: vec![2, 3],
             kernel_pages: 64,
             kernel_passes: 5,
+            serve_pages: 24,
+            serve_rounds: 3,
+            serve_reads_per_round: 16,
+            serve_writes_per_round: 12,
         }
     }
 
@@ -80,6 +92,10 @@ impl Scale {
             table_columns: vec![2, 3, 4],
             kernel_pages: 2_048,
             kernel_passes: 9,
+            serve_pages: 512,
+            serve_rounds: 8,
+            serve_reads_per_round: 64,
+            serve_writes_per_round: 48,
         }
     }
 
@@ -100,6 +116,10 @@ impl Scale {
             table_columns: vec![2, 4, 8],
             kernel_pages: 8_192,
             kernel_passes: 9,
+            serve_pages: 4_096,
+            serve_rounds: 12,
+            serve_reads_per_round: 128,
+            serve_writes_per_round: 96,
         }
     }
 
@@ -121,6 +141,10 @@ impl Scale {
             table_columns: vec![2, 4, 8],
             kernel_pages: 65_536,
             kernel_passes: 9,
+            serve_pages: 16_384,
+            serve_rounds: 16,
+            serve_reads_per_round: 256,
+            serve_writes_per_round: 128,
         }
     }
 
@@ -157,6 +181,11 @@ mod tests {
         assert!(m.fig45_pages < p.fig45_pages);
         assert_eq!(p.fig45_pages, 1_000_000);
         assert_eq!(p.num_queries, 250);
+        assert!(t.serve_pages < s.serve_pages);
+        assert!(s.serve_pages < m.serve_pages);
+        assert!(m.serve_pages < p.serve_pages);
+        assert!(t.serve_rounds <= s.serve_rounds);
+        assert!(s.serve_reads_per_round <= m.serve_reads_per_round);
     }
 
     #[test]

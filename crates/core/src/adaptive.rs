@@ -229,11 +229,16 @@ impl<B: Backend> AdaptiveColumn<B> {
     /// record's `old_value` is the previously *visible* value (overlay or
     /// column).
     ///
+    /// When the queue reaches [`crate::AlignChunking::max_queued_writes`],
+    /// backpressure is applied *without blocking the writer*: the in-flight
+    /// round is nudged forward (one non-blocking publish poll, so a
+    /// completed round folds the queue into a fresh one) and the write is
+    /// queued regardless — the bound is soft and no write is ever dropped
+    /// or stalled.
+    ///
     /// # Panics
-    /// Panics if the queue exceeds
-    /// [`crate::AlignChunking::max_queued_writes`] and the backpressure
-    /// flush fails — impossible through this API, which pins view positions
-    /// while plans are in flight.
+    /// Panics if the backpressure publish poll fails — impossible through
+    /// this API, which pins view positions while plans are in flight.
     pub fn write(&mut self, row: usize, new_value: u64) -> Update {
         if self.alignment_pending() {
             self.queue_write(row, new_value)
@@ -262,16 +267,23 @@ impl<B: Backend> AdaptiveColumn<B> {
         }
     }
 
-    /// Queues one write in the overlay, applying backpressure when the
-    /// queue bound is hit.
+    /// Queues one write in the overlay, applying non-blocking backpressure
+    /// when the queue bound is hit.
     fn queue_write(&mut self, row: usize, new_value: u64) -> Update {
         debug_assert!(self.alignment_pending(), "queue only while pending");
         if self.overlay.len() >= self.config.chunking.max_queued_writes {
-            // Backpressure: flush all pending alignment work (draining the
-            // queue through its rounds), then write directly.
-            self.flush_pending_writes()
-                .expect("flush cannot fail: view positions are pinned while plans are in flight");
-            return self.column.write(row, new_value);
+            // Backpressure: *start* draining instead of blocking — publish
+            // at most one ready chunk; publishing a round's last chunk
+            // completes it and auto-folds the queue into a fresh round.
+            // While the planner is still running this is a no-op and the
+            // (soft) bound is exceeded; the writer never stalls either way.
+            self.poll_aligned_views()
+                .expect("publish cannot fail: view positions are pinned while plans are in flight");
+            if !self.alignment_pending() {
+                // The poll finished all alignment work without re-folding
+                // (no views left to align): write directly again.
+                return self.column.write(row, new_value);
+            }
         }
         let old_value = self
             .overlay
@@ -1197,9 +1209,9 @@ mod tests {
 
     #[test]
     fn backpressure_mid_batch_never_strands_overlay_entries() {
-        // Regression: a flush triggered partway through a write_batch must
-        // not leave the batch's remaining writes stranded in the overlay
-        // (with no round in flight, nothing would ever drain them).
+        // Regression guard: every write of a batch crossing the queue bound
+        // must stay acknowledged and eventually drain — nothing may be
+        // stranded in the overlay once all rounds flush.
         let values = clustered_values(32);
         let config = AdaptiveConfig::default()
             .with_chunking(AlignChunking::default().with_max_queued_writes(2));
@@ -1207,10 +1219,18 @@ mod tests {
         col.query(&RangeQuery::new(5_000, 9_400)).unwrap();
         let updates = col.write_batch(&[(20 * VALUES_PER_PAGE, 6_000)]);
         col.align_views_async(&updates).unwrap();
-        // Four writes: two queue, the third trips the flush, the fourth
-        // must land directly as well.
-        let batch: Vec<(usize, u64)> = (10..14).map(|p| (p * VALUES_PER_PAGE, p as u64)).collect();
+        // Four writes: two fill the queue, the rest exceed the soft bound.
+        // (Written values lie outside the generated data's domain, so each
+        // mid-alignment point query counts exactly the acknowledged write.)
+        let batch: Vec<(usize, u64)> = (10..14)
+            .map(|p| (p * VALUES_PER_PAGE, 600_000 + p as u64))
+            .collect();
         col.write_batch(&batch);
+        for &(row, v) in &batch {
+            let out = col.query(&RangeQuery::new(v, v)).unwrap();
+            assert_eq!(out.count, 1, "row {row} acknowledged mid-alignment");
+        }
+        col.flush_pending_writes().unwrap();
         assert!(!col.alignment_pending());
         assert!(col.write_overlay().is_empty(), "no stranded entries");
         for &(row, v) in &batch {
@@ -1223,7 +1243,7 @@ mod tests {
     }
 
     #[test]
-    fn queue_backpressure_flushes_and_writes_directly() {
+    fn queue_backpressure_starts_draining_instead_of_blocking() {
         let values = clustered_values(32);
         let config = AdaptiveConfig::default()
             .with_chunking(AlignChunking::default().with_max_queued_writes(2));
@@ -1231,16 +1251,27 @@ mod tests {
         col.query(&RangeQuery::new(5_000, 9_400)).unwrap();
         let updates = col.write_batch(&[(20 * VALUES_PER_PAGE, 6_000)]);
         col.align_views_async(&updates).unwrap();
-        // Two writes fit the queue; the third trips the backpressure flush
-        // and lands directly in the column.
-        col.write(10 * VALUES_PER_PAGE, 1);
-        col.write(11 * VALUES_PER_PAGE, 2);
+        // Two writes fit the queue; the third crosses the (soft) bound. The
+        // old behaviour blocked the writer on a full flush; now the round is
+        // only nudged forward, so the write is acknowledged immediately and
+        // alignment work stays in flight (a completed round auto-folds the
+        // queue into a fresh one — it never force-drains synchronously).
+        col.write(10 * VALUES_PER_PAGE, 700_001);
+        col.write(11 * VALUES_PER_PAGE, 700_002);
         assert_eq!(col.write_overlay().len(), 2);
-        col.write(12 * VALUES_PER_PAGE, 3);
-        assert!(col.write_overlay().is_empty(), "flush drained the queue");
-        assert!(!col.alignment_pending());
-        assert_eq!(col.column().value(12 * VALUES_PER_PAGE), 3);
-        assert_eq!(col.column().value(10 * VALUES_PER_PAGE), 1);
+        col.write(12 * VALUES_PER_PAGE, 700_003);
+        assert!(
+            col.alignment_pending(),
+            "backpressure must not flush synchronously"
+        );
+        for v in 700_001..=700_003u64 {
+            let out = col.query(&RangeQuery::new(v, v)).unwrap();
+            assert_eq!(out.count, 1, "write {v} acknowledged");
+        }
+        col.flush_pending_writes().unwrap();
+        assert!(col.write_overlay().is_empty());
+        assert_eq!(col.column().value(12 * VALUES_PER_PAGE), 700_003);
+        assert_eq!(col.column().value(10 * VALUES_PER_PAGE), 700_001);
     }
 
     #[test]

@@ -71,12 +71,23 @@ pub struct AlignChunking {
     /// `0` disables chunking: the whole batch publishes as one epoch (the
     /// pre-chunking behaviour, and the default).
     pub chunk_updates: usize,
-    /// Maximum number of rows the pending-writes queue may hold while
-    /// alignments are in flight. A write that would grow the queue beyond
-    /// this bound first flushes all pending alignment work (backpressure),
-    /// then applies directly. Queue size is counted in *distinct rows*
-    /// (repeated writes to a row overwrite its queue entry).
+    /// Soft bound on the rows the pending-writes queue may hold while
+    /// alignment work is in flight. A write hitting the bound applies
+    /// *backpressure without blocking*: the in-flight round is nudged
+    /// forward (one non-blocking publish poll) so its completion can fold
+    /// the queue into the next round, and the write is queued regardless —
+    /// acknowledged writes are never dropped and the writer never stalls on
+    /// a full queue. Queue size is counted in *distinct rows* (repeated
+    /// writes to a row overwrite its queue entry).
     pub max_queued_writes: usize,
+    /// Group-commit threshold of the serving layer's maintenance loop
+    /// ([`crate::serve`]): an *idle* maintenance tick (no alignment round
+    /// in flight) folds the queued writes into a new round only once at
+    /// least this many distinct rows are queued, batching small writes into
+    /// fewer alignment rounds. `0` (the default) folds on the first idle
+    /// tick after any write; [`crate::serve::ServeTable::quiesce`] and a
+    /// queue at `max_queued_writes` fold regardless of the threshold.
+    pub group_commit_idle: usize,
 }
 
 impl AlignChunking {
@@ -91,6 +102,12 @@ impl AlignChunking {
         self.max_queued_writes = max_queued_writes;
         self
     }
+
+    /// Builder-style setter for the idle group-commit threshold.
+    pub fn with_group_commit_idle(mut self, group_commit_idle: usize) -> Self {
+        self.group_commit_idle = group_commit_idle;
+        self
+    }
 }
 
 impl Default for AlignChunking {
@@ -98,6 +115,7 @@ impl Default for AlignChunking {
         Self {
             chunk_updates: 0,
             max_queued_writes: 1 << 20,
+            group_commit_idle: 0,
         }
     }
 }
@@ -232,6 +250,7 @@ mod tests {
         assert_eq!(c.parallelism, Parallelism::Sequential);
         assert_eq!(c.chunking.chunk_updates, 0, "chunking off by default");
         assert!(c.chunking.max_queued_writes >= 1 << 20);
+        assert_eq!(c.chunking.group_commit_idle, 0, "fold on first idle tick");
     }
 
     #[test]
@@ -239,10 +258,12 @@ mod tests {
         let c = AdaptiveConfig::default().with_chunking(
             AlignChunking::default()
                 .with_chunk_updates(128)
-                .with_max_queued_writes(4_096),
+                .with_max_queued_writes(4_096)
+                .with_group_commit_idle(32),
         );
         assert_eq!(c.chunking.chunk_updates, 128);
         assert_eq!(c.chunking.max_queued_writes, 4_096);
+        assert_eq!(c.chunking.group_commit_idle, 32);
     }
 
     #[test]

@@ -25,9 +25,14 @@
 //! * a **multi-column query planner** that orders the predicates of a
 //!   conjunctive query by estimated result cardinality, drives the cheapest
 //!   one through the adaptive path and evaluates the rest as semi-join
-//!   probes over the surviving rows ([`plan`] / [`AdaptiveTable`]).
+//!   probes over the surviving rows ([`plan`] / [`AdaptiveTable`]),
+//! * a **concurrent serving layer** in which reader threads pin
+//!   epoch-consistent snapshots (userspace RCU) and run full queries
+//!   lock-free while one maintenance thread ingests writes and publishes
+//!   re-aligned view epochs ([`serve`]).
 //!
-//! The entry points are [`AdaptiveColumn`] and [`AdaptiveTable`].
+//! The entry points are [`AdaptiveColumn`], [`AdaptiveTable`] and
+//! [`ServeTable`].
 
 pub mod adaptive;
 pub mod align;
@@ -37,6 +42,7 @@ pub mod exec;
 pub mod plan;
 pub mod query;
 pub mod router;
+pub mod serve;
 pub mod stats;
 pub mod table;
 pub mod updates;
@@ -61,6 +67,10 @@ pub use plan::{
 };
 pub use query::{QueryExecution, QueryOutcome, RangeQuery, ViewMaintenance};
 pub use router::{route, RouteSelection, ViewId};
+pub use serve::{
+    ColumnEpoch, ConjunctiveAnswer, RangeAnswer, ServeTable, Snapshot, TableEpoch, TableHandle,
+    ViewMeta,
+};
 pub use stats::{
     ChunkPublishRecord, ChunkPublishStats, ConjunctiveRecord, ConjunctiveStats, QueryRecord,
     SequenceStats,

@@ -1,0 +1,1205 @@
+//! The shared-table concurrent serving layer: epoch-pinned reader
+//! snapshots over a single-writer maintenance loop.
+//!
+//! Every structure of the adaptive layer so far is single-threaded: one
+//! owner interleaves queries, writes and alignment rounds on one thread.
+//! This module lifts a whole table into a *serving* arrangement in which
+//!
+//! * **N reader threads** hold cheap [`TableHandle`]s and pin
+//!   epoch-consistent [`Snapshot`]s ([`TableHandle::pin`]) to run full
+//!   queries — routed range scans, planned conjunctive queries, point
+//!   probes — without taking any lock, and
+//! * **one maintenance thread** owns the [`ServeTable`]: it ingests
+//!   writes, folds the write queue into background alignment rounds,
+//!   publishes re-aligned view epochs chunk by chunk, and reclaims
+//!   superseded epochs once the last pinned reader lets go.
+//!
+//! # The epoch protocol
+//!
+//! The handoff primitive is [`asv_util::EpochCell`] (userspace RCU): the
+//! maintainer [`publishes`](asv_util::EpochCell::publish) immutable
+//! [`TableEpoch`]s, readers pin the latest one with two atomic stores and
+//! keep it alive through an [`Arc`] for as long as they need it. A pin
+//! never blocks on a publish and a publish never waits for readers — old
+//! epochs are reclaimed lazily ([`asv_util::EpochCell::try_reclaim`]) when
+//! the last pin drops.
+//!
+//! A [`TableEpoch`] is a frozen, self-contained description of what a
+//! reader may touch:
+//!
+//! * one shared full view per column (`Arc<B::View>`, mapped once at
+//!   column creation and never remapped — slot `i` is physical page `i`),
+//! * per partial view the **physical page list** of its slots
+//!   ([`ViewMeta`]), recomputed by the maintainer after each published
+//!   alignment chunk — readers scan view pages *through the full view* by
+//!   physical id, so no view buffer is ever shared mutably,
+//! * the write overlay of the epoch: queued `(row, value)` pairs plus the
+//!   precomputed scan [`ExclusionMasks`] over them,
+//! * **frozen page copies** for every page holding an overlaid row: the
+//!   maintainer folds queued writes into the physical store *while
+//!   readers are scanning*, so any page a fold may write is snapshotted
+//!   into the epoch first and readers substitute the copy for the live
+//!   page ([`ColumnEpoch`] keeps answers identical either way — folded
+//!   rows stay masked-and-overlaid until the round retires them),
+//! * a [`ZoneStats`] clone for conjunctive planning.
+//!
+//! # The maintenance loop
+//!
+//! [`ServeTable::write`] stages a write: the value enters the overlay, the
+//! row's page is frozen into the copy set and the acknowledgement becomes
+//! visible to *new* pins at the next [`ServeTable::tick`] (which publishes
+//! a new epoch). Each tick then advances at most one alignment chunk per
+//! column — join a finished background plan, publish one chunk as a new
+//! epoch, and when the round's last chunk lands, retire the folded rows
+//! from the overlay and re-freeze the remaining overlay pages from the
+//! post-fold store. New rounds fold the queue only after a **grace
+//! check**: every epoch except the current one must be unpinned, because
+//! older epochs may lack page copies for the rows about to be folded.
+//! The fold itself never blocks the writer — if grace has not elapsed the
+//! fold is simply retried on a later tick while writes keep queueing.
+//!
+//! Within one round all published epochs give bit-identical answers: a
+//! chunk publish only changes *which* pages a view scans (rows folded by
+//! the round stay masked until retirement, and the retire epoch swaps
+//! their source from overlay to store without changing values). This is
+//! what makes the serving layer deterministic: concurrent readers pinning
+//! *different* mid-round epochs still compute identical results.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use asv_storage::{Column, ExclusionMasks, PageRef, ScanKernel, ScanMode, ScanOutput};
+use asv_util::{EpochCell, Pinned, Reader, ValueRange};
+use asv_vmem::{Backend, ViewBuffer, VmemError, VALUES_PER_PAGE};
+
+use crate::align::{
+    apply_plan, snapshot_alignment, spawn_alignment_chunked, AlignmentPlan,
+    PendingChunkedAlignment, WriteOverlay,
+};
+use crate::config::AdaptiveConfig;
+use crate::creation::build_view_for_range;
+use crate::plan::ZoneStats;
+use crate::viewset::ViewSet;
+
+/// Frozen metadata of one partial view inside an epoch: its covered range
+/// and the physical pages its slots map, in slot order.
+///
+/// Readers never touch the partial view's buffer — they scan the listed
+/// physical pages through the column's immutable full view, which is
+/// mapped identically (slot `i` = physical page `i`) for the whole run.
+#[derive(Clone, Debug)]
+pub struct ViewMeta {
+    /// The value range the view covers.
+    pub range: ValueRange,
+    /// Physical page ids of the view's mapped slots, in slot order.
+    pub phys: Vec<usize>,
+}
+
+/// The frozen per-column state of one epoch.
+pub struct ColumnEpoch<B: Backend> {
+    /// The immutable identity-mapped full view (slot `i` = physical page
+    /// `i`), shared across all epochs of the column.
+    full_view: Arc<B::View>,
+    num_rows: usize,
+    num_pages: usize,
+    /// Partial-view metadata, one entry per view in the maintainer's
+    /// [`ViewSet`]; untouched views share their `Arc` across epochs.
+    views: Vec<Arc<ViewMeta>>,
+    /// Overlaid `(row, value)` pairs, ascending by row.
+    overlay: Arc<Vec<(u64, u64)>>,
+    /// Scan exclusion masks over the overlaid rows.
+    masks: Arc<ExclusionMasks>,
+    /// Frozen copies of every page holding an overlaid row, keyed by
+    /// physical page id. A fold may write these pages concurrently with
+    /// readers of this epoch; the copy is the race-free source.
+    copies: Arc<HashMap<usize, Arc<Vec<u64>>>>,
+    /// Zone statistics for conjunctive predicate ordering.
+    stats: Arc<ZoneStats>,
+}
+
+impl<B: Backend> ColumnEpoch<B> {
+    /// Number of rows of the column.
+    pub fn num_rows(&self) -> usize {
+        self.num_rows
+    }
+
+    /// Number of overlaid (queued or aligning) rows in this epoch.
+    pub fn overlaid_rows(&self) -> usize {
+        self.overlay.len()
+    }
+
+    /// The raw slots of physical page `phys`: the epoch's frozen copy if
+    /// the page holds an overlaid row, the live store page otherwise.
+    fn page_raw(&self, phys: usize) -> &[u64] {
+        match self.copies.get(&phys) {
+            Some(copy) => copy.as_slice(),
+            None => self.full_view.page(phys),
+        }
+    }
+
+    /// Valid value count of physical page `phys` (the last page of a
+    /// column may be partially filled).
+    fn valid_values(&self, phys: usize) -> usize {
+        let full_pages = self.num_rows / VALUES_PER_PAGE;
+        if phys < full_pages {
+            VALUES_PER_PAGE
+        } else {
+            self.num_rows % VALUES_PER_PAGE
+        }
+    }
+
+    /// The overlaid value of `row`, if the row is overlaid in this epoch.
+    fn overlay_value(&self, row: u64) -> Option<u64> {
+        self.overlay
+            .binary_search_by_key(&row, |&(r, _)| r)
+            .ok()
+            .map(|idx| self.overlay[idx].1)
+    }
+
+    /// Single-view routing over the frozen view metadata: the covering
+    /// view indexing the fewest pages, if it beats the full scan.
+    fn route(&self, range: &ValueRange) -> Option<&ViewMeta> {
+        self.views
+            .iter()
+            .filter(|v| v.range.covers(range))
+            .min_by_key(|v| v.phys.len())
+            .filter(|v| v.phys.len() < self.num_pages)
+            .map(|v| v.as_ref())
+    }
+
+    fn scan_phys(&self, kernel: &ScanKernel<'_>, phys: usize, out: &mut ScanOutput) {
+        let page = PageRef::new(self.page_raw(phys), self.valid_values(phys));
+        kernel.scan_page(page, out);
+    }
+
+    /// Routed range scan: overlaid rows are masked out of the page scan
+    /// and answered from the overlay, so every acknowledged write counts
+    /// exactly once.
+    fn scan(&self, range: &ValueRange, mode: ScanMode) -> ScanOutput {
+        let mut kernel = ScanKernel::new(*range, mode);
+        if !self.masks.is_empty() {
+            kernel = kernel.with_exclusion_masks(&self.masks);
+        }
+        let mut out = ScanOutput::new(mode, false);
+        match self.route(range) {
+            Some(view) => {
+                for &phys in &view.phys {
+                    self.scan_phys(&kernel, phys, &mut out);
+                }
+            }
+            None => {
+                for phys in 0..self.num_pages {
+                    self.scan_phys(&kernel, phys, &mut out);
+                }
+            }
+        }
+        self.merge_overlay(range, mode, &mut out);
+        out
+    }
+
+    fn merge_overlay(&self, range: &ValueRange, mode: ScanMode, out: &mut ScanOutput) {
+        for &(row, value) in self.overlay.iter() {
+            if range.contains(value) {
+                out.result.count += 1;
+                if !matches!(mode, ScanMode::CountOnly) {
+                    out.result.sum += value as u128;
+                }
+                if let Some(rows) = out.rows.as_mut() {
+                    rows.push(row);
+                }
+            }
+        }
+        if let Some(rows) = out.rows.as_mut() {
+            rows.sort_unstable();
+        }
+    }
+
+    /// Semi-join probe of ascending candidate `rows` against `range`:
+    /// overlaid candidates are answered from the overlay, the rest are
+    /// probed per page (through copies where the epoch holds one).
+    fn probe(&self, range: &ValueRange, rows: &[u64], mode: ScanMode) -> ScanOutput {
+        let kernel = ScanKernel::new(*range, mode);
+        let mut out = ScanOutput::new(mode, false);
+        let mut phys_rows: Vec<u64> = Vec::with_capacity(rows.len());
+        for &row in rows {
+            match self.overlay_value(row) {
+                Some(value) => {
+                    if range.contains(value) {
+                        out.result.count += 1;
+                        if !matches!(mode, ScanMode::CountOnly) {
+                            out.result.sum += value as u128;
+                        }
+                        if let Some(out_rows) = out.rows.as_mut() {
+                            out_rows.push(row);
+                        }
+                    }
+                }
+                None => phys_rows.push(row),
+            }
+        }
+        let mut start = 0usize;
+        while start < phys_rows.len() {
+            let page = (phys_rows[start] / VALUES_PER_PAGE as u64) as usize;
+            let mut end = start + 1;
+            while end < phys_rows.len()
+                && (phys_rows[end] / VALUES_PER_PAGE as u64) as usize == page
+            {
+                end += 1;
+            }
+            let page_ref = PageRef::new(self.page_raw(page), self.valid_values(page));
+            kernel.probe_page_rows(page_ref, &phys_rows[start..end], &mut out);
+            start = end;
+        }
+        if let Some(out_rows) = out.rows.as_mut() {
+            out_rows.sort_unstable();
+        }
+        out
+    }
+
+    /// Point read of `row`: the overlaid value if queued, the (copy-aware)
+    /// stored value otherwise.
+    fn value(&self, row: usize) -> u64 {
+        assert!(row < self.num_rows, "row {row} out of bounds");
+        if let Some(value) = self.overlay_value(row as u64) {
+            return value;
+        }
+        let page = row / VALUES_PER_PAGE;
+        let slot = row % VALUES_PER_PAGE;
+        self.page_raw(page)[1 + slot]
+    }
+}
+
+impl<B: Backend> std::fmt::Debug for ColumnEpoch<B> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ColumnEpoch")
+            .field("num_rows", &self.num_rows)
+            .field("num_views", &self.views.len())
+            .field("overlaid_rows", &self.overlay.len())
+            .field("frozen_pages", &self.copies.len())
+            .finish()
+    }
+}
+
+/// One published epoch of the whole table: a consistent multi-column
+/// snapshot readers pin with a single [`TableHandle::pin`].
+pub struct TableEpoch<B: Backend> {
+    columns: Vec<Arc<ColumnEpoch<B>>>,
+    generation: u64,
+}
+
+impl<B: Backend> TableEpoch<B> {
+    /// The table generation this epoch was published as.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Number of columns.
+    pub fn num_columns(&self) -> usize {
+        self.columns.len()
+    }
+}
+
+impl<B: Backend> std::fmt::Debug for TableEpoch<B> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TableEpoch")
+            .field("generation", &self.generation)
+            .field("columns", &self.columns)
+            .finish()
+    }
+}
+
+/// Aggregate answer of a range query: qualifying-row count and value
+/// checksum.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RangeAnswer {
+    /// Number of qualifying rows.
+    pub count: u64,
+    /// Sum of the qualifying values (the result checksum).
+    pub sum: u128,
+}
+
+/// Answer of a planned conjunctive query, summarized order-independently.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ConjunctiveAnswer {
+    /// Number of rows satisfying every predicate.
+    pub count: u64,
+    /// Order-independent checksum over the surviving row ids.
+    pub rows_checksum: u64,
+}
+
+/// Order-independent checksum over row ids (commutative wrapping sum of a
+/// per-row mix).
+fn checksum_rows(rows: &[u64]) -> u64 {
+    rows.iter().fold(0u64, |acc, &row| {
+        acc.wrapping_add(splitmix64(row.wrapping_add(1)))
+    })
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// A cloneable, sendable handle readers use to pin snapshots of a
+/// [`ServeTable`]. Obtained from [`ServeTable::handle`]; cloning
+/// registers an independent reader slot, so each reader thread should
+/// carry its own handle.
+pub struct TableHandle<B: Backend> {
+    reader: Reader<TableEpoch<B>>,
+}
+
+impl<B: Backend> TableHandle<B> {
+    /// Pins the latest published epoch: two atomic stores, no lock, never
+    /// blocked by the maintenance thread. The snapshot stays valid (and
+    /// its epoch unreclaimed) until dropped.
+    pub fn pin(&self) -> Snapshot<B> {
+        Snapshot {
+            pinned: self.reader.pin(),
+        }
+    }
+}
+
+impl<B: Backend> Clone for TableHandle<B> {
+    fn clone(&self) -> Self {
+        Self {
+            reader: self.reader.clone(),
+        }
+    }
+}
+
+impl<B: Backend> std::fmt::Debug for TableHandle<B> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TableHandle").finish_non_exhaustive()
+    }
+}
+
+/// An epoch-consistent read snapshot of the whole table.
+///
+/// All queries on one snapshot observe the same epoch; pinning again
+/// ([`TableHandle::pin`]) observes later commits.
+pub struct Snapshot<B: Backend> {
+    pinned: Pinned<TableEpoch<B>>,
+}
+
+impl<B: Backend> Snapshot<B> {
+    /// The table generation of the pinned epoch.
+    pub fn generation(&self) -> u64 {
+        self.pinned.generation()
+    }
+
+    /// Number of columns in the pinned epoch.
+    pub fn num_columns(&self) -> usize {
+        self.pinned.columns.len()
+    }
+
+    /// Number of rows of column `col`.
+    pub fn num_rows(&self, col: usize) -> usize {
+        self.column(col).num_rows
+    }
+
+    fn column(&self, col: usize) -> &ColumnEpoch<B> {
+        &self.pinned.columns[col]
+    }
+
+    /// Point read of `(col, row)` — overlay-aware and copy-aware.
+    pub fn value(&self, col: usize, row: usize) -> u64 {
+        self.column(col).value(row)
+    }
+
+    /// Routed range scan of column `col`: count and value checksum of the
+    /// rows whose value falls into `range`.
+    pub fn query_range(&self, col: usize, range: &ValueRange) -> RangeAnswer {
+        let out = self.column(col).scan(range, ScanMode::Aggregate);
+        RangeAnswer {
+            count: out.result.count,
+            sum: out.result.sum,
+        }
+    }
+
+    /// Routed range scan collecting the qualifying row ids, ascending.
+    pub fn collect_rows(&self, col: usize, range: &ValueRange) -> Vec<u64> {
+        self.column(col)
+            .scan(range, ScanMode::CollectRows)
+            .rows
+            .unwrap_or_default()
+    }
+
+    /// Planned conjunctive query over `(column, range)` predicates: the
+    /// predicates are ordered by estimated cardinality (ascending, input
+    /// order breaking ties), the cheapest drives a collecting scan and the
+    /// rest run as semi-join probes over the survivors.
+    ///
+    /// # Panics
+    /// Panics if `predicates` is empty or names an out-of-range column.
+    pub fn query_conjunctive(&self, predicates: &[(usize, ValueRange)]) -> ConjunctiveAnswer {
+        assert!(!predicates.is_empty(), "conjunctive query needs predicates");
+        let mut order: Vec<usize> = (0..predicates.len()).collect();
+        order.sort_by_key(|&i| {
+            let (col, range) = &predicates[i];
+            (self.column(*col).stats.estimate(range).est_rows, i)
+        });
+        let (col, range) = &predicates[order[0]];
+        let mut survivors = self
+            .column(*col)
+            .scan(range, ScanMode::CollectRows)
+            .rows
+            .unwrap_or_default();
+        for &i in &order[1..] {
+            if survivors.is_empty() {
+                break;
+            }
+            let (col, range) = &predicates[i];
+            survivors = self
+                .column(*col)
+                .probe(range, &survivors, ScanMode::CollectRows)
+                .rows
+                .unwrap_or_default();
+        }
+        ConjunctiveAnswer {
+            count: survivors.len() as u64,
+            rows_checksum: checksum_rows(&survivors),
+        }
+    }
+}
+
+impl<B: Backend> Clone for Snapshot<B> {
+    fn clone(&self) -> Self {
+        Self {
+            pinned: self.pinned.clone(),
+        }
+    }
+}
+
+impl<B: Backend> std::fmt::Debug for Snapshot<B> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Snapshot")
+            .field("generation", &self.generation())
+            .finish()
+    }
+}
+
+/// The maintainer-owned mutable state of one column.
+struct ColumnState<B: Backend> {
+    column: Column<B>,
+    views: ViewSet<B>,
+    /// Frozen per-view metadata mirroring `views`, shared into epochs.
+    view_metas: Vec<Arc<ViewMeta>>,
+    overlay: WriteOverlay,
+    stats: ZoneStats,
+    full_view: Arc<B::View>,
+    /// Frozen copies of every page holding an overlaid row, mirrored into
+    /// each published epoch (see the copies field of [`ColumnEpoch`]).
+    copies: HashMap<usize, Arc<Vec<u64>>>,
+    /// In-flight background planning of the current round.
+    pending: Option<PendingChunkedAlignment>,
+    /// Planned chunks of the current round awaiting publication.
+    ready: VecDeque<AlignmentPlan>,
+    /// `true` between a fold and the retirement of its rows.
+    round_active: bool,
+    /// Cached epoch of the column, invalidated on any change.
+    cached: Option<Arc<ColumnEpoch<B>>>,
+}
+
+impl<B: Backend> ColumnState<B> {
+    fn mark_dirty(&mut self) {
+        self.cached = None;
+    }
+
+    fn is_idle(&self) -> bool {
+        self.pending.is_none() && self.ready.is_empty() && !self.round_active
+    }
+
+    /// Freezes the current page content of `row`'s page into the copy set
+    /// (first write to the page since the last retirement wins — later
+    /// folds must not be visible through an already-published epoch).
+    fn freeze_page_of(&mut self, row: usize) {
+        let page = row / VALUES_PER_PAGE;
+        self.copies
+            .entry(page)
+            .or_insert_with(|| Arc::new(self.column.page_ref(page).raw().to_vec()));
+    }
+
+    /// Recomputes the frozen metadata of the view at `view_idx` from its
+    /// live mapping table.
+    fn refresh_view_meta(&mut self, view_idx: usize) -> Result<(), VmemError> {
+        let view = self
+            .views
+            .partial_view(view_idx)
+            .expect("plan references a live view");
+        let table = self
+            .column
+            .backend()
+            .mapping_table(self.column.store(), view.buffer())?;
+        let mapped = view.num_pages();
+        let phys: Vec<usize> = (0..mapped)
+            .map(|slot| {
+                table
+                    .phys_for_slot(slot)
+                    .expect("dense views map every slot of the mapped prefix")
+            })
+            .collect();
+        self.view_metas[view_idx] = Arc::new(ViewMeta {
+            range: *view.range(),
+            phys,
+        });
+        Ok(())
+    }
+
+    /// The column's frozen epoch, rebuilt only if something changed since
+    /// the last publish.
+    fn epoch(&mut self) -> Arc<ColumnEpoch<B>> {
+        if let Some(cached) = &self.cached {
+            return Arc::clone(cached);
+        }
+        let rows: Vec<u64> = self.overlay.rows().clone();
+        let overlay: Vec<(u64, u64)> = rows
+            .iter()
+            .map(|&row| (row, self.overlay.value(row).expect("row is overlaid")))
+            .collect();
+        let epoch = Arc::new(ColumnEpoch {
+            full_view: Arc::clone(&self.full_view),
+            num_rows: self.column.num_rows(),
+            num_pages: self.column.num_pages(),
+            views: self.view_metas.clone(),
+            overlay: Arc::new(overlay),
+            masks: Arc::new(ExclusionMasks::from_rows(rows)),
+            copies: Arc::new(self.copies.clone()),
+            stats: Arc::new(self.stats.clone()),
+        });
+        self.cached = Some(Arc::clone(&epoch));
+        epoch
+    }
+}
+
+/// A table served concurrently: owned (and mutated) by one maintenance
+/// thread, read by any number of [`TableHandle`] holders.
+///
+/// See the [module docs](self) for the epoch protocol. The serving
+/// behaviour is driven by three methods:
+///
+/// * [`ServeTable::write`] / [`ServeTable::write_batch`] stage writes,
+/// * [`ServeTable::tick`] publishes staged acknowledgements, advances
+///   alignment rounds one chunk at a time and folds the queue when the
+///   group-commit threshold and the grace condition allow,
+/// * [`ServeTable::quiesce`] ticks until every queued write is folded,
+///   aligned and retired (it waits for readers to unpin old epochs).
+pub struct ServeTable<B: Backend> {
+    backend: B,
+    config: AdaptiveConfig,
+    columns: Vec<ColumnState<B>>,
+    cell: Arc<EpochCell<TableEpoch<B>>>,
+    /// Every published epoch still possibly alive, oldest first; the last
+    /// entry is the current epoch.
+    history: Vec<Arc<TableEpoch<B>>>,
+    generation: u64,
+    /// `true` while un-published changes (staged writes, applied chunks,
+    /// retirements) exist.
+    staged: bool,
+}
+
+impl<B: Backend> ServeTable<B> {
+    /// Creates an empty serving table on `backend`.
+    pub fn new(backend: B, config: AdaptiveConfig) -> Self {
+        let cell = Arc::new(EpochCell::new(TableEpoch {
+            columns: Vec::new(),
+            generation: 0,
+        }));
+        let history = vec![cell.latest()];
+        Self {
+            backend,
+            config,
+            columns: Vec::new(),
+            cell,
+            history,
+            generation: 0,
+            staged: false,
+        }
+    }
+
+    /// Adds a column holding `values` and publishes the widened epoch.
+    /// Returns the column's index.
+    pub fn add_column(&mut self, values: &[u64]) -> Result<usize, VmemError> {
+        let column = Column::from_values(self.backend.clone(), values)?;
+        let full_view = Arc::new(self.backend.create_full_view(column.store())?);
+        let stats = ZoneStats::build(&column);
+        let state = ColumnState {
+            views: ViewSet::new(self.config.max_views),
+            view_metas: Vec::new(),
+            overlay: WriteOverlay::new(),
+            stats,
+            full_view,
+            copies: HashMap::new(),
+            pending: None,
+            ready: VecDeque::new(),
+            round_active: false,
+            cached: None,
+            column,
+        };
+        self.columns.push(state);
+        self.staged = true;
+        self.commit();
+        Ok(self.columns.len() - 1)
+    }
+
+    /// Builds and installs a partial view covering `range` on column
+    /// `col`, then publishes the epoch carrying it.
+    ///
+    /// Views are installed during setup: the call is rejected while an
+    /// alignment round is in flight or writes are queued, because the
+    /// in-flight round's plan predates the view and would leave it
+    /// misaligned.
+    pub fn install_view(&mut self, col: usize, range: ValueRange) -> Result<(), VmemError> {
+        let state = &mut self.columns[col];
+        if !state.is_idle() || !state.overlay.is_empty() {
+            return Err(VmemError::Unsupported(
+                "install_view requires an idle column (no round in flight, no queued writes)",
+            ));
+        }
+        let (buffer, _) = build_view_for_range(&state.column, &range, &self.config.creation)?;
+        state.views.insert_unchecked(range, buffer);
+        state.view_metas.push(Arc::new(ViewMeta {
+            range,
+            phys: Vec::new(),
+        }));
+        let view_idx = state.view_metas.len() - 1;
+        state.refresh_view_meta(view_idx)?;
+        state.mark_dirty();
+        self.staged = true;
+        self.commit();
+        Ok(())
+    }
+
+    /// A reader handle onto this table. Clone it (or call this again) for
+    /// every reader thread.
+    pub fn handle(&self) -> TableHandle<B> {
+        TableHandle {
+            reader: self.cell.reader(),
+        }
+    }
+
+    /// Number of columns.
+    pub fn num_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Number of rows of column `col`.
+    pub fn num_rows(&self, col: usize) -> usize {
+        self.columns[col].column.num_rows()
+    }
+
+    /// The current (published) table generation.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Number of published epochs not yet reclaimed (including the
+    /// current one).
+    pub fn live_epochs(&mut self) -> usize {
+        self.cell.try_reclaim();
+        self.prune_history();
+        self.history.len()
+    }
+
+    /// Number of writes queued on column `col` awaiting the next fold.
+    pub fn queued_writes(&self, col: usize) -> usize {
+        self.columns[col].overlay.queued_writes()
+    }
+
+    /// Returns `true` while column `col` has an alignment round in
+    /// flight.
+    pub fn round_in_flight(&self, col: usize) -> bool {
+        !self.columns[col].is_idle()
+    }
+
+    /// Stages a write of `value` into `(col, row)`. The acknowledgement
+    /// becomes visible to *new* pins at the next [`ServeTable::tick`];
+    /// the writer itself never blocks.
+    pub fn write(&mut self, col: usize, row: usize, value: u64) {
+        let state = &mut self.columns[col];
+        assert!(row < state.column.num_rows(), "row {row} out of bounds");
+        state.stats.note_write(row, value);
+        state.freeze_page_of(row);
+        state.overlay.push(row, value);
+        state.mark_dirty();
+        self.staged = true;
+    }
+
+    /// Stages a batch of `(row, value)` writes into column `col`.
+    pub fn write_batch(&mut self, col: usize, writes: &[(usize, u64)]) {
+        for &(row, value) in writes {
+            self.write(col, row, value);
+        }
+    }
+
+    /// One maintenance step. Publishes staged acknowledgements, advances
+    /// every column's alignment round by at most one chunk, retires
+    /// completed rounds and folds queued writes into new rounds when the
+    /// group-commit threshold is reached and the grace condition holds.
+    /// Never blocks on readers or on the background planner.
+    pub fn tick(&mut self) -> Result<(), VmemError> {
+        self.tick_inner(false)
+    }
+
+    fn tick_inner(&mut self, force_fold: bool) -> Result<(), VmemError> {
+        self.cell.try_reclaim();
+        // Commit-before-fold invariant: every staged acknowledgement is
+        // published (with its masks and page copies) before any fold may
+        // write the store.
+        self.commit();
+        for idx in 0..self.columns.len() {
+            self.advance_column(idx)?;
+        }
+        self.commit();
+        if self.grace_elapsed() {
+            for idx in 0..self.columns.len() {
+                self.maybe_fold(idx, force_fold)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Ticks until every queued write has been folded, aligned and
+    /// retired, then publishes the final epoch. Waits (yielding) for
+    /// readers to unpin superseded epochs, since folds require the grace
+    /// condition — a reader that never drops its pin blocks quiescence.
+    pub fn quiesce(&mut self) -> Result<(), VmemError> {
+        loop {
+            self.tick_inner(true)?;
+            let drained = !self.staged
+                && self
+                    .columns
+                    .iter()
+                    .all(|c| c.is_idle() && c.overlay.is_empty());
+            if drained {
+                return Ok(());
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    /// Publishes the staged state as a new epoch, if anything changed.
+    fn commit(&mut self) {
+        if !self.staged {
+            return;
+        }
+        self.generation += 1;
+        let columns: Vec<Arc<ColumnEpoch<B>>> =
+            self.columns.iter_mut().map(|c| c.epoch()).collect();
+        let epoch = self.cell.publish(TableEpoch {
+            columns,
+            generation: self.generation,
+        });
+        self.history.push(epoch);
+        self.staged = false;
+    }
+
+    /// Drops history entries whose epochs are no longer referenced by any
+    /// reader or retired cell node. The current epoch always stays.
+    fn prune_history(&mut self) {
+        if self.history.len() <= 1 {
+            return;
+        }
+        let current = self.history.pop().expect("history is never empty");
+        self.history.retain(|epoch| Arc::strong_count(epoch) > 1);
+        self.history.push(current);
+    }
+
+    /// The grace condition of a fold: every epoch except the current one
+    /// has been dropped by all readers. Older epochs may lack page copies
+    /// for the rows a fold is about to write, so folding before they die
+    /// would race their readers.
+    fn grace_elapsed(&mut self) -> bool {
+        self.cell.try_reclaim();
+        self.prune_history();
+        self.history.len() <= 1
+    }
+
+    /// Advances column `idx`'s alignment round: joins a finished
+    /// background plan, publishes at most one ready chunk and retires the
+    /// round after its last chunk.
+    fn advance_column(&mut self, idx: usize) -> Result<(), VmemError> {
+        let state = &mut self.columns[idx];
+        if state
+            .pending
+            .as_ref()
+            .is_some_and(|pending| pending.is_finished())
+        {
+            let plan = state.pending.take().expect("pending checked above").join();
+            state.ready.extend(plan.chunks);
+        }
+        let Some(chunk) = state.ready.pop_front() else {
+            return Ok(());
+        };
+        apply_plan(&state.column, &mut state.views, &chunk)?;
+        for view_plan in &chunk.views {
+            state.refresh_view_meta(view_plan.view_idx)?;
+        }
+        state.mark_dirty();
+        self.staged = true;
+        if state.ready.is_empty() && state.pending.is_none() {
+            Self::retire_round(state);
+        }
+        Ok(())
+    }
+
+    /// Completes a round: folded rows leave the overlay (their values are
+    /// now served from the store through fully aligned views) and the
+    /// copy set is re-frozen from the post-fold store for the rows that
+    /// remain overlaid.
+    fn retire_round(state: &mut ColumnState<B>) {
+        state.overlay.retire_aligned();
+        state.copies.clear();
+        let rows: Vec<u64> = state.overlay.rows().clone();
+        for row in rows {
+            state.freeze_page_of(row as usize);
+        }
+        state.round_active = false;
+        state.mark_dirty();
+    }
+
+    /// Folds column `idx`'s queued writes into a new alignment round if
+    /// the column is idle and the group-commit threshold is met. The
+    /// fold writes the physical store — the caller must have verified the
+    /// grace condition and published all staged acknowledgements.
+    fn maybe_fold(&mut self, idx: usize, force: bool) -> Result<(), VmemError> {
+        debug_assert!(!self.staged, "fold requires committed acknowledgements");
+        let chunking = self.config.chunking;
+        let state = &mut self.columns[idx];
+        if !state.is_idle() || state.overlay.queued_writes() == 0 {
+            return Ok(());
+        }
+        let threshold_met = force
+            || state.overlay.len() >= chunking.group_commit_idle.max(1)
+            || state.overlay.len() >= chunking.max_queued_writes;
+        if !threshold_met {
+            return Ok(());
+        }
+        let folded = state.overlay.take_queued();
+        let updates = state.column.write_batch(&folded);
+        let snapshot = snapshot_alignment(&state.column, &state.views, &updates)?;
+        state.pending = Some(spawn_alignment_chunked(
+            snapshot,
+            self.config.parallelism,
+            chunking.chunk_updates,
+        ));
+        state.round_active = true;
+        Ok(())
+    }
+}
+
+impl<B: Backend> std::fmt::Debug for ServeTable<B> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeTable")
+            .field("columns", &self.columns.len())
+            .field("generation", &self.generation)
+            .field("staged", &self.staged)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asv_vmem::{MmapBackend, SimBackend};
+
+    /// Clustered data: page p holds values in [p*1000, p*1000 + 510].
+    fn clustered_values(pages: usize) -> Vec<u64> {
+        (0..pages * VALUES_PER_PAGE)
+            .map(|i| ((i / VALUES_PER_PAGE) * 1000 + i % VALUES_PER_PAGE) as u64)
+            .collect()
+    }
+
+    fn reference_answer(values: &[u64], range: &ValueRange) -> RangeAnswer {
+        let mut answer = RangeAnswer::default();
+        for &v in values {
+            if range.contains(v) {
+                answer.count += 1;
+                answer.sum += v as u128;
+            }
+        }
+        answer
+    }
+
+    fn serve_config() -> AdaptiveConfig {
+        AdaptiveConfig::default().with_chunking(
+            crate::config::AlignChunking::default()
+                .with_chunk_updates(4)
+                .with_group_commit_idle(0),
+        )
+    }
+
+    #[test]
+    fn snapshot_answers_match_reference_through_writes() {
+        let mut table = ServeTable::new(SimBackend::new(), serve_config());
+        let mut mirror = clustered_values(24);
+        let col = table.add_column(&mirror).unwrap();
+        table
+            .install_view(col, ValueRange::new(5_000, 9_400))
+            .unwrap();
+        let handle = table.handle();
+        let ranges = [
+            ValueRange::new(5_000, 9_400),
+            ValueRange::new(0, 2_000),
+            ValueRange::new(900_000, 1_000_000),
+        ];
+
+        let writes: Vec<(usize, u64)> = (0..40)
+            .map(|i| (i * 17 % mirror.len(), 900_000 + i as u64))
+            .collect();
+        for chunk in writes.chunks(7) {
+            table.write_batch(col, chunk);
+            for &(row, value) in chunk {
+                mirror[row] = value;
+            }
+            table.tick().unwrap();
+            let snap = handle.pin();
+            for range in &ranges {
+                assert_eq!(
+                    snap.query_range(col, range),
+                    reference_answer(&mirror, range),
+                    "post-ack answers reflect every staged write"
+                );
+            }
+            for &(row, value) in chunk {
+                assert_eq!(snap.value(col, row), value);
+            }
+        }
+        table.quiesce().unwrap();
+        let snap = handle.pin();
+        for range in &ranges {
+            assert_eq!(
+                snap.query_range(col, range),
+                reference_answer(&mirror, range)
+            );
+        }
+        // After quiescence nothing is overlaid: answers come from the
+        // aligned views and store alone.
+        assert_eq!(snap.column(col).overlaid_rows(), 0);
+    }
+
+    #[test]
+    fn pinned_snapshot_is_immutable_across_commits() {
+        let mut table = ServeTable::new(SimBackend::new(), serve_config());
+        let values = clustered_values(8);
+        let col = table.add_column(&values).unwrap();
+        let handle = table.handle();
+        let range = ValueRange::new(0, 500);
+        let old = handle.pin();
+        let before = old.query_range(col, &range);
+
+        table.write(col, 0, 999_999);
+        table.tick().unwrap();
+        let new = handle.pin();
+        assert!(new.generation() > old.generation());
+        assert_eq!(
+            old.query_range(col, &range),
+            before,
+            "pinned epoch keeps serving the pre-write answer"
+        );
+        assert_eq!(new.query_range(col, &range).count, before.count - 1);
+        assert_eq!(old.value(col, 0), values[0]);
+        assert_eq!(new.value(col, 0), 999_999);
+
+        // Superseded epochs reclaim once their pins drop.
+        drop(old);
+        drop(new);
+        table.quiesce().unwrap();
+        assert_eq!(table.live_epochs(), 1);
+    }
+
+    #[test]
+    fn routed_scans_use_the_installed_view() {
+        let mut table = ServeTable::new(SimBackend::new(), serve_config());
+        let col = table.add_column(&clustered_values(32)).unwrap();
+        let range = ValueRange::new(5_000, 9_400);
+        table.install_view(col, range).unwrap();
+        let snap = table.handle().pin();
+        let epoch = snap.column(col);
+        let view = epoch.route(&range).expect("installed view covers range");
+        assert_eq!(view.phys, vec![5, 6, 7, 8, 9]);
+        // A range no view covers falls back to the full scan.
+        assert!(epoch.route(&ValueRange::new(0, 100_000)).is_none());
+    }
+
+    #[test]
+    fn view_page_lists_follow_alignment_rounds() {
+        let mut table = ServeTable::new(SimBackend::new(), serve_config());
+        let col = table.add_column(&clustered_values(32)).unwrap();
+        let range = ValueRange::new(5_000, 9_400);
+        table.install_view(col, range).unwrap();
+        let handle = table.handle();
+
+        // Move a value of page 20 into the view's range and wipe page 7
+        // out of it.
+        table.write(col, 20 * VALUES_PER_PAGE + 3, 6_000);
+        for slot in 0..VALUES_PER_PAGE {
+            table.write(col, 7 * VALUES_PER_PAGE + slot, 1);
+        }
+        table.quiesce().unwrap();
+
+        let snap = handle.pin();
+        let epoch = snap.column(col);
+        let view = epoch.route(&range).expect("view survives alignment");
+        let mut pages = view.phys.clone();
+        pages.sort_unstable();
+        assert_eq!(pages, vec![5, 6, 8, 9, 20]);
+        assert_eq!(
+            snap.query_range(col, &range).count,
+            // Pages 5, 6, 8 qualify fully (511 values each), page 9
+            // contributes 9000..=9400 (401 values), page 7 contributes
+            // nothing any more, and row (20, 3) was moved in.
+            3 * VALUES_PER_PAGE as u64 + 401 + 1,
+        );
+    }
+
+    #[test]
+    fn conjunctive_queries_match_naive_intersection() {
+        let mut table = ServeTable::new(SimBackend::new(), serve_config());
+        let a = clustered_values(16);
+        let b: Vec<u64> = a.iter().map(|&v| v % 4_096).collect();
+        let col_a = table.add_column(&a).unwrap();
+        let col_b = table.add_column(&b).unwrap();
+        table.write(col_a, 42, 5_100);
+        table.write(col_b, 42, 7);
+        table.tick().unwrap();
+
+        let ra = ValueRange::new(5_000, 9_400);
+        let rb = ValueRange::new(0, 100);
+        let expected: Vec<u64> = (0..a.len() as u64)
+            .filter(|&r| {
+                let (va, vb) = if r == 42 {
+                    (5_100, 7)
+                } else {
+                    (a[r as usize], b[r as usize])
+                };
+                ra.contains(va) && rb.contains(vb)
+            })
+            .collect();
+
+        let snap = table.handle().pin();
+        let answer = snap.query_conjunctive(&[(col_a, ra), (col_b, rb)]);
+        assert_eq!(answer.count, expected.len() as u64);
+        assert_eq!(answer.rows_checksum, checksum_rows(&expected));
+        // Predicate order must not matter.
+        assert_eq!(snap.query_conjunctive(&[(col_b, rb), (col_a, ra)]), answer);
+    }
+
+    #[test]
+    fn group_commit_idle_batches_folds() {
+        let config = AdaptiveConfig::default()
+            .with_chunking(crate::config::AlignChunking::default().with_group_commit_idle(4));
+        let mut table = ServeTable::new(SimBackend::new(), config);
+        let col = table.add_column(&clustered_values(8)).unwrap();
+        for i in 0..3 {
+            table.write(col, i, 700_000 + i as u64);
+            table.tick().unwrap();
+            assert!(
+                !table.round_in_flight(col),
+                "below the group-commit threshold no round starts"
+            );
+        }
+        table.write(col, 3, 700_003);
+        table.tick().unwrap();
+        assert!(table.round_in_flight(col), "threshold reached: queue folds");
+        // Acknowledged-but-unfolded writes were readable the whole time.
+        let snap = table.handle().pin();
+        assert_eq!(snap.value(col, 0), 700_000);
+        table.quiesce().unwrap();
+    }
+
+    fn concurrent_readers_match_sequential<B: Backend>(backend: B) {
+        let mut table = ServeTable::new(backend, serve_config());
+        let values = clustered_values(24);
+        let col = table.add_column(&values).unwrap();
+        table
+            .install_view(col, ValueRange::new(5_000, 9_400))
+            .unwrap();
+        let handle = table.handle();
+        let ranges = [
+            ValueRange::new(5_000, 9_400),
+            ValueRange::new(1_000, 3_400),
+            ValueRange::new(800_000, 900_000),
+        ];
+
+        // Sequential twin: same writes, quiesced, queried single-threaded.
+        let expected: Vec<RangeAnswer> = {
+            let mut mirror = values.clone();
+            let len = mirror.len();
+            for i in 0..200usize {
+                mirror[(i * 31) % len] = 800_000 + i as u64;
+            }
+            ranges
+                .iter()
+                .map(|r| reference_answer(&mirror, r))
+                .collect()
+        };
+
+        let done = std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            let done = &done;
+            let mut readers = Vec::new();
+            for _ in 0..4 {
+                let handle = handle.clone();
+                readers.push(scope.spawn(move || {
+                    let mut last_generation = 0;
+                    while !done.load(std::sync::atomic::Ordering::Acquire) {
+                        let snap = handle.pin();
+                        // Generations move forward only.
+                        assert!(snap.generation() >= last_generation);
+                        last_generation = snap.generation();
+                        // Every epoch is internally consistent: the same
+                        // scan twice on one snapshot is identical.
+                        let a = snap.query_range(0, &ranges[0]);
+                        let b = snap.query_range(0, &ranges[0]);
+                        assert_eq!(a, b);
+                    }
+                }));
+            }
+            for i in 0..200usize {
+                table.write(col, (i * 31) % values.len(), 800_000 + i as u64);
+                table.tick().unwrap();
+            }
+            table.quiesce().unwrap();
+            done.store(true, std::sync::atomic::Ordering::Release);
+            for reader in readers {
+                reader.join().unwrap();
+            }
+        });
+
+        let snap = handle.pin();
+        for (range, want) in ranges.iter().zip(&expected) {
+            assert_eq!(snap.query_range(col, range), *want);
+        }
+    }
+
+    #[test]
+    fn concurrent_readers_match_sequential_sim() {
+        concurrent_readers_match_sequential(SimBackend::new());
+    }
+
+    #[test]
+    fn concurrent_readers_match_sequential_mmap() {
+        concurrent_readers_match_sequential(MmapBackend::new());
+    }
+
+    #[test]
+    fn install_view_rejects_busy_columns() {
+        let mut table = ServeTable::new(SimBackend::new(), serve_config());
+        let col = table.add_column(&clustered_values(8)).unwrap();
+        table.write(col, 0, 1);
+        assert!(table.install_view(col, ValueRange::new(0, 10)).is_err());
+        table.quiesce().unwrap();
+        assert!(table.install_view(col, ValueRange::new(0, 10)).is_ok());
+    }
+
+    #[test]
+    fn checksum_is_order_independent() {
+        let a = checksum_rows(&[1, 5, 9]);
+        let b = checksum_rows(&[9, 1, 5]);
+        assert_eq!(a, b);
+        assert_ne!(a, checksum_rows(&[1, 5]));
+        assert_ne!(checksum_rows(&[0]), checksum_rows(&[]));
+    }
+}

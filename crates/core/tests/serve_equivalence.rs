@@ -1,0 +1,308 @@
+//! Property test: the concurrent serving layer is deterministic.
+//!
+//! Seeded [`ServeWorkload`]s drive a two-column [`ServeTable`] through
+//! barrier-phased rounds — the maintenance thread stages and commits each
+//! round's zipfian write burst, then N client threads pin epoch snapshots
+//! and answer the round's range/conjunctive reads while maintenance keeps
+//! ticking (publishing alignment chunks, folding the queue when grace
+//! allows). The properties, checked on both backends across seeds, client
+//! counts and chunk sizes:
+//!
+//! * **Concurrent == sequential, bit-identical**: every client-computed
+//!   answer (count, sum, conjunctive row checksum) equals the answer a
+//!   single-threaded twin computes for the same read of the same round —
+//!   regardless of which mid-round epoch the client happened to pin.
+//! * **Sequential == model**: the sequential twin's range answers match a
+//!   naive rescan of a plain `Vec` mirror, and its conjunctive counts
+//!   match a naive predicate intersection.
+//! * **Round-phase invariance**: a twin that fully quiesces after every
+//!   round (overlay empty, all folds retired) produces the same answers
+//!   as the overlay-serving twin — committed acknowledgements answer
+//!   identically whether they are still overlaid or already folded.
+//! * **Pin consistency**: snapshots pinned mid-round never observe a
+//!   partially published epoch — column count and row counts are always
+//!   complete, per-client generations only move forward, and repeating a
+//!   query on one snapshot is bit-identical.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use asv_core::{AdaptiveConfig, AlignChunking, ServeTable, Snapshot};
+use asv_util::ValueRange;
+use asv_vmem::{Backend, SimBackend, VALUES_PER_PAGE};
+use asv_workloads::{ServeReadOp, ServeRound, ServeSpec, ServeWorkload};
+
+const PAGES: usize = 24;
+const VIEW_RANGES: [(u64, u64); 2] = [(5_000, 9_400), (12_000, 16_500)];
+
+/// `(count, sum, rows_checksum)` — range answers fill the first two
+/// fields, conjunctive answers the first and last.
+type Answer = (u64, u128, u64);
+
+fn spec(seed_bump: u64) -> ServeSpec {
+    ServeSpec {
+        rounds: 5,
+        reads_per_round: 24,
+        writes_per_round: 30,
+        query_width: 2_000 + 131 * seed_bump,
+        conjunctive_every: 4,
+        max_value: 30_000,
+        zipf_exponent: 1.1,
+    }
+}
+
+/// Clustered data: page p holds values around p*1000, so the installed
+/// views index meaningful page subsets.
+fn column_values(col: usize) -> Vec<u64> {
+    let n = PAGES * VALUES_PER_PAGE;
+    (0..n)
+        .map(|i| {
+            // Column 1 is the reverse clustering of column 0, so
+            // conjunctive predicates intersect non-trivially.
+            let row = if col == 0 { i } else { n - 1 - i };
+            ((row / VALUES_PER_PAGE) * 1000 + row % VALUES_PER_PAGE) as u64
+        })
+        .collect()
+}
+
+fn config(chunk_updates: usize) -> AdaptiveConfig {
+    AdaptiveConfig::default().with_chunking(
+        AlignChunking::default()
+            .with_chunk_updates(chunk_updates)
+            .with_group_commit_idle(0),
+    )
+}
+
+fn build_table<B: Backend>(backend: B, chunk_updates: usize) -> ServeTable<B> {
+    let mut table = ServeTable::new(backend, config(chunk_updates));
+    for (col, &(lo, hi)) in VIEW_RANGES.iter().enumerate() {
+        table.add_column(&column_values(col)).expect("column");
+        table
+            .install_view(col, ValueRange::new(lo, hi))
+            .expect("view");
+    }
+    table
+}
+
+fn answer<B: Backend>(snap: &Snapshot<B>, read: &ServeReadOp) -> Answer {
+    match read {
+        ServeReadOp::Range { col, range } => {
+            let out = snap.query_range(*col, range);
+            (out.count, out.sum, 0)
+        }
+        ServeReadOp::Conjunctive { predicates } => {
+            let out = snap.query_conjunctive(predicates);
+            (out.count, 0, out.rows_checksum)
+        }
+    }
+}
+
+fn model_answer(mirrors: &[Vec<u64>], read: &ServeReadOp) -> (u64, Option<u128>) {
+    match read {
+        ServeReadOp::Range { col, range } => {
+            let (mut count, mut sum) = (0u64, 0u128);
+            for &v in &mirrors[*col] {
+                if range.contains(v) {
+                    count += 1;
+                    sum += v as u128;
+                }
+            }
+            (count, Some(sum))
+        }
+        ServeReadOp::Conjunctive { predicates } => {
+            let count = (0..mirrors[0].len())
+                .filter(|&row| {
+                    predicates
+                        .iter()
+                        .all(|(col, range)| range.contains(mirrors[*col][row]))
+                })
+                .count() as u64;
+            (count, None)
+        }
+    }
+}
+
+/// Single-threaded twin: stage + commit each round's writes, then answer
+/// every read from one pinned snapshot. With `quiesce_rounds` the twin
+/// additionally drains the overlay completely before reading, so its
+/// answers come from the folded store instead of the overlay.
+fn run_sequential<B: Backend>(
+    backend: B,
+    rounds: &[ServeRound],
+    chunk_updates: usize,
+    quiesce_rounds: bool,
+) -> Vec<Vec<Answer>> {
+    let mut table = build_table(backend, chunk_updates);
+    let handle = table.handle();
+    let mut mirrors = vec![column_values(0), column_values(1)];
+    rounds
+        .iter()
+        .map(|round| {
+            for &(col, row, value) in &round.writes {
+                table.write(col, row, value);
+                mirrors[col][row] = value;
+            }
+            if quiesce_rounds {
+                table.quiesce().expect("quiesce");
+            } else {
+                table.tick().expect("tick");
+            }
+            let snap = handle.pin();
+            round
+                .reads
+                .iter()
+                .map(|read| {
+                    let got = answer(&snap, read);
+                    let (count, sum) = model_answer(&mirrors, read);
+                    assert_eq!(got.0, count, "sequential twin vs naive model: count");
+                    if let Some(sum) = sum {
+                        assert_eq!(got.1, sum, "sequential twin vs naive model: sum");
+                    }
+                    got
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Concurrent run: one maintenance thread commits each round's writes and
+/// keeps ticking while `num_clients` reader threads answer the round's
+/// reads (read `i` belongs to client `i % num_clients`) from freshly
+/// pinned snapshots.
+fn run_concurrent<B: Backend>(
+    backend: B,
+    rounds: &[ServeRound],
+    chunk_updates: usize,
+    num_clients: usize,
+) -> Vec<Vec<Answer>> {
+    let mut table = build_table(backend, chunk_updates);
+    let handle = table.handle();
+    let num_rows = PAGES * VALUES_PER_PAGE;
+    // Rounds the maintenance thread has committed and opened for reading.
+    let round_ready = AtomicUsize::new(0);
+    // Total client-round completions; round k is done at (k+1)*clients.
+    let finished = AtomicUsize::new(0);
+
+    let mut answers: Vec<Vec<Answer>> = rounds
+        .iter()
+        .map(|round| vec![Answer::default(); round.reads.len()])
+        .collect();
+
+    std::thread::scope(|scope| {
+        let round_ready = &round_ready;
+        let finished = &finished;
+        let clients: Vec<_> = (0..num_clients)
+            .map(|client| {
+                let handle = handle.clone();
+                scope.spawn(move || {
+                    let mut out: Vec<(usize, usize, Answer)> = Vec::new();
+                    let mut last_generation = 0u64;
+                    for (k, round) in rounds.iter().enumerate() {
+                        while round_ready.load(Ordering::Acquire) <= k {
+                            std::thread::yield_now();
+                        }
+                        for (i, read) in round.reads.iter().enumerate() {
+                            if i % num_clients != client {
+                                continue;
+                            }
+                            let snap = handle.pin();
+                            // Never a partially published epoch.
+                            assert_eq!(snap.num_columns(), 2);
+                            assert_eq!(snap.num_rows(0), num_rows);
+                            assert_eq!(snap.num_rows(1), num_rows);
+                            assert!(
+                                snap.generation() >= last_generation,
+                                "generations move forward only"
+                            );
+                            last_generation = snap.generation();
+                            let got = answer(&snap, read);
+                            if i % 5 == 0 {
+                                assert_eq!(
+                                    got,
+                                    answer(&snap, read),
+                                    "one snapshot answers identically twice"
+                                );
+                            }
+                            out.push((k, i, got));
+                        }
+                        finished.fetch_add(1, Ordering::AcqRel);
+                    }
+                    out
+                })
+            })
+            .collect();
+
+        for (k, round) in rounds.iter().enumerate() {
+            for &(col, row, value) in &round.writes {
+                table.write(col, row, value);
+            }
+            // One tick commits the staged acknowledgements; every epoch a
+            // client pins from here to the next round's commit answers
+            // identically (chunk publishes and retires are invariant).
+            table.tick().expect("tick");
+            round_ready.store(k + 1, Ordering::Release);
+            while finished.load(Ordering::Acquire) < (k + 1) * num_clients {
+                table.tick().expect("tick");
+                std::thread::yield_now();
+            }
+        }
+        for client in clients {
+            for (k, i, got) in client.join().expect("client thread") {
+                answers[k][i] = got;
+            }
+        }
+    });
+
+    // Drain everything; the final folded state still answers every read of
+    // the last round identically (no writes happened since its commit).
+    table.quiesce().expect("quiesce");
+    let snap = handle.pin();
+    if let Some((k, round)) = rounds.iter().enumerate().next_back() {
+        for (i, read) in round.reads.iter().enumerate() {
+            assert_eq!(
+                answer(&snap, read),
+                answers[k][i],
+                "post-quiesce answers match the last round"
+            );
+        }
+    }
+    answers
+}
+
+fn check_backend<B: Backend>(make_backend: impl Fn() -> B, label: &str, seeds: u64) {
+    for seed in 0..seeds {
+        let workload_spec = spec(seed);
+        let rounds = ServeWorkload::new(0xE9_0C * (seed + 1)).rounds(
+            &workload_spec,
+            2,
+            PAGES * VALUES_PER_PAGE,
+        );
+        for &chunk_updates in &[0usize, 5] {
+            let ctx = format!("{label}/seed={seed}/chunk={chunk_updates}");
+            let sequential = run_sequential(make_backend(), &rounds, chunk_updates, false);
+            let quiesced = run_sequential(make_backend(), &rounds, chunk_updates, true);
+            assert_eq!(
+                sequential, quiesced,
+                "{ctx}: overlay-serving and fully-folded twins diverge"
+            );
+            for &num_clients in &[1usize, 2, 4] {
+                let concurrent =
+                    run_concurrent(make_backend(), &rounds, chunk_updates, num_clients);
+                assert_eq!(
+                    concurrent, sequential,
+                    "{ctx}/clients={num_clients}: concurrent answers diverge"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn serve_concurrent_matches_sequential_sim() {
+    check_backend(SimBackend::new, "sim", 2);
+}
+
+#[cfg(target_os = "linux")]
+#[test]
+fn serve_concurrent_matches_sequential_mmap() {
+    check_backend(asv_vmem::MmapBackend::new, "mmap", 1);
+}

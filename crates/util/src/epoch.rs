@@ -1,0 +1,459 @@
+//! A wait-free-read epoch cell: RCU/arc-swap-style generation handoff.
+//!
+//! [`EpochCell`] holds one logical value that a single *publisher* replaces
+//! wholesale ([`EpochCell::publish`]) while any number of *readers* pin the
+//! current value without taking a lock ([`Reader::pin`]). Every published
+//! value is an **epoch**: readers obtain an [`Pinned`] handle carrying an
+//! [`Arc`] of the epoch's value, so a pinned epoch stays readable for as
+//! long as the handle lives — even across arbitrarily many later publishes.
+//! Superseded epochs are reclaimed once no reader can still be dereferencing
+//! them ([`EpochCell::try_reclaim`]).
+//!
+//! The protocol is a miniature userspace RCU built on `std` atomics only
+//! (the workspace vendors all dependencies, so crates like `arc-swap` or
+//! `crossbeam-epoch` are out of reach):
+//!
+//! * each registered [`Reader`] owns a *slot* — an atomic announcing the
+//!   generation it is currently dereferencing (`0` = quiescent);
+//! * `pin` announces `generation + 1` in its slot, re-checks the generation,
+//!   loads the current node and clones the value's `Arc`, then clears the
+//!   slot — a handful of `SeqCst` atomics, no lock, no syscall;
+//! * `publish` swaps the node pointer, bumps the generation and *retires*
+//!   the old node stamped with the new generation; a retired node is freed
+//!   once every slot is either quiescent or pinned at a generation strictly
+//!   above the node's retire stamp.
+//!
+//! The slot only protects the brief pointer-dereference window inside `pin`;
+//! epoch *lifetime* is handled by the `Arc` inside the node, so readers can
+//! hold a [`Pinned`] for seconds while the cell publishes thousands of
+//! epochs — they simply delay the reclamation of nothing but the one node
+//! they cloned from.
+
+use std::ops::Deref;
+use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering::SeqCst};
+use std::sync::{Arc, Mutex};
+
+/// One published epoch: the value plus the generation it was published at.
+struct Node<T> {
+    value: Arc<T>,
+    generation: u64,
+}
+
+/// The per-reader announcement slot: `0` while quiescent, `g + 1` while the
+/// reader is dereferencing the node pointer inside a `pin` at generation `g`.
+struct SlotState {
+    pinned: AtomicU64,
+}
+
+/// A single-publisher, many-reader epoch-pinned value cell.
+///
+/// Readers must be registered up front ([`EpochCell::reader`]); the
+/// registration takes a lock, but every subsequent [`Reader::pin`] is
+/// lock-free. Publishing is intended for a single maintenance thread; a lock
+/// makes concurrent publishers safe anyway (they serialize).
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use asv_util::EpochCell;
+///
+/// let cell = Arc::new(EpochCell::new(vec![1, 2, 3]));
+/// let reader = cell.reader();
+/// let pinned = reader.pin();
+/// cell.publish(vec![4, 5, 6]);
+/// assert_eq!(*pinned, vec![1, 2, 3], "pinned epochs stay readable");
+/// assert_eq!(*reader.pin(), vec![4, 5, 6]);
+/// ```
+pub struct EpochCell<T> {
+    /// The current epoch's node. Swapped (never mutated) by `publish`.
+    current: AtomicPtr<Node<T>>,
+    /// Generation counter: bumped *after* `current` is swapped, so a reader
+    /// observing generation `g` can rely on `current` pointing at a node of
+    /// generation `>= g`.
+    generation: AtomicU64,
+    /// Registered reader slots. Locked only on registration, pruning and
+    /// reclamation — never on the pin hot path.
+    readers: Mutex<Vec<Arc<SlotState>>>,
+    /// Superseded nodes awaiting reclamation, each stamped with the
+    /// generation at which it was retired.
+    retired: Mutex<Vec<(*mut Node<T>, u64)>>,
+    /// Serializes publishers (a single maintenance thread in practice).
+    publish_lock: Mutex<()>,
+}
+
+// SAFETY: the raw node pointers are owned by the cell and only dereferenced
+// under the pin protocol (readers) or the publish lock (publisher); `T` is
+// required to be `Send + Sync` by every constructor and accessor.
+unsafe impl<T: Send + Sync> Send for EpochCell<T> {}
+unsafe impl<T: Send + Sync> Sync for EpochCell<T> {}
+
+impl<T: Send + Sync> EpochCell<T> {
+    /// Creates a cell holding `value` as the generation-0 epoch.
+    pub fn new(value: T) -> Self {
+        let node = Box::into_raw(Box::new(Node {
+            value: Arc::new(value),
+            generation: 0,
+        }));
+        Self {
+            current: AtomicPtr::new(node),
+            generation: AtomicU64::new(0),
+            readers: Mutex::new(Vec::new()),
+            retired: Mutex::new(Vec::new()),
+            publish_lock: Mutex::new(()),
+        }
+    }
+
+    /// Registers a new reader. Registration locks the reader registry;
+    /// the returned [`Reader`] pins lock-free from then on.
+    pub fn reader(self: &Arc<Self>) -> Reader<T> {
+        let slot = Arc::new(SlotState {
+            pinned: AtomicU64::new(0),
+        });
+        self.readers
+            .lock()
+            .expect("reader registry")
+            .push(Arc::clone(&slot));
+        Reader {
+            cell: Arc::clone(self),
+            slot,
+        }
+    }
+
+    /// The current generation (bumped once per publish).
+    pub fn generation(&self) -> u64 {
+        self.generation.load(SeqCst)
+    }
+
+    /// Publishes `value` as the next epoch and returns its `Arc`. The old
+    /// epoch is retired and reclaimed once no reader can still be
+    /// dereferencing its node.
+    pub fn publish(&self, value: T) -> Arc<T> {
+        let arc = Arc::new(value);
+        let _guard = self.publish_lock.lock().expect("publish lock");
+        let g = self.generation.load(SeqCst);
+        let node = Box::into_raw(Box::new(Node {
+            value: Arc::clone(&arc),
+            generation: g + 1,
+        }));
+        // Swap first, bump second: a reader that still observes generation
+        // `g` after announcing its slot may load either node, and both are
+        // protected (the old one is retired at `g + 1`, which the reader's
+        // announced `g + 1` blocks from being freed).
+        let old = self.current.swap(node, SeqCst);
+        self.generation.store(g + 1, SeqCst);
+        self.retired
+            .lock()
+            .expect("retired list")
+            .push((old, g + 1));
+        drop(_guard);
+        self.try_reclaim();
+        arc
+    }
+
+    /// The current epoch's value (publisher-side convenience; takes the
+    /// publish lock, so do not call it on a reader hot path — readers use
+    /// [`Reader::pin`]).
+    pub fn latest(&self) -> Arc<T> {
+        let _guard = self.publish_lock.lock().expect("publish lock");
+        // SAFETY: `current` is only swapped under the publish lock we hold,
+        // and a node is never retired (hence never freed) while current.
+        unsafe { Arc::clone(&(*self.current.load(SeqCst)).value) }
+    }
+
+    /// Frees every retired node no reader can still be dereferencing, and
+    /// prunes the slots of dropped readers. Called automatically by
+    /// [`EpochCell::publish`]; callers tracking epoch lifetime (e.g. to
+    /// decide when a grace period has elapsed) may call it explicitly.
+    pub fn try_reclaim(&self) {
+        let mut retired = self.retired.lock().expect("retired list");
+        let mut readers = self.readers.lock().expect("reader registry");
+        // Prune slots whose reader was dropped: only the registry still
+        // holds the Arc, and a dropped reader is necessarily quiescent.
+        readers.retain(|s| Arc::strong_count(s) > 1 || s.pinned.load(SeqCst) != 0);
+        if retired.is_empty() {
+            return;
+        }
+        let pins: Vec<u64> = readers.iter().map(|s| s.pinned.load(SeqCst)).collect();
+        retired.retain(|&(ptr, retired_at)| {
+            // A slot announcing `s` protects every node retired at `>= s`:
+            // the reader may have loaded the node that was current anywhere
+            // from generation `s - 1` on.
+            let blocked = pins.iter().any(|&s| s != 0 && s <= retired_at);
+            if !blocked {
+                // SAFETY: the node was retired (unreachable for new pins)
+                // and no announced slot can still be dereferencing it.
+                drop(unsafe { Box::from_raw(ptr) });
+            }
+            blocked
+        });
+    }
+
+    /// Number of retired epochs not yet reclaimed (diagnostics / tests).
+    pub fn retired_epochs(&self) -> usize {
+        self.retired.lock().expect("retired list").len()
+    }
+
+    /// Number of registered (live) readers (diagnostics / tests).
+    pub fn num_readers(&self) -> usize {
+        self.readers.lock().expect("reader registry").len()
+    }
+}
+
+impl<T> Drop for EpochCell<T> {
+    fn drop(&mut self) {
+        // SAFETY: exclusive access; no reader or publisher can be active.
+        unsafe {
+            drop(Box::from_raw(self.current.load(SeqCst)));
+            for &(ptr, _) in self.retired.lock().expect("retired list").iter() {
+                drop(Box::from_raw(ptr));
+            }
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for EpochCell<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EpochCell")
+            .field("generation", &self.generation.load(SeqCst))
+            .finish_non_exhaustive()
+    }
+}
+
+/// A registered reader of an [`EpochCell`]. Cheap to clone (clones register
+/// their own slot); `Send` but deliberately not shared — each thread serves
+/// from its own `Reader`.
+pub struct Reader<T> {
+    cell: Arc<EpochCell<T>>,
+    slot: Arc<SlotState>,
+}
+
+impl<T: Send + Sync> Reader<T> {
+    /// Pins the current epoch: a handful of `SeqCst` atomics, no lock. The
+    /// returned [`Pinned`] keeps the epoch's value alive (via `Arc`) for as
+    /// long as it is held; the announcement slot is cleared before `pin`
+    /// returns, so holding a `Pinned` never delays reclamation of any other
+    /// epoch.
+    pub fn pin(&self) -> Pinned<T> {
+        loop {
+            let g = self.cell.generation.load(SeqCst);
+            // Announce: protects every node retired at generation > g,
+            // which covers whatever `current` points at below.
+            self.slot.pinned.store(g + 1, SeqCst);
+            if self.cell.generation.load(SeqCst) != g {
+                // A publish raced the announcement; its reclamation pass may
+                // not have seen our slot. Retry under the new generation.
+                self.slot.pinned.store(0, SeqCst);
+                std::hint::spin_loop();
+                continue;
+            }
+            let ptr = self.cell.current.load(SeqCst);
+            // SAFETY: the generation re-check above proves our announced
+            // `g + 1` was visible before any publish past `g` retired this
+            // node (nodes current at generation >= g retire at >= g + 1,
+            // which our announcement blocks from being freed).
+            let (value, generation) = unsafe { (Arc::clone(&(*ptr).value), (*ptr).generation) };
+            self.slot.pinned.store(0, SeqCst);
+            return Pinned { value, generation };
+        }
+    }
+
+    /// The cell this reader is registered with.
+    pub fn cell(&self) -> &Arc<EpochCell<T>> {
+        &self.cell
+    }
+}
+
+impl<T: Send + Sync> Clone for Reader<T> {
+    fn clone(&self) -> Self {
+        self.cell.reader()
+    }
+}
+
+impl<T> std::fmt::Debug for Reader<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Reader").finish_non_exhaustive()
+    }
+}
+
+/// A pinned epoch: dereferences to the epoch's value, which stays alive (and
+/// bit-identical) for as long as this handle is held — regardless of how
+/// many epochs are published meanwhile.
+pub struct Pinned<T> {
+    value: Arc<T>,
+    generation: u64,
+}
+
+// Manual impl: cloning shares the `Arc`, so `T: Clone` must not be required
+// (a derive would add that bound).
+impl<T> Clone for Pinned<T> {
+    fn clone(&self) -> Self {
+        Self {
+            value: Arc::clone(&self.value),
+            generation: self.generation,
+        }
+    }
+}
+
+impl<T> Pinned<T> {
+    /// The generation this epoch was published at.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The epoch value's `Arc` (e.g. to keep parts of it alive cheaply).
+    pub fn value(&self) -> &Arc<T> {
+        &self.value
+    }
+}
+
+impl<T> Deref for Pinned<T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for Pinned<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pinned")
+            .field("generation", &self.generation)
+            .field("value", &*self.value)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    /// A payload counting its drops, to observe reclamation directly.
+    struct Counted {
+        value: u64,
+        drops: Arc<AtomicUsize>,
+    }
+
+    impl Drop for Counted {
+        fn drop(&mut self) {
+            self.drops.fetch_add(1, SeqCst);
+        }
+    }
+
+    #[test]
+    fn pin_sees_the_latest_publish() {
+        let cell = Arc::new(EpochCell::new(10u64));
+        let reader = cell.reader();
+        assert_eq!(*reader.pin(), 10);
+        assert_eq!(reader.pin().generation(), 0);
+        cell.publish(20);
+        assert_eq!(*reader.pin(), 20);
+        assert_eq!(reader.pin().generation(), 1);
+        assert_eq!(cell.generation(), 1);
+        assert_eq!(*cell.latest(), 20);
+    }
+
+    #[test]
+    fn pinned_epochs_stay_readable_across_publishes() {
+        let cell = Arc::new(EpochCell::new(0u64));
+        let reader = cell.reader();
+        let old = reader.pin();
+        for i in 1..=100 {
+            cell.publish(i);
+        }
+        assert_eq!(*old, 0, "the pinned epoch is immutable");
+        assert_eq!(*reader.pin(), 100);
+        // The pinned handle holds the value via Arc, not via the retired
+        // node — so every superseded node was reclaimable immediately.
+        cell.try_reclaim();
+        assert_eq!(cell.retired_epochs(), 0);
+        drop(old);
+    }
+
+    #[test]
+    fn superseded_values_drop_once_unpinned() {
+        let drops = Arc::new(AtomicUsize::new(0));
+        let make = |v: u64| Counted {
+            value: v,
+            drops: Arc::clone(&drops),
+        };
+        let cell = Arc::new(EpochCell::new(make(0)));
+        let reader = cell.reader();
+        let pinned = reader.pin();
+        for i in 1..=5 {
+            cell.publish(make(i));
+        }
+        // The generation-0 value is still pinned; values 1..=4 are free.
+        assert_eq!(drops.load(SeqCst), 4);
+        assert_eq!((*pinned).value, 0);
+        drop(pinned);
+        cell.try_reclaim();
+        assert_eq!(drops.load(SeqCst), 5, "dropping the pin frees epoch 0");
+        drop(reader);
+        drop(cell);
+        assert_eq!(drops.load(SeqCst), 6, "dropping the cell frees the rest");
+    }
+
+    #[test]
+    fn dropped_readers_are_pruned() {
+        let cell = Arc::new(EpochCell::new(1u64));
+        let a = cell.reader();
+        let b = a.clone();
+        assert_eq!(cell.num_readers(), 2);
+        drop(b);
+        cell.try_reclaim();
+        assert_eq!(cell.num_readers(), 1);
+        drop(a);
+        cell.publish(2); // publish reclaims, pruning the second slot
+        assert_eq!(cell.num_readers(), 0);
+    }
+
+    #[test]
+    fn hammer_readers_never_observe_torn_or_freed_epochs() {
+        // Each epoch is a vector whose elements all equal its generation;
+        // any use-after-free or torn publish shows up as a mixed vector.
+        const EPOCHS: u64 = 2_000;
+        const READERS: usize = 4;
+        let cell = Arc::new(EpochCell::new(vec![0u64; 64]));
+        std::thread::scope(|scope| {
+            for _ in 0..READERS {
+                let reader = cell.reader();
+                scope.spawn(move || {
+                    let mut last = 0u64;
+                    loop {
+                        let pinned = reader.pin();
+                        let v = pinned[0];
+                        assert!(pinned.iter().all(|&x| x == v), "consistent epoch");
+                        assert_eq!(pinned.generation(), v, "value matches generation");
+                        assert!(v >= last, "generations are monotonic per reader");
+                        last = v;
+                        if v == EPOCHS {
+                            break;
+                        }
+                    }
+                });
+            }
+            for g in 1..=EPOCHS {
+                cell.publish(vec![g; 64]);
+            }
+        });
+        cell.try_reclaim();
+        assert_eq!(cell.retired_epochs(), 0);
+    }
+
+    #[test]
+    fn slow_reader_blocks_only_its_own_node() {
+        let cell = Arc::new(EpochCell::new(0u64));
+        let reader = cell.reader();
+        // Simulate the one hazardous window: a slot left announced (as if a
+        // reader were mid-pin) must block reclamation of nodes retired at or
+        // after the announced generation.
+        reader.slot.pinned.store(cell.generation() + 1, SeqCst);
+        cell.publish(1);
+        assert_eq!(cell.retired_epochs(), 1, "announced slot blocks the free");
+        reader.slot.pinned.store(0, SeqCst);
+        cell.try_reclaim();
+        assert_eq!(cell.retired_epochs(), 0);
+    }
+}

@@ -17,6 +17,9 @@
 //!   runs, used by the consecutive-mapping optimization (paper §2.3).
 //! * [`ThreadPool`] / [`Parallelism`] — a hand-rolled scoped fork-join pool
 //!   powering the sharded parallel scan path.
+//! * [`EpochCell`] — a single-publisher, many-reader epoch-pinned value
+//!   cell (userspace RCU on std atomics), the primitive behind the
+//!   concurrent serving layer's snapshot handoff.
 //! * [`Timer`] and [`Summary`] — tiny measurement helpers for the
 //!   experiment harness.
 
@@ -24,6 +27,7 @@
 
 pub mod bimap;
 pub mod bitvec;
+pub mod epoch;
 pub mod pool;
 pub mod range;
 pub mod rowset;
@@ -32,6 +36,7 @@ pub mod stats;
 
 pub use bimap::BiMap;
 pub use bitvec::BitVec;
+pub use epoch::{EpochCell, Pinned, Reader};
 pub use pool::{available_parallelism, split_ranges, Parallelism, ThreadPool};
 pub use range::ValueRange;
 pub use rowset::RowSet;

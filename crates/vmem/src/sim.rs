@@ -18,7 +18,6 @@
 //! was never mapped panics (mmap would silently return anonymous zero
 //! pages). This catches bookkeeping bugs in the upper layers early.
 
-use std::cell::UnsafeCell;
 use std::sync::Arc;
 
 use crate::backend::{Backend, MapRequest, PhysicalStore, ViewBuffer};
@@ -31,43 +30,57 @@ const UNMAPPED: usize = usize::MAX;
 
 /// Shared physical memory of a simulated store.
 ///
-/// The `UnsafeCell` mirrors the aliasing situation of the mmap backend: the
-/// store hands out `&mut` page slices while views hold `&` page slices into
-/// the same memory. The upper layers keep scan phases and update phases
-/// separate (as they must with mmap, too).
+/// The buffer is held as raw parts and every page access derives its slice
+/// straight from the base pointer, so a `&mut` page slice and `&` slices of
+/// *other* pages may coexist — exactly the aliasing situation of the mmap
+/// backend, where views hold shared mappings into the store while the write
+/// path mutates individual pages. (A whole-buffer `&mut` is never formed, so
+/// disjoint-page accesses from different threads are sound.)
 struct SimBuffer {
-    slots: UnsafeCell<Box<[u64]>>,
+    ptr: *mut u64,
+    len: usize,
 }
 
-// SAFETY: access is serialized by the upper layers exactly as it has to be
-// for the mmap backend (a view scan never runs concurrently with an update
-// of the same pages). The buffer itself never reallocates, so raw slices
-// stay valid for its whole lifetime.
+// SAFETY: the upper layers never access the *same page* mutably and in any
+// other way at the same time (the serving layer hands readers frozen copies
+// of pages a fold is about to write; single-threaded code separates scan and
+// update phases). Disjoint pages are distinct memory: the buffer never
+// reallocates, so page slices stay valid for its whole lifetime.
 unsafe impl Send for SimBuffer {}
 unsafe impl Sync for SimBuffer {}
 
 impl SimBuffer {
     fn new(num_pages: usize) -> Self {
-        Self {
-            slots: UnsafeCell::new(vec![0u64; num_pages * SLOTS_PER_PAGE].into_boxed_slice()),
-        }
+        let mut slots = vec![0u64; num_pages * SLOTS_PER_PAGE];
+        let ptr = slots.as_mut_ptr();
+        let len = slots.len();
+        std::mem::forget(slots);
+        Self { ptr, len }
     }
 
     /// # Safety
     /// Caller must ensure `phys_page` is in bounds and that no `&mut` slice
-    /// of the same page is alive.
+    /// of the *same page* is alive.
     unsafe fn page(&self, phys_page: usize) -> &[u64] {
-        let buf = &*self.slots.get();
-        &buf[phys_page * SLOTS_PER_PAGE..(phys_page + 1) * SLOTS_PER_PAGE]
+        debug_assert!((phys_page + 1) * SLOTS_PER_PAGE <= self.len);
+        std::slice::from_raw_parts(self.ptr.add(phys_page * SLOTS_PER_PAGE), SLOTS_PER_PAGE)
     }
 
     /// # Safety
     /// Caller must ensure `phys_page` is in bounds and that no other slice
-    /// of the same page is alive.
+    /// of the *same page* is alive.
     #[allow(clippy::mut_from_ref)]
     unsafe fn page_mut(&self, phys_page: usize) -> &mut [u64] {
-        let buf = &mut *self.slots.get();
-        &mut buf[phys_page * SLOTS_PER_PAGE..(phys_page + 1) * SLOTS_PER_PAGE]
+        debug_assert!((phys_page + 1) * SLOTS_PER_PAGE <= self.len);
+        std::slice::from_raw_parts_mut(self.ptr.add(phys_page * SLOTS_PER_PAGE), SLOTS_PER_PAGE)
+    }
+}
+
+impl Drop for SimBuffer {
+    fn drop(&mut self) {
+        // SAFETY: reconstructs exactly the Vec leaked in `new` (capacity ==
+        // len: the vec was built with `vec![]` and never grown).
+        drop(unsafe { Vec::from_raw_parts(self.ptr, self.len, self.len) });
     }
 }
 
