@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! experiments [fig3|fig4|fig5|fig6|fig7|table1|ablation|scaling|align-overlap|
-//!              table-scan|filter-kernel|serve|all]
+//!              table-scan|filter-kernel|serve|incremental-align|all]
 //!             [--backend sim|mmap] [--scale tiny|small|medium|paper]
 //!             [--seed N] [--csv-dir DIR] [--threads N]
 //!             [--align-mode sync|background]
@@ -50,6 +50,16 @@
 //! `experiments compare DIR/serve_clients_seq DIR/serve_clients_2
 //! --max-delta-pct 0` gates cross-client determinism.
 //!
+//! The `incremental-align` experiment sweeps installed-view counts against
+//! hot-zone-churn touch fractions, running every cell once with the
+//! dependency-pruned incremental planner and once with full replanning. It
+//! asserts both variants answer bit-identically, appends one JSON line of
+//! pruning-ratio/publish-latency history to `BENCH_incremental_align.json`
+//! and — with `--csv-dir` — writes each variant's answer table to
+//! `DIR/incremental_align_{incremental,full}/`, so
+//! `experiments compare DIR/incremental_align_incremental
+//! DIR/incremental_align_full --max-delta-pct 0` gates the equivalence.
+//!
 //! The `compare` subcommand diffs two `--csv-dir` outputs and prints
 //! per-experiment timing deltas; `--max-delta-pct X` turns it into a check
 //! that fails (exit code 1) when any per-row delta exceeds `X` percent
@@ -59,8 +69,8 @@
 use std::process::ExitCode;
 
 use asv_bench::{
-    ablation, align_overlap, compare, fig3, fig4, fig5, fig6, fig7, filter_kernel, report, scaling,
-    serve, table1, table_scan, Scale, DEFAULT_SEED,
+    ablation, align_overlap, compare, fig3, fig4, fig5, fig6, fig7, filter_kernel,
+    incremental_align, report, scaling, serve, table1, table_scan, Scale, DEFAULT_SEED,
 };
 use asv_core::Parallelism;
 use asv_vmem::{AnyBackend, Backend};
@@ -172,7 +182,7 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 return Err(
                     "usage: experiments [fig3|fig4|fig5|fig6|fig7|table1|ablation|scaling|\
-                            align-overlap|table-scan|filter-kernel|serve|all] \
+                            align-overlap|table-scan|filter-kernel|serve|incremental-align|all] \
                             [--backend sim|mmap] [--scale tiny|small|medium|paper] \
                             [--seed N] [--csv-dir DIR] [--threads N] \
                             [--align-mode sync|background] \
@@ -451,6 +461,53 @@ fn run_serve(args: &Args) {
     }
 }
 
+fn run_incremental_align(args: &Args) {
+    let report = with_concrete_backend!(&args.backend, |b| incremental_align::run_with(
+        b,
+        &args.scale,
+        args.seed,
+        args.parallelism
+    ));
+    let table = incremental_align::to_table(&report);
+    println!("{}", table.render());
+    println!(
+        "best planned/candidate pruning ratio (incremental cells): {:.3}\n",
+        report.best_planned_ratio()
+    );
+    maybe_write_csv(&args.csv_dir, "incremental_align", &table);
+    if let Some(dir) = &args.csv_dir {
+        for variant in incremental_align::VARIANTS {
+            let answers = incremental_align::answers_table(&report, variant);
+            let path = format!("{dir}/incremental_align_{variant}/answers.csv");
+            if let Err(e) = report::write_csv(&path, &answers.to_csv()) {
+                eprintln!("warning: could not write {path}: {e}");
+            } else {
+                println!("(wrote {path})");
+            }
+        }
+    }
+    let unix_ms = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_millis());
+    let line = incremental_align::bench_json_line(
+        &report,
+        args.backend.name(),
+        args.scale.name,
+        args.seed,
+        &args.parallelism.to_string(),
+        unix_ms,
+    );
+    let bench_path = match &args.csv_dir {
+        Some(dir) => format!("{dir}/BENCH_incremental_align.json"),
+        None => "BENCH_incremental_align.json".to_string(),
+    };
+    if let Err(e) = report::append_line(&bench_path, &line) {
+        eprintln!("warning: could not append to {bench_path}: {e}");
+    } else {
+        println!("(appended perf-history line to {bench_path})");
+    }
+}
+
 /// The `compare` subcommand: `experiments compare DIR_A DIR_B`.
 fn run_compare(args: &Args) -> ExitCode {
     let [_, dir_a, dir_b] = args.experiments.as_slice() else {
@@ -533,6 +590,7 @@ fn main() -> ExitCode {
             "table-scan" => run_table_scan(&args),
             "filter-kernel" => run_filter_kernel(&args),
             "serve" => run_serve(&args),
+            "incremental-align" => run_incremental_align(&args),
             "all" => {
                 run_fig3(&args);
                 run_fig4(&args);
@@ -546,6 +604,7 @@ fn main() -> ExitCode {
                 run_table_scan(&args);
                 run_filter_kernel(&args);
                 run_serve(&args);
+                run_incremental_align(&args);
             }
             other => {
                 eprintln!("unknown experiment '{other}'");

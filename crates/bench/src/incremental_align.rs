@@ -1,0 +1,514 @@
+//! The `incremental-align` experiment: dependency-graph-driven incremental
+//! alignment vs full replanning (new experiment, beyond the paper).
+//!
+//! A linearly clustered [`ServeTable`] column with `V` installed views
+//! partitioning the value domain is driven through seeded hot-zone-churn
+//! rounds ([`asv_workloads::UpdateWorkload::hot_zone_churn`]): every
+//! round's writes fall into one contiguous row window with page-local
+//! values, so only the views whose predicate range overlaps that slice of
+//! the domain are affected. The sweep crosses view counts with touch
+//! fractions and runs each cell twice:
+//!
+//! * **incremental** — the dependency graph prunes the fold to the views
+//!   whose ranges intersect the written zones' bands, and the serve loop
+//!   drains the per-view delta queue item by item;
+//! * **full** — every live view is replanned each round (the pre-delta
+//!   baseline, kept as the correctness twin).
+//!
+//! Correctness is gated before any numbers are reported: both variants
+//! must produce the **bit-identical answer set** over one range query per
+//! installed view after every round. The harness reports the
+//! planned-views/candidate-views ratio (the fraction of planning work the
+//! dependency graph could not prune) and the p50/p95/p99 per-item publish
+//! latency. The per-variant answer tables are exported so
+//! `experiments compare DIR_inc DIR_full --max-delta-pct 0` gates the
+//! equivalence on the rendered CSV bytes.
+
+use std::time::Instant;
+
+use asv_core::{AdaptiveConfig, AlignChunking, Parallelism, ServeTable};
+use asv_util::ValueRange;
+use asv_vmem::{Backend, VALUES_PER_PAGE};
+use asv_workloads::{ChurnRound, Distribution, UpdateWorkload, DEFAULT_MAX_VALUE};
+
+use crate::report::Table;
+use crate::scale::Scale;
+
+/// The two measured variants, in export order.
+pub const VARIANTS: [&str; 2] = ["incremental", "full"];
+
+/// The answer of one per-view range query — the equivalence witness
+/// asserted across variants.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IncAnswer {
+    /// Qualifying rows.
+    pub count: u64,
+    /// Sum of qualifying values.
+    pub sum: u128,
+}
+
+impl IncAnswer {
+    /// A compact exact witness, rendered as a non-numeric label so the
+    /// `compare` subcommand requires byte equality instead of a float
+    /// tolerance.
+    pub fn checksum_label(&self) -> String {
+        format!("x{:x}", self.sum)
+    }
+}
+
+/// One measured (view count, touch fraction, variant) cell.
+#[derive(Clone, Debug)]
+pub struct IncCell {
+    /// Installed views.
+    pub views: usize,
+    /// Touch fraction in per mille of the rows.
+    pub touch_permille: usize,
+    /// `"incremental"` or `"full"`.
+    pub variant: &'static str,
+    /// Alignment rounds folded.
+    pub align_rounds: u64,
+    /// Views snapshotted and replanned across all rounds.
+    pub planned_views: u64,
+    /// Live views at fold time, summed across all rounds (the work a
+    /// full replan performs).
+    pub candidate_views: u64,
+    /// Delta work items published.
+    pub published_items: u64,
+    /// Median per-item publish latency, microseconds.
+    pub publish_p50_us: f64,
+    /// 95th-percentile per-item publish latency, microseconds.
+    pub publish_p95_us: f64,
+    /// 99th-percentile per-item publish latency, microseconds.
+    pub publish_p99_us: f64,
+    /// Wall-clock time of the whole run (writes + maintenance + reads),
+    /// milliseconds.
+    pub wall_ms: f64,
+    /// Every answer as `(round, view, answer)`, sorted.
+    pub answers: Vec<(usize, usize, IncAnswer)>,
+    /// Checksum folding every answer in (round, view) order.
+    pub checksum: u64,
+}
+
+impl IncCell {
+    /// Fraction of the full-replan planning work this variant performed
+    /// (1.0 = no pruning).
+    pub fn planned_ratio(&self) -> f64 {
+        if self.candidate_views == 0 {
+            return 1.0;
+        }
+        self.planned_views as f64 / self.candidate_views as f64
+    }
+}
+
+/// The full result of one `incremental-align` run.
+#[derive(Clone, Debug)]
+pub struct IncReport {
+    /// Cells in sweep order: for every (views, touch) pair the
+    /// incremental cell, then its full-replan twin.
+    pub cells: Vec<IncCell>,
+    /// Churn rounds per cell.
+    pub rounds: usize,
+    /// Writes per churn round.
+    pub writes_per_round: usize,
+    /// Rows of the column.
+    pub num_rows: usize,
+}
+
+impl IncReport {
+    /// The smallest planned-views/candidate-views ratio any incremental
+    /// cell achieved — the headline pruning number.
+    pub fn best_planned_ratio(&self) -> f64 {
+        self.cells
+            .iter()
+            .filter(|c| c.variant == "incremental")
+            .map(IncCell::planned_ratio)
+            .fold(1.0, f64::min)
+    }
+}
+
+/// `V` contiguous views partitioning `[0, max_value]`.
+fn view_ranges(views: usize, max_value: u64) -> Vec<ValueRange> {
+    let width = (max_value / views as u64).max(1);
+    (0..views as u64)
+        .map(|i| {
+            let lo = i * width;
+            let hi = if i + 1 == views as u64 {
+                max_value
+            } else {
+                (i + 1) * width - 1
+            };
+            ValueRange::new(lo, hi.max(lo))
+        })
+        .collect()
+}
+
+fn config_for(parallelism: Parallelism, incremental: bool) -> AdaptiveConfig {
+    AdaptiveConfig::default()
+        .with_parallelism(parallelism)
+        .with_chunking(
+            AlignChunking::default()
+                .with_chunk_updates(64)
+                .with_group_commit_idle(0)
+                .with_incremental_align(incremental),
+        )
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+fn fold_answers(answers: &[(usize, usize, IncAnswer)]) -> u64 {
+    answers.iter().fold(0u64, |acc, &(k, v, a)| {
+        let mut h = splitmix64(acc ^ ((k as u64) << 32) ^ v as u64);
+        h = splitmix64(h ^ a.count);
+        h = splitmix64(h ^ a.sum as u64);
+        splitmix64(h ^ (a.sum >> 64) as u64)
+    })
+}
+
+fn percentile_us(samples_us: &mut [u64], pct: f64) -> f64 {
+    if samples_us.is_empty() {
+        return 0.0;
+    }
+    samples_us.sort_unstable();
+    let idx = ((samples_us.len() as f64) * pct / 100.0).ceil() as usize;
+    samples_us[idx.saturating_sub(1).min(samples_us.len() - 1)] as f64
+}
+
+/// Runs one (views, touch, variant) cell.
+#[allow(clippy::too_many_arguments)]
+fn run_cell<B: Backend>(
+    backend: &B,
+    parallelism: Parallelism,
+    values: &[u64],
+    ranges: &[ValueRange],
+    churn: &[ChurnRound],
+    views: usize,
+    touch_permille: usize,
+    incremental: bool,
+) -> IncCell {
+    let mut table = ServeTable::new(backend.clone(), config_for(parallelism, incremental));
+    let col = table.add_column(values).expect("column materialization");
+    for range in ranges {
+        table.install_view(col, *range).expect("view installation");
+    }
+    let handle = table.handle();
+
+    let mut answers = Vec::new();
+    let started = Instant::now();
+    for (k, round) in churn.iter().enumerate() {
+        table.write_batch(col, &round.writes);
+        table.quiesce().expect("quiesce");
+        let snap = handle.pin();
+        for (v, range) in ranges.iter().enumerate() {
+            let out = snap.query_range(col, range);
+            answers.push((
+                k,
+                v,
+                IncAnswer {
+                    count: out.count,
+                    sum: out.sum,
+                },
+            ));
+        }
+    }
+    let wall_ms = started.elapsed().as_secs_f64() * 1_000.0;
+    let activity = table.align_activity();
+    let mut publish_us = table.drain_publish_micros();
+    answers.sort_by_key(|&(k, v, _)| (k, v));
+    let checksum = fold_answers(&answers);
+    IncCell {
+        views,
+        touch_permille,
+        variant: if incremental { "incremental" } else { "full" },
+        align_rounds: activity.rounds,
+        planned_views: activity.planned_views,
+        candidate_views: activity.candidate_views,
+        published_items: activity.published_items,
+        publish_p50_us: percentile_us(&mut publish_us, 50.0),
+        publish_p95_us: percentile_us(&mut publish_us, 95.0),
+        publish_p99_us: percentile_us(&mut publish_us, 99.0),
+        wall_ms,
+        answers,
+        checksum,
+    }
+}
+
+/// Runs the view-count x touch-fraction sweep on `backend`.
+///
+/// # Panics
+/// Panics if any incremental cell's answer set deviates from its
+/// full-replan twin's — the pruned planner must be exact before its
+/// pruning ratio means anything.
+pub fn run_with<B: Backend>(
+    backend: &B,
+    scale: &Scale,
+    seed: u64,
+    parallelism: Parallelism,
+) -> IncReport {
+    let num_rows = scale.inc_pages * VALUES_PER_PAGE;
+    let max_value = DEFAULT_MAX_VALUE;
+    let values = Distribution::Linear { max_value }.generate_pages(scale.inc_pages, seed);
+
+    let mut cells = Vec::new();
+    for &views in &scale.inc_view_counts {
+        let ranges = view_ranges(views, max_value);
+        for &touch in &scale.inc_touch_permille {
+            let churn = UpdateWorkload::new(seed ^ (views as u64) << 20 ^ touch as u64)
+                .hot_zone_churn(
+                    scale.inc_rounds,
+                    scale.inc_writes_per_round,
+                    num_rows,
+                    touch as f64 / 1_000.0,
+                    max_value,
+                );
+            let inc = run_cell(
+                backend,
+                parallelism,
+                &values,
+                &ranges,
+                &churn,
+                views,
+                touch,
+                true,
+            );
+            let full = run_cell(
+                backend,
+                parallelism,
+                &values,
+                &ranges,
+                &churn,
+                views,
+                touch,
+                false,
+            );
+            assert_eq!(
+                inc.answers, full.answers,
+                "incremental diverged from the full-replan twin \
+                 ({views} views, {touch} permille touch)"
+            );
+            assert_eq!(inc.checksum, full.checksum);
+            assert!(
+                inc.planned_views <= inc.candidate_views,
+                "the dependency graph can only prune, never add work"
+            );
+            assert_eq!(
+                full.planned_views, full.candidate_views,
+                "the full twin replans every live view"
+            );
+            cells.push(inc);
+            cells.push(full);
+        }
+    }
+    IncReport {
+        cells,
+        rounds: scale.inc_rounds,
+        writes_per_round: scale.inc_writes_per_round,
+        num_rows,
+    }
+}
+
+/// Renders the sweep cells.
+pub fn to_table(report: &IncReport) -> Table {
+    let mut table = Table::new(
+        format!(
+            "Incremental alignment: dependency-pruned vs full replanning \
+             ({} churn rounds x {} writes, {} rows)",
+            report.rounds, report.writes_per_round, report.num_rows
+        ),
+        &[
+            "views",
+            "touch \u{2030}",
+            "variant",
+            "folds",
+            "planned",
+            "candidates",
+            "ratio",
+            "items",
+            "pub p50 us",
+            "pub p95 us",
+            "pub p99 us",
+            "wall ms",
+            "checksum",
+        ],
+    );
+    for cell in &report.cells {
+        table.add_row(vec![
+            cell.views.to_string(),
+            cell.touch_permille.to_string(),
+            cell.variant.to_string(),
+            cell.align_rounds.to_string(),
+            cell.planned_views.to_string(),
+            cell.candidate_views.to_string(),
+            format!("{:.3}", cell.planned_ratio()),
+            cell.published_items.to_string(),
+            format!("{:.1}", cell.publish_p50_us),
+            format!("{:.1}", cell.publish_p95_us),
+            format!("{:.1}", cell.publish_p99_us),
+            format!("{:.2}", cell.wall_ms),
+            format!("x{:x}", cell.checksum),
+        ]);
+    }
+    table
+}
+
+/// Renders one variant's full answer set as an exact-match table (counts
+/// are plain integers, sums non-numeric labels), for
+/// `experiments compare ... --max-delta-pct 0` across variants.
+pub fn answers_table(report: &IncReport, variant: &str) -> Table {
+    let mut table = Table::new(
+        "Incremental-alignment answers (identical for both variants)",
+        &[
+            "views",
+            "touch \u{2030}",
+            "round",
+            "view",
+            "count",
+            "checksum",
+        ],
+    );
+    for cell in report.cells.iter().filter(|c| c.variant == variant) {
+        for &(k, v, a) in &cell.answers {
+            table.add_row(vec![
+                cell.views.to_string(),
+                cell.touch_permille.to_string(),
+                k.to_string(),
+                v.to_string(),
+                a.count.to_string(),
+                a.checksum_label(),
+            ]);
+        }
+    }
+    table
+}
+
+/// Builds the one-line JSON record appended to
+/// `BENCH_incremental_align.json` after every run — the tracked perf
+/// history (hand-rendered: the harness has no JSON dependency).
+pub fn bench_json_line(
+    report: &IncReport,
+    backend: &str,
+    scale: &str,
+    seed: u64,
+    threads: &str,
+    unix_ms: u128,
+) -> String {
+    let mut cells = String::new();
+    for (i, cell) in report.cells.iter().enumerate() {
+        if i > 0 {
+            cells.push(',');
+        }
+        cells.push_str(&format!(
+            "{{\"views\":{},\"touch_permille\":{},\"variant\":\"{}\",\
+             \"planned\":{},\"candidates\":{},\"ratio\":{:.3},\"items\":{},\
+             \"pub_p50_us\":{:.1},\"pub_p95_us\":{:.1},\"pub_p99_us\":{:.1},\
+             \"wall_ms\":{:.2},\"checksum\":\"{:x}\"}}",
+            cell.views,
+            cell.touch_permille,
+            cell.variant,
+            cell.planned_views,
+            cell.candidate_views,
+            cell.planned_ratio(),
+            cell.published_items,
+            cell.publish_p50_us,
+            cell.publish_p95_us,
+            cell.publish_p99_us,
+            cell.wall_ms,
+            cell.checksum,
+        ));
+    }
+    format!(
+        "{{\"experiment\":\"incremental_align\",\"backend\":\"{}\",\"scale\":\"{}\",\
+         \"seed\":{},\"threads\":\"{}\",\"unix_ms\":{},\"rounds\":{},\
+         \"writes_per_round\":{},\"num_rows\":{},\"best_planned_ratio\":{:.3},\
+         \"cells\":[{}]}}",
+        backend,
+        scale,
+        seed,
+        threads,
+        unix_ms,
+        report.rounds,
+        report.writes_per_round,
+        report.num_rows,
+        report.best_planned_ratio(),
+        cells,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asv_vmem::SimBackend;
+
+    #[test]
+    fn tiny_sweep_matches_full_replan_and_prunes() {
+        let scale = Scale::tiny();
+        let report = run_with(&SimBackend::new(), &scale, 7, Parallelism::Sequential);
+        let pairs = scale.inc_view_counts.len() * scale.inc_touch_permille.len();
+        assert_eq!(report.cells.len(), 2 * pairs);
+        for pair in report.cells.chunks(2) {
+            let [inc, full] = pair else { unreachable!() };
+            assert_eq!(inc.variant, "incremental");
+            assert_eq!(full.variant, "full");
+            assert_eq!(inc.answers, full.answers);
+            assert_eq!(inc.checksum, full.checksum);
+            assert!(inc.align_rounds > 0);
+            assert!(inc.planned_ratio() <= full.planned_ratio());
+            assert!(inc.publish_p50_us <= inc.publish_p99_us);
+            // Every round queries every view.
+            assert_eq!(
+                inc.answers.len(),
+                scale.inc_rounds * inc.views,
+                "one answer per (round, view)"
+            );
+            assert!(inc.answers.iter().any(|&(_, _, a)| a.count > 0));
+        }
+        // Hot-zone churn touches a contiguous slice of the domain: with
+        // several views installed the dependency graph must prune work
+        // somewhere in the sweep.
+        assert!(
+            report.best_planned_ratio() < 1.0,
+            "no cell pruned any planning work"
+        );
+        let table = to_table(&report);
+        assert_eq!(table.num_rows(), report.cells.len());
+        let inc_answers = answers_table(&report, "incremental");
+        let full_answers = answers_table(&report, "full");
+        assert_eq!(
+            inc_answers.to_csv(),
+            full_answers.to_csv(),
+            "answer tables render byte-identically across variants"
+        );
+    }
+
+    #[test]
+    fn view_ranges_partition_the_domain() {
+        let ranges = view_ranges(4, 99);
+        assert_eq!(ranges.len(), 4);
+        assert_eq!(ranges[0].low(), 0);
+        assert_eq!(ranges[3].high(), 99);
+        for pair in ranges.windows(2) {
+            assert_eq!(pair[0].high() + 1, pair[1].low());
+        }
+    }
+
+    #[test]
+    fn bench_json_line_is_one_line_and_balanced() {
+        let report = run_with(
+            &SimBackend::new(),
+            &Scale::tiny(),
+            5,
+            Parallelism::Sequential,
+        );
+        let line = bench_json_line(&report, "sim", "tiny", 5, "sequential", 1_700_000_000_000);
+        assert!(!line.contains('\n'));
+        assert!(line.starts_with('{') && line.ends_with('}'));
+        assert_eq!(line.matches('{').count(), line.matches('}').count());
+        assert!(line.contains("\"experiment\":\"incremental_align\""));
+        assert!(line.contains("\"variant\":\"incremental\""));
+        assert!(line.contains("\"variant\":\"full\""));
+    }
+}

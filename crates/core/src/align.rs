@@ -54,6 +54,26 @@
 //!   layer substitutes the queued values), and the queue drains into the
 //!   next alignment round automatically when the current round's last
 //!   chunk publishes.
+//!
+//! # Dependency-driven incremental alignment
+//!
+//! Snapshotting *every* view for *every* batch makes maintenance cost
+//! scale with total views, not affected views. The [`ViewDepGraph`] — an
+//! [`IntervalIndex`] over every partial view's predicate range, kept in
+//! sync by [`ViewSet`] on view creation/replacement/clear — lets a write
+//! batch be narrowed first: [`compute_alignment_delta`] intersects the
+//! touched zones' value bands ([`ZoneStats`]) with the indexed predicate
+//! ranges and emits one [`DeltaWorkItem`] per affected view, ordered by a
+//! priority key (views hit by more touched zones first). Feeding the delta
+//! to [`snapshot_alignment_delta`] materializes mapping tables and page
+//! values *only for that subset* — untouched views are never snapshotted,
+//! planned, or republished; they keep their epoch verbatim. Because zone
+//! bands only ever widen (they cover both the pre-batch contents and every
+//! acknowledged write), a view outside every touched band can have no
+//! qualifying old or new value in the batch, so its full-replan plan would
+//! be empty: the filtered plan equals the full plan restricted to its
+//! views, op for op. The full-replan path stays in place as the
+//! property-test reference twin.
 
 use std::cell::{Cell, Ref, RefCell};
 use std::collections::HashMap;
@@ -62,9 +82,10 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use asv_storage::{dedup_last_write_wins, sorted_page_groups, Column, ExclusionMasks, Update};
-use asv_util::{Parallelism, ThreadPool, Timer, ValueRange};
+use asv_util::{IntervalIndex, Parallelism, ThreadPool, Timer, ValueRange};
 use asv_vmem::{Backend, MappingTable, VmemError};
 
+use crate::plan::ZoneStats;
 use crate::updates::UpdateAlignmentStats;
 use crate::viewset::ViewSet;
 
@@ -146,12 +167,168 @@ pub struct AlignmentSnapshot {
     page_values: HashMap<usize, Vec<u64>>,
 }
 
+impl AlignmentSnapshot {
+    /// Number of views this snapshot will plan — the full live set for
+    /// [`snapshot_alignment`], only the delta's views for
+    /// [`snapshot_alignment_delta`].
+    pub fn num_planned_views(&self) -> usize {
+        self.views.len()
+    }
+}
+
 #[derive(Clone, Debug)]
 struct ViewSnapshot {
     idx: usize,
     id: u64,
     range: ValueRange,
     table: MappingTable,
+}
+
+/// The predicate → view dependency index of one column's view set.
+///
+/// Wraps an [`IntervalIndex`] keyed by view id. [`ViewSet`] owns one and
+/// keeps it in sync at every mutation point (unchecked insert, candidate
+/// replacement, clear) — view ranges are immutable after creation and
+/// rebuilds preserve ids and ranges, so no other sync points exist.
+#[derive(Clone, Debug, Default)]
+pub struct ViewDepGraph {
+    index: IntervalIndex,
+}
+
+impl ViewDepGraph {
+    /// Creates an empty dependency graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of indexed views.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// True if no views are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Registers a view's predicate range under its id.
+    pub(crate) fn note_insert(&mut self, id: u64, range: ValueRange) {
+        self.index.insert(id, range);
+    }
+
+    /// Drops a view (replaced or destroyed) from the index.
+    pub(crate) fn note_remove(&mut self, id: u64) {
+        self.index.remove(id);
+    }
+
+    /// Drops every view from the index.
+    pub(crate) fn clear(&mut self) {
+        self.index.clear();
+    }
+
+    /// The indexed predicate range of view `id`, if present.
+    pub fn range_of(&self, id: u64) -> Option<ValueRange> {
+        self.index.range_of(id)
+    }
+
+    /// Ids of all views whose predicate range intersects `band`, sorted
+    /// ascending — `O(log n + k)` via the interval tree.
+    pub fn overlapping(&self, band: &ValueRange) -> Vec<u64> {
+        self.index.overlapping(band)
+    }
+}
+
+/// One unit of incremental alignment work: a single view that a write batch
+/// actually affects.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DeltaWorkItem {
+    /// Position of the view in the view set at delta-computation time.
+    pub view_idx: usize,
+    /// Id of the view (revalidated at snapshot and publish time).
+    pub view_id: u64,
+    /// Cascade/priority key: the number of distinct touched zones whose
+    /// band intersects the view's predicate range. Items are ordered
+    /// hottest-first, so views overlapping more of the write land first in
+    /// the snapshot, the plan, and the serve layer's delta queue.
+    pub priority: u64,
+}
+
+/// The per-view work a write batch induces, as derived from the dependency
+/// graph: which views must be replanned, out of how many.
+#[derive(Clone, Debug)]
+pub struct AlignmentDelta {
+    /// Affected views, hottest first (priority descending, id ascending).
+    pub items: Vec<DeltaWorkItem>,
+    /// Total number of partial views at delta-computation time.
+    pub total_views: usize,
+    /// Number of distinct zones the batch wrote into.
+    pub touched_zones: usize,
+}
+
+impl AlignmentDelta {
+    /// Number of views the batch affects (the `k` in "replan exactly `k`
+    /// of `V` views").
+    pub fn num_affected(&self) -> usize {
+        self.items.len()
+    }
+}
+
+/// Narrows a write batch to the views it can possibly affect (the
+/// dependency-graph consultation step of incremental alignment).
+///
+/// Every updated row's zone contributes its [`ZoneStats`] band, widened by
+/// the batch's own old/new values as a defensive floor; views whose
+/// predicate range intersects no touched band are provably unaffected —
+/// zone bands are built over the column's initial contents and only ever
+/// widened by acknowledged writes, so both the old value removed from and
+/// the new value added to a zone lie inside its band. For such views the
+/// §2.4 replay would emit zero ops, so skipping them leaves their layout
+/// bit-identical to the full-replan path.
+pub fn compute_alignment_delta<B: Backend>(
+    stats: &ZoneStats,
+    views: &ViewSet<B>,
+    batch: &[Update],
+) -> AlignmentDelta {
+    // Touched zones with their (defensively widened) value bands.
+    let mut bands: HashMap<usize, ValueRange> = HashMap::new();
+    for u in batch {
+        let row = u.row as usize;
+        let zone = stats.zone_of_row(row);
+        let band = bands.entry(zone).or_insert_with(|| {
+            stats
+                .zone_band(zone)
+                .unwrap_or_else(|| ValueRange::point(u.old_value))
+        });
+        band.extend_to(u.old_value);
+        band.extend_to(u.new_value);
+    }
+
+    // Count, per affected view id, how many touched zones hit it.
+    let mut hits: HashMap<u64, u64> = HashMap::new();
+    for band in bands.values() {
+        for id in views.dep_graph().overlapping(band) {
+            *hits.entry(id).or_insert(0) += 1;
+        }
+    }
+
+    let idx_of: HashMap<u64, usize> = views.iter().map(|(idx, v)| (v.id(), idx)).collect();
+    let mut items: Vec<DeltaWorkItem> = hits
+        .into_iter()
+        .filter_map(|(view_id, priority)| {
+            idx_of.get(&view_id).map(|&view_idx| DeltaWorkItem {
+                view_idx,
+                view_id,
+                priority,
+            })
+        })
+        .collect();
+    items.sort_unstable_by_key(|item| (std::cmp::Reverse(item.priority), item.view_id));
+
+    AlignmentDelta {
+        items,
+        total_views: views.num_partial_views(),
+        touched_zones: bands.len(),
+    }
 }
 
 /// Captures everything the alignment planner needs from `column` / `views`
@@ -166,6 +343,29 @@ pub fn snapshot_alignment<B: Backend>(
     views: &ViewSet<B>,
     batch: &[Update],
 ) -> Result<AlignmentSnapshot, VmemError> {
+    snapshot_impl(column, views, batch, None)
+}
+
+/// Like [`snapshot_alignment`], but restricted to the views named by an
+/// [`AlignmentDelta`]: mapping tables and page values are materialized only
+/// for the affected subset, in the delta's priority order, so snapshot cost
+/// scales with *affected* views. Fails like [`apply_plan`] if the view set
+/// changed between delta computation and the snapshot.
+pub fn snapshot_alignment_delta<B: Backend>(
+    column: &Column<B>,
+    views: &ViewSet<B>,
+    batch: &[Update],
+    delta: &AlignmentDelta,
+) -> Result<AlignmentSnapshot, VmemError> {
+    snapshot_impl(column, views, batch, Some(delta))
+}
+
+fn snapshot_impl<B: Backend>(
+    column: &Column<B>,
+    views: &ViewSet<B>,
+    batch: &[Update],
+    subset: Option<&AlignmentDelta>,
+) -> Result<AlignmentSnapshot, VmemError> {
     let deduped = dedup_last_write_wins(batch);
     let deduped_size = deduped.len();
     let groups: Vec<(usize, Vec<Update>)> = sorted_page_groups(&deduped)
@@ -175,23 +375,48 @@ pub fn snapshot_alignment<B: Backend>(
         .filter(|(page, _)| *page < column.num_pages())
         .collect();
 
+    // Positions to snapshot: everything, or the delta's subset in priority
+    // order (which the plan and publish phases then inherit).
+    let selected: Vec<usize> = match subset {
+        None => (0..views.num_partial_views()).collect(),
+        Some(delta) => {
+            for item in &delta.items {
+                let matches = views
+                    .partial_view(item.view_idx)
+                    .is_some_and(|v| v.id() == item.view_id);
+                if !matches {
+                    return Err(VmemError::Unsupported(
+                        "view set changed between delta computation and snapshot",
+                    ));
+                }
+            }
+            delta.items.iter().map(|item| item.view_idx).collect()
+        }
+    };
+
     // The parse timer covers the whole snapshot materialization: mapping
     // tables plus the page-value copies (the work the synchronous path
     // previously did lazily inside its align timer stays accounted for).
     let parse_timer = Timer::start();
     let tables: Vec<MappingTable> = {
-        let buffers: Vec<&B::View> = views.partial_views().iter().map(|v| v.buffer()).collect();
+        let buffers: Vec<&B::View> = selected
+            .iter()
+            .map(|&idx| views.partial_view(idx).expect("validated above").buffer())
+            .collect();
         column.backend().mapping_tables(column.store(), &buffers)?
     };
 
-    let view_snapshots: Vec<ViewSnapshot> = views
+    let view_snapshots: Vec<ViewSnapshot> = selected
         .iter()
         .zip(tables)
-        .map(|((idx, view), table)| ViewSnapshot {
-            idx,
-            id: view.id(),
-            range: *view.range(),
-            table,
+        .map(|(&idx, table)| {
+            let view = views.partial_view(idx).expect("validated above");
+            ViewSnapshot {
+                idx,
+                id: view.id(),
+                range: *view.range(),
+                table,
+            }
         })
         .collect();
 

@@ -88,6 +88,21 @@ pub struct AlignChunking {
     /// tick after any write; [`crate::serve::ServeTable::quiesce`] and a
     /// queue at `max_queued_writes` fold regardless of the threshold.
     pub group_commit_idle: usize,
+    /// Dependency-graph-driven incremental alignment in the serving layer
+    /// ([`crate::serve`]): when enabled (the default), folding a write
+    /// batch consults the view set's [`crate::align::ViewDepGraph`] and
+    /// snapshots/replans *only* the views whose predicate ranges intersect
+    /// the touched zones — untouched views keep their epoch verbatim.
+    /// Disabling it restores the full-replan path (every view snapshotted
+    /// every round), which stays the bit-identical reference twin.
+    pub incremental_align: bool,
+    /// Bound on the per-view delta work items the serving layer's
+    /// maintenance tick publishes per call: each tick drains at most this
+    /// many items from the delta queue (hottest views first), interleaving
+    /// alignment publishes with group-commit work. `0` drains one whole
+    /// chunk's items per tick (the pre-delta-queue cadence). The default is
+    /// `1`: strict item-by-item draining.
+    pub delta_items_per_tick: usize,
 }
 
 impl AlignChunking {
@@ -108,6 +123,18 @@ impl AlignChunking {
         self.group_commit_idle = group_commit_idle;
         self
     }
+
+    /// Builder-style switch for dependency-driven incremental alignment.
+    pub fn with_incremental_align(mut self, incremental_align: bool) -> Self {
+        self.incremental_align = incremental_align;
+        self
+    }
+
+    /// Builder-style setter for the per-tick delta work-item budget.
+    pub fn with_delta_items_per_tick(mut self, delta_items_per_tick: usize) -> Self {
+        self.delta_items_per_tick = delta_items_per_tick;
+        self
+    }
 }
 
 impl Default for AlignChunking {
@@ -116,6 +143,8 @@ impl Default for AlignChunking {
             chunk_updates: 0,
             max_queued_writes: 1 << 20,
             group_commit_idle: 0,
+            incremental_align: true,
+            delta_items_per_tick: 1,
         }
     }
 }
@@ -251,6 +280,8 @@ mod tests {
         assert_eq!(c.chunking.chunk_updates, 0, "chunking off by default");
         assert!(c.chunking.max_queued_writes >= 1 << 20);
         assert_eq!(c.chunking.group_commit_idle, 0, "fold on first idle tick");
+        assert!(c.chunking.incremental_align, "delta-queue path by default");
+        assert_eq!(c.chunking.delta_items_per_tick, 1, "item-by-item drain");
     }
 
     #[test]
@@ -259,11 +290,15 @@ mod tests {
             AlignChunking::default()
                 .with_chunk_updates(128)
                 .with_max_queued_writes(4_096)
-                .with_group_commit_idle(32),
+                .with_group_commit_idle(32)
+                .with_incremental_align(false)
+                .with_delta_items_per_tick(8),
         );
         assert_eq!(c.chunking.chunk_updates, 128);
         assert_eq!(c.chunking.max_queued_writes, 4_096);
         assert_eq!(c.chunking.group_commit_idle, 32);
+        assert!(!c.chunking.incremental_align);
+        assert_eq!(c.chunking.delta_items_per_tick, 8);
     }
 
     #[test]

@@ -51,10 +51,10 @@ pub mod viewset;
 
 pub use adaptive::AdaptiveColumn;
 pub use align::{
-    apply_plan, chunk_boundaries, plan_alignment, plan_alignment_chunked, snapshot_alignment,
-    spawn_alignment, spawn_alignment_chunked, AlignmentPlan, AlignmentSnapshot,
-    ChunkedAlignmentPlan, PendingAlignment, PendingChunkedAlignment, ViewOp, ViewPlan,
-    WriteOverlay,
+    apply_plan, chunk_boundaries, compute_alignment_delta, plan_alignment, plan_alignment_chunked,
+    snapshot_alignment, snapshot_alignment_delta, spawn_alignment, spawn_alignment_chunked,
+    AlignmentDelta, AlignmentPlan, AlignmentSnapshot, ChunkedAlignmentPlan, DeltaWorkItem,
+    PendingAlignment, PendingChunkedAlignment, ViewDepGraph, ViewOp, ViewPlan, WriteOverlay,
 };
 pub use config::{AdaptiveConfig, AlignChunking, CreationOptions, RoutingMode};
 // Re-exported so downstream crates can configure the parallel execution
@@ -62,14 +62,14 @@ pub use config::{AdaptiveConfig, AlignChunking, CreationOptions, RoutingMode};
 pub use asv_util::{Parallelism, ThreadPool};
 pub use creation::{build_view_for_range, build_view_for_range_with, create_while_scanning};
 pub use plan::{
-    plan_conjunctive, CardinalityEstimate, ConjunctivePlan, PlanInput, PlanStep, PlannerConfig,
-    PredicateEstimate, ProbeTracker, StepKind, ZoneStats,
+    merge_same_column, plan_conjunctive, CardinalityEstimate, ConjunctivePlan, MergedPredicate,
+    PlanInput, PlanStep, PlannerConfig, PredicateEstimate, ProbeTracker, StepKind, ZoneStats,
 };
 pub use query::{QueryExecution, QueryOutcome, RangeQuery, ViewMaintenance};
 pub use router::{route, RouteSelection, ViewId};
 pub use serve::{
-    ColumnEpoch, ConjunctiveAnswer, RangeAnswer, ServeTable, Snapshot, TableEpoch, TableHandle,
-    ViewMeta,
+    AlignActivity, ColumnEpoch, ConjunctiveAnswer, RangeAnswer, ServeTable, Snapshot, TableEpoch,
+    TableHandle, ViewMeta,
 };
 pub use stats::{
     ChunkPublishRecord, ChunkPublishStats, ConjunctiveRecord, ConjunctiveStats, QueryRecord,

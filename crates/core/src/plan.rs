@@ -20,7 +20,9 @@
 //!
 //! Probes are cheap but build no views. So every probe against a column
 //! whose views could *not* have covered the predicate feeds that column's
-//! [`ProbeTracker`]; once enough uncovered probes accumulate, the planner
+//! [`ProbeTracker`] with the predicate's [`ZoneStats`] page estimate; once
+//! the accumulated page cost of uncovered probes reaches the planner's
+//! budget (cost-based, not probe-count-based), the planner
 //! *promotes* the predicate to a full adaptive scan ([`StepKind::
 //! AdaptiveScan`]) on its next execution — the column gets its chance to
 //! materialize a partial view, and the tracker resets. This keeps partial
@@ -99,6 +101,23 @@ impl ZoneStats {
     /// Pages aggregated per zone.
     pub fn pages_per_zone(&self) -> usize {
         self.pages_per_zone
+    }
+
+    /// The zone index covering `row` (rows past the column map to the last
+    /// zone, matching [`ZoneStats::note_write`]'s saturation behaviour).
+    pub fn zone_of_row(&self, row: usize) -> usize {
+        let zone = (row / VALUES_PER_PAGE) / self.pages_per_zone;
+        zone.min(self.zones.len().saturating_sub(1))
+    }
+
+    /// The `(min, max)` band of zone `zone` as a [`ValueRange`], or `None`
+    /// when the zone holds no values (or is out of bounds).
+    pub fn zone_band(&self, zone: usize) -> Option<ValueRange> {
+        self.zones
+            .get(zone)
+            .copied()
+            .flatten()
+            .map(|(lo, hi)| ValueRange::new(lo, hi))
     }
 
     /// Widens the band of the zone containing `row` to include `new_value`.
@@ -215,6 +234,43 @@ impl ConjunctivePlan {
     }
 }
 
+/// One same-column group of a conjunction after predicate merging: the
+/// intersection of every input range over one column.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MergedPredicate {
+    /// Input position of the column's *first* predicate — the merged
+    /// predicate answers for this representative in `executed_order`.
+    pub input_idx: usize,
+    /// The column all merged inputs filter.
+    pub col_idx: usize,
+    /// Intersection of the column's input ranges.
+    pub range: ValueRange,
+}
+
+/// Merges same-column predicates of a conjunction into one closed range per
+/// column (the conjunction of ranges over one column *is* their
+/// intersection), preserving first-occurrence order. Returns `None` when
+/// some column's predicates are mutually unsatisfiable — the whole
+/// conjunction is provably empty and need not touch any column.
+///
+/// Besides unlocking planned execution for duplicate-column conjunctions
+/// (which previously fell back to the naive path), this keeps each view
+/// set's dependency-graph footprint at one interval per column per query.
+pub fn merge_same_column(predicates: &[(usize, ValueRange)]) -> Option<Vec<MergedPredicate>> {
+    let mut merged: Vec<MergedPredicate> = Vec::with_capacity(predicates.len());
+    for (input_idx, &(col_idx, range)) in predicates.iter().enumerate() {
+        match merged.iter_mut().find(|m| m.col_idx == col_idx) {
+            Some(existing) => existing.range = existing.range.intersect(&range)?,
+            None => merged.push(MergedPredicate {
+                input_idx,
+                col_idx,
+                range,
+            }),
+        }
+    }
+    Some(merged)
+}
+
 /// One predicate's planning input: the column it targets, that column's
 /// zone statistics, the query, and whether the column's probe tracker has
 /// requested promotion.
@@ -296,6 +352,7 @@ pub fn plan_conjunctive<B: Backend>(inputs: &[PlanInput<'_, B>]) -> ConjunctiveP
 pub struct ProbeTracker {
     probes: usize,
     uncovered_probes: usize,
+    uncovered_cost_pages: usize,
     probed_hull: Option<ValueRange>,
 }
 
@@ -310,6 +367,12 @@ impl ProbeTracker {
         self.uncovered_probes
     }
 
+    /// Accumulated [`ZoneStats`] page estimates of the uncovered probes:
+    /// the scan work a partial view *would have saved*, had one existed.
+    pub fn uncovered_cost_pages(&self) -> usize {
+        self.uncovered_cost_pages
+    }
+
     /// Hull of all probed ranges since the last reset.
     pub fn probed_hull(&self) -> Option<ValueRange> {
         self.probed_hull
@@ -317,11 +380,15 @@ impl ProbeTracker {
 
     /// Records a probe against `range`; `covered` says whether the column's
     /// partial views could have answered the predicate without the full
-    /// view.
-    pub fn note_probe(&mut self, range: &ValueRange, covered: bool) {
+    /// view, `est_pages` is the [`ZoneStats`] page estimate of the
+    /// predicate (the pages a full adaptive scan would have touched — an
+    /// uncovered probe always accrues at least one page so promotion never
+    /// stalls on empty estimates).
+    pub fn note_probe(&mut self, range: &ValueRange, covered: bool, est_pages: usize) {
         self.probes += 1;
         if !covered {
             self.uncovered_probes += 1;
+            self.uncovered_cost_pages += est_pages.max(1);
         }
         self.probed_hull = Some(match self.probed_hull {
             Some(hull) => hull.hull(range),
@@ -329,10 +396,14 @@ impl ProbeTracker {
         });
     }
 
-    /// Returns `true` once at least `threshold` uncovered probes have
-    /// accumulated (a threshold of 0 never promotes).
-    pub fn should_promote(&self, threshold: usize) -> bool {
-        threshold > 0 && self.uncovered_probes >= threshold
+    /// Returns `true` once the accumulated uncovered-probe page cost
+    /// reaches `threshold_pages` (a threshold of 0 never promotes).
+    ///
+    /// Cost-based rather than count-based: a handful of probes over wide,
+    /// expensive predicates justifies building a view sooner than many
+    /// probes over single-page predicates.
+    pub fn should_promote(&self, threshold_pages: usize) -> bool {
+        threshold_pages > 0 && self.uncovered_cost_pages >= threshold_pages
     }
 
     /// Clears the tracker (called after the column ran the adaptive path).
@@ -347,10 +418,12 @@ pub struct PlannerConfig {
     /// `false` routes every conjunctive query through the naive
     /// scan-all-then-intersect path (useful as an equivalence baseline).
     pub enabled: bool,
-    /// Number of uncovered probes against one column before its next
-    /// residual predicate is promoted to a full adaptive scan; `0` disables
-    /// promotion.
-    pub promote_after: usize,
+    /// Page-cost budget of probe promotion: once the [`ZoneStats`] page
+    /// estimates of a column's uncovered probes sum to at least this many
+    /// pages, its next residual predicate is promoted to a full adaptive
+    /// scan (so the column can materialize a view whose savings now
+    /// outweigh its build cost); `0` disables promotion.
+    pub promote_cost_pages: usize,
     /// Fork-join parallelism across the *independent column scans* of one
     /// plan (the driving scan plus promoted scans run concurrently). Scans
     /// and probes additionally honour each column's own
@@ -362,7 +435,7 @@ impl Default for PlannerConfig {
     fn default() -> Self {
         Self {
             enabled: true,
-            promote_after: 4,
+            promote_cost_pages: 32,
             parallelism: Parallelism::Sequential,
         }
     }
@@ -375,9 +448,9 @@ impl PlannerConfig {
         self
     }
 
-    /// Builder-style setter for the promotion threshold.
-    pub fn with_promote_after(mut self, promote_after: usize) -> Self {
-        self.promote_after = promote_after;
+    /// Builder-style setter for the promotion page-cost budget.
+    pub fn with_promote_cost_pages(mut self, promote_cost_pages: usize) -> Self {
+        self.promote_cost_pages = promote_cost_pages;
         self
     }
 
@@ -538,35 +611,52 @@ mod tests {
     }
 
     #[test]
-    fn probe_tracker_promotes_after_threshold() {
+    fn probe_tracker_promotes_on_accumulated_page_cost() {
         let mut t = ProbeTracker::default();
-        assert!(!t.should_promote(2));
-        t.note_probe(&ValueRange::new(0, 10), true);
+        assert!(!t.should_promote(8));
+        // Covered probes accrue no cost, whatever their estimate.
+        t.note_probe(&ValueRange::new(0, 10), true, 100);
         assert_eq!(t.probes(), 1);
         assert_eq!(t.uncovered_probes(), 0);
-        t.note_probe(&ValueRange::new(20, 30), false);
-        t.note_probe(&ValueRange::new(5, 15), false);
+        assert_eq!(t.uncovered_cost_pages(), 0);
+        // Uncovered probes accrue their page estimates; a wide predicate
+        // reaches the budget faster than many narrow ones.
+        t.note_probe(&ValueRange::new(20, 30), false, 5);
+        assert!(!t.should_promote(8));
+        t.note_probe(&ValueRange::new(5, 15), false, 3);
         assert_eq!(t.uncovered_probes(), 2);
-        assert!(t.should_promote(2));
+        assert_eq!(t.uncovered_cost_pages(), 8);
+        assert!(t.should_promote(8));
         assert!(!t.should_promote(0), "threshold 0 disables promotion");
         assert_eq!(t.probed_hull(), Some(ValueRange::new(0, 30)));
         t.reset();
         assert_eq!(t.probes(), 0);
+        assert_eq!(t.uncovered_cost_pages(), 0);
         assert_eq!(t.probed_hull(), None);
+    }
+
+    #[test]
+    fn empty_estimates_still_accrue_promotion_cost() {
+        let mut t = ProbeTracker::default();
+        for _ in 0..3 {
+            t.note_probe(&ValueRange::new(0, 1), false, 0);
+        }
+        assert_eq!(t.uncovered_cost_pages(), 3, "floor of one page per probe");
+        assert!(t.should_promote(3));
     }
 
     #[test]
     fn planner_config_builders() {
         let c = PlannerConfig::default();
         assert!(c.enabled);
-        assert_eq!(c.promote_after, 4);
+        assert_eq!(c.promote_cost_pages, 32);
         assert_eq!(c.parallelism, Parallelism::Sequential);
         let c = c
             .with_enabled(false)
-            .with_promote_after(7)
+            .with_promote_cost_pages(7)
             .with_parallelism(Parallelism::Threads(2));
         assert!(!c.enabled);
-        assert_eq!(c.promote_after, 7);
+        assert_eq!(c.promote_cost_pages, 7);
         assert_eq!(c.parallelism, Parallelism::Threads(2));
     }
 }

@@ -46,17 +46,27 @@
 //! # The maintenance loop
 //!
 //! [`ServeTable::write`] stages a write: the value enters the overlay, the
-//! row's page is frozen into the copy set and the acknowledgement becomes
-//! visible to *new* pins at the next [`ServeTable::tick`] (which publishes
-//! a new epoch). Each tick then advances at most one alignment chunk per
-//! column — join a finished background plan, publish one chunk as a new
-//! epoch, and when the round's last chunk lands, retire the folded rows
-//! from the overlay and re-freeze the remaining overlay pages from the
-//! post-fold store. New rounds fold the queue only after a **grace
-//! check**: every epoch except the current one must be unpinned, because
-//! older epochs may lack page copies for the rows about to be folded.
-//! The fold itself never blocks the writer — if grace has not elapsed the
-//! fold is simply retried on a later tick while writes keep queueing.
+//! row's page is frozen into the copy set, the column's zone bands widen to
+//! cover the new value, and the acknowledgement becomes visible to *new*
+//! pins at the next [`ServeTable::tick`] (which publishes a new epoch).
+//! Each tick then drains the column's **delta queue**: planned chunks are
+//! exploded into per-view work items (hottest views first — see
+//! [`crate::align::DeltaWorkItem`]) and at most
+//! `AlignChunking::delta_items_per_tick` items are applied and published
+//! per call, so the per-tick publish work is bounded by single views, not
+//! whole rounds, and interleaves with group-commit folding. When a fold
+//! starts, the maintainer consults the view set's
+//! [`crate::align::ViewDepGraph`] (`AlignChunking::incremental_align`,
+//! on by default) so only views whose predicate ranges intersect the
+//! batch's touched zones are snapshotted and replanned at all — untouched
+//! views keep their epoch verbatim. When the round's last item lands, the
+//! folded rows retire from the overlay and the remaining overlay pages are
+//! re-frozen from the post-fold store. New rounds fold the queue only
+//! after a **grace check**: every epoch except the current one must be
+//! unpinned, because older epochs may lack page copies for the rows about
+//! to be folded. The fold itself never blocks the writer — if grace has
+//! not elapsed the fold is simply retried on a later tick while writes
+//! keep queueing.
 //!
 //! Within one round all published epochs give bit-identical answers: a
 //! chunk publish only changes *which* pages a view scans (rows folded by
@@ -69,12 +79,12 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
 use asv_storage::{Column, ExclusionMasks, PageRef, ScanKernel, ScanMode, ScanOutput};
-use asv_util::{EpochCell, Pinned, Reader, ValueRange};
+use asv_util::{EpochCell, Pinned, Reader, Timer, ValueRange};
 use asv_vmem::{Backend, ViewBuffer, VmemError, VALUES_PER_PAGE};
 
 use crate::align::{
-    apply_plan, snapshot_alignment, spawn_alignment_chunked, AlignmentPlan,
-    PendingChunkedAlignment, WriteOverlay,
+    apply_plan, compute_alignment_delta, snapshot_alignment, snapshot_alignment_delta,
+    spawn_alignment_chunked, AlignmentPlan, PendingChunkedAlignment, WriteOverlay,
 };
 use crate::config::AdaptiveConfig;
 use crate::creation::build_view_for_range;
@@ -494,10 +504,20 @@ struct ColumnState<B: Backend> {
     copies: HashMap<usize, Arc<Vec<u64>>>,
     /// In-flight background planning of the current round.
     pending: Option<PendingChunkedAlignment>,
-    /// Planned chunks of the current round awaiting publication.
+    /// Planned chunks of the current round awaiting explosion into the
+    /// delta queue, in publication order.
     ready: VecDeque<AlignmentPlan>,
+    /// The delta queue: per-view work items of the chunk(s) currently
+    /// draining, hottest views first within each chunk. Each item is a
+    /// single-view [`AlignmentPlan`] published on its own.
+    items: VecDeque<AlignmentPlan>,
     /// `true` between a fold and the retirement of its rows.
     round_active: bool,
+    /// Cumulative alignment activity (see [`AlignActivity`]).
+    activity: AlignActivity,
+    /// Publish latency samples (µs per drained delta item), drained by
+    /// [`ServeTable::drain_publish_micros`].
+    publish_micros: Vec<u64>,
     /// Cached epoch of the column, invalidated on any change.
     cached: Option<Arc<ColumnEpoch<B>>>,
 }
@@ -508,7 +528,10 @@ impl<B: Backend> ColumnState<B> {
     }
 
     fn is_idle(&self) -> bool {
-        self.pending.is_none() && self.ready.is_empty() && !self.round_active
+        self.pending.is_none()
+            && self.ready.is_empty()
+            && self.items.is_empty()
+            && !self.round_active
     }
 
     /// Freezes the current page content of `row`'s page into the copy set
@@ -573,6 +596,33 @@ impl<B: Backend> ColumnState<B> {
     }
 }
 
+/// Cumulative incremental-alignment activity of a column (or, summed, of a
+/// whole [`ServeTable`]): how many views were actually replanned versus how
+/// many were live across all folded rounds. `planned_views /
+/// candidate_views ≪ 1` is the payoff of the dependency-driven delta path —
+/// with full replanning the two are always equal.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AlignActivity {
+    /// Number of alignment rounds folded.
+    pub rounds: u64,
+    /// Views snapshotted and replanned across all rounds.
+    pub planned_views: u64,
+    /// Live views at fold time, summed across all rounds (the work a full
+    /// replan would have done).
+    pub candidate_views: u64,
+    /// Delta work items published (single-view epoch publishes).
+    pub published_items: u64,
+}
+
+impl AlignActivity {
+    fn absorb(&mut self, other: &AlignActivity) {
+        self.rounds += other.rounds;
+        self.planned_views += other.planned_views;
+        self.candidate_views += other.candidate_views;
+        self.published_items += other.published_items;
+    }
+}
+
 /// A table served concurrently: owned (and mutated) by one maintenance
 /// thread, read by any number of [`TableHandle`] holders.
 ///
@@ -633,7 +683,10 @@ impl<B: Backend> ServeTable<B> {
             copies: HashMap::new(),
             pending: None,
             ready: VecDeque::new(),
+            items: VecDeque::new(),
             round_active: false,
+            activity: AlignActivity::default(),
+            publish_micros: Vec::new(),
             cached: None,
             column,
         };
@@ -705,6 +758,13 @@ impl<B: Backend> ServeTable<B> {
     /// Number of writes queued on column `col` awaiting the next fold.
     pub fn queued_writes(&self, col: usize) -> usize {
         self.columns[col].overlay.queued_writes()
+    }
+
+    /// The live zone statistics of column `col`. Bands are widened
+    /// eagerly at write acknowledgement (before the fold), so incremental
+    /// alignment planning never consults a stale band.
+    pub fn zone_stats(&self, col: usize) -> &ZoneStats {
+        &self.columns[col].stats
     }
 
     /// Returns `true` while column `col` has an alignment round in
@@ -817,9 +877,20 @@ impl<B: Backend> ServeTable<B> {
     }
 
     /// Advances column `idx`'s alignment round: joins a finished
-    /// background plan, publishes at most one ready chunk and retires the
-    /// round after its last chunk.
+    /// background plan, explodes planned chunks into per-view delta work
+    /// items and drains a bounded number of items from the delta queue
+    /// (`AlignChunking::delta_items_per_tick`), retiring the round once
+    /// the queue runs dry.
+    ///
+    /// Chunks explode strictly in publication order — a view's ops in
+    /// chunk `k+1` assume chunk `k`'s layout — while the items *within*
+    /// one chunk inherit the delta's hottest-first order from the
+    /// snapshot. Publishing item-by-item is sound for the same reason
+    /// chunk-by-chunk publishing is: rows folded by the round stay masked
+    /// and overlaid until retirement, so an item publish only changes
+    /// which pages one view scans, never an answer.
     fn advance_column(&mut self, idx: usize) -> Result<(), VmemError> {
+        let budget = self.config.chunking.delta_items_per_tick;
         let state = &mut self.columns[idx];
         if state
             .pending
@@ -829,17 +900,47 @@ impl<B: Backend> ServeTable<B> {
             let plan = state.pending.take().expect("pending checked above").join();
             state.ready.extend(plan.chunks);
         }
-        let Some(chunk) = state.ready.pop_front() else {
-            return Ok(());
-        };
-        apply_plan(&state.column, &mut state.views, &chunk)?;
-        for view_plan in &chunk.views {
-            state.refresh_view_meta(view_plan.view_idx)?;
+        let mut published = 0usize;
+        loop {
+            // Refill the delta queue from the next chunk(s); a chunk that
+            // affects no view contributes no items and is skipped whole.
+            while state.items.is_empty() {
+                let Some(chunk) = state.ready.pop_front() else {
+                    break;
+                };
+                state.items.extend(explode_chunk(chunk));
+            }
+            let Some(item) = state.items.pop_front() else {
+                break;
+            };
+            let timer = Timer::start();
+            apply_plan(&state.column, &mut state.views, &item)?;
+            for view_plan in &item.views {
+                state.refresh_view_meta(view_plan.view_idx)?;
+            }
+            state
+                .publish_micros
+                .push(timer.elapsed().as_micros() as u64);
+            state.activity.published_items += 1;
+            state.mark_dirty();
+            self.staged = true;
+            published += 1;
+            // Budget 0 keeps the pre-delta-queue cadence: one whole chunk
+            // per tick. Otherwise stop after `budget` items.
+            if budget == 0 && state.items.is_empty() {
+                break;
+            }
+            if budget != 0 && published >= budget {
+                break;
+            }
         }
-        state.mark_dirty();
-        self.staged = true;
-        if state.ready.is_empty() && state.pending.is_none() {
+        if state.round_active
+            && state.pending.is_none()
+            && state.ready.is_empty()
+            && state.items.is_empty()
+        {
             Self::retire_round(state);
+            self.staged = true;
         }
         Ok(())
     }
@@ -878,7 +979,23 @@ impl<B: Backend> ServeTable<B> {
         }
         let folded = state.overlay.take_queued();
         let updates = state.column.write_batch(&folded);
-        let snapshot = snapshot_alignment(&state.column, &state.views, &updates)?;
+        let live_views = state.views.num_partial_views() as u64;
+        // Dependency-graph consultation: snapshot only the views whose
+        // predicate ranges intersect the touched zones. Zone bands were
+        // widened eagerly when each write was acknowledged
+        // ([`ServeTable::write`]), so the delta can never miss an affected
+        // view. The full-replan branch below stays as the bit-identical
+        // reference twin.
+        let snapshot = if chunking.incremental_align {
+            let delta = compute_alignment_delta(&state.stats, &state.views, &updates);
+            state.activity.planned_views += delta.num_affected() as u64;
+            snapshot_alignment_delta(&state.column, &state.views, &updates, &delta)?
+        } else {
+            state.activity.planned_views += live_views;
+            snapshot_alignment(&state.column, &state.views, &updates)?
+        };
+        state.activity.candidate_views += live_views;
+        state.activity.rounds += 1;
         state.pending = Some(spawn_alignment_chunked(
             snapshot,
             self.config.parallelism,
@@ -887,6 +1004,51 @@ impl<B: Backend> ServeTable<B> {
         state.round_active = true;
         Ok(())
     }
+
+    /// Cumulative alignment activity summed over all columns: rounds
+    /// folded, views replanned versus views a full replan would have
+    /// touched, and delta items published.
+    pub fn align_activity(&self) -> AlignActivity {
+        let mut total = AlignActivity::default();
+        for state in &self.columns {
+            total.absorb(&state.activity);
+        }
+        total
+    }
+
+    /// Drains and returns the publish-latency samples (µs per delta work
+    /// item) collected since the last call, across all columns.
+    pub fn drain_publish_micros(&mut self) -> Vec<u64> {
+        let mut all = Vec::new();
+        for state in &mut self.columns {
+            all.append(&mut state.publish_micros);
+        }
+        all
+    }
+}
+
+/// Splits one planned chunk into per-view delta work items: single-view
+/// [`AlignmentPlan`]s in the chunk's view order (hottest first on the
+/// incremental path, where the snapshot inherited the delta's priority
+/// order).
+fn explode_chunk(chunk: AlignmentPlan) -> Vec<AlignmentPlan> {
+    let AlignmentPlan {
+        batch_size,
+        deduped_size,
+        parse_time,
+        plan_time,
+        views,
+    } = chunk;
+    views
+        .into_iter()
+        .map(|view| AlignmentPlan {
+            batch_size,
+            deduped_size,
+            parse_time,
+            plan_time,
+            views: vec![view],
+        })
+        .collect()
 }
 
 impl<B: Backend> std::fmt::Debug for ServeTable<B> {
@@ -1192,6 +1354,31 @@ mod tests {
         assert!(table.install_view(col, ValueRange::new(0, 10)).is_err());
         table.quiesce().unwrap();
         assert!(table.install_view(col, ValueRange::new(0, 10)).is_ok());
+    }
+
+    #[test]
+    fn zone_bands_widen_at_write_acknowledgement() {
+        // Satellite invariant: the band of a written zone must cover both
+        // the old and the new value *before* the write is folded, so the
+        // incremental planner (which runs at fold time) can rely on the
+        // live stats without consulting the overlay.
+        let mut table = ServeTable::new(SimBackend::new(), serve_config());
+        let col = table.add_column(&clustered_values(24)).unwrap();
+        let stats = table.zone_stats(col);
+        let zone = stats.zone_of_row(3);
+        let before = stats.zone_band(zone).unwrap();
+        assert!(!before.contains(5_000_000));
+
+        table.write(col, 3, 5_000_000);
+        // No tick yet: the write is only staged, but the band already
+        // reflects it.
+        let after = table.zone_stats(col).zone_band(zone).unwrap();
+        assert!(after.contains(5_000_000), "band widened eagerly at ack");
+        assert!(
+            after.contains(before.low()) && after.contains(before.high()),
+            "bands never retract, so the overwritten value stays covered"
+        );
+        table.quiesce().unwrap();
     }
 
     #[test]

@@ -21,14 +21,15 @@ use std::collections::HashMap;
 use std::time::Duration;
 
 use asv_storage::ScanMode;
-use asv_util::{RowSet, Timer};
+use asv_util::{RowSet, Timer, ValueRange};
 use asv_vmem::{Backend, VmemError};
 
 use crate::adaptive::AdaptiveColumn;
 use crate::config::AdaptiveConfig;
 use crate::exec::scan_columns_fork_join;
 use crate::plan::{
-    plan_conjunctive, ConjunctivePlan, PlanInput, PlannerConfig, ProbeTracker, StepKind, ZoneStats,
+    merge_same_column, plan_conjunctive, ConjunctivePlan, PlanInput, PlannerConfig, ProbeTracker,
+    StepKind, ZoneStats,
 };
 use crate::query::{QueryExecution, QueryOutcome, RangeQuery, ViewMaintenance};
 
@@ -221,11 +222,16 @@ impl<B: Backend> AdaptiveTable<B> {
     /// hold. With the planner enabled (the default) execution is
     /// selectivity-ordered: the cheapest predicate drives through the
     /// adaptive path, promoted residuals fork-join alongside it, and the
-    /// rest are probed against the surviving rows only. With the planner
-    /// disabled — or when several predicates target the *same* column,
-    /// which the fork-join cannot express — execution falls back to
-    /// [`Self::query_conjunctive_naive`]. Both paths return identical row
-    /// sets.
+    /// rest are probed against the surviving rows only. Several predicates
+    /// targeting the *same* column are merged into one range per column by
+    /// intersection before planning ([`merge_same_column`]); a column whose
+    /// predicates are mutually unsatisfiable short-circuits the whole query
+    /// to an empty outcome (no steps executed). After merging,
+    /// `executed_order` names each column's *first* input predicate as the
+    /// representative — [`ConjunctiveOutcome::outcome_for_input`] returns
+    /// `None` for the folded-away duplicates. With the planner disabled,
+    /// execution falls back to [`Self::query_conjunctive_naive`]. Both
+    /// paths return identical row sets.
     ///
     /// The equivalence (and, as for single-column queries, view-routed
     /// exactness in general) assumes the partial views are aligned with all
@@ -255,13 +261,39 @@ impl<B: Backend> AdaptiveTable<B> {
                     .unwrap_or_else(|| panic!("unknown column '{column}'"))
             })
             .collect();
-        let mut distinct = col_indices.clone();
-        distinct.sort_unstable();
-        distinct.dedup();
-        if !self.planner.enabled || distinct.len() != col_indices.len() {
+        if !self.planner.enabled {
             return self.query_conjunctive_naive(predicates);
         }
-        self.query_conjunctive_planned(predicates, &col_indices)
+        // Same-column predicates merge into one range per column by
+        // intersection before planning; an unsatisfiable group proves the
+        // conjunction empty without touching any column.
+        let grouped: Vec<(usize, ValueRange)> = col_indices
+            .iter()
+            .zip(predicates)
+            .map(|(&col_idx, (_, query))| (col_idx, *query.range()))
+            .collect();
+        let Some(merged) = merge_same_column(&grouped) else {
+            return Ok(ConjunctiveOutcome::default());
+        };
+        if merged.len() == predicates.len() {
+            return self.query_conjunctive_planned(predicates, &col_indices);
+        }
+        let merged_predicates: Vec<(&str, RangeQuery)> = merged
+            .iter()
+            .map(|m| (predicates[m.input_idx].0, RangeQuery::from_range(m.range)))
+            .collect();
+        let merged_cols: Vec<usize> = merged.iter().map(|m| m.col_idx).collect();
+        let mut outcome = self.query_conjunctive_planned(&merged_predicates, &merged_cols)?;
+        // Remap the executed order from merged-slice positions back to the
+        // input positions of each column's representative predicate, so
+        // `outcome_for_input` keeps working for the representatives (the
+        // other duplicates have no step of their own).
+        outcome.executed_order = outcome
+            .executed_order
+            .iter()
+            .map(|&k| merged[k].input_idx)
+            .collect();
+        Ok(outcome)
     }
 
     fn query_conjunctive_planned(
@@ -270,14 +302,14 @@ impl<B: Backend> AdaptiveTable<B> {
         col_indices: &[usize],
     ) -> Result<ConjunctiveOutcome, VmemError> {
         let timer = Timer::start();
-        let promote_after = self.planner.promote_after;
+        let promote_cost_pages = self.planner.promote_cost_pages;
         let plan = {
             let inputs: Vec<PlanInput<'_, B>> = predicates
                 .iter()
                 .zip(col_indices)
                 .map(|((_, query), &col_idx)| {
                     let tc = &self.columns[col_idx];
-                    let promoted = tc.tracker.should_promote(promote_after)
+                    let promoted = tc.tracker.should_promote(promote_cost_pages)
                         && tc.column.config().adaptive_creation
                         && tc.column.views().can_create_views();
                     PlanInput {
@@ -371,8 +403,11 @@ impl<B: Backend> AdaptiveTable<B> {
                 // The probe answered the predicate without giving the
                 // column a chance to adapt; count it towards promotion when
                 // the views could not have covered the range.
-                tc.tracker
-                    .note_probe(query.range(), !step.estimate.full_scan_fallback);
+                tc.tracker.note_probe(
+                    query.range(),
+                    !step.estimate.full_scan_fallback,
+                    step.estimate.est_pages,
+                );
             }
             outcome.view_maintenance = ViewMaintenance::NotAttempted;
             outcome.elapsed = step_timer.elapsed();
@@ -713,17 +748,29 @@ mod tests {
     #[test]
     fn probe_tracker_promotes_the_probed_column() {
         let (mut t, a, b) = table();
-        let threshold = t.planner_config().promote_after;
+        let threshold = t.planner_config().promote_cost_pages;
         // Fire the same shape repeatedly: b drives, a is probed and its
-        // views never cover the predicate -> uncovered probes accumulate.
+        // views never cover the predicate -> uncovered page cost (the
+        // ZoneStats estimate of qa, accrued per probe) accumulates.
         let qa = RangeQuery::new(2_000, 9_000);
         let qb = RangeQuery::new(8_000, 13_000);
-        for i in 0..threshold {
+        let mut rounds = 0;
+        loop {
             let out = t.query_conjunctive(&[("a", qa), ("b", qb)]).unwrap();
-            assert_eq!(out.plan.as_ref().unwrap().num_probes(), 1, "round {i}");
-            assert_eq!(t.probe_tracker("a").unwrap().uncovered_probes(), i + 1);
+            rounds += 1;
+            assert_eq!(out.plan.as_ref().unwrap().num_probes(), 1, "round {rounds}");
+            let tracker = t.probe_tracker("a").unwrap();
+            assert_eq!(tracker.uncovered_probes(), rounds);
             assert_eq!(t.column("a").unwrap().views().num_partial_views(), 0);
+            if tracker.uncovered_cost_pages() >= threshold {
+                break;
+            }
+            assert!(rounds < 100, "promotion cost never reached the budget");
         }
+        assert!(
+            rounds > 1,
+            "a multi-page estimate still takes several probes"
+        );
         // Next execution promotes a to a full adaptive scan: the column
         // finally materializes a partial view and the tracker resets.
         let out = t.query_conjunctive(&[("a", qa), ("b", qb)]).unwrap();
@@ -742,17 +789,61 @@ mod tests {
     }
 
     #[test]
-    fn duplicate_column_predicates_fall_back_to_naive() {
+    fn duplicate_column_predicates_merge_before_planning() {
         let (mut t, a, _) = table();
         let q1 = RangeQuery::new(2_000, 9_000);
         let q2 = RangeQuery::new(5_000, 13_000);
         let out = t.query_conjunctive(&[("a", q1), ("a", q2)]).unwrap();
-        assert!(out.plan.is_none(), "same-column conjunction runs naive");
+        assert!(out.plan.is_some(), "merged conjunction runs planned");
+        assert_eq!(out.per_column.len(), 1, "one step for the merged range");
+        assert_eq!(out.executed_order, vec![0], "first input represents 'a'");
+        assert!(out.outcome_for_input(1).is_none(), "duplicate folded away");
         let expected: Vec<u64> = (0..a.len())
             .filter(|&i| q1.range().contains(a[i]) && q2.range().contains(a[i]))
             .map(|i| i as u64)
             .collect();
         assert_eq!(out.rows, expected);
+        // The merged result equals the naive two-step evaluation.
+        let naive = t.query_conjunctive_naive(&[("a", q1), ("a", q2)]).unwrap();
+        assert_eq!(out.rows, naive.rows);
+    }
+
+    #[test]
+    fn unsatisfiable_same_column_conjunction_short_circuits() {
+        let (mut t, _, _) = table();
+        let out = t
+            .query_conjunctive(&[
+                ("a", RangeQuery::new(0, 1_000)),
+                ("a", RangeQuery::new(5_000, 9_000)),
+            ])
+            .unwrap();
+        assert!(out.rows.is_empty());
+        assert!(out.per_column.is_empty(), "no step executed");
+        assert!(out.plan.is_none());
+    }
+
+    #[test]
+    fn merged_duplicates_mix_with_other_columns() {
+        let (mut t, a, b) = table();
+        let qa1 = RangeQuery::new(1_000, 12_000);
+        let qa2 = RangeQuery::new(3_000, 40_000);
+        let qb = RangeQuery::new(20_000, 29_000);
+        let out = t
+            .query_conjunctive(&[("a", qa1), ("b", qb), ("a", qa2)])
+            .unwrap();
+        let expected: Vec<u64> = (0..a.len())
+            .filter(|&i| {
+                qa1.range().contains(a[i])
+                    && qa2.range().contains(a[i])
+                    && qb.range().contains(b[i])
+            })
+            .map(|i| i as u64)
+            .collect();
+        assert_eq!(out.rows, expected);
+        assert_eq!(out.per_column.len(), 2, "two merged steps");
+        let mut reps = out.executed_order.clone();
+        reps.sort_unstable();
+        assert_eq!(reps, vec![0, 1], "representatives are the first uses");
     }
 
     #[test]

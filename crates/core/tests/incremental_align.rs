@@ -1,0 +1,447 @@
+//! Property test: dependency-pruned incremental alignment is exact.
+//!
+//! Seeded hot-zone-churn batches ([`asv_workloads::UpdateWorkload`])
+//! drive twin view sets through three maintenance paths — the
+//! delta-restricted incremental planner, a full replan and a
+//! rebuild-from-scratch — and assert, on both backends across seeds,
+//! view counts, touch fractions and chunk sizes:
+//!
+//! * the delta computed from the dependency graph names **exactly** the
+//!   views whose predicate range overlaps a touched zone's band (checked
+//!   against an independent linear scan over the views);
+//! * the restricted snapshot plans exactly those views, and replaying
+//!   its chunked plan publishes *identical slot ↔ page layouts* to the
+//!   full replan — untouched views keep their mapping verbatim;
+//! * all three paths leave every view indexing the same page set;
+//! * at the serving layer, draining the per-view delta queue item by
+//!   item answers every query bit-identically to the full-replan twin
+//!   and to a naive `Vec` mirror, for every delta-items-per-tick budget.
+
+use asv_core::{
+    build_view_for_range, compute_alignment_delta, plan_alignment, plan_alignment_chunked,
+    rebuild_all_views, snapshot_alignment, snapshot_alignment_delta, AdaptiveConfig, AlignChunking,
+    CreationOptions, Parallelism, ServeTable, ViewSet, ZoneStats,
+};
+use asv_storage::Column;
+use asv_util::ValueRange;
+use asv_vmem::{Backend, SimBackend, VALUES_PER_PAGE};
+use asv_workloads::{ChurnRound, Distribution, UpdateWorkload};
+
+const PAGES: usize = 32;
+const MAX_VALUE: u64 = 320_000;
+const WRITES_PER_ROUND: usize = 120;
+
+/// `V` contiguous views partitioning `[0, MAX_VALUE]`.
+fn view_ranges(views: usize) -> Vec<ValueRange> {
+    let width = (MAX_VALUE / views as u64).max(1);
+    (0..views as u64)
+        .map(|i| {
+            let lo = i * width;
+            let hi = if i + 1 == views as u64 {
+                MAX_VALUE
+            } else {
+                (i + 1) * width - 1
+            };
+            ValueRange::new(lo, hi.max(lo))
+        })
+        .collect()
+}
+
+fn build_column_with_views<B: Backend>(
+    backend: B,
+    values: &[u64],
+    ranges: &[ValueRange],
+) -> (Column<B>, ViewSet<B>) {
+    let column = Column::from_values(backend, values).expect("column");
+    let mut views = ViewSet::new(ranges.len() + 1);
+    for r in ranges {
+        let (buffer, _) = build_view_for_range(&column, r, &CreationOptions::ALL).expect("view");
+        views.insert_unchecked(*r, buffer);
+    }
+    (column, views)
+}
+
+/// The slot → page layout of every partial view, in slot order.
+fn layouts<B: Backend>(column: &Column<B>, views: &ViewSet<B>) -> Vec<Vec<usize>> {
+    views
+        .partial_views()
+        .iter()
+        .map(|view| {
+            let table = column
+                .backend()
+                .mapping_table(column.store(), view.buffer())
+                .expect("mapping table");
+            (0..view.num_pages())
+                .map(|slot| table.phys_for_slot(slot).expect("dense mapped prefix"))
+                .collect()
+        })
+        .collect()
+}
+
+/// Per-view page *sets* (layouts with the slot order erased).
+fn page_sets(layouts: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    layouts
+        .iter()
+        .map(|l| {
+            let mut pages = l.clone();
+            pages.sort_unstable();
+            pages
+        })
+        .collect()
+}
+
+/// The set of views a full replan would find affected, computed by a
+/// plain linear scan over the views — the independent reference for the
+/// dependency graph's interval query.
+fn affected_by_linear_scan<B: Backend>(
+    stats: &ZoneStats,
+    views: &ViewSet<B>,
+    updates: &[asv_storage::Update],
+) -> Vec<usize> {
+    let mut affected: Vec<usize> = views
+        .iter()
+        .filter(|(_, view)| {
+            updates.iter().any(|u| {
+                let mut band = stats
+                    .zone_band(stats.zone_of_row(u.row as usize))
+                    .unwrap_or_else(|| ValueRange::point(u.old_value));
+                band.extend_to(u.old_value);
+                band.extend_to(u.new_value);
+                band.overlaps(view.range())
+            })
+        })
+        .map(|(idx, _)| idx)
+        .collect();
+    affected.sort_unstable();
+    affected
+}
+
+fn check_raw_pipeline<B: Backend>(make_backend: impl Fn() -> B, label: &str) {
+    for seed in 0u64..2 {
+        for &num_views in &[4usize, 9] {
+            for &touch_permille in &[20usize, 300] {
+                for &chunk_updates in &[0usize, 16] {
+                    let case = format!(
+                        "{label}/seed{seed}/views{num_views}/touch{touch_permille}\
+                         /chunk{chunk_updates}"
+                    );
+                    let values = Distribution::Linear {
+                        max_value: MAX_VALUE,
+                    }
+                    .generate_pages(PAGES, seed);
+                    let ranges = view_ranges(num_views);
+                    let churn = UpdateWorkload::new(seed ^ 0x1AC4E).hot_zone_churn(
+                        3,
+                        WRITES_PER_ROUND,
+                        PAGES * VALUES_PER_PAGE,
+                        touch_permille as f64 / 1_000.0,
+                        MAX_VALUE,
+                    );
+
+                    let (mut col_inc, mut views_inc) =
+                        build_column_with_views(make_backend(), &values, &ranges);
+                    let (mut col_full, mut views_full) =
+                        build_column_with_views(make_backend(), &values, &ranges);
+                    let (mut col_rebuild, mut views_rebuild) =
+                        build_column_with_views(make_backend(), &values, &ranges);
+                    let mut stats = ZoneStats::build(&col_inc);
+
+                    for (round_idx, ChurnRound { writes, .. }) in churn.iter().enumerate() {
+                        // Incremental twin: eager band widening at ack,
+                        // then a delta-restricted snapshot + chunked plan.
+                        let updates = col_inc.write_batch(writes);
+                        for &(row, value) in writes {
+                            stats.note_write(row, value);
+                        }
+                        let delta = compute_alignment_delta(&stats, &views_inc, &updates);
+                        let expected = affected_by_linear_scan(&stats, &views_inc, &updates);
+                        let mut planned: Vec<usize> =
+                            delta.items.iter().map(|i| i.view_idx).collect();
+                        planned.sort_unstable();
+                        assert_eq!(
+                            planned, expected,
+                            "{case}/round{round_idx}: the dependency graph must name \
+                             exactly the views whose range intersects a touched band"
+                        );
+                        assert_eq!(delta.num_affected(), expected.len());
+                        assert_eq!(delta.total_views, num_views);
+
+                        let snapshot =
+                            snapshot_alignment_delta(&col_inc, &views_inc, &updates, &delta)
+                                .expect("delta snapshot");
+                        assert_eq!(
+                            snapshot.num_planned_views(),
+                            expected.len(),
+                            "{case}/round{round_idx}: the snapshot plans only delta views"
+                        );
+                        let chunked = plan_alignment_chunked(
+                            &snapshot,
+                            Parallelism::Sequential,
+                            chunk_updates,
+                        );
+                        for chunk in &chunked.chunks {
+                            asv_core::apply_plan(&col_inc, &mut views_inc, chunk).expect("apply");
+                        }
+
+                        // Full-replan twin.
+                        let updates_full = col_full.write_batch(writes);
+                        let snapshot_full =
+                            snapshot_alignment(&col_full, &views_full, &updates_full)
+                                .expect("full snapshot");
+                        assert_eq!(snapshot_full.num_planned_views(), num_views);
+                        let plan = plan_alignment(&snapshot_full, Parallelism::Sequential);
+                        asv_core::apply_plan(&col_full, &mut views_full, &plan).expect("apply");
+
+                        // Rebuild twin.
+                        col_rebuild.write_batch(writes);
+                        rebuild_all_views(&col_rebuild, &mut views_rebuild, &CreationOptions::ALL)
+                            .expect("rebuild");
+
+                        let inc_layouts = layouts(&col_inc, &views_inc);
+                        let full_layouts = layouts(&col_full, &views_full);
+                        assert_eq!(
+                            inc_layouts, full_layouts,
+                            "{case}/round{round_idx}: incremental and full replan \
+                             must publish identical slot layouts"
+                        );
+                        assert_eq!(
+                            page_sets(&inc_layouts),
+                            page_sets(&layouts(&col_rebuild, &views_rebuild)),
+                            "{case}/round{round_idx}: incremental diverged from rebuild"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn incremental_equals_full_replan_and_rebuild_sim() {
+    check_raw_pipeline(SimBackend::new, "sim");
+}
+
+#[cfg(target_os = "linux")]
+#[test]
+fn incremental_equals_full_replan_and_rebuild_mmap() {
+    check_raw_pipeline(asv_vmem::MmapBackend::new, "mmap");
+}
+
+/// A batch whose zones' bands miss every view plans nothing at all.
+#[test]
+fn untouched_views_produce_an_empty_delta() {
+    let values = Distribution::Linear {
+        max_value: MAX_VALUE,
+    }
+    .generate_pages(PAGES, 1);
+    // Views over the low half of the domain only.
+    let ranges: Vec<ValueRange> = view_ranges(8).into_iter().take(4).collect();
+    let (mut column, views) = build_column_with_views(SimBackend::new(), &values, &ranges);
+    let mut stats = ZoneStats::build(&column);
+    // Rewrite rows of the last page (top of the linear domain) with
+    // top-of-domain values: bands stay far above every view range.
+    let writes: Vec<(usize, u64)> = (0..40)
+        .map(|i| ((PAGES - 1) * VALUES_PER_PAGE + i, MAX_VALUE - i as u64))
+        .collect();
+    let updates = column.write_batch(&writes);
+    for &(row, value) in &writes {
+        stats.note_write(row, value);
+    }
+    let delta = compute_alignment_delta(&stats, &views, &updates);
+    assert_eq!(delta.num_affected(), 0, "no view overlaps the written band");
+    assert!(delta.touched_zones > 0);
+    let snapshot = snapshot_alignment_delta(&column, &views, &updates, &delta).expect("snapshot");
+    assert!(snapshot.num_planned_views() == 0);
+    let plan = plan_alignment(&snapshot, Parallelism::Sequential);
+    assert!(plan.views.is_empty(), "nothing to plan, nothing planned");
+}
+
+fn serve_config(incremental: bool, delta_items_per_tick: usize, chunk: usize) -> AdaptiveConfig {
+    AdaptiveConfig::default().with_chunking(
+        AlignChunking::default()
+            .with_chunk_updates(chunk)
+            .with_group_commit_idle(0)
+            .with_incremental_align(incremental)
+            .with_delta_items_per_tick(delta_items_per_tick),
+    )
+}
+
+/// Serving layer: delta-queue draining answers bit-identically to the
+/// full-replan twin and a naive mirror, at every queue budget, including
+/// mid-drain (between ticks).
+fn check_serve_delta_drain<B: Backend>(make_backend: impl Fn() -> B, label: &str) {
+    let values = Distribution::Linear {
+        max_value: MAX_VALUE,
+    }
+    .generate_pages(PAGES, 3);
+    let ranges = view_ranges(6);
+    let churn =
+        UpdateWorkload::new(0xD3A1).hot_zone_churn(4, 80, PAGES * VALUES_PER_PAGE, 0.05, MAX_VALUE);
+
+    for &budget in &[1usize, 3, 0] {
+        let case = format!("{label}/budget{budget}");
+        let mut inc = ServeTable::new(make_backend(), serve_config(true, budget, 16));
+        let mut full = ServeTable::new(make_backend(), serve_config(false, 0, 16));
+        let inc_col = inc.add_column(&values).expect("column");
+        let full_col = full.add_column(&values).expect("column");
+        for r in &ranges {
+            inc.install_view(inc_col, *r).expect("view");
+            full.install_view(full_col, *r).expect("view");
+        }
+        let inc_handle = inc.handle();
+        let full_handle = full.handle();
+        let mut mirror = values.clone();
+
+        for (k, round) in churn.iter().enumerate() {
+            inc.write_batch(inc_col, &round.writes);
+            full.write_batch(full_col, &round.writes);
+            for &(row, value) in &round.writes {
+                mirror[row] = value;
+            }
+            // Tick both tables a few times — the incremental table is
+            // mid-drain here (budget items per tick) — and compare every
+            // pinned answer: publishes must be answer-invariant.
+            for _ in 0..3 {
+                inc.tick().expect("tick");
+                full.tick().expect("tick");
+                let inc_snap = inc_handle.pin();
+                let full_snap = full_handle.pin();
+                for r in &ranges {
+                    let a = inc_snap.query_range(inc_col, r);
+                    let b = full_snap.query_range(full_col, r);
+                    assert_eq!(
+                        (a.count, a.sum),
+                        (b.count, b.sum),
+                        "{case}/round{k}: mid-drain answers diverged"
+                    );
+                }
+            }
+            inc.quiesce().expect("quiesce");
+            full.quiesce().expect("quiesce");
+            let inc_snap = inc_handle.pin();
+            let full_snap = full_handle.pin();
+            for r in &ranges {
+                let a = inc_snap.query_range(inc_col, r);
+                let b = full_snap.query_range(full_col, r);
+                let (mut count, mut sum) = (0u64, 0u128);
+                for &v in &mirror {
+                    if r.contains(v) {
+                        count += 1;
+                        sum += v as u128;
+                    }
+                }
+                assert_eq!((a.count, a.sum), (count, sum), "{case}/round{k}: vs mirror");
+                assert_eq!((b.count, b.sum), (count, sum), "{case}/round{k}: vs mirror");
+            }
+        }
+        let activity = inc.align_activity();
+        assert!(
+            activity.planned_views <= activity.candidate_views,
+            "{case}: pruning can only shrink the planning set"
+        );
+        let full_activity = full.align_activity();
+        assert_eq!(
+            full_activity.planned_views, full_activity.candidate_views,
+            "{case}: the full twin replans everything"
+        );
+    }
+}
+
+#[test]
+fn serve_delta_drain_is_answer_invariant_sim() {
+    check_serve_delta_drain(SimBackend::new, "sim");
+}
+
+#[cfg(target_os = "linux")]
+#[test]
+fn serve_delta_drain_is_answer_invariant_mmap() {
+    check_serve_delta_drain(asv_vmem::MmapBackend::new, "mmap");
+}
+
+/// Concurrent readers during incremental delta-drain: every answer a
+/// reader computes while maintenance publishes single-view items equals
+/// the answer of the final quiesced epoch's mirror-checked state — and
+/// repeating a query on one pinned snapshot is bit-identical.
+fn check_concurrent_delta_drain<B: Backend>(make_backend: impl Fn() -> B, label: &str) {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let values = Distribution::Linear {
+        max_value: MAX_VALUE,
+    }
+    .generate_pages(PAGES, 5);
+    let ranges = view_ranges(5);
+    let churn =
+        UpdateWorkload::new(0xC0C0).hot_zone_churn(6, 60, PAGES * VALUES_PER_PAGE, 0.1, MAX_VALUE);
+
+    let mut table = ServeTable::new(make_backend(), serve_config(true, 1, 8));
+    let col = table.add_column(&values).expect("column");
+    for r in &ranges {
+        table.install_view(col, *r).expect("view");
+    }
+    let handle = table.handle();
+    let done = AtomicBool::new(false);
+
+    std::thread::scope(|scope| {
+        let done = &done;
+        let ranges = &ranges;
+        let readers: Vec<_> = (0..3)
+            .map(|_| {
+                let handle = handle.clone();
+                scope.spawn(move || {
+                    while !done.load(Ordering::Acquire) {
+                        let snap = handle.pin();
+                        for r in ranges {
+                            let first = snap.query_range(col, r);
+                            let again = snap.query_range(col, r);
+                            assert_eq!(
+                                (first.count, first.sum),
+                                (again.count, again.sum),
+                                "one snapshot, one answer"
+                            );
+                        }
+                        std::thread::yield_now();
+                    }
+                })
+            })
+            .collect();
+
+        let mut mirror = values.clone();
+        for round in &churn {
+            table.write_batch(col, &round.writes);
+            for &(row, value) in &round.writes {
+                mirror[row] = value;
+            }
+            table.quiesce().expect("quiesce");
+            let snap = handle.pin();
+            for r in ranges {
+                let out = snap.query_range(col, r);
+                let (mut count, mut sum) = (0u64, 0u128);
+                for &v in &mirror {
+                    if r.contains(v) {
+                        count += 1;
+                        sum += v as u128;
+                    }
+                }
+                assert_eq!((out.count, out.sum), (count, sum), "{label}: vs mirror");
+            }
+        }
+        done.store(true, Ordering::Release);
+        for reader in readers {
+            reader.join().expect("reader");
+        }
+    });
+    let activity = table.align_activity();
+    assert!(activity.rounds > 0);
+    assert!(activity.planned_views <= activity.candidate_views);
+}
+
+#[test]
+fn concurrent_readers_survive_delta_drain_sim() {
+    check_concurrent_delta_drain(SimBackend::new, "sim");
+}
+
+#[cfg(target_os = "linux")]
+#[test]
+fn concurrent_readers_survive_delta_drain_mmap() {
+    check_concurrent_delta_drain(asv_vmem::MmapBackend::new, "mmap");
+}

@@ -1,0 +1,522 @@
+//! An interval index mapping closed value ranges to ids.
+//!
+//! [`IntervalIndex`] answers *stab* ("which intervals contain value `v`?")
+//! and *overlap* ("which intervals intersect `[lo, hi]`?") queries in
+//! `O(log n + k)` over a centered interval tree, where `k` is the number of
+//! reported ids. The tree is rebuilt lazily on first query after a mutation,
+//! which fits the workspace's usage pattern: view sets mutate rarely (view
+//! creation, replacement, clear) while every write batch queries the index.
+//!
+//! Intervals are closed on both ends, matching [`ValueRange`] semantics.
+//! Per-node interval lists use inline fixed-capacity storage and only spill
+//! to the heap for high-degree nodes (many intervals sharing a center),
+//! keeping the common low-degree case allocation-free.
+
+use crate::range::ValueRange;
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Number of intervals a tree node stores inline before spilling to a heap
+/// allocation. Real view sets rarely stack more than a handful of predicate
+/// ranges over the same center value.
+const INLINE_CAP: usize = 4;
+
+/// Sentinel child index meaning "no subtree".
+const NONE: u32 = u32::MAX;
+
+/// One indexed interval: the closed bounds plus the caller's id.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+struct Entry {
+    low: u64,
+    high: u64,
+    id: u64,
+}
+
+/// A list of [`Entry`] values with inline storage for up to [`INLINE_CAP`]
+/// elements, spilling to a `Vec` beyond that.
+#[derive(Clone, Debug)]
+enum SmallList {
+    Inline { len: u8, slots: [Entry; INLINE_CAP] },
+    Heap(Vec<Entry>),
+}
+
+impl SmallList {
+    fn new() -> Self {
+        SmallList::Inline {
+            len: 0,
+            slots: [Entry::default(); INLINE_CAP],
+        }
+    }
+
+    fn push(&mut self, entry: Entry) {
+        match self {
+            SmallList::Inline { len, slots } => {
+                if (*len as usize) < INLINE_CAP {
+                    slots[*len as usize] = entry;
+                    *len += 1;
+                } else {
+                    let mut spilled = slots.to_vec();
+                    spilled.push(entry);
+                    *self = SmallList::Heap(spilled);
+                }
+            }
+            SmallList::Heap(v) => v.push(entry),
+        }
+    }
+
+    fn as_slice(&self) -> &[Entry] {
+        match self {
+            SmallList::Inline { len, slots } => &slots[..*len as usize],
+            SmallList::Heap(v) => v,
+        }
+    }
+
+    /// True while the list still lives in its inline slots (test hook).
+    #[cfg(test)]
+    fn is_inline(&self) -> bool {
+        matches!(self, SmallList::Inline { .. })
+    }
+}
+
+/// A node of the centered interval tree: every interval stored here contains
+/// `center`; intervals entirely below live in `left`, entirely above in
+/// `right`. `by_low` holds the node's intervals sorted by ascending lower
+/// bound, `by_high` the same intervals sorted by descending upper bound, so
+/// stab/overlap queries can stop at the first non-qualifying element.
+#[derive(Clone, Debug)]
+struct Node {
+    center: u64,
+    by_low: SmallList,
+    by_high: SmallList,
+    left: u32,
+    right: u32,
+}
+
+/// The immutable query structure, rebuilt from the entry map on demand.
+#[derive(Clone, Debug)]
+struct Tree {
+    nodes: Vec<Node>,
+    root: u32,
+}
+
+impl Tree {
+    fn build(entries: &HashMap<u64, ValueRange>) -> Self {
+        let items: Vec<Entry> = entries
+            .iter()
+            .map(|(&id, range)| Entry {
+                low: range.low(),
+                high: range.high(),
+                id,
+            })
+            .collect();
+        let mut nodes = Vec::new();
+        let root = Self::build_node(items, &mut nodes);
+        Tree { nodes, root }
+    }
+
+    fn build_node(items: Vec<Entry>, nodes: &mut Vec<Node>) -> u32 {
+        if items.is_empty() {
+            return NONE;
+        }
+        // Median of the interval endpoints balances the tree: each side holds
+        // at most half of the endpoints, and at least one interval (any one
+        // with the median as an endpoint) stays at this node, so both
+        // recursive calls strictly shrink.
+        let mut endpoints: Vec<u64> = Vec::with_capacity(items.len() * 2);
+        for e in &items {
+            endpoints.push(e.low);
+            endpoints.push(e.high);
+        }
+        endpoints.sort_unstable();
+        let center = endpoints[endpoints.len() / 2];
+
+        let mut below = Vec::new();
+        let mut above = Vec::new();
+        let mut mid = Vec::new();
+        for e in items {
+            if e.high < center {
+                below.push(e);
+            } else if e.low > center {
+                above.push(e);
+            } else {
+                mid.push(e);
+            }
+        }
+        // Deterministic node contents regardless of hash-map iteration
+        // order: unique ids break all ties.
+        let mut by_low = SmallList::new();
+        mid.sort_unstable_by_key(|e| (e.low, e.id));
+        for e in &mid {
+            by_low.push(*e);
+        }
+        let mut by_high = SmallList::new();
+        mid.sort_unstable_by_key(|e| (std::cmp::Reverse(e.high), e.id));
+        for e in &mid {
+            by_high.push(*e);
+        }
+
+        let left = Self::build_node(below, nodes);
+        let right = Self::build_node(above, nodes);
+        nodes.push(Node {
+            center,
+            by_low,
+            by_high,
+            left,
+            right,
+        });
+        (nodes.len() - 1) as u32
+    }
+
+    fn stab_into(&self, mut node: u32, value: u64, out: &mut Vec<u64>) {
+        while node != NONE {
+            let n = &self.nodes[node as usize];
+            if value < n.center {
+                // Node intervals contain `center > value`; they contain
+                // `value` iff their lower bound reaches down to it.
+                for e in n.by_low.as_slice() {
+                    if e.low <= value {
+                        out.push(e.id);
+                    } else {
+                        break;
+                    }
+                }
+                node = n.left;
+            } else if value > n.center {
+                for e in n.by_high.as_slice() {
+                    if e.high >= value {
+                        out.push(e.id);
+                    } else {
+                        break;
+                    }
+                }
+                node = n.right;
+            } else {
+                // Exact hit: every interval of this node contains `center`,
+                // and no interval in either subtree can (left ends below it,
+                // right starts above it).
+                out.extend(n.by_low.as_slice().iter().map(|e| e.id));
+                return;
+            }
+        }
+    }
+
+    fn overlap_into(&self, node: u32, low: u64, high: u64, out: &mut Vec<u64>) {
+        if node == NONE {
+            return;
+        }
+        let n = &self.nodes[node as usize];
+        if high < n.center {
+            // Node intervals reach up to at least `center > high`; they
+            // overlap iff their lower bound is within the query. The right
+            // subtree starts above `center` and cannot overlap.
+            for e in n.by_low.as_slice() {
+                if e.low <= high {
+                    out.push(e.id);
+                } else {
+                    break;
+                }
+            }
+            self.overlap_into(n.left, low, high, out);
+        } else if low > n.center {
+            for e in n.by_high.as_slice() {
+                if e.high >= low {
+                    out.push(e.id);
+                } else {
+                    break;
+                }
+            }
+            self.overlap_into(n.right, low, high, out);
+        } else {
+            // The query spans the center: all node intervals overlap, and
+            // both subtrees may hold more.
+            out.extend(n.by_low.as_slice().iter().map(|e| e.id));
+            self.overlap_into(n.left, low, high, out);
+            self.overlap_into(n.right, low, high, out);
+        }
+    }
+}
+
+/// An index of closed integer intervals keyed by id, answering stab and
+/// overlap queries in `O(log n + k)`.
+///
+/// Mutations ([`insert`](Self::insert), [`remove`](Self::remove),
+/// [`clear`](Self::clear)) invalidate the internal tree; the next query
+/// rebuilds it in `O(n log n)`. Queries return ids sorted ascending, so
+/// results are deterministic and directly comparable across runs.
+///
+/// ```
+/// use asv_util::{IntervalIndex, ValueRange};
+///
+/// let mut idx = IntervalIndex::new();
+/// idx.insert(1, ValueRange::new(10, 20));
+/// idx.insert(2, ValueRange::new(15, 30));
+/// idx.insert(3, ValueRange::new(40, 50));
+/// assert_eq!(idx.stab(18), vec![1, 2]);
+/// assert_eq!(idx.overlapping(&ValueRange::new(25, 45)), vec![2, 3]);
+/// ```
+#[derive(Debug, Default)]
+pub struct IntervalIndex {
+    entries: HashMap<u64, ValueRange>,
+    /// Lazily rebuilt query tree. A `Mutex` (not `RefCell`) so the index
+    /// stays `Sync` — queries take one uncontended lock; the structures
+    /// embedding view sets are shared immutably across scan workers.
+    tree: Mutex<Option<Tree>>,
+}
+
+impl Clone for IntervalIndex {
+    fn clone(&self) -> Self {
+        Self {
+            entries: self.entries.clone(),
+            tree: Mutex::new(None),
+        }
+    }
+}
+
+impl IntervalIndex {
+    /// Creates an empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of indexed intervals.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no intervals are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Inserts (or replaces) the interval stored under `id`.
+    pub fn insert(&mut self, id: u64, range: ValueRange) {
+        self.entries.insert(id, range);
+        *self.tree.get_mut().expect("interval tree lock poisoned") = None;
+    }
+
+    /// Removes the interval stored under `id`; returns whether it existed.
+    pub fn remove(&mut self, id: u64) -> bool {
+        let existed = self.entries.remove(&id).is_some();
+        if existed {
+            *self.tree.get_mut().expect("interval tree lock poisoned") = None;
+        }
+        existed
+    }
+
+    /// Drops every indexed interval.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        *self.tree.get_mut().expect("interval tree lock poisoned") = None;
+    }
+
+    /// The interval currently stored under `id`, if any.
+    pub fn range_of(&self, id: u64) -> Option<ValueRange> {
+        self.entries.get(&id).copied()
+    }
+
+    /// Ids of all intervals containing `value`, sorted ascending.
+    pub fn stab(&self, value: u64) -> Vec<u64> {
+        let mut out = Vec::new();
+        self.with_tree(|tree| tree.stab_into(tree.root, value, &mut out));
+        out.sort_unstable();
+        out
+    }
+
+    /// Ids of all intervals intersecting `range` (closed bounds on both
+    /// sides), sorted ascending.
+    pub fn overlapping(&self, range: &ValueRange) -> Vec<u64> {
+        let mut out = Vec::new();
+        self.with_tree(|tree| tree.overlap_into(tree.root, range.low(), range.high(), &mut out));
+        out.sort_unstable();
+        out
+    }
+
+    /// Runs `f` against the (lazily rebuilt) query tree.
+    fn with_tree<R>(&self, f: impl FnOnce(&Tree) -> R) -> R {
+        let mut slot = self.tree.lock().expect("interval tree lock poisoned");
+        let tree = slot.get_or_insert_with(|| Tree::build(&self.entries));
+        f(tree)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Splitmix-style deterministic generator, independent of any RNG crate.
+    fn next(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    fn naive_stab(entries: &[(u64, ValueRange)], value: u64) -> Vec<u64> {
+        let mut ids: Vec<u64> = entries
+            .iter()
+            .filter(|(_, r)| r.contains(value))
+            .map(|(id, _)| *id)
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    fn naive_overlap(entries: &[(u64, ValueRange)], q: &ValueRange) -> Vec<u64> {
+        let mut ids: Vec<u64> = entries
+            .iter()
+            .filter(|(_, r)| r.overlaps(q))
+            .map(|(id, _)| *id)
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    #[test]
+    fn empty_index_answers_nothing() {
+        let idx = IntervalIndex::new();
+        assert!(idx.is_empty());
+        assert!(idx.stab(7).is_empty());
+        assert!(idx.overlapping(&ValueRange::full()).is_empty());
+    }
+
+    #[test]
+    fn closed_bounds_are_inclusive() {
+        let mut idx = IntervalIndex::new();
+        idx.insert(1, ValueRange::new(10, 20));
+        assert_eq!(idx.stab(10), vec![1]);
+        assert_eq!(idx.stab(20), vec![1]);
+        assert!(idx.stab(9).is_empty());
+        assert!(idx.stab(21).is_empty());
+        // Touching at a single point still counts as overlap.
+        assert_eq!(idx.overlapping(&ValueRange::new(20, 25)), vec![1]);
+        assert_eq!(idx.overlapping(&ValueRange::new(0, 10)), vec![1]);
+        assert!(idx.overlapping(&ValueRange::new(21, 25)).is_empty());
+    }
+
+    #[test]
+    fn replace_remove_and_clear_invalidate_queries() {
+        let mut idx = IntervalIndex::new();
+        idx.insert(5, ValueRange::new(0, 9));
+        assert_eq!(idx.stab(4), vec![5]);
+        idx.insert(5, ValueRange::new(100, 200));
+        assert!(idx.stab(4).is_empty());
+        assert_eq!(idx.stab(150), vec![5]);
+        assert_eq!(idx.range_of(5), Some(ValueRange::new(100, 200)));
+        assert!(idx.remove(5));
+        assert!(!idx.remove(5));
+        assert!(idx.stab(150).is_empty());
+        idx.insert(1, ValueRange::full());
+        idx.clear();
+        assert!(idx.is_empty());
+        assert!(idx.overlapping(&ValueRange::full()).is_empty());
+    }
+
+    #[test]
+    fn full_ranges_match_everything() {
+        let mut idx = IntervalIndex::new();
+        idx.insert(1, ValueRange::full());
+        idx.insert(2, ValueRange::point(u64::MAX));
+        idx.insert(3, ValueRange::point(0));
+        assert_eq!(idx.stab(0), vec![1, 3]);
+        assert_eq!(idx.stab(u64::MAX), vec![1, 2]);
+        assert_eq!(idx.overlapping(&ValueRange::full()), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn high_degree_nodes_spill_past_inline_capacity() {
+        // All intervals contain 50, so they land in a single node and the
+        // node's lists must spill from inline to heap storage.
+        let mut idx = IntervalIndex::new();
+        for i in 0..(INLINE_CAP as u64 * 3) {
+            idx.insert(i, ValueRange::new(50 - i.min(50), 50 + i));
+        }
+        let expected: Vec<u64> = (0..INLINE_CAP as u64 * 3).collect();
+        assert_eq!(idx.stab(50), expected);
+        idx.with_tree(|tree| {
+            assert!(tree
+                .nodes
+                .iter()
+                .any(|n| !n.by_low.is_inline() && !n.by_high.is_inline()));
+        });
+    }
+
+    #[test]
+    fn small_list_inline_until_capacity() {
+        let mut list = SmallList::new();
+        for i in 0..INLINE_CAP as u64 {
+            list.push(Entry {
+                low: i,
+                high: i,
+                id: i,
+            });
+            assert!(list.is_inline());
+        }
+        list.push(Entry {
+            low: 99,
+            high: 99,
+            id: 99,
+        });
+        assert!(!list.is_inline());
+        assert_eq!(list.as_slice().len(), INLINE_CAP + 1);
+    }
+
+    #[test]
+    fn matches_naive_reference_on_random_workloads() {
+        let mut state = 0xA51CEu64;
+        for round in 0..20 {
+            let mut idx = IntervalIndex::new();
+            let mut entries = Vec::new();
+            let n = 1 + (next(&mut state) % 120) as usize;
+            for id in 0..n as u64 {
+                let a = next(&mut state) % 10_000;
+                let b = next(&mut state) % 10_000;
+                let range = ValueRange::new(a.min(b), a.max(b));
+                idx.insert(id, range);
+                entries.push((id, range));
+            }
+            // A few deletions keep the tree honest about removals.
+            for _ in 0..n / 4 {
+                let id = next(&mut state) % n as u64;
+                idx.remove(id);
+                entries.retain(|(e, _)| *e != id);
+            }
+            for _ in 0..200 {
+                let v = next(&mut state) % 10_500;
+                assert_eq!(idx.stab(v), naive_stab(&entries, v), "round {round}");
+                let a = next(&mut state) % 10_500;
+                let b = next(&mut state) % 10_500;
+                let q = ValueRange::new(a.min(b), a.max(b));
+                assert_eq!(
+                    idx.overlapping(&q),
+                    naive_overlap(&entries, &q),
+                    "round {round}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn results_are_independent_of_insertion_order() {
+        let ranges = [
+            (0u64, ValueRange::new(0, 100)),
+            (1, ValueRange::new(50, 60)),
+            (2, ValueRange::new(55, 300)),
+            (3, ValueRange::point(58)),
+            (4, ValueRange::new(200, 400)),
+        ];
+        let mut forward = IntervalIndex::new();
+        for (id, r) in ranges {
+            forward.insert(id, r);
+        }
+        let mut backward = IntervalIndex::new();
+        for (id, r) in ranges.iter().rev() {
+            backward.insert(*id, *r);
+        }
+        for v in [0u64, 55, 58, 120, 250, 500] {
+            assert_eq!(forward.stab(v), backward.stab(v));
+        }
+        let q = ValueRange::new(40, 250);
+        assert_eq!(forward.overlapping(&q), backward.overlapping(&q));
+    }
+}

@@ -176,7 +176,7 @@ impl Distribution {
     }
 }
 
-fn page_interval_start(page: usize, num_pages: usize, max_value: u64) -> u64 {
+pub(crate) fn page_interval_start(page: usize, num_pages: usize, max_value: u64) -> u64 {
     ((page as u128 * max_value as u128) / num_pages.max(1) as u128) as u64
 }
 

@@ -7,7 +7,10 @@
 //! * [`QueryWorkload`] — the query sequences of §3.2/§3.3: a shuffled
 //!   selectivity sweep (Figure 4) and fixed-selectivity sequences
 //!   (Figure 5).
-//! * [`UpdateWorkload`] — random point updates (§3.1 and §3.4).
+//! * [`UpdateWorkload`] — random point updates (§3.1 and §3.4), plus
+//!   hot-zone-churn rounds whose writes stay inside a moving row window
+//!   with page-local values, the workload of the incremental-alignment
+//!   planner (beyond the paper).
 //! * [`TableWorkload`] — multi-column tables with
 //!   correlated/anti-correlated/independent columns plus conjunctive query
 //!   sequences, the workload of the multi-column query planner (beyond the
@@ -38,4 +41,4 @@ pub use streams::{
     MixedOp, MixedSpec, MixedWorkload, ServeReadOp, ServeRound, ServeSpec, ServeWorkload,
 };
 pub use tables::{ColumnCorrelation, ConjunctiveQuery, TableWorkload};
-pub use updates::UpdateWorkload;
+pub use updates::{ChurnRound, UpdateWorkload};
