@@ -7,6 +7,7 @@
 //!             [--seed N] [--csv-dir DIR] [--threads N]
 //!             [--align-mode sync|background]
 //!             [--chunk-updates LIST] [--write-every LIST] [--clients LIST]
+//!             [--writers LIST]
 //! experiments compare DIR_A DIR_B [--max-delta-pct X]
 //! ```
 //!
@@ -42,13 +43,18 @@
 //! --max-delta-pct 0` gates the chunked kernels on exact answer equality.
 //!
 //! The `serve` experiment sweeps reader-thread counts (`--clients 1,2,4,8`
-//! overrides the list) over the concurrent serving layer, asserts every
-//! client count answers bit-identically to a single-threaded twin, appends
-//! one JSON line of throughput/tail-latency history to `BENCH_serve.json`
-//! and — with `--csv-dir` — writes each client count's answer table to
-//! `DIR/serve_clients_{N}/` (the twin to `DIR/serve_clients_seq/`), so
-//! `experiments compare DIR/serve_clients_seq DIR/serve_clients_2
-//! --max-delta-pct 0` gates cross-client determinism.
+//! overrides the list) × writer-shard counts (`--writers 0,2`; 0 = direct
+//! maintenance-thread writes, N > 0 = N writer threads feeding N sharded
+//! ingest lanes) over the concurrent serving layer. `--threads` turns on
+//! intra-query morsel fan-out on the reader snapshots. Every cell must
+//! answer bit-identically to a single-threaded sequential twin; the run
+//! appends one JSON line of throughput/tail-latency history (with the
+//! clients and writers axes) to `BENCH_serve.json` and — with `--csv-dir`
+//! — writes each cell's answer table to `DIR/serve_clients_{LABEL}/`
+//! (`seq` for the twin, `{C}` for direct-write cells, `{C}w{W}` for
+//! sharded-ingest cells), so `experiments compare DIR/serve_clients_seq
+//! DIR/serve_clients_2w2 --max-delta-pct 0` gates determinism across all
+//! axes.
 //!
 //! The `incremental-align` experiment sweeps installed-view counts against
 //! hot-zone-churn touch fractions, running every cell once with the
@@ -85,6 +91,7 @@ struct Args {
     align_mode: fig7::AlignMode,
     overlap: align_overlap::OverlapConfig,
     clients: Vec<usize>,
+    writers: Vec<usize>,
     max_delta_pct: Option<f64>,
 }
 
@@ -110,6 +117,7 @@ fn parse_args() -> Result<Args, String> {
     let mut align_mode = fig7::AlignMode::Sync;
     let mut overlap = align_overlap::OverlapConfig::default();
     let mut clients = serve::DEFAULT_CLIENTS.to_vec();
+    let mut writers = serve::DEFAULT_WRITERS.to_vec();
     let mut max_delta_pct = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -167,6 +175,14 @@ fn parse_args() -> Result<Args, String> {
                 }
                 clients = list;
             }
+            "--writers" => {
+                let v = args.next().ok_or("--writers needs a value")?;
+                let list = parse_usize_list("--writers", &v)?;
+                if list.is_empty() {
+                    return Err("--writers needs at least one entry".to_string());
+                }
+                writers = list;
+            }
             "--max-delta-pct" => {
                 let v = args.next().ok_or("--max-delta-pct needs a value")?;
                 let bound: f64 = v
@@ -186,7 +202,8 @@ fn parse_args() -> Result<Args, String> {
                             [--backend sim|mmap] [--scale tiny|small|medium|paper] \
                             [--seed N] [--csv-dir DIR] [--threads N] \
                             [--align-mode sync|background] \
-                            [--chunk-updates LIST] [--write-every LIST] [--clients LIST]\n\
+                            [--chunk-updates LIST] [--write-every LIST] [--clients LIST] \
+                            [--writers LIST]\n\
                      usage: experiments compare DIR_A DIR_B [--max-delta-pct X]"
                         .to_string(),
                 );
@@ -208,6 +225,7 @@ fn parse_args() -> Result<Args, String> {
         align_mode,
         overlap,
         clients,
+        writers,
         max_delta_pct,
     })
 }
@@ -414,7 +432,8 @@ fn run_serve(args: &Args) {
         &args.scale,
         args.seed,
         args.parallelism,
-        &args.clients
+        &args.clients,
+        &args.writers
     ));
     let table = serve::to_table(&report);
     println!("{}", table.render());
@@ -425,11 +444,7 @@ fn run_serve(args: &Args) {
     maybe_write_csv(&args.csv_dir, "serve", &table);
     if let Some(dir) = &args.csv_dir {
         for cell in &report.cells {
-            let label = if cell.clients == 0 {
-                "seq".to_string()
-            } else {
-                cell.clients.to_string()
-            };
+            let label = serve::cell_label(cell);
             let answers = serve::answers_table(cell);
             let path = format!("{dir}/serve_clients_{label}/answers.csv");
             if let Err(e) = report::write_csv(&path, &answers.to_csv()) {

@@ -33,6 +33,10 @@ use crate::scale::Scale;
 /// Client counts the experiment sweeps unless `--clients` overrides them.
 pub const DEFAULT_CLIENTS: [usize; 4] = [1, 2, 4, 8];
 
+/// Writer-shard counts the experiment sweeps unless `--writers` overrides
+/// them (`0` = the maintenance thread writes directly, no ingest lanes).
+pub const DEFAULT_WRITERS: [usize; 2] = [0, 2];
+
 /// Columns of the served table.
 const COLUMNS: usize = 2;
 
@@ -63,6 +67,9 @@ impl ServeAnswer {
 pub struct ServeCell {
     /// Reader threads (0 = the single-threaded sequential twin).
     pub clients: usize,
+    /// Writer threads feeding sharded ingest lanes (0 = the maintenance
+    /// thread writes directly).
+    pub writers: usize,
     /// Total reads answered across all rounds.
     pub total_reads: usize,
     /// Wall-clock time of the whole run (writes + reads), milliseconds.
@@ -144,18 +151,24 @@ fn column_values(col: usize, pages: usize) -> Vec<u64> {
         .collect()
 }
 
-fn serve_config(parallelism: Parallelism) -> AdaptiveConfig {
+fn serve_config(parallelism: Parallelism, writer_shards: usize) -> AdaptiveConfig {
     AdaptiveConfig::default()
         .with_parallelism(parallelism)
         .with_chunking(
             AlignChunking::default()
                 .with_chunk_updates(64)
-                .with_group_commit_idle(0),
+                .with_group_commit_idle(0)
+                .with_writer_shards(writer_shards.max(1)),
         )
 }
 
-fn build_table<B: Backend>(backend: &B, scale: &Scale, parallelism: Parallelism) -> ServeTable<B> {
-    let mut table = ServeTable::new(backend.clone(), serve_config(parallelism));
+fn build_table<B: Backend>(
+    backend: &B,
+    scale: &Scale,
+    parallelism: Parallelism,
+    writer_shards: usize,
+) -> ServeTable<B> {
+    let mut table = ServeTable::new(backend.clone(), serve_config(parallelism, writer_shards));
     let domain = scale.serve_pages as u64 * 1_000 + 999;
     for col in 0..COLUMNS {
         table
@@ -222,6 +235,7 @@ fn percentile_us(latencies_ns: &mut [f64], pct: f64) -> f64 {
 
 fn cell_from(
     clients: usize,
+    writers: usize,
     mut answers: Vec<(usize, usize, ServeAnswer)>,
     mut latencies_ns: Vec<f64>,
     wall_ms: f64,
@@ -231,6 +245,7 @@ fn cell_from(
     let total_reads = answers.len();
     ServeCell {
         clients,
+        writers,
         total_reads,
         wall_ms,
         reads_per_sec: total_reads as f64 / (wall_ms / 1_000.0).max(1e-9),
@@ -251,7 +266,7 @@ fn run_sequential<B: Backend>(
     rounds: &[ServeRound],
     parallelism: Parallelism,
 ) -> ServeCell {
-    let mut table = build_table(backend, scale, parallelism);
+    let mut table = build_table(backend, scale, parallelism, 0);
     let handle = table.handle();
     let mut answers = Vec::new();
     let mut latencies = Vec::new();
@@ -271,24 +286,36 @@ fn run_sequential<B: Backend>(
     }
     let wall_ms = started.elapsed().as_secs_f64() * 1_000.0;
     table.quiesce().expect("quiesce");
-    cell_from(0, answers, latencies, wall_ms, table.generation())
+    cell_from(0, 0, answers, latencies, wall_ms, table.generation())
 }
 
 /// One concurrent run: `num_clients` reader threads against one
-/// maintenance thread.
+/// maintenance thread, optionally fed by `num_writers` writer threads
+/// through the sharded ingest front door (`num_writers == 0` keeps the
+/// direct maintenance-thread write path).
+///
+/// Readers pin snapshots with the swept `parallelism`, so `--threads`
+/// drives the intra-query morsel fan-out; the sequential twin always reads
+/// sequentially, which is exactly the bit-identity gate.
 fn run_concurrent<B: Backend>(
     backend: &B,
     scale: &Scale,
     rounds: &[ServeRound],
     parallelism: Parallelism,
     num_clients: usize,
+    num_writers: usize,
 ) -> ServeCell {
-    let mut table = build_table(backend, scale, parallelism);
-    let handle = table.handle();
+    let mut table = build_table(backend, scale, parallelism, num_writers);
+    let handle = table.handle().with_parallelism(parallelism);
+    let writer = table.writer();
     // Rounds the maintenance thread has committed and opened for reading.
     let round_ready = AtomicUsize::new(0);
     // Total client-round completions; round k is done at (k+1)*clients.
     let finished = AtomicUsize::new(0);
+    // Rounds opened for writer-thread sends, and completed writer-round
+    // sends; round k's lanes are fully fed at (k+1)*writers.
+    let write_round_open = AtomicUsize::new(0);
+    let writes_done = AtomicUsize::new(0);
 
     let mut answers = Vec::new();
     let mut latencies = Vec::new();
@@ -296,6 +323,22 @@ fn run_concurrent<B: Backend>(
     std::thread::scope(|scope| {
         let round_ready = &round_ready;
         let finished = &finished;
+        let write_round_open = &write_round_open;
+        let writes_done = &writes_done;
+        for w in 0..num_writers {
+            let writer = writer.clone();
+            scope.spawn(move || {
+                for (k, round) in rounds.iter().enumerate() {
+                    while write_round_open.load(Ordering::Acquire) <= k {
+                        std::thread::yield_now();
+                    }
+                    for (col, row, value) in round.writes_for_shard(w, num_writers) {
+                        writer.write(col, row, value);
+                    }
+                    writes_done.fetch_add(1, Ordering::AcqRel);
+                }
+            });
+        }
         let clients: Vec<_> = (0..num_clients)
             .map(|client| {
                 let handle = handle.clone();
@@ -324,8 +367,20 @@ fn run_concurrent<B: Backend>(
             .collect();
 
         for (k, round) in rounds.iter().enumerate() {
-            for &(col, row, value) in &round.writes {
-                table.write(col, row, value);
+            if num_writers == 0 {
+                for &(col, row, value) in &round.writes {
+                    table.write(col, row, value);
+                }
+            } else {
+                // Open the round's lanes and wait for every writer thread
+                // to finish its sends: the release/acquire pair makes all
+                // sent messages visible to the drain in the tick below, so
+                // the commit acknowledges the complete round — the same
+                // boundary the direct path has.
+                write_round_open.store(k + 1, Ordering::Release);
+                while writes_done.load(Ordering::Acquire) < (k + 1) * num_writers {
+                    std::thread::yield_now();
+                }
             }
             // One tick commits the staged acknowledgements; every epoch a
             // client pins until the next round's commit answers
@@ -345,21 +400,30 @@ fn run_concurrent<B: Backend>(
     });
     let wall_ms = started.elapsed().as_secs_f64() * 1_000.0;
     table.quiesce().expect("quiesce");
-    cell_from(num_clients, answers, latencies, wall_ms, table.generation())
+    cell_from(
+        num_clients,
+        num_writers,
+        answers,
+        latencies,
+        wall_ms,
+        table.generation(),
+    )
 }
 
-/// Runs the client-count sweep on `backend`.
+/// Runs the `clients × writers` sweep on `backend`.
 ///
 /// # Panics
-/// Panics if any client count's answer set deviates from the sequential
-/// twin's — the serving layer must be deterministic before its timings
-/// mean anything.
+/// Panics if any cell's answer set deviates from the sequential twin's —
+/// the serving layer must be deterministic (across reader parallelism,
+/// client counts and writer-shard counts alike) before its timings mean
+/// anything.
 pub fn run_with<B: Backend>(
     backend: &B,
     scale: &Scale,
     seed: u64,
     parallelism: Parallelism,
     clients: &[usize],
+    writers: &[usize],
 ) -> ServeReport {
     let spec = spec_for(scale);
     let num_rows = scale.serve_pages * VALUES_PER_PAGE;
@@ -367,15 +431,25 @@ pub fn run_with<B: Backend>(
 
     let sequential = run_sequential(backend, scale, &rounds, parallelism);
     let mut cells = vec![sequential];
-    for &num_clients in clients {
-        assert!(num_clients > 0, "client counts must be positive");
-        let cell = run_concurrent(backend, scale, &rounds, parallelism, num_clients);
-        assert_eq!(
-            cell.answers, cells[0].answers,
-            "{num_clients} clients diverged from the sequential twin"
-        );
-        assert_eq!(cell.checksum, cells[0].checksum);
-        cells.push(cell);
+    for &num_writers in writers {
+        for &num_clients in clients {
+            assert!(num_clients > 0, "client counts must be positive");
+            let cell = run_concurrent(
+                backend,
+                scale,
+                &rounds,
+                parallelism,
+                num_clients,
+                num_writers,
+            );
+            assert_eq!(
+                cell.answers, cells[0].answers,
+                "{num_clients} clients / {num_writers} writers diverged \
+                 from the sequential twin"
+            );
+            assert_eq!(cell.checksum, cells[0].checksum);
+            cells.push(cell);
+        }
     }
     ServeReport {
         cells,
@@ -394,6 +468,19 @@ fn clients_label(clients: usize) -> String {
     }
 }
 
+/// The unique label of one swept cell, used for CSV directory names and
+/// the JSON record: `seq` for the twin, the client count for direct-write
+/// cells, `CLIENTSwWRITERS` for sharded-ingest cells.
+pub fn cell_label(cell: &ServeCell) -> String {
+    if cell.clients == 0 {
+        "seq".to_string()
+    } else if cell.writers == 0 {
+        clients_label(cell.clients)
+    } else {
+        format!("{}w{}", cell.clients, cell.writers)
+    }
+}
+
 /// Renders the throughput/latency cells.
 pub fn to_table(report: &ServeReport) -> Table {
     let mut table = Table::new(
@@ -403,12 +490,14 @@ pub fn to_table(report: &ServeReport) -> Table {
             report.rounds, report.reads_per_round, report.writes_per_round, report.num_rows
         ),
         &[
-            "clients", "reads", "wall ms", "reads/s", "p50 us", "p95 us", "p99 us", "checksum",
+            "clients", "writers", "reads", "wall ms", "reads/s", "p50 us", "p95 us", "p99 us",
+            "checksum",
         ],
     );
     for cell in &report.cells {
         table.add_row(vec![
             clients_label(cell.clients),
+            cell.writers.to_string(),
             cell.total_reads.to_string(),
             format!("{:.2}", cell.wall_ms),
             format!("{:.0}", cell.reads_per_sec),
@@ -457,9 +546,10 @@ pub fn bench_json_line(
             cells.push(',');
         }
         cells.push_str(&format!(
-            "{{\"clients\":\"{}\",\"reads\":{},\"reads_per_sec\":{:.0},\
+            "{{\"clients\":\"{}\",\"writers\":{},\"reads\":{},\"reads_per_sec\":{:.0},\
              \"p50_us\":{:.1},\"p95_us\":{:.1},\"p99_us\":{:.1},\"checksum\":\"{:x}\"}}",
             clients_label(cell.clients),
+            cell.writers,
             cell.total_reads,
             cell.reads_per_sec,
             cell.p50_us,
@@ -501,6 +591,7 @@ mod tests {
             7,
             Parallelism::Sequential,
             &[1, 2],
+            &[0],
         );
         assert_eq!(report.cells.len(), 3); // seq + 2 client counts
         assert_eq!(report.cells[0].clients, 0);
@@ -529,6 +620,30 @@ mod tests {
     }
 
     #[test]
+    fn parallel_readers_and_sharded_writers_match_the_twin() {
+        // The full grid on the tiny scale: morsel-parallel reads
+        // (threads 2) × sharded ingest (writers 2) × 2 clients must all be
+        // bit-identical to the sequential twin — run_with asserts it, this
+        // test additionally checks the labels and axes land in the report.
+        let report = run_with(
+            &SimBackend::new(),
+            &Scale::tiny(),
+            7,
+            Parallelism::from_threads(2),
+            &[2],
+            &[0, 2],
+        );
+        assert_eq!(report.cells.len(), 3); // seq + (2 clients × {0, 2} writers)
+        assert_eq!(cell_label(&report.cells[0]), "seq");
+        assert_eq!(cell_label(&report.cells[1]), "2");
+        assert_eq!(cell_label(&report.cells[2]), "2w2");
+        assert_eq!(report.cells[2].writers, 2);
+        for cell in &report.cells {
+            assert_eq!(cell.answers, report.cells[0].answers);
+        }
+    }
+
+    #[test]
     fn bench_json_line_is_one_line_and_balanced() {
         let report = run_with(
             &SimBackend::new(),
@@ -536,6 +651,7 @@ mod tests {
             5,
             Parallelism::Sequential,
             &[2],
+            &[0, 2],
         );
         let line = bench_json_line(&report, "sim", "tiny", 5, "sequential", 1_700_000_000_000);
         assert!(!line.contains('\n'));
@@ -545,6 +661,8 @@ mod tests {
         assert!(line.contains("\"threads\":\"sequential\""));
         assert!(line.contains("\"clients\":\"seq\""));
         assert!(line.contains("\"clients\":\"2\""));
+        assert!(line.contains("\"writers\":0"));
+        assert!(line.contains("\"writers\":2"));
     }
 
     #[test]

@@ -81,7 +81,9 @@ use std::ops::Range;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use asv_storage::{dedup_last_write_wins, sorted_page_groups, Column, ExclusionMasks, Update};
+use asv_storage::{
+    copy_values_chunked, dedup_last_write_wins, sorted_page_groups, Column, ExclusionMasks, Update,
+};
 use asv_util::{IntervalIndex, Parallelism, ThreadPool, Timer, ValueRange};
 use asv_vmem::{Backend, MappingTable, VmemError};
 
@@ -436,7 +438,7 @@ fn snapshot_impl<B: Backend>(
                         .any(|u| view.range.contains(u.old_value))
             })
         })
-        .map(|(page, _)| (*page, column.page_ref(*page).values().to_vec()))
+        .map(|(page, _)| (*page, copy_values_chunked(column.page_ref(*page).values())))
         .collect();
     let parse_time = parse_timer.elapsed();
 
@@ -952,24 +954,29 @@ impl WriteOverlay {
         self.entries.get(&row).map(|e| e.value)
     }
 
-    /// Queues a write of `value` into `row`.
-    pub fn push(&mut self, row: usize, value: u64) {
+    /// Queues a write of `value` into `row`. Returns `true` if the row was
+    /// not overlaid before (a new distinct row), `false` on a re-write of an
+    /// already-overlaid row — the signal per-shard backpressure accounting
+    /// needs to mirror [`Self::len`] without rescanning.
+    pub fn push(&mut self, row: usize, value: u64) -> bool {
         let key = row as u64;
-        match self.entries.insert(
-            key,
-            OverlayEntry {
-                value,
-                queued: true,
-            },
-        ) {
-            Some(_) => {}
-            None => {
-                self.rows.get_mut().push(key);
-                self.rows_dirty.set(true);
-                *self.masks.get_mut() = None;
-            }
+        let newly_overlaid = self
+            .entries
+            .insert(
+                key,
+                OverlayEntry {
+                    value,
+                    queued: true,
+                },
+            )
+            .is_none();
+        if newly_overlaid {
+            self.rows.get_mut().push(key);
+            self.rows_dirty.set(true);
+            *self.masks.get_mut() = None;
         }
         self.log.push((row, value));
+        newly_overlaid
     }
 
     /// Drains the queued write log for the next alignment round, moving

@@ -103,6 +103,24 @@ pub struct AlignChunking {
     /// chunk's items per tick (the pre-delta-queue cadence). The default is
     /// `1`: strict item-by-item draining.
     pub delta_items_per_tick: usize,
+    /// Number of MPSC ingest lanes of the serving layer's sharded
+    /// multi-writer front door ([`crate::serve::ServeTable::writer`]):
+    /// writes are hashed to a lane by their row's page group and drained
+    /// into the overlay at tick boundaries. The group-commit backpressure
+    /// check folds when the *fullest shard* reaches
+    /// `max_queued_writes / writer_shards` distinct overlaid rows, so a hot
+    /// shard cannot starve behind cold ones. The default of `1` is the
+    /// single-lane (pre-sharding) behaviour.
+    pub writer_shards: usize,
+    /// Idle-tick band re-tightening of the serving layer's zone statistics:
+    /// zone bands only ever *widen* under writes, so a column whose hot
+    /// rows move around accumulates pessimistic bands. With this set to
+    /// `n > 0`, a column that has been fully idle (no alignment round in
+    /// flight, empty overlay) for `n` consecutive maintenance ticks and
+    /// whose bands widened since the last rebuild gets its
+    /// [`crate::plan::ZoneStats`] rebuilt from live data. `0` (the default)
+    /// disables the pass.
+    pub retighten_idle_ticks: usize,
 }
 
 impl AlignChunking {
@@ -135,6 +153,19 @@ impl AlignChunking {
         self.delta_items_per_tick = delta_items_per_tick;
         self
     }
+
+    /// Builder-style setter for the number of ingest lanes (clamped to at
+    /// least 1).
+    pub fn with_writer_shards(mut self, writer_shards: usize) -> Self {
+        self.writer_shards = writer_shards.max(1);
+        self
+    }
+
+    /// Builder-style setter for the idle-tick band re-tightening threshold.
+    pub fn with_retighten_idle_ticks(mut self, retighten_idle_ticks: usize) -> Self {
+        self.retighten_idle_ticks = retighten_idle_ticks;
+        self
+    }
 }
 
 impl Default for AlignChunking {
@@ -145,6 +176,8 @@ impl Default for AlignChunking {
             group_commit_idle: 0,
             incremental_align: true,
             delta_items_per_tick: 1,
+            writer_shards: 1,
+            retighten_idle_ticks: 0,
         }
     }
 }
@@ -282,6 +315,8 @@ mod tests {
         assert_eq!(c.chunking.group_commit_idle, 0, "fold on first idle tick");
         assert!(c.chunking.incremental_align, "delta-queue path by default");
         assert_eq!(c.chunking.delta_items_per_tick, 1, "item-by-item drain");
+        assert_eq!(c.chunking.writer_shards, 1, "single ingest lane");
+        assert_eq!(c.chunking.retighten_idle_ticks, 0, "re-tightening off");
     }
 
     #[test]
@@ -292,13 +327,19 @@ mod tests {
                 .with_max_queued_writes(4_096)
                 .with_group_commit_idle(32)
                 .with_incremental_align(false)
-                .with_delta_items_per_tick(8),
+                .with_delta_items_per_tick(8)
+                .with_writer_shards(4)
+                .with_retighten_idle_ticks(16),
         );
         assert_eq!(c.chunking.chunk_updates, 128);
         assert_eq!(c.chunking.max_queued_writes, 4_096);
         assert_eq!(c.chunking.group_commit_idle, 32);
         assert!(!c.chunking.incremental_align);
         assert_eq!(c.chunking.delta_items_per_tick, 8);
+        assert_eq!(c.chunking.writer_shards, 4);
+        assert_eq!(c.chunking.retighten_idle_ticks, 16);
+        let clamped = AlignChunking::default().with_writer_shards(0);
+        assert_eq!(clamped.writer_shards, 1, "shard count clamps to 1");
     }
 
     #[test]

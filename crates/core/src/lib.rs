@@ -68,8 +68,8 @@ pub use plan::{
 pub use query::{QueryExecution, QueryOutcome, RangeQuery, ViewMaintenance};
 pub use router::{route, RouteSelection, ViewId};
 pub use serve::{
-    AlignActivity, ColumnEpoch, ConjunctiveAnswer, RangeAnswer, ServeTable, Snapshot, TableEpoch,
-    TableHandle, ViewMeta,
+    writer_shard_of, AlignActivity, ColumnEpoch, ConjunctiveAnswer, RangeAnswer, ServeTable,
+    Snapshot, TableEpoch, TableHandle, TableWriter, ViewMeta,
 };
 pub use stats::{
     ChunkPublishRecord, ChunkPublishStats, ConjunctiveRecord, ConjunctiveStats, QueryRecord,

@@ -54,6 +54,10 @@ pub struct ZoneStats {
     /// Per-zone `(min, max)` over the zone's valid values; `None` for zones
     /// without any values.
     zones: Vec<Option<(u64, u64)>>,
+    /// Per-zone count of valid values, so partially-filled trailing pages
+    /// (and with them sparse columns) don't inflate row estimates to the
+    /// zone's full page capacity.
+    rows: Vec<usize>,
     pages_per_zone: usize,
     num_pages: usize,
     num_rows: usize,
@@ -71,22 +75,37 @@ pub struct CardinalityEstimate {
 
 impl ZoneStats {
     /// Builds the statistics with one pass over the column's pages.
+    ///
+    /// Each zone's band folds over its pages' valid values through the
+    /// chunked [`asv_storage::fold_min_max_chunked`] kernel — one running
+    /// `(min, max)` accumulator per zone instead of a per-page `Option`
+    /// reduce-and-merge — and the same pass counts the zone's valid values,
+    /// which [`ZoneStats::estimate`] uses as the row mass.
     pub fn build<B: Backend>(column: &Column<B>) -> Self {
         let num_pages = column.num_pages();
         let pages_per_zone = num_pages.div_ceil(MAX_ZONES).max(1);
         let num_zones = num_pages.div_ceil(pages_per_zone);
         let mut zones: Vec<Option<(u64, u64)>> = vec![None; num_zones];
-        for page in 0..num_pages {
-            if let Some((lo, hi)) = column.page_ref(page).min_max() {
-                let zone = &mut zones[page / pages_per_zone];
-                *zone = Some(match zone {
-                    Some((a, b)) => ((*a).min(lo), (*b).max(hi)),
-                    None => (lo, hi),
-                });
+        let mut rows: Vec<usize> = vec![0; num_zones];
+        for (zone_idx, zone) in zones.iter_mut().enumerate() {
+            let first = zone_idx * pages_per_zone;
+            let last = (first + pages_per_zone).min(num_pages);
+            let mut acc = (u64::MAX, 0u64);
+            let mut zone_rows = 0usize;
+            for page in first..last {
+                let values = column.page_ref(page);
+                let values = values.values();
+                zone_rows += values.len();
+                acc = asv_storage::fold_min_max_chunked(values, acc);
+            }
+            rows[zone_idx] = zone_rows;
+            if zone_rows > 0 {
+                *zone = Some(acc);
             }
         }
         Self {
             zones,
+            rows,
             pages_per_zone,
             num_pages,
             num_rows: column.num_rows(),
@@ -101,6 +120,13 @@ impl ZoneStats {
     /// Pages aggregated per zone.
     pub fn pages_per_zone(&self) -> usize {
         self.pages_per_zone
+    }
+
+    /// Number of valid values counted in zone `zone` at build time (0 for
+    /// out-of-bounds zones). Updates don't change the count — they replace
+    /// values in place — so the count stays exact under writes.
+    pub fn zone_rows(&self, zone: usize) -> usize {
+        self.rows.get(zone).copied().unwrap_or(0)
     }
 
     /// The zone index covering `row` (rows past the column map to the last
@@ -136,6 +162,10 @@ impl ZoneStats {
 
     /// Estimates result cardinality and qualifying pages for `range`,
     /// assuming values spread uniformly within each zone's band.
+    ///
+    /// The row mass of each zone is its *counted* valid values (not the
+    /// zone's page capacity), so sparse columns and partially-filled
+    /// trailing pages don't over-estimate the touched bands.
     pub fn estimate(&self, range: &ValueRange) -> CardinalityEstimate {
         let mut est_pages = 0usize;
         let mut est_rows = 0.0f64;
@@ -151,7 +181,7 @@ impl ZoneStats {
                 .min(self.num_pages - idx * self.pages_per_zone);
             est_pages += zone_pages;
             let fraction = (overlap.width() as f64 / band.width() as f64).min(1.0);
-            est_rows += fraction * (zone_pages * VALUES_PER_PAGE) as f64;
+            est_rows += fraction * self.rows[idx] as f64;
         }
         CardinalityEstimate {
             est_rows: (est_rows.round() as u64).min(self.num_rows as u64),
@@ -507,6 +537,24 @@ mod tests {
         assert!(stats.num_zones() <= MAX_ZONES);
         let est = stats.estimate(&ValueRange::new(0, 5_000));
         assert!(est.est_pages >= 5);
+    }
+
+    #[test]
+    fn zone_row_counts_track_partial_pages() {
+        // Three full clustered pages plus a 10-value tail page.
+        let mut values = clustered_values(3);
+        values.extend((0..10u64).map(|i| 3_000 + i));
+        let col = Column::from_values(SimBackend::new(), &values).unwrap();
+        let stats = ZoneStats::build(&col);
+        assert_eq!(stats.num_zones(), 4);
+        assert_eq!(stats.zone_rows(0), VALUES_PER_PAGE);
+        assert_eq!(stats.zone_rows(3), 10);
+        assert_eq!(stats.zone_rows(4), 0, "out of bounds counts as empty");
+        // The tail zone estimates its actual 10 values, not the page
+        // capacity of 511.
+        let est = stats.estimate(&ValueRange::new(3_000, 3_009));
+        assert_eq!(est.est_pages, 1);
+        assert_eq!(est.est_rows, 10);
     }
 
     #[test]

@@ -74,12 +74,46 @@
 //! their source from overlay to store without changing values). This is
 //! what makes the serving layer deterministic: concurrent readers pinning
 //! *different* mid-round epochs still compute identical results.
+//!
+//! # Morsel-parallel reads
+//!
+//! A pinned snapshot can additionally fork-join its *own* queries across
+//! an [`asv_util::ThreadPool`]: [`TableHandle::with_parallelism`] sets a
+//! per-handle [`Parallelism`] knob and every routed scan and semi-join
+//! probe then splits its page list into contiguous page-id morsels
+//! ([`asv_util::split_ranges`], one per worker), scans them on worker
+//! threads, and merges the shard outputs back in ascending shard order —
+//! the same merge discipline the sharded executor in [`crate::exec`]
+//! uses, so answers are bit-identical to the sequential path for every
+//! worker count. The epoch stays pinned for the duration; workers only
+//! read frozen state (`Arc`ed views, copies, masks), so no coordination
+//! with the maintenance thread is needed.
+//!
+//! # The sharded ingest front door
+//!
+//! Multi-writer ingest goes through cloneable [`TableWriter`] handles
+//! ([`ServeTable::writer`]): `writer_shards` MPSC lanes, hashed by the
+//! row's page group ([`writer_shard_of`]), carry acknowledged writes from
+//! any number of writer threads to the maintenance thread, which drains
+//! every lane at the top of each [`ServeTable::tick`] — so staged writes
+//! become readable at the same tick boundary as direct maintenance-thread
+//! writes, and commit-before-fold / grace-before-fold are untouched
+//! (draining happens strictly before the tick's first publish). Each lane
+//! is a FIFO channel and a row always hashes to the same lane, so writes
+//! from one writer thread to one row apply in send order. Backpressure is
+//! per-shard: a fold triggers when any one shard's distinct overlaid rows
+//! reach `max_queued_writes / writer_shards` instead of waiting for the
+//! global total.
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::Arc;
+use std::sync::{mpsc, Arc};
 
-use asv_storage::{Column, ExclusionMasks, PageRef, ScanKernel, ScanMode, ScanOutput};
-use asv_util::{EpochCell, Pinned, Reader, Timer, ValueRange};
+use asv_storage::{
+    copy_values_chunked, Column, ExclusionMasks, PageRef, ScanKernel, ScanMode, ScanOutput,
+};
+use asv_util::{
+    split_ranges, EpochCell, Parallelism, Pinned, Reader, ThreadPool, Timer, ValueRange,
+};
 use asv_vmem::{Backend, ViewBuffer, VmemError, VALUES_PER_PAGE};
 
 use crate::align::{
@@ -185,22 +219,42 @@ impl<B: Backend> ColumnEpoch<B> {
     /// Routed range scan: overlaid rows are masked out of the page scan
     /// and answered from the overlay, so every acknowledged write counts
     /// exactly once.
-    fn scan(&self, range: &ValueRange, mode: ScanMode) -> ScanOutput {
+    ///
+    /// With more than one pool worker the (routed or full) page list
+    /// splits into contiguous morsels ([`split_ranges`], one per worker)
+    /// that scan concurrently; the shard outputs merge back in ascending
+    /// shard order, so collected rows append in the same page order the
+    /// sequential loop produces and the answer is bit-identical for every
+    /// worker count.
+    fn scan(&self, range: &ValueRange, mode: ScanMode, pool: &ThreadPool) -> ScanOutput {
         let mut kernel = ScanKernel::new(*range, mode);
         if !self.masks.is_empty() {
             kernel = kernel.with_exclusion_masks(&self.masks);
         }
+        let view_pages: Option<&[usize]> = self.route(range).map(|v| v.phys.as_slice());
+        let num_pages = view_pages.map_or(self.num_pages, |p| p.len());
         let mut out = ScanOutput::new(mode, false);
-        match self.route(range) {
-            Some(view) => {
-                for &phys in &view.phys {
-                    self.scan_phys(&kernel, phys, &mut out);
-                }
+        if pool.workers() <= 1 || num_pages < 2 {
+            for idx in 0..num_pages {
+                let phys = view_pages.map_or(idx, |p| p[idx]);
+                self.scan_phys(&kernel, phys, &mut out);
             }
-            None => {
-                for phys in 0..self.num_pages {
-                    self.scan_phys(&kernel, phys, &mut out);
-                }
+        } else {
+            let tasks: Vec<_> = split_ranges(num_pages, pool.workers())
+                .into_iter()
+                .map(|shard| {
+                    move || {
+                        let mut partial = ScanOutput::new(mode, false);
+                        for idx in shard {
+                            let phys = view_pages.map_or(idx, |p| p[idx]);
+                            self.scan_phys(&kernel, phys, &mut partial);
+                        }
+                        partial
+                    }
+                })
+                .collect();
+            for partial in pool.scoped_map(tasks) {
+                out.merge(partial);
             }
         }
         self.merge_overlay(range, mode, &mut out);
@@ -227,7 +281,19 @@ impl<B: Backend> ColumnEpoch<B> {
     /// Semi-join probe of ascending candidate `rows` against `range`:
     /// overlaid candidates are answered from the overlay, the rest are
     /// probed per page (through copies where the epoch holds one).
-    fn probe(&self, range: &ValueRange, rows: &[u64], mode: ScanMode) -> ScanOutput {
+    ///
+    /// Like [`Self::scan`], the per-page probe runs fan out across the
+    /// pool when it has more than one worker: the page runs split into
+    /// contiguous morsels and the shard outputs merge in ascending shard
+    /// order, then the final row sort canonicalizes — answers are
+    /// bit-identical to the sequential path.
+    fn probe(
+        &self,
+        range: &ValueRange,
+        rows: &[u64],
+        mode: ScanMode,
+        pool: &ThreadPool,
+    ) -> ScanOutput {
         let kernel = ScanKernel::new(*range, mode);
         let mut out = ScanOutput::new(mode, false);
         let mut phys_rows: Vec<u64> = Vec::with_capacity(rows.len());
@@ -247,6 +313,8 @@ impl<B: Backend> ColumnEpoch<B> {
                 None => phys_rows.push(row),
             }
         }
+        // Group the non-overlaid candidates into per-page runs.
+        let mut runs: Vec<(usize, std::ops::Range<usize>)> = Vec::new();
         let mut start = 0usize;
         while start < phys_rows.len() {
             let page = (phys_rows[start] / VALUES_PER_PAGE as u64) as usize;
@@ -256,9 +324,38 @@ impl<B: Backend> ColumnEpoch<B> {
             {
                 end += 1;
             }
-            let page_ref = PageRef::new(self.page_raw(page), self.valid_values(page));
-            kernel.probe_page_rows(page_ref, &phys_rows[start..end], &mut out);
+            runs.push((page, start..end));
             start = end;
+        }
+        if pool.workers() <= 1 || runs.len() < 2 {
+            for (page, span) in runs {
+                let page_ref = PageRef::new(self.page_raw(page), self.valid_values(page));
+                kernel.probe_page_rows(page_ref, &phys_rows[span], &mut out);
+            }
+        } else {
+            let phys_rows = &phys_rows;
+            let runs = &runs;
+            let tasks: Vec<_> = split_ranges(runs.len(), pool.workers())
+                .into_iter()
+                .map(|shard| {
+                    move || {
+                        let mut partial = ScanOutput::new(mode, false);
+                        for (page, span) in &runs[shard] {
+                            let page_ref =
+                                PageRef::new(self.page_raw(*page), self.valid_values(*page));
+                            kernel.probe_page_rows(
+                                page_ref,
+                                &phys_rows[span.clone()],
+                                &mut partial,
+                            );
+                        }
+                        partial
+                    }
+                })
+                .collect();
+            for partial in pool.scoped_map(tasks) {
+                out.merge(partial);
+            }
         }
         if let Some(out_rows) = out.rows.as_mut() {
             out_rows.sort_unstable();
@@ -358,16 +455,28 @@ fn splitmix64(mut x: u64) -> u64 {
 /// carry its own handle.
 pub struct TableHandle<B: Backend> {
     reader: Reader<TableEpoch<B>>,
+    parallelism: Parallelism,
 }
 
 impl<B: Backend> TableHandle<B> {
     /// Pins the latest published epoch: two atomic stores, no lock, never
     /// blocked by the maintenance thread. The snapshot stays valid (and
-    /// its epoch unreclaimed) until dropped.
+    /// its epoch unreclaimed) until dropped, and inherits the handle's
+    /// [`Parallelism`] knob.
     pub fn pin(&self) -> Snapshot<B> {
         Snapshot {
             pinned: self.reader.pin(),
+            parallelism: self.parallelism,
         }
+    }
+
+    /// Sets the intra-query fork-join parallelism of snapshots pinned
+    /// through this handle. Defaults to [`Parallelism::Sequential`];
+    /// answers are bit-identical for every setting (see the
+    /// [module docs](self)).
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
     }
 }
 
@@ -375,6 +484,7 @@ impl<B: Backend> Clone for TableHandle<B> {
     fn clone(&self) -> Self {
         Self {
             reader: self.reader.clone(),
+            parallelism: self.parallelism,
         }
     }
 }
@@ -391,12 +501,20 @@ impl<B: Backend> std::fmt::Debug for TableHandle<B> {
 /// ([`TableHandle::pin`]) observes later commits.
 pub struct Snapshot<B: Backend> {
     pinned: Pinned<TableEpoch<B>>,
+    parallelism: Parallelism,
 }
 
 impl<B: Backend> Snapshot<B> {
     /// The table generation of the pinned epoch.
     pub fn generation(&self) -> u64 {
         self.pinned.generation()
+    }
+
+    /// Sets the intra-query fork-join parallelism of this snapshot's
+    /// queries (overriding what the handle set at pin time).
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
     }
 
     /// Number of columns in the pinned epoch.
@@ -421,7 +539,8 @@ impl<B: Backend> Snapshot<B> {
     /// Routed range scan of column `col`: count and value checksum of the
     /// rows whose value falls into `range`.
     pub fn query_range(&self, col: usize, range: &ValueRange) -> RangeAnswer {
-        let out = self.column(col).scan(range, ScanMode::Aggregate);
+        let pool = ThreadPool::new(self.parallelism);
+        let out = self.column(col).scan(range, ScanMode::Aggregate, &pool);
         RangeAnswer {
             count: out.result.count,
             sum: out.result.sum,
@@ -430,8 +549,9 @@ impl<B: Backend> Snapshot<B> {
 
     /// Routed range scan collecting the qualifying row ids, ascending.
     pub fn collect_rows(&self, col: usize, range: &ValueRange) -> Vec<u64> {
+        let pool = ThreadPool::new(self.parallelism);
         self.column(col)
-            .scan(range, ScanMode::CollectRows)
+            .scan(range, ScanMode::CollectRows, &pool)
             .rows
             .unwrap_or_default()
     }
@@ -445,6 +565,7 @@ impl<B: Backend> Snapshot<B> {
     /// Panics if `predicates` is empty or names an out-of-range column.
     pub fn query_conjunctive(&self, predicates: &[(usize, ValueRange)]) -> ConjunctiveAnswer {
         assert!(!predicates.is_empty(), "conjunctive query needs predicates");
+        let pool = ThreadPool::new(self.parallelism);
         let mut order: Vec<usize> = (0..predicates.len()).collect();
         order.sort_by_key(|&i| {
             let (col, range) = &predicates[i];
@@ -453,7 +574,7 @@ impl<B: Backend> Snapshot<B> {
         let (col, range) = &predicates[order[0]];
         let mut survivors = self
             .column(*col)
-            .scan(range, ScanMode::CollectRows)
+            .scan(range, ScanMode::CollectRows, &pool)
             .rows
             .unwrap_or_default();
         for &i in &order[1..] {
@@ -463,7 +584,7 @@ impl<B: Backend> Snapshot<B> {
             let (col, range) = &predicates[i];
             survivors = self
                 .column(*col)
-                .probe(range, &survivors, ScanMode::CollectRows)
+                .probe(range, &survivors, ScanMode::CollectRows, &pool)
                 .rows
                 .unwrap_or_default();
         }
@@ -478,6 +599,7 @@ impl<B: Backend> Clone for Snapshot<B> {
     fn clone(&self) -> Self {
         Self {
             pinned: self.pinned.clone(),
+            parallelism: self.parallelism,
         }
     }
 }
@@ -487,6 +609,62 @@ impl<B: Backend> std::fmt::Debug for Snapshot<B> {
         f.debug_struct("Snapshot")
             .field("generation", &self.generation())
             .finish()
+    }
+}
+
+/// Hashes a row to its ingest lane: page-group sharding. All writes to
+/// one page travel one lane, so per-row write order is preserved end to
+/// end (a writer thread sends a given row's writes through one FIFO
+/// channel and the maintainer drains lanes in receive order).
+pub fn writer_shard_of(row: usize, shards: usize) -> usize {
+    (row / VALUES_PER_PAGE) % shards.max(1)
+}
+
+/// One acknowledged write travelling an ingest lane.
+#[derive(Clone, Copy, Debug)]
+struct IngestWrite {
+    col: usize,
+    row: usize,
+    value: u64,
+}
+
+/// A cloneable multi-producer write handle onto a [`ServeTable`]
+/// ([`ServeTable::writer`]): the sharded ingest front door.
+///
+/// Any number of threads may hold clones and call [`TableWriter::write`]
+/// concurrently — each write is routed to one of the table's
+/// `writer_shards` MPSC lanes by its row's page group
+/// ([`writer_shard_of`]) and staged by the maintenance thread at the next
+/// [`ServeTable::tick`]. Writes from one writer thread to one row apply
+/// in send order (per-writer FIFO); writes to different rows from
+/// different writers may interleave arbitrarily, which is
+/// answer-preserving because the overlay is last-write-wins *per row*.
+///
+/// Callers that need a quiescent table ([`ServeTable::quiesce`]) should
+/// stop (join) their writer threads first — a writer racing the drain
+/// can always re-stage new work.
+#[derive(Clone, Debug)]
+pub struct TableWriter {
+    senders: Vec<mpsc::Sender<IngestWrite>>,
+}
+
+impl TableWriter {
+    /// Number of ingest lanes (the table's `writer_shards`).
+    pub fn shards(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Sends an acknowledged write of `value` into `(col, row)` through
+    /// the row's lane. Never blocks (the lanes are unbounded).
+    ///
+    /// # Panics
+    /// Panics if the [`ServeTable`] was dropped while this writer is
+    /// still active.
+    pub fn write(&self, col: usize, row: usize, value: u64) {
+        let lane = writer_shard_of(row, self.senders.len());
+        self.senders[lane]
+            .send(IngestWrite { col, row, value })
+            .expect("serve table dropped while writers are active");
     }
 }
 
@@ -520,6 +698,16 @@ struct ColumnState<B: Backend> {
     publish_micros: Vec<u64>,
     /// Cached epoch of the column, invalidated on any change.
     cached: Option<Arc<ColumnEpoch<B>>>,
+    /// Distinct overlaid rows per ingest shard (indexed by
+    /// [`writer_shard_of`]) — sums to `overlay.len()`. Drives per-shard
+    /// backpressure in [`ServeTable::maybe_fold`].
+    shard_overlaid: Vec<usize>,
+    /// Consecutive fully-idle ticks (no round in flight, empty overlay),
+    /// for the idle-tick band re-tightening pass.
+    idle_ticks: usize,
+    /// `true` if a write widened a zone band since the last
+    /// [`ZoneStats`] rebuild.
+    stats_widened: bool,
 }
 
 impl<B: Backend> ColumnState<B> {
@@ -541,7 +729,7 @@ impl<B: Backend> ColumnState<B> {
         let page = row / VALUES_PER_PAGE;
         self.copies
             .entry(page)
-            .or_insert_with(|| Arc::new(self.column.page_ref(page).raw().to_vec()));
+            .or_insert_with(|| Arc::new(copy_values_chunked(self.column.page_ref(page).raw())));
     }
 
     /// Recomputes the frozen metadata of the view at `view_idx` from its
@@ -647,16 +835,29 @@ pub struct ServeTable<B: Backend> {
     /// `true` while un-published changes (staged writes, applied chunks,
     /// retirements) exist.
     staged: bool,
+    /// Receiving ends of the ingest lanes, drained at each tick.
+    lanes: Vec<mpsc::Receiver<IngestWrite>>,
+    /// Sending ends, cloned into every [`TableWriter`].
+    lane_senders: Vec<mpsc::Sender<IngestWrite>>,
 }
 
 impl<B: Backend> ServeTable<B> {
-    /// Creates an empty serving table on `backend`.
+    /// Creates an empty serving table on `backend`, with
+    /// `config.chunking.writer_shards` ingest lanes.
     pub fn new(backend: B, config: AdaptiveConfig) -> Self {
         let cell = Arc::new(EpochCell::new(TableEpoch {
             columns: Vec::new(),
             generation: 0,
         }));
         let history = vec![cell.latest()];
+        let shards = config.chunking.writer_shards.max(1);
+        let mut lanes = Vec::with_capacity(shards);
+        let mut lane_senders = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            let (tx, rx) = mpsc::channel();
+            lane_senders.push(tx);
+            lanes.push(rx);
+        }
         Self {
             backend,
             config,
@@ -665,6 +866,8 @@ impl<B: Backend> ServeTable<B> {
             history,
             generation: 0,
             staged: false,
+            lanes,
+            lane_senders,
         }
     }
 
@@ -688,6 +891,9 @@ impl<B: Backend> ServeTable<B> {
             activity: AlignActivity::default(),
             publish_micros: Vec::new(),
             cached: None,
+            shard_overlaid: vec![0; self.lanes.len()],
+            idle_ticks: 0,
+            stats_widened: false,
             column,
         };
         self.columns.push(state);
@@ -725,11 +931,27 @@ impl<B: Backend> ServeTable<B> {
     }
 
     /// A reader handle onto this table. Clone it (or call this again) for
-    /// every reader thread.
+    /// every reader thread. Queries run sequentially by default —
+    /// [`TableHandle::with_parallelism`] turns on intra-query fork-join.
     pub fn handle(&self) -> TableHandle<B> {
         TableHandle {
             reader: self.cell.reader(),
+            parallelism: Parallelism::Sequential,
         }
+    }
+
+    /// A sharded multi-producer write handle (the ingest front door).
+    /// Clone it for every writer thread; see [`TableWriter`].
+    pub fn writer(&self) -> TableWriter {
+        TableWriter {
+            senders: self.lane_senders.clone(),
+        }
+    }
+
+    /// Number of ingest lanes of the sharded front door
+    /// (`AlignChunking::writer_shards`).
+    pub fn writer_shards(&self) -> usize {
+        self.lanes.len()
     }
 
     /// Number of columns.
@@ -777,11 +999,15 @@ impl<B: Backend> ServeTable<B> {
     /// becomes visible to *new* pins at the next [`ServeTable::tick`];
     /// the writer itself never blocks.
     pub fn write(&mut self, col: usize, row: usize, value: u64) {
+        let shards = self.lanes.len();
         let state = &mut self.columns[col];
         assert!(row < state.column.num_rows(), "row {row} out of bounds");
         state.stats.note_write(row, value);
+        state.stats_widened = true;
         state.freeze_page_of(row);
-        state.overlay.push(row, value);
+        if state.overlay.push(row, value) {
+            state.shard_overlaid[writer_shard_of(row, shards)] += 1;
+        }
         state.mark_dirty();
         self.staged = true;
     }
@@ -803,6 +1029,11 @@ impl<B: Backend> ServeTable<B> {
     }
 
     fn tick_inner(&mut self, force_fold: bool) -> Result<(), VmemError> {
+        // Drain the ingest lanes first: writes sent through TableWriters
+        // stage exactly like direct writes and are published by the
+        // commit below — the tick boundary is the acknowledgement point
+        // for both front doors.
+        self.drain_ingest();
         self.cell.try_reclaim();
         // Commit-before-fold invariant: every staged acknowledgement is
         // published (with its masks and page copies) before any fold may
@@ -811,6 +1042,9 @@ impl<B: Backend> ServeTable<B> {
         for idx in 0..self.columns.len() {
             self.advance_column(idx)?;
         }
+        for idx in 0..self.columns.len() {
+            self.maybe_retighten(idx);
+        }
         self.commit();
         if self.grace_elapsed() {
             for idx in 0..self.columns.len() {
@@ -818,6 +1052,44 @@ impl<B: Backend> ServeTable<B> {
             }
         }
         Ok(())
+    }
+
+    /// Drains every ingest lane into the staging path ([`Self::write`]).
+    /// Lanes drain fully and in receive order, so writes from one writer
+    /// thread apply FIFO (a row always hashes to the same lane).
+    fn drain_ingest(&mut self) {
+        for lane in 0..self.lanes.len() {
+            while let Ok(write) = self.lanes[lane].try_recv() {
+                self.write(write.col, write.row, write.value);
+            }
+        }
+    }
+
+    /// Idle-tick band re-tightening (the counterpart of eager widening):
+    /// after `AlignChunking::retighten_idle_ticks` consecutive fully-idle
+    /// ticks on a column whose bands widened since the last rebuild, the
+    /// [`ZoneStats`] are rebuilt from the live column. The overlay is
+    /// empty and no round is in flight at that point, so the rebuilt
+    /// bands exactly cover the stored data; stats only drive predicate
+    /// ordering and delta pruning, so answers are unaffected.
+    fn maybe_retighten(&mut self, idx: usize) {
+        let ticks = self.config.chunking.retighten_idle_ticks;
+        if ticks == 0 {
+            return;
+        }
+        let state = &mut self.columns[idx];
+        if !(state.is_idle() && state.overlay.is_empty()) {
+            state.idle_ticks = 0;
+            return;
+        }
+        state.idle_ticks += 1;
+        if state.stats_widened && state.idle_ticks >= ticks {
+            state.stats = ZoneStats::build(&state.column);
+            state.stats_widened = false;
+            state.idle_ticks = 0;
+            state.mark_dirty();
+            self.staged = true;
+        }
     }
 
     /// Ticks until every queued write has been folded, aligned and
@@ -952,9 +1224,12 @@ impl<B: Backend> ServeTable<B> {
     fn retire_round(state: &mut ColumnState<B>) {
         state.overlay.retire_aligned();
         state.copies.clear();
+        let shards = state.shard_overlaid.len();
+        state.shard_overlaid.iter_mut().for_each(|c| *c = 0);
         let rows: Vec<u64> = state.overlay.rows().clone();
         for row in rows {
             state.freeze_page_of(row as usize);
+            state.shard_overlaid[writer_shard_of(row as usize, shards)] += 1;
         }
         state.round_active = false;
         state.mark_dirty();
@@ -971,9 +1246,16 @@ impl<B: Backend> ServeTable<B> {
         if !state.is_idle() || state.overlay.queued_writes() == 0 {
             return Ok(());
         }
+        // Backpressure is per ingest shard: any one lane filling its
+        // share of the global budget forces a fold, so a skewed writer
+        // cannot grow its shard's overlay unboundedly while the global
+        // total stays below the old threshold. With one shard this is
+        // exactly the former global `max_queued_writes` clause.
+        let shards = state.shard_overlaid.len().max(1);
+        let max_shard = state.shard_overlaid.iter().copied().max().unwrap_or(0);
         let threshold_met = force
             || state.overlay.len() >= chunking.group_commit_idle.max(1)
-            || state.overlay.len() >= chunking.max_queued_writes;
+            || max_shard >= chunking.max_queued_writes.div_ceil(shards);
         if !threshold_met {
             return Ok(());
         }
@@ -1379,6 +1661,190 @@ mod tests {
             "bands never retract, so the overwritten value stays covered"
         );
         table.quiesce().unwrap();
+    }
+
+    #[test]
+    fn parallel_snapshots_match_sequential_answers() {
+        let mut table = ServeTable::new(SimBackend::new(), serve_config());
+        let values = clustered_values(24);
+        let col_a = table.add_column(&values).unwrap();
+        let b: Vec<u64> = values.iter().map(|&v| v % 4_096).collect();
+        let col_b = table.add_column(&b).unwrap();
+        table
+            .install_view(col_a, ValueRange::new(5_000, 9_400))
+            .unwrap();
+        // Stage writes without quiescing, so the overlay, masks and frozen
+        // copies are all live on the scanned epoch.
+        for i in 0..40usize {
+            table.write(col_a, (i * 17) % values.len(), 900_000 + i as u64);
+        }
+        table.tick().unwrap();
+        let handle = table.handle();
+        let ranges = [
+            ValueRange::new(5_000, 9_400),
+            ValueRange::new(0, 2_000),
+            ValueRange::new(890_000, 1_000_000),
+        ];
+        let predicates = [
+            (col_a, ValueRange::new(5_000, 9_400)),
+            (col_b, ValueRange::new(0, 1_000)),
+        ];
+        let seq = handle.pin();
+        for threads in [2usize, 3, 4] {
+            let par = handle
+                .clone()
+                .with_parallelism(Parallelism::from_threads(threads))
+                .pin();
+            assert_eq!(par.generation(), seq.generation());
+            for range in &ranges {
+                assert_eq!(
+                    par.query_range(col_a, range),
+                    seq.query_range(col_a, range),
+                    "threads {threads}"
+                );
+                assert_eq!(
+                    par.collect_rows(col_a, range),
+                    seq.collect_rows(col_a, range),
+                    "threads {threads}"
+                );
+            }
+            assert_eq!(
+                par.query_conjunctive(&predicates),
+                seq.query_conjunctive(&predicates),
+                "threads {threads}"
+            );
+        }
+        table.quiesce().unwrap();
+    }
+
+    #[test]
+    fn sharded_writers_apply_per_writer_fifo() {
+        let config = AdaptiveConfig::default().with_chunking(
+            crate::config::AlignChunking::default()
+                .with_chunk_updates(4)
+                .with_group_commit_idle(0)
+                .with_writer_shards(3),
+        );
+        let mut table = ServeTable::new(SimBackend::new(), config);
+        let values = clustered_values(12);
+        let col = table.add_column(&values).unwrap();
+        assert_eq!(table.writer_shards(), 3);
+        let writer = table.writer();
+        assert_eq!(writer.shards(), 3);
+        // Two writer threads over disjoint rows, each re-writing its rows
+        // five times. Per-writer FIFO means the last sent value (k == 4)
+        // wins for every row, no matter how the lanes interleave.
+        std::thread::scope(|scope| {
+            for w in 0..2usize {
+                let writer = writer.clone();
+                scope.spawn(move || {
+                    for k in 0..5u64 {
+                        for row in (w..24).step_by(2) {
+                            writer.write(
+                                col,
+                                row,
+                                1_000_000 * (w as u64 + 1) + 10 * row as u64 + k,
+                            );
+                        }
+                    }
+                });
+            }
+        });
+        // Writers joined: drain the lanes, fold and retire everything.
+        table.quiesce().unwrap();
+        let snap = table.handle().pin();
+        for w in 0..2usize {
+            for row in (w..24).step_by(2) {
+                assert_eq!(
+                    snap.value(col, row),
+                    1_000_000 * (w as u64 + 1) + 10 * row as u64 + 4,
+                    "row {row} serves its writer's last write"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn per_shard_backpressure_folds_skewed_lanes() {
+        // Global budget 8 over 2 shards: one lane folds at 4 distinct rows
+        // even though the global threshold is nowhere near.
+        let config = AdaptiveConfig::default().with_chunking(
+            crate::config::AlignChunking::default()
+                .with_chunk_updates(4)
+                .with_group_commit_idle(1_000)
+                .with_max_queued_writes(8)
+                .with_writer_shards(2),
+        );
+        let mut table = ServeTable::new(SimBackend::new(), config);
+        let col = table.add_column(&clustered_values(8)).unwrap();
+        // Rows 0..3 live in page 0, which hashes to shard 0.
+        for row in 0..3usize {
+            table.write(col, row, 700_000 + row as u64);
+            table.tick().unwrap();
+            assert!(
+                !table.round_in_flight(col),
+                "below the per-shard threshold no round starts"
+            );
+        }
+        table.write(col, 3, 700_003);
+        table.tick().unwrap();
+        assert!(
+            table.round_in_flight(col),
+            "the skewed lane reached its share of the budget"
+        );
+        table.quiesce().unwrap();
+    }
+
+    #[test]
+    fn idle_ticks_retighten_zone_bands() {
+        let config = AdaptiveConfig::default().with_chunking(
+            crate::config::AlignChunking::default()
+                .with_chunk_updates(4)
+                .with_group_commit_idle(0)
+                .with_retighten_idle_ticks(2),
+        );
+        let mut table = ServeTable::new(SimBackend::new(), config);
+        let col = table.add_column(&clustered_values(24)).unwrap();
+        let zone = table.zone_stats(col).zone_of_row(3);
+        // Widen the band with an outlier, then restore the original value
+        // and fold everything: the store no longer holds 5_000_000 but the
+        // band (which never retracts during operation) still covers it.
+        table.write(col, 3, 5_000_000);
+        table.write(col, 3, 3);
+        table.quiesce().unwrap();
+        assert!(table
+            .zone_stats(col)
+            .zone_band(zone)
+            .unwrap()
+            .contains(5_000_000));
+        // Idle ticks accumulate and trigger the rebuild.
+        let mut ticks = 0;
+        while table
+            .zone_stats(col)
+            .zone_band(zone)
+            .unwrap()
+            .contains(5_000_000)
+        {
+            assert!(ticks < 10, "band should retighten within a few idle ticks");
+            table.tick().unwrap();
+            ticks += 1;
+        }
+        let band = table.zone_stats(col).zone_band(zone).unwrap();
+        assert!(band.contains(3), "rebuilt band covers the live data");
+        let snap = table.handle().pin();
+        assert_eq!(snap.value(col, 3), 3, "answers are unaffected");
+    }
+
+    #[test]
+    fn writer_shard_hashing_groups_by_page() {
+        assert_eq!(
+            writer_shard_of(0, 4),
+            writer_shard_of(VALUES_PER_PAGE - 1, 4),
+            "one page, one lane"
+        );
+        assert_ne!(writer_shard_of(0, 4), writer_shard_of(VALUES_PER_PAGE, 4));
+        assert_eq!(writer_shard_of(123, 1), 0);
+        assert_eq!(writer_shard_of(123, 0), 0, "zero shards clamps to one lane");
     }
 
     #[test]

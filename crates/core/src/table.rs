@@ -21,7 +21,7 @@ use std::collections::HashMap;
 use std::time::Duration;
 
 use asv_storage::ScanMode;
-use asv_util::{RowSet, Timer, ValueRange};
+use asv_util::{RowSet, ThreadPool, Timer, ValueRange};
 use asv_vmem::{Backend, VmemError};
 
 use crate::adaptive::AdaptiveColumn;
@@ -353,7 +353,10 @@ impl<B: Backend> AdaptiveTable<B> {
             self.columns[col_indices[step.input_index]].tracker.reset();
         }
 
-        // Intersect the scan row sets in the bitset representation.
+        // Intersect the scan row sets in the bitset representation, fanning
+        // the word-wise AND across the planner's pool on large domains
+        // (bit-identical to the sequential path for every worker count).
+        let pool = ThreadPool::new(self.planner.parallelism);
         let mut survivors: Option<RowSet> = None;
         for outcome in &mut scan_outcomes {
             let rows = outcome.rows.take().expect("query_collect returns rows");
@@ -362,7 +365,7 @@ impl<B: Backend> AdaptiveTable<B> {
             survivors = Some(match survivors {
                 None => set,
                 Some(mut s) => {
-                    s.intersect_with(&set);
+                    s.intersect_with_pool(&set, &pool);
                     s
                 }
             });

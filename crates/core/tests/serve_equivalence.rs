@@ -5,8 +5,11 @@
 //! round's zipfian write burst, then N client threads pin epoch snapshots
 //! and answer the round's range/conjunctive reads while maintenance keeps
 //! ticking (publishing alignment chunks, folding the queue when grace
-//! allows). The properties, checked on both backends across seeds, client
-//! counts and chunk sizes:
+//! allows). Cells additionally vary the snapshot [`Parallelism`] (morsel
+//! fan-out inside each read) and the number of writer threads feeding the
+//! sharded ingest lanes instead of the direct maintenance write path. The
+//! properties, checked on both backends across seeds, client counts,
+//! thread counts, writer counts and chunk sizes:
 //!
 //! * **Concurrent == sequential, bit-identical**: every client-computed
 //!   answer (count, sum, conjunctive row checksum) equals the answer a
@@ -26,7 +29,7 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use asv_core::{AdaptiveConfig, AlignChunking, ServeTable, Snapshot};
+use asv_core::{AdaptiveConfig, AlignChunking, Parallelism, ServeTable, Snapshot};
 use asv_util::ValueRange;
 use asv_vmem::{Backend, SimBackend, VALUES_PER_PAGE};
 use asv_workloads::{ServeReadOp, ServeRound, ServeSpec, ServeWorkload};
@@ -64,16 +67,21 @@ fn column_values(col: usize) -> Vec<u64> {
         .collect()
 }
 
-fn config(chunk_updates: usize) -> AdaptiveConfig {
+fn config(chunk_updates: usize, writer_shards: usize) -> AdaptiveConfig {
     AdaptiveConfig::default().with_chunking(
         AlignChunking::default()
             .with_chunk_updates(chunk_updates)
-            .with_group_commit_idle(0),
+            .with_group_commit_idle(0)
+            .with_writer_shards(writer_shards.max(1)),
     )
 }
 
-fn build_table<B: Backend>(backend: B, chunk_updates: usize) -> ServeTable<B> {
-    let mut table = ServeTable::new(backend, config(chunk_updates));
+fn build_table<B: Backend>(
+    backend: B,
+    chunk_updates: usize,
+    writer_shards: usize,
+) -> ServeTable<B> {
+    let mut table = ServeTable::new(backend, config(chunk_updates, writer_shards));
     for (col, &(lo, hi)) in VIEW_RANGES.iter().enumerate() {
         table.add_column(&column_values(col)).expect("column");
         table
@@ -131,7 +139,7 @@ fn run_sequential<B: Backend>(
     chunk_updates: usize,
     quiesce_rounds: bool,
 ) -> Vec<Vec<Answer>> {
-    let mut table = build_table(backend, chunk_updates);
+    let mut table = build_table(backend, chunk_updates, 1);
     let handle = table.handle();
     let mut mirrors = vec![column_values(0), column_values(1)];
     rounds
@@ -167,20 +175,29 @@ fn run_sequential<B: Backend>(
 /// Concurrent run: one maintenance thread commits each round's writes and
 /// keeps ticking while `num_clients` reader threads answer the round's
 /// reads (read `i` belongs to client `i % num_clients`) from freshly
-/// pinned snapshots.
+/// pinned snapshots. With `num_writers > 0` the round's writes arrive via
+/// that many writer threads pushing through the sharded [`TableWriter`]
+/// front door (writer `w` owns shard `w`'s rows) instead of direct
+/// maintenance-thread writes; reads run at `parallelism` morsel fan-out.
 fn run_concurrent<B: Backend>(
     backend: B,
     rounds: &[ServeRound],
     chunk_updates: usize,
     num_clients: usize,
+    parallelism: Parallelism,
+    num_writers: usize,
 ) -> Vec<Vec<Answer>> {
-    let mut table = build_table(backend, chunk_updates);
-    let handle = table.handle();
+    let mut table = build_table(backend, chunk_updates, num_writers.max(1));
+    let handle = table.handle().with_parallelism(parallelism);
+    let writer = table.writer();
     let num_rows = PAGES * VALUES_PER_PAGE;
     // Rounds the maintenance thread has committed and opened for reading.
     let round_ready = AtomicUsize::new(0);
     // Total client-round completions; round k is done at (k+1)*clients.
     let finished = AtomicUsize::new(0);
+    // Rounds opened for writer threads / writer-round completions.
+    let write_round_open = AtomicUsize::new(0);
+    let writes_done = AtomicUsize::new(0);
 
     let mut answers: Vec<Vec<Answer>> = rounds
         .iter()
@@ -190,6 +207,22 @@ fn run_concurrent<B: Backend>(
     std::thread::scope(|scope| {
         let round_ready = &round_ready;
         let finished = &finished;
+        let write_round_open = &write_round_open;
+        let writes_done = &writes_done;
+        for w in 0..num_writers {
+            let writer = writer.clone();
+            scope.spawn(move || {
+                for (k, round) in rounds.iter().enumerate() {
+                    while write_round_open.load(Ordering::Acquire) <= k {
+                        std::thread::yield_now();
+                    }
+                    for (col, row, value) in round.writes_for_shard(w, num_writers) {
+                        writer.write(col, row, value);
+                    }
+                    writes_done.fetch_add(1, Ordering::AcqRel);
+                }
+            });
+        }
         let clients: Vec<_> = (0..num_clients)
             .map(|client| {
                 let handle = handle.clone();
@@ -232,8 +265,19 @@ fn run_concurrent<B: Backend>(
             .collect();
 
         for (k, round) in rounds.iter().enumerate() {
-            for &(col, row, value) in &round.writes {
-                table.write(col, row, value);
+            if num_writers == 0 {
+                for &(col, row, value) in &round.writes {
+                    table.write(col, row, value);
+                }
+            } else {
+                // Open the round's ingest window and wait until every
+                // writer thread has pushed its shard's writes into the
+                // lanes; the next tick drains them before committing, so
+                // the committed epoch is identical to the direct path.
+                write_round_open.store(k + 1, Ordering::Release);
+                while writes_done.load(Ordering::Acquire) < (k + 1) * num_writers {
+                    std::thread::yield_now();
+                }
             }
             // One tick commits the staged acknowledgements; every epoch a
             // client pins from here to the next round's commit answers
@@ -268,6 +312,18 @@ fn run_concurrent<B: Backend>(
     answers
 }
 
+/// `(clients, reader threads, writer threads)` cells; `threads == 0`
+/// means sequential snapshot execution, `writers == 0` means direct
+/// maintenance-thread writes.
+const CELLS: [(usize, usize, usize); 6] = [
+    (1, 0, 0),
+    (2, 0, 0),
+    (4, 0, 0),
+    (2, 2, 0),
+    (2, 0, 2),
+    (4, 2, 2),
+];
+
 fn check_backend<B: Backend>(make_backend: impl Fn() -> B, label: &str, seeds: u64) {
     for seed in 0..seeds {
         let workload_spec = spec(seed);
@@ -284,12 +340,24 @@ fn check_backend<B: Backend>(make_backend: impl Fn() -> B, label: &str, seeds: u
                 sequential, quiesced,
                 "{ctx}: overlay-serving and fully-folded twins diverge"
             );
-            for &num_clients in &[1usize, 2, 4] {
-                let concurrent =
-                    run_concurrent(make_backend(), &rounds, chunk_updates, num_clients);
+            for &(num_clients, threads, num_writers) in &CELLS {
+                let parallelism = if threads == 0 {
+                    Parallelism::Sequential
+                } else {
+                    Parallelism::from_threads(threads)
+                };
+                let concurrent = run_concurrent(
+                    make_backend(),
+                    &rounds,
+                    chunk_updates,
+                    num_clients,
+                    parallelism,
+                    num_writers,
+                );
                 assert_eq!(
                     concurrent, sequential,
-                    "{ctx}/clients={num_clients}: concurrent answers diverge"
+                    "{ctx}/clients={num_clients}/threads={threads}/writers={num_writers}: \
+                     concurrent answers diverge"
                 );
             }
         }

@@ -20,7 +20,9 @@ pub mod updates;
 pub use column::Column;
 pub use kernel::{probe_rows, scan_view, scan_view_with, ScanKernel, ScanMode, ScanOutput};
 pub use page::{PageRef, PageScanResult};
-pub use simd::{ExclusionMasks, PageExclusionMask, LANES};
+pub use simd::{
+    copy_values_chunked, fold_min_max_chunked, ExclusionMasks, PageExclusionMask, LANES,
+};
 pub use table::Table;
 pub use updates::{dedup_last_write_wins, group_by_page, sorted_page_groups, Update, UpdateBatch};
 

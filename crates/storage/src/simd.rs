@@ -415,6 +415,49 @@ pub fn min_max_chunked(values: &[u64]) -> Option<(u64, u64)> {
     Some((min, max))
 }
 
+/// Chunked min/max fold that *continues* an accumulator across slices — the
+/// multi-page variant of [`min_max_chunked`] used by zone-statistics
+/// construction, where one zone band folds over the valid values of many
+/// consecutive pages without materializing a per-page `Option` in between.
+///
+/// The fold identities are `(u64::MAX, 0)`: start from
+/// `(u64::MAX, 0)` and the result is `(min, max)` of everything folded, or
+/// the identities unchanged if every slice was empty (callers detect the
+/// empty zone from the row count they track alongside).
+pub fn fold_min_max_chunked(values: &[u64], acc: (u64, u64)) -> (u64, u64) {
+    let mut mins = [acc.0; LANES];
+    let mut maxs = [acc.1; LANES];
+    let mut chunks = values.chunks_exact(LANES);
+    for chunk in &mut chunks {
+        for (i, &v) in chunk.iter().enumerate() {
+            mins[i] = mins[i].min(v);
+            maxs[i] = maxs[i].max(v);
+        }
+    }
+    for &v in chunks.remainder() {
+        mins[0] = mins[0].min(v);
+        maxs[0] = maxs[0].max(v);
+    }
+    let min = mins.iter().copied().min().unwrap_or(acc.0);
+    let max = maxs.iter().copied().max().unwrap_or(acc.1);
+    (min, max)
+}
+
+/// Chunked page copy: materializes a page's words through the same
+/// [`LANES`]-wide chunk structure as the filter kernels, so the alignment
+/// snapshot and page-freeze copy loops compile to full-width vector moves
+/// with one reserve and one bounds check per chunk instead of per-value
+/// iterator stepping.
+pub fn copy_values_chunked(src: &[u64]) -> Vec<u64> {
+    let mut out = Vec::with_capacity(src.len());
+    let mut chunks = src.chunks_exact(LANES);
+    for chunk in &mut chunks {
+        out.extend_from_slice(chunk);
+    }
+    out.extend_from_slice(chunks.remainder());
+    out
+}
+
 /// Chunked probe kernel: gathers the candidate slots' values in batches of
 /// [`LANES`] and qualifies them with a branch-free lane mask. The widening
 /// bounds stay untouched — a probe observes individual slots, not whole
@@ -654,6 +697,40 @@ mod tests {
                 .min()
                 .zip(values.iter().copied().max());
             assert_eq!(min_max_chunked(&values), expected, "len {len}");
+        }
+    }
+
+    #[test]
+    fn fold_min_max_continues_accumulators_across_slices() {
+        let mut state = 0xfeed_faceu64;
+        for lens in [
+            vec![0usize],
+            vec![0, 0, 0],
+            vec![1, 7, 8],
+            vec![VALUES_PER_PAGE, 100, 0, 9],
+        ] {
+            let slices: Vec<Vec<u64>> = lens
+                .iter()
+                .map(|&len| random_values(len, &mut state))
+                .collect();
+            let mut acc = (u64::MAX, 0u64);
+            for slice in &slices {
+                acc = fold_min_max_chunked(slice, acc);
+            }
+            let all: Vec<u64> = slices.iter().flatten().copied().collect();
+            match min_max_chunked(&all) {
+                Some(expected) => assert_eq!(acc, expected, "lens {lens:?}"),
+                None => assert_eq!(acc, (u64::MAX, 0), "lens {lens:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_copy_is_exact() {
+        let mut state = 0xc0ff_ee00u64;
+        for len in [0usize, 1, 7, 8, 9, 64, 100, VALUES_PER_PAGE + 1] {
+            let values = random_values(len, &mut state);
+            assert_eq!(copy_values_chunked(&values), values, "len {len}");
         }
     }
 

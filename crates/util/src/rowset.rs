@@ -10,6 +10,7 @@
 //! over the table's row space plus a maintained cardinality.
 
 use crate::bitvec::BitVec;
+use crate::pool::ThreadPool;
 
 /// A set of row ids over a fixed row domain `0..num_rows`, backed by a
 /// bitvector.
@@ -102,6 +103,16 @@ impl RowSet {
         self.len = self.bits.intersect_with_count(&other.bits);
     }
 
+    /// Like [`Self::intersect_with`], but fanning the word-wise AND out
+    /// across `pool` ([`BitVec::intersect_with_count_pool`]). Bit-identical
+    /// to the sequential path for every worker count.
+    ///
+    /// # Panics
+    /// Panics if the domains differ.
+    pub fn intersect_with_pool(&mut self, other: &RowSet, pool: &ThreadPool) {
+        self.len = self.bits.intersect_with_count_pool(&other.bits, pool);
+    }
+
     /// Iterates the rows in ascending order.
     pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
         self.bits.iter_ones().map(|i| i as u64)
@@ -177,6 +188,25 @@ mod tests {
         i.intersect_with(&b);
         assert_eq!(i.len(), i.to_sorted_vec().len());
         assert_eq!(i.to_sorted_vec(), vec![2, 64, 127, 511]);
+    }
+
+    #[test]
+    fn pooled_intersection_matches_sequential() {
+        use crate::pool::Parallelism;
+        let domain = 64 * 5_000;
+        let a: Vec<u64> = (0..domain as u64).step_by(3).collect();
+        let b: Vec<u64> = (0..domain as u64).step_by(7).collect();
+        let a = RowSet::from_rows(&a, domain);
+        let b = RowSet::from_rows(&b, domain);
+        let mut reference = a.clone();
+        reference.intersect_with(&b);
+        for threads in [1usize, 2, 4] {
+            let pool = ThreadPool::new(Parallelism::from_threads(threads));
+            let mut fanned = a.clone();
+            fanned.intersect_with_pool(&b, &pool);
+            assert_eq!(fanned, reference, "threads {threads}");
+            assert_eq!(fanned.len(), reference.len(), "threads {threads}");
+        }
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! bounded width.
 
 use asv_util::ValueRange;
+use asv_vmem::VALUES_PER_PAGE;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -127,6 +128,22 @@ pub struct ServeRound {
     pub reads: Vec<ServeReadOp>,
     /// `(column, row, value)` writes folded before the round's reads.
     pub writes: Vec<(usize, usize, u64)>,
+}
+
+impl ServeRound {
+    /// The subset of this round's writes routed to ingest lane `shard` of
+    /// `num_shards`, preserving their relative order. Uses the serving
+    /// layer's page-group hash (`row / VALUES_PER_PAGE % num_shards`, the
+    /// same function as `asv_core::serve::writer_shard_of`), so the
+    /// partitions drive one writer thread per lane while every row's
+    /// writes stay in one FIFO sequence.
+    pub fn writes_for_shard(&self, shard: usize, num_shards: usize) -> Vec<(usize, usize, u64)> {
+        self.writes
+            .iter()
+            .copied()
+            .filter(|&(_, row, _)| (row / VALUES_PER_PAGE) % num_shards.max(1) == shard)
+            .collect()
+    }
 }
 
 /// Parameters of the serve workload.
@@ -353,6 +370,44 @@ mod tests {
                             *c < 3 && r.width() == 1_000 && r.high() <= 1_000_000
                         }));
                     }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shard_partitions_cover_every_write_once_in_order() {
+        let spec = ServeSpec {
+            rounds: 3,
+            writes_per_round: 40,
+            ..ServeSpec::default()
+        };
+        let rounds = ServeWorkload::new(9).rounds(&spec, 2, 8 * VALUES_PER_PAGE);
+        for round in &rounds {
+            for num_shards in [1usize, 2, 3] {
+                let mut merged: Vec<(usize, usize, u64)> = Vec::new();
+                for shard in 0..num_shards {
+                    let part = round.writes_for_shard(shard, num_shards);
+                    assert!(part
+                        .iter()
+                        .all(|&(_, row, _)| (row / VALUES_PER_PAGE) % num_shards == shard));
+                    merged.extend(part);
+                }
+                assert_eq!(
+                    merged.len(),
+                    round.writes.len(),
+                    "a partition, not a subset"
+                );
+                // Within one shard the relative write order is preserved.
+                for shard in 0..num_shards {
+                    let part = round.writes_for_shard(shard, num_shards);
+                    let reference: Vec<_> = round
+                        .writes
+                        .iter()
+                        .copied()
+                        .filter(|&(_, row, _)| (row / VALUES_PER_PAGE) % num_shards == shard)
+                        .collect();
+                    assert_eq!(part, reference);
                 }
             }
         }
