@@ -2,18 +2,22 @@
 //!
 //! ```text
 //! experiments [fig3|fig4|fig5|fig6|fig7|table1|ablation|scaling|align-overlap|
-//!              table-scan|filter-kernel|serve|incremental-align|all]
-//!             [--backend sim|mmap] [--scale tiny|small|medium|paper]
+//!              table-scan|filter-kernel|serve|incremental-align|recover|all]
+//!             [--backend sim|mmap|file] [--scale tiny|small|medium|paper]
 //!             [--seed N] [--csv-dir DIR] [--threads N]
 //!             [--align-mode sync|background]
 //!             [--chunk-updates LIST] [--write-every LIST] [--clients LIST]
-//!             [--writers LIST]
+//!             [--writers LIST] [--journal PATH] [--store-dir DIR]
+//! experiments recover-ingest --journal PATH [--batches N] [...]
+//! experiments recover-verify --journal PATH [--csv-dir DIR] [...]
 //! experiments compare DIR_A DIR_B [--max-delta-pct X]
 //! ```
 //!
 //! The backend defaults to real memory rewiring (`mmap`) on Linux and to
 //! the portable simulation (`sim`) everywhere else; `--backend` overrides
-//! the choice at runtime.
+//! the choice at runtime. `--backend file` selects the durable file-backed
+//! tier, storing under a process-unique temp directory unless
+//! `--store-dir` pins one.
 //!
 //! `--threads N` shards the scan path of every figure driver across `N`
 //! fork-join workers (`--threads 0` sizes the pool by the available
@@ -66,6 +70,28 @@
 //! `experiments compare DIR/incremental_align_incremental
 //! DIR/incremental_align_full --max-delta-pct 0` gates the equivalence.
 //!
+//! The `recover` experiment measures the durable tier: it runs the same
+//! seeded batch workload once in-memory and once with the write-ahead
+//! journal attached (sweeping the fsync policy), drops the durable table
+//! without a quiesce and times `ServeTable::recover`. Recovered answers
+//! must be bit-identical to the live table and to an independent replay
+//! of the sealed batch prefix; the run appends one JSON line of
+//! overhead/recovery-time history to `BENCH_recover.json` and — with
+//! `--csv-dir` — writes the live and recovered probe-answer tables to
+//! `DIR/recover_live/` and `DIR/recover_recovered/`, so
+//! `experiments compare DIR/recover_live DIR/recover_recovered
+//! --max-delta-pct 0` gates recovery exactness. `--journal PATH` pins the
+//! journal file (default: a temp path, removed afterwards).
+//!
+//! The hidden `recover-ingest` / `recover-verify` modes split that loop
+//! across processes for the kill-and-recover integration test:
+//! `recover-ingest` journals acknowledged batches at `--journal`,
+//! printing a `sealed batch N` marker per commit until `--batches` run
+//! out (or SIGKILL arrives first); `recover-verify` recovers the journal,
+//! regenerates the sealed batch prefix independently, writes both
+//! probe-answer tables under `--csv-dir` and exits non-zero if they
+//! differ.
+//!
 //! The `compare` subcommand diffs two `--csv-dir` outputs and prints
 //! per-experiment timing deltas; `--max-delta-pct X` turns it into a check
 //! that fails (exit code 1) when any per-row delta exceeds `X` percent
@@ -74,9 +100,11 @@
 
 use std::process::ExitCode;
 
+use std::path::PathBuf;
+
 use asv_bench::{
     ablation, align_overlap, compare, fig3, fig4, fig5, fig6, fig7, filter_kernel,
-    incremental_align, report, scaling, serve, table1, table_scan, Scale, DEFAULT_SEED,
+    incremental_align, recover, report, scaling, serve, table1, table_scan, Scale, DEFAULT_SEED,
 };
 use asv_core::Parallelism;
 use asv_vmem::{AnyBackend, Backend};
@@ -92,6 +120,8 @@ struct Args {
     overlap: align_overlap::OverlapConfig,
     clients: Vec<usize>,
     writers: Vec<usize>,
+    journal: Option<PathBuf>,
+    batches: Option<usize>,
     max_delta_pct: Option<f64>,
 }
 
@@ -118,6 +148,9 @@ fn parse_args() -> Result<Args, String> {
     let mut overlap = align_overlap::OverlapConfig::default();
     let mut clients = serve::DEFAULT_CLIENTS.to_vec();
     let mut writers = serve::DEFAULT_WRITERS.to_vec();
+    let mut journal = None;
+    let mut batches = None;
+    let mut store_dir: Option<String> = None;
     let mut max_delta_pct = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -183,6 +216,19 @@ fn parse_args() -> Result<Args, String> {
                 }
                 writers = list;
             }
+            "--journal" => {
+                journal = Some(PathBuf::from(args.next().ok_or("--journal needs a value")?));
+            }
+            "--batches" => {
+                let v = args.next().ok_or("--batches needs a value")?;
+                batches = Some(
+                    v.parse()
+                        .map_err(|_| format!("invalid batch count '{v}'"))?,
+                );
+            }
+            "--store-dir" => {
+                store_dir = Some(args.next().ok_or("--store-dir needs a value")?);
+            }
             "--max-delta-pct" => {
                 let v = args.next().ok_or("--max-delta-pct needs a value")?;
                 let bound: f64 = v
@@ -198,12 +244,15 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 return Err(
                     "usage: experiments [fig3|fig4|fig5|fig6|fig7|table1|ablation|scaling|\
-                            align-overlap|table-scan|filter-kernel|serve|incremental-align|all] \
-                            [--backend sim|mmap] [--scale tiny|small|medium|paper] \
+                            align-overlap|table-scan|filter-kernel|serve|incremental-align|\
+                            recover|all] \
+                            [--backend sim|mmap|file] [--scale tiny|small|medium|paper] \
                             [--seed N] [--csv-dir DIR] [--threads N] \
                             [--align-mode sync|background] \
                             [--chunk-updates LIST] [--write-every LIST] [--clients LIST] \
-                            [--writers LIST]\n\
+                            [--writers LIST] [--journal PATH] [--store-dir DIR]\n\
+                     usage: experiments recover-ingest --journal PATH [--batches N]\n\
+                     usage: experiments recover-verify --journal PATH [--csv-dir DIR]\n\
                      usage: experiments compare DIR_A DIR_B [--max-delta-pct X]"
                         .to_string(),
                 );
@@ -214,6 +263,20 @@ fn parse_args() -> Result<Args, String> {
     }
     if experiments.is_empty() {
         experiments.push("all".to_string());
+    }
+    if let Some(dir) = store_dir {
+        #[cfg(target_os = "linux")]
+        {
+            if !matches!(backend, AnyBackend::File(_)) {
+                return Err("--store-dir requires --backend file".to_string());
+            }
+            backend = AnyBackend::file_in(dir);
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            let _ = dir;
+            return Err("--store-dir requires --backend file (Linux only)".to_string());
+        }
     }
     Ok(Args {
         experiments,
@@ -226,6 +289,8 @@ fn parse_args() -> Result<Args, String> {
         overlap,
         clients,
         writers,
+        journal,
+        batches,
         max_delta_pct,
     })
 }
@@ -239,6 +304,8 @@ macro_rules! with_concrete_backend {
             AnyBackend::Sim($b) => $body,
             #[cfg(target_os = "linux")]
             AnyBackend::Mmap($b) => $body,
+            #[cfg(target_os = "linux")]
+            AnyBackend::File($b) => $body,
         }
     };
 }
@@ -523,6 +590,142 @@ fn run_incremental_align(args: &Args) {
     }
 }
 
+/// The journal path of the `recover` modes: `--journal` when given, else
+/// a process-unique temp file (removed by `run_recover` afterwards).
+fn journal_path(args: &Args) -> (PathBuf, bool) {
+    match &args.journal {
+        Some(path) => (path.clone(), false),
+        None => (
+            std::env::temp_dir().join(format!("asv-recover-{}.wal", std::process::id())),
+            true,
+        ),
+    }
+}
+
+fn run_recover(args: &Args) {
+    let (journal, ephemeral) = journal_path(args);
+    let report = with_concrete_backend!(&args.backend, |b| recover::run_with(
+        b,
+        &args.scale,
+        args.seed,
+        &recover::DEFAULT_FSYNC_EVERY,
+        &journal
+    ));
+    if ephemeral {
+        let _ = std::fs::remove_file(&journal);
+    }
+    let table = recover::to_table(&report);
+    println!("{}", table.render());
+    println!(
+        "journal overhead at fsync-per-commit: {:.1}%; slowest recovery: {:.2} ms\n",
+        report.strict_overhead_pct(),
+        report.max_recover_ms()
+    );
+    maybe_write_csv(&args.csv_dir, "recover", &table);
+    if let Some(dir) = &args.csv_dir {
+        // The live and recovered answer sets are asserted identical inside
+        // run_with; exporting both makes the `compare --max-delta-pct 0`
+        // gate reproducible from the CSV artifacts alone.
+        let answers = recover::answers_table(&report.answers);
+        for label in ["live", "recovered"] {
+            let path = format!("{dir}/recover_{label}/answers.csv");
+            if let Err(e) = report::write_csv(&path, &answers.to_csv()) {
+                eprintln!("warning: could not write {path}: {e}");
+            } else {
+                println!("(wrote {path})");
+            }
+        }
+    }
+    let unix_ms = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_millis());
+    let line = recover::bench_json_line(
+        &report,
+        args.backend.name(),
+        args.scale.name,
+        args.seed,
+        unix_ms,
+    );
+    let bench_path = match &args.csv_dir {
+        Some(dir) => format!("{dir}/BENCH_recover.json"),
+        None => "BENCH_recover.json".to_string(),
+    };
+    if let Err(e) = report::append_line(&bench_path, &line) {
+        eprintln!("warning: could not append to {bench_path}: {e}");
+    } else {
+        println!("(appended perf-history line to {bench_path})");
+    }
+}
+
+/// The hidden `recover-ingest` mode (see the module docs): journals
+/// acknowledged batches until `--batches` run out or SIGKILL arrives,
+/// flushing a `sealed batch N` marker per commit.
+fn run_recover_ingest(args: &Args) -> Result<(), String> {
+    use std::io::Write as _;
+    let journal = args
+        .journal
+        .as_ref()
+        .ok_or("recover-ingest needs --journal PATH")?;
+    let batches = args.batches.unwrap_or(args.scale.recover_batches);
+    with_concrete_backend!(&args.backend, |b| recover::run_ingest(
+        b,
+        &args.scale,
+        args.seed,
+        journal,
+        batches,
+        |k| {
+            // Explicit flush: a piped stdout is block-buffered, and the
+            // kill-and-recover test reads these markers live.
+            println!("sealed batch {k}");
+            let _ = std::io::stdout().flush();
+        }
+    ));
+    println!("(ingest complete: {batches} batches sealed, no quiesce)");
+    Ok(())
+}
+
+/// The hidden `recover-verify` mode (see the module docs): recovers the
+/// journal, writes the recovered and reference probe-answer tables under
+/// `--csv-dir`, and reports whether they match.
+fn run_recover_verify(args: &Args) -> Result<bool, String> {
+    let journal = args
+        .journal
+        .as_ref()
+        .ok_or("recover-verify needs --journal PATH")?;
+    let out = with_concrete_backend!(&args.backend, |b| recover::run_verify(
+        b,
+        &args.scale,
+        args.seed,
+        journal
+    ));
+    println!(
+        "(recover-verify: sealed_epoch={}, records_replayed={}, batches_applied={}, \
+         discarded_bytes={})",
+        out.info.sealed_epoch,
+        out.info.records_replayed,
+        out.info.batches_applied,
+        out.info.discarded_bytes
+    );
+    if let Some(dir) = &args.csv_dir {
+        for (label, answers) in [("recovered", &out.recovered), ("reference", &out.reference)] {
+            let path = format!("{dir}/recover_{label}/answers.csv");
+            let table = recover::answers_table(answers);
+            if let Err(e) = report::write_csv(&path, &table.to_csv()) {
+                eprintln!("warning: could not write {path}: {e}");
+            } else {
+                println!("(wrote {path})");
+            }
+        }
+    }
+    let matches = out.recovered == out.reference;
+    if matches {
+        println!("recover-verify passed: recovered answers match the sealed-prefix reference");
+    } else {
+        eprintln!("recover-verify FAILED: recovered answers diverge from the reference");
+    }
+    Ok(matches)
+}
+
 /// The `compare` subcommand: `experiments compare DIR_A DIR_B`.
 fn run_compare(args: &Args) -> ExitCode {
     let [_, dir_a, dir_b] = args.experiments.as_slice() else {
@@ -606,6 +809,21 @@ fn main() -> ExitCode {
             "filter-kernel" => run_filter_kernel(&args),
             "serve" => run_serve(&args),
             "incremental-align" => run_incremental_align(&args),
+            "recover" => run_recover(&args),
+            "recover-ingest" => {
+                if let Err(msg) = run_recover_ingest(&args) {
+                    eprintln!("{msg}");
+                    return ExitCode::from(2);
+                }
+            }
+            "recover-verify" => match run_recover_verify(&args) {
+                Ok(true) => {}
+                Ok(false) => return ExitCode::from(1),
+                Err(msg) => {
+                    eprintln!("{msg}");
+                    return ExitCode::from(2);
+                }
+            },
             "all" => {
                 run_fig3(&args);
                 run_fig4(&args);
@@ -620,6 +838,7 @@ fn main() -> ExitCode {
                 run_filter_kernel(&args);
                 run_serve(&args);
                 run_incremental_align(&args);
+                run_recover(&args);
             }
             other => {
                 eprintln!("unknown experiment '{other}'");

@@ -1,0 +1,604 @@
+//! The `recover` experiment: journal overhead and recovery time of the
+//! durable serving tier (new experiment, beyond the paper).
+//!
+//! One column of clustered values plus one installed view is driven
+//! through a seeded sequence of acknowledged write batches, each followed
+//! by a commit (`tick`). The run is timed twice — once in-memory and once
+//! with the write-ahead journal attached — and the difference is the
+//! journal overhead for each swept fsync policy (`fsync_every_chunks` =
+//! 1, 8 and 0 = quiesce-only). The durable table is then dropped *without*
+//! a quiesce (the in-process stand-in for a kill) and rebuilt with
+//! [`ServeTable::recover`], timing the replay.
+//!
+//! Correctness is gated before any timing is reported: the recovered
+//! table's answers over a fixed probe-query set must be **bit-identical**
+//! to both the live (never-crashed) table's answers and an independent
+//! reference replay of the workload's sealed batch prefix. The live and
+//! recovered answer tables are exported so
+//! `experiments compare DIR/recover_live DIR/recover_recovered
+//! --max-delta-pct 0` gates recovery exactness on the rendered CSV bytes.
+//!
+//! The same workload generator backs the binary's hidden
+//! `recover-ingest` / `recover-verify` modes ([`run_ingest`] /
+//! [`run_verify`]), which the kill-and-recover integration test drives
+//! with a real SIGKILL between them.
+
+use std::path::Path;
+use std::time::Instant;
+
+use asv_core::{
+    AdaptiveConfig, AlignChunking, DurabilityConfig, RecoveryInfo, ServeTable, Snapshot,
+};
+use asv_util::ValueRange;
+use asv_vmem::{Backend, VmemError, VALUES_PER_PAGE};
+
+use crate::report::Table;
+use crate::scale::Scale;
+
+/// Fsync policies swept: a sync per commit, one per 8 commits, and
+/// quiesce-only (`0`).
+pub const DEFAULT_FSYNC_EVERY: [usize; 3] = [1, 8, 0];
+
+/// The full answer of one probe query — the exactness witness compared
+/// across the live, recovered and reference executions.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoverAnswer {
+    /// Qualifying rows.
+    pub count: u64,
+    /// Sum of qualifying values.
+    pub sum: u128,
+}
+
+impl RecoverAnswer {
+    /// Non-numeric exact witness for the `compare` gate (byte equality,
+    /// not a float tolerance).
+    pub fn checksum_label(&self) -> String {
+        format!("x{:x}", self.sum)
+    }
+}
+
+/// One measured fsync-policy cell.
+#[derive(Clone, Debug)]
+pub struct RecoverCell {
+    /// Commits per fsync (`0` = quiesce-only).
+    pub fsync_every: usize,
+    /// Wall-clock of the in-memory twin run, milliseconds.
+    pub baseline_wall_ms: f64,
+    /// Wall-clock of the journaled run, milliseconds.
+    pub durable_wall_ms: f64,
+    /// Journal overhead relative to the in-memory twin, percent.
+    pub overhead_pct: f64,
+    /// Journal size at the kill point, bytes.
+    pub journal_bytes: u64,
+    /// Wall-clock of [`ServeTable::recover`], milliseconds.
+    pub recover_ms: f64,
+    /// What recovery found in the journal.
+    pub info: RecoveryInfo,
+    /// Checksum folding every probe answer.
+    pub checksum: u64,
+}
+
+/// The full result of one `recover` run.
+#[derive(Clone, Debug)]
+pub struct RecoverReport {
+    /// One cell per swept fsync policy.
+    pub cells: Vec<RecoverCell>,
+    /// Acknowledged batches per run.
+    pub batches: usize,
+    /// Writes per batch.
+    pub writes_per_batch: usize,
+    /// Rows of the column.
+    pub num_rows: usize,
+    /// The probe answers (identical across cells, live and recovered —
+    /// asserted before the report is built).
+    pub answers: Vec<RecoverAnswer>,
+}
+
+impl RecoverReport {
+    /// Journal overhead of the strictest policy (an fsync per commit) —
+    /// the headline durability cost.
+    pub fn strict_overhead_pct(&self) -> f64 {
+        self.cells
+            .iter()
+            .find(|c| c.fsync_every == 1)
+            .map_or(0.0, |c| c.overhead_pct)
+    }
+
+    /// Slowest recovery across the swept policies, milliseconds.
+    pub fn max_recover_ms(&self) -> f64 {
+        self.cells.iter().map(|c| c.recover_ms).fold(0.0, f64::max)
+    }
+}
+
+/// Clustered base data: page p holds values around p*1000.
+pub fn base_values(scale: &Scale) -> Vec<u64> {
+    (0..scale.recover_pages * VALUES_PER_PAGE)
+        .map(|i| ((i / VALUES_PER_PAGE) * 1_000 + i % VALUES_PER_PAGE) as u64)
+        .collect()
+}
+
+/// Value domain of the workload (also bounds the probe ranges).
+pub fn domain(scale: &Scale) -> u64 {
+    scale.recover_pages as u64 * 1_000
+}
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The `k`-th acknowledged batch — a pure function of `(seed, k)`, so an
+/// independent process (the `recover-verify` mode) can regenerate exactly
+/// the prefix a killed ingest sealed.
+pub fn batch(seed: u64, k: usize, num_rows: usize, writes_per_batch: usize) -> Vec<(usize, u64)> {
+    let mut rng = seed ^ (k as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    (0..writes_per_batch)
+        .map(|_| {
+            (
+                (splitmix(&mut rng) as usize) % num_rows,
+                splitmix(&mut rng) % (num_rows as u64 * 2),
+            )
+        })
+        .collect()
+}
+
+/// The view installed on the column (one band in the middle of the
+/// domain).
+pub fn view_range(domain: u64) -> ValueRange {
+    ValueRange::new(domain / 8, domain / 8 + domain / 6)
+}
+
+/// The fixed probe-query set answered by the live, recovered and
+/// reference executions.
+pub fn probe_ranges(domain: u64) -> Vec<ValueRange> {
+    let mut ranges = vec![
+        ValueRange::full(),
+        view_range(domain),
+        ValueRange::new(0, domain / 4),
+        ValueRange::new(domain / 2, u64::MAX),
+    ];
+    let mut rng = 0xB007u64;
+    for _ in 0..12 {
+        let lo = splitmix(&mut rng) % domain;
+        let hi = lo + splitmix(&mut rng) % (domain / 4).max(1);
+        ranges.push(ValueRange::new(lo, hi));
+    }
+    ranges
+}
+
+/// Answers the probe set on a pinned snapshot.
+pub fn snapshot_answers<B: Backend>(snap: &Snapshot<B>, domain: u64) -> Vec<RecoverAnswer> {
+    probe_ranges(domain)
+        .iter()
+        .map(|range| {
+            let out = snap.query_range(0, range);
+            RecoverAnswer {
+                count: out.count,
+                sum: out.sum,
+            }
+        })
+        .collect()
+}
+
+/// Answers the probe set by a naive filter over raw values — the
+/// journal-independent reference.
+pub fn reference_answers(values: &[u64], domain: u64) -> Vec<RecoverAnswer> {
+    probe_ranges(domain)
+        .iter()
+        .map(|range| {
+            let mut answer = RecoverAnswer::default();
+            for &v in values {
+                if range.contains(v) {
+                    answer.count += 1;
+                    answer.sum += v as u128;
+                }
+            }
+            answer
+        })
+        .collect()
+}
+
+fn fold_answers(answers: &[RecoverAnswer]) -> u64 {
+    answers.iter().enumerate().fold(0u64, |acc, (i, a)| {
+        let mut state = acc ^ i as u64;
+        let mut h = splitmix(&mut state);
+        state = h ^ a.count;
+        h = splitmix(&mut state);
+        state = h ^ a.sum as u64;
+        h = splitmix(&mut state);
+        state = h ^ (a.sum >> 64) as u64;
+        splitmix(&mut state)
+    })
+}
+
+fn config() -> AdaptiveConfig {
+    AdaptiveConfig::default().with_chunking(
+        AlignChunking::default()
+            .with_chunk_updates(64)
+            .with_group_commit_idle(0),
+    )
+}
+
+/// Runs the seeded batch workload against `table`; every batch is
+/// acknowledged (journaled on a durable table) and committed by a tick.
+fn run_workload<B: Backend>(
+    table: &mut ServeTable<B>,
+    scale: &Scale,
+    seed: u64,
+    batches: usize,
+) -> Result<(), VmemError> {
+    let num_rows = scale.recover_pages * VALUES_PER_PAGE;
+    for k in 0..batches {
+        let writes = batch(seed, k, num_rows, scale.recover_writes_per_batch);
+        table.try_write_batch(0, &writes)?;
+        table.tick()?;
+    }
+    Ok(())
+}
+
+fn build_table<B: Backend>(table: &mut ServeTable<B>, scale: &Scale) -> Result<(), VmemError> {
+    let values = base_values(scale);
+    table.add_column(&values)?;
+    table.install_view(0, view_range(domain(scale)))?;
+    Ok(())
+}
+
+fn run_cell<B: Backend>(
+    backend: &B,
+    scale: &Scale,
+    seed: u64,
+    fsync_every: usize,
+    journal: &Path,
+) -> (RecoverCell, Vec<RecoverAnswer>) {
+    let dom = domain(scale);
+    // The in-memory twin: identical workload, no journal.
+    let started = Instant::now();
+    {
+        let mut table = ServeTable::new(backend.clone(), config());
+        build_table(&mut table, scale).expect("in-memory column load");
+        run_workload(&mut table, scale, seed, scale.recover_batches).expect("in-memory workload");
+    }
+    let baseline_wall_ms = started.elapsed().as_secs_f64() * 1_000.0;
+
+    // The journaled run, killed (dropped) without a quiesce.
+    let _ = std::fs::remove_file(journal);
+    let durability = DurabilityConfig::new(journal).with_fsync_every_chunks(fsync_every);
+    let started = Instant::now();
+    let mut table = ServeTable::with_durability(backend.clone(), config(), durability)
+        .expect("journal creation");
+    build_table(&mut table, scale).expect("durable column load");
+    run_workload(&mut table, scale, seed, scale.recover_batches).expect("durable workload");
+    let durable_wall_ms = started.elapsed().as_secs_f64() * 1_000.0;
+    let live = snapshot_answers(&table.handle().pin(), dom);
+    drop(table);
+
+    let journal_bytes = std::fs::metadata(journal).map_or(0, |m| m.len());
+    let started = Instant::now();
+    let (recovered, info) =
+        ServeTable::recover(backend.clone(), config(), DurabilityConfig::new(journal))
+            .expect("recovery");
+    let recover_ms = started.elapsed().as_secs_f64() * 1_000.0;
+    assert_eq!(
+        info.batches_applied, scale.recover_batches,
+        "every acknowledged-and-committed batch is sealed"
+    );
+    let got = snapshot_answers(&recovered.handle().pin(), dom);
+    assert_eq!(
+        got, live,
+        "fsync_every={fsync_every}: recovered answers diverge from the live table"
+    );
+    let mut mirror = base_values(scale);
+    let num_rows = mirror.len();
+    for k in 0..info.batches_applied {
+        for (row, value) in batch(seed, k, num_rows, scale.recover_writes_per_batch) {
+            mirror[row] = value;
+        }
+    }
+    assert_eq!(
+        got,
+        reference_answers(&mirror, dom),
+        "fsync_every={fsync_every}: recovered answers diverge from the reference replay"
+    );
+    let cell = RecoverCell {
+        fsync_every,
+        baseline_wall_ms,
+        durable_wall_ms,
+        overhead_pct: (durable_wall_ms - baseline_wall_ms) / baseline_wall_ms.max(1e-9) * 100.0,
+        journal_bytes,
+        recover_ms,
+        info,
+        checksum: fold_answers(&got),
+    };
+    (cell, got)
+}
+
+/// Runs the fsync-policy sweep on `backend`, journaling at `journal`
+/// (the file is recreated per cell and left behind after the last one).
+///
+/// # Panics
+/// Panics if any cell's recovered answers deviate from the live table or
+/// from the reference replay of the sealed batch prefix — recovery must
+/// be exact before its timings mean anything.
+pub fn run_with<B: Backend>(
+    backend: &B,
+    scale: &Scale,
+    seed: u64,
+    fsync_everys: &[usize],
+    journal: &Path,
+) -> RecoverReport {
+    let mut cells = Vec::new();
+    let mut answers: Option<Vec<RecoverAnswer>> = None;
+    for &fsync_every in fsync_everys {
+        let (cell, got) = run_cell(backend, scale, seed, fsync_every, journal);
+        if let Some(prev) = &answers {
+            assert_eq!(&got, prev, "answers are invariant across fsync policies");
+        } else {
+            answers = Some(got);
+        }
+        cells.push(cell);
+    }
+    RecoverReport {
+        cells,
+        batches: scale.recover_batches,
+        writes_per_batch: scale.recover_writes_per_batch,
+        num_rows: scale.recover_pages * VALUES_PER_PAGE,
+        answers: answers.unwrap_or_default(),
+    }
+}
+
+/// What a completed (or killed-short) `recover-verify` found.
+#[derive(Clone, Debug)]
+pub struct VerifyOutcome {
+    /// What recovery found in the journal.
+    pub info: RecoveryInfo,
+    /// Probe answers of the recovered table.
+    pub recovered: Vec<RecoverAnswer>,
+    /// Probe answers of the reference replay of the sealed batch prefix.
+    pub reference: Vec<RecoverAnswer>,
+}
+
+/// The binary's hidden `recover-ingest` mode: run the journaled workload
+/// for up to `batches` acknowledged-and-committed batches, calling
+/// `on_seal(k)` after each commit is sealed — the progress markers the
+/// kill-and-recover test waits on before delivering SIGKILL. Exits
+/// *without* a quiesce, so even a run that is never killed leaves a
+/// journal that exercises the non-checkpoint recovery path.
+pub fn run_ingest<B: Backend>(
+    backend: &B,
+    scale: &Scale,
+    seed: u64,
+    journal: &Path,
+    batches: usize,
+    mut on_seal: impl FnMut(usize),
+) {
+    let durability = DurabilityConfig::new(journal);
+    let mut table = ServeTable::with_durability(backend.clone(), config(), durability)
+        .expect("journal creation");
+    build_table(&mut table, scale).expect("durable column load");
+    let num_rows = scale.recover_pages * VALUES_PER_PAGE;
+    for k in 0..batches {
+        let writes = batch(seed, k, num_rows, scale.recover_writes_per_batch);
+        table
+            .try_write_batch(0, &writes)
+            .expect("acknowledged batch");
+        table.tick().expect("commit");
+        on_seal(k);
+    }
+}
+
+/// The binary's hidden `recover-verify` mode: recover the journal a
+/// killed `recover-ingest` left behind and answer the probe set twice —
+/// once on the recovered table, once by regenerating exactly the sealed
+/// batch prefix (`RecoveryInfo::batches_applied` batches of the same
+/// seeded generator) over the base values. The two answer sets must match
+/// byte-for-byte; the caller exports both for the `compare` gate.
+pub fn run_verify<B: Backend>(
+    backend: &B,
+    scale: &Scale,
+    seed: u64,
+    journal: &Path,
+) -> VerifyOutcome {
+    let (table, info) =
+        ServeTable::recover(backend.clone(), config(), DurabilityConfig::new(journal))
+            .expect("recovery");
+    let dom = domain(scale);
+    let recovered = snapshot_answers(&table.handle().pin(), dom);
+    let mut mirror = base_values(scale);
+    let num_rows = mirror.len();
+    for k in 0..info.batches_applied {
+        for (row, value) in batch(seed, k, num_rows, scale.recover_writes_per_batch) {
+            mirror[row] = value;
+        }
+    }
+    let reference = reference_answers(&mirror, dom);
+    VerifyOutcome {
+        info,
+        recovered,
+        reference,
+    }
+}
+
+/// Renders the fsync-policy cells.
+pub fn to_table(report: &RecoverReport) -> Table {
+    let mut table = Table::new(
+        format!(
+            "Recover: journal overhead and replay time \
+             ({} batches x {} writes, {} rows)",
+            report.batches, report.writes_per_batch, report.num_rows
+        ),
+        &[
+            "fsync every",
+            "base ms",
+            "durable ms",
+            "overhead %",
+            "journal KiB",
+            "recover ms",
+            "sealed epoch",
+            "batches",
+            "checksum",
+        ],
+    );
+    for cell in &report.cells {
+        table.add_row(vec![
+            fsync_label(cell.fsync_every),
+            format!("{:.2}", cell.baseline_wall_ms),
+            format!("{:.2}", cell.durable_wall_ms),
+            format!("{:.1}", cell.overhead_pct),
+            format!("{:.1}", cell.journal_bytes as f64 / 1024.0),
+            format!("{:.2}", cell.recover_ms),
+            cell.info.sealed_epoch.to_string(),
+            cell.info.batches_applied.to_string(),
+            format!("x{:x}", cell.checksum),
+        ]);
+    }
+    table
+}
+
+/// `quiesce` for the sync-only-at-quiesce policy, the count otherwise.
+fn fsync_label(fsync_every: usize) -> String {
+    if fsync_every == 0 {
+        "quiesce".to_string()
+    } else {
+        fsync_every.to_string()
+    }
+}
+
+/// Renders one probe-answer set as an exact-match table (counts are plain
+/// integers, sums non-numeric labels) for
+/// `experiments compare ... --max-delta-pct 0`.
+pub fn answers_table(answers: &[RecoverAnswer]) -> Table {
+    let mut table = Table::new(
+        "Recover probe answers (identical live, recovered and reference)",
+        &["probe", "count", "checksum"],
+    );
+    for (i, a) in answers.iter().enumerate() {
+        table.add_row(vec![i.to_string(), a.count.to_string(), a.checksum_label()]);
+    }
+    table
+}
+
+/// Builds the one-line JSON record appended to `BENCH_recover.json` after
+/// every run — the tracked durability-cost history (hand-rendered: the
+/// harness has no JSON dependency).
+pub fn bench_json_line(
+    report: &RecoverReport,
+    backend: &str,
+    scale: &str,
+    seed: u64,
+    unix_ms: u128,
+) -> String {
+    let mut cells = String::new();
+    for (i, cell) in report.cells.iter().enumerate() {
+        if i > 0 {
+            cells.push(',');
+        }
+        cells.push_str(&format!(
+            "{{\"fsync_every\":\"{}\",\"overhead_pct\":{:.1},\"journal_bytes\":{},\
+             \"recover_ms\":{:.2},\"sealed_epoch\":{},\"batches_applied\":{},\
+             \"checksum\":\"{:x}\"}}",
+            fsync_label(cell.fsync_every),
+            cell.overhead_pct,
+            cell.journal_bytes,
+            cell.recover_ms,
+            cell.info.sealed_epoch,
+            cell.info.batches_applied,
+            cell.checksum,
+        ));
+    }
+    format!(
+        "{{\"experiment\":\"recover\",\"backend\":\"{}\",\"scale\":\"{}\",\
+         \"seed\":{},\"unix_ms\":{},\"batches\":{},\"writes_per_batch\":{},\"rows\":{},\
+         \"strict_overhead_pct\":{:.1},\"max_recover_ms\":{:.2},\"cells\":[{}]}}",
+        backend,
+        scale,
+        seed,
+        unix_ms,
+        report.batches,
+        report.writes_per_batch,
+        report.num_rows,
+        report.strict_overhead_pct(),
+        report.max_recover_ms(),
+        cells,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asv_vmem::SimBackend;
+    use std::path::PathBuf;
+
+    fn temp_journal(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "asv-bench-recover-{}-{tag}.wal",
+            std::process::id()
+        ))
+    }
+
+    #[test]
+    fn tiny_sweep_recovers_exactly_on_every_policy() {
+        let scale = Scale::tiny();
+        let journal = temp_journal("sweep");
+        let report = run_with(
+            &SimBackend::new(),
+            &scale,
+            7,
+            &DEFAULT_FSYNC_EVERY,
+            &journal,
+        );
+        let _ = std::fs::remove_file(&journal);
+        assert_eq!(report.cells.len(), DEFAULT_FSYNC_EVERY.len());
+        for cell in &report.cells {
+            assert_eq!(cell.info.batches_applied, scale.recover_batches);
+            assert!(cell.info.sealed_epoch > 0);
+            assert!(cell.journal_bytes > 0);
+            assert_eq!(cell.checksum, report.cells[0].checksum);
+        }
+        assert!(report.answers.iter().any(|a| a.count > 0));
+        assert!(report.max_recover_ms() > 0.0);
+        let table = to_table(&report);
+        assert_eq!(table.num_rows(), report.cells.len());
+        assert_eq!(
+            answers_table(&report.answers).num_rows(),
+            report.answers.len()
+        );
+    }
+
+    #[test]
+    fn ingest_then_verify_round_trips() {
+        let scale = Scale::tiny();
+        let journal = temp_journal("ingest");
+        let mut sealed = Vec::new();
+        run_ingest(&SimBackend::new(), &scale, 42, &journal, 4, |k| {
+            sealed.push(k)
+        });
+        assert_eq!(sealed, vec![0, 1, 2, 3]);
+        let out = run_verify(&SimBackend::new(), &scale, 42, &journal);
+        let _ = std::fs::remove_file(&journal);
+        assert_eq!(out.info.batches_applied, 4);
+        assert_eq!(out.recovered, out.reference);
+        // A wrong seed must not verify: the reference replay diverges.
+        let journal = temp_journal("ingest-bad-seed");
+        run_ingest(&SimBackend::new(), &scale, 42, &journal, 4, |_| {});
+        let bad = run_verify(&SimBackend::new(), &scale, 43, &journal);
+        let _ = std::fs::remove_file(&journal);
+        assert_ne!(bad.recovered, bad.reference);
+    }
+
+    #[test]
+    fn bench_json_line_is_one_line_and_balanced() {
+        let journal = temp_journal("json");
+        let report = run_with(&SimBackend::new(), &Scale::tiny(), 5, &[1, 0], &journal);
+        let _ = std::fs::remove_file(&journal);
+        let line = bench_json_line(&report, "sim", "tiny", 5, 1_700_000_000_000);
+        assert!(!line.contains('\n'));
+        assert!(line.starts_with('{') && line.ends_with('}'));
+        assert_eq!(line.matches('{').count(), line.matches('}').count());
+        assert!(line.contains("\"experiment\":\"recover\""));
+        assert!(line.contains("\"fsync_every\":\"1\""));
+        assert!(line.contains("\"fsync_every\":\"quiesce\""));
+    }
+}

@@ -58,6 +58,12 @@ pub struct Scale {
     /// Touch fractions (per mille of the rows) the `incremental-align`
     /// experiment sweeps — stored as integers so `Scale` stays `Eq`.
     pub inc_touch_permille: Vec<usize>,
+    /// Pages of the `recover` experiment's column.
+    pub recover_pages: usize,
+    /// Acknowledged-and-committed write batches per `recover` run.
+    pub recover_batches: usize,
+    /// Point writes per `recover` batch.
+    pub recover_writes_per_batch: usize,
 }
 
 impl Scale {
@@ -87,6 +93,9 @@ impl Scale {
             inc_writes_per_round: 16,
             inc_view_counts: vec![4, 8],
             inc_touch_permille: vec![50, 500],
+            recover_pages: 8,
+            recover_batches: 6,
+            recover_writes_per_batch: 16,
         }
     }
 
@@ -117,6 +126,9 @@ impl Scale {
             inc_writes_per_round: 128,
             inc_view_counts: vec![8, 32],
             inc_touch_permille: vec![10, 100, 500],
+            recover_pages: 256,
+            recover_batches: 24,
+            recover_writes_per_batch: 256,
         }
     }
 
@@ -146,6 +158,9 @@ impl Scale {
             inc_writes_per_round: 256,
             inc_view_counts: vec![16, 64],
             inc_touch_permille: vec![5, 50, 500],
+            recover_pages: 1_024,
+            recover_batches: 32,
+            recover_writes_per_batch: 1_024,
         }
     }
 
@@ -176,6 +191,9 @@ impl Scale {
             inc_writes_per_round: 512,
             inc_view_counts: vec![32, 128],
             inc_touch_permille: vec![2, 20, 200],
+            recover_pages: 4_096,
+            recover_batches: 48,
+            recover_writes_per_batch: 4_096,
         }
     }
 
@@ -220,6 +238,10 @@ mod tests {
         assert!(t.inc_pages < s.inc_pages);
         assert!(s.inc_pages < m.inc_pages);
         assert!(m.inc_pages < p.inc_pages);
+        assert!(t.recover_pages < s.recover_pages);
+        assert!(s.recover_pages < m.recover_pages);
+        assert!(m.recover_pages < p.recover_pages);
+        assert!(t.recover_batches <= s.recover_batches);
         for scale in [&t, &s, &m, &p] {
             assert!(!scale.inc_view_counts.is_empty());
             assert!(scale.inc_touch_permille.iter().all(|&f| f <= 1_000));

@@ -282,6 +282,8 @@ fn with_sim_backend<R>(f: impl FnOnce(&asv_vmem::SimBackend) -> R) -> R {
         AnyBackend::Sim(b) => f(&b),
         #[cfg(target_os = "linux")]
         AnyBackend::Mmap(_) => unreachable!("backend() is always sim"),
+        #[cfg(target_os = "linux")]
+        AnyBackend::File(_) => unreachable!("backend() is always sim"),
     }
 }
 

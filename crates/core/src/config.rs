@@ -112,6 +112,15 @@ pub struct AlignChunking {
     /// shard cannot starve behind cold ones. The default of `1` is the
     /// single-lane (pre-sharding) behaviour.
     pub writer_shards: usize,
+    /// Optional capacity bound per ingest lane. With `n > 0` each lane is a
+    /// *bounded* channel holding at most `n` in-flight writes: a writer
+    /// thread whose lane is full **blocks** in
+    /// [`crate::serve::TableWriter::write`] until the maintenance thread
+    /// drains the lane, turning backpressure into real flow control (the
+    /// non-blocking probe [`crate::serve::TableWriter::try_write`] returns
+    /// `false` instead). `0` (the default) keeps the unbounded pre-existing
+    /// lanes, in which writers never stall.
+    pub writer_lane_capacity: usize,
     /// Idle-tick band re-tightening of the serving layer's zone statistics:
     /// zone bands only ever *widen* under writes, so a column whose hot
     /// rows move around accumulates pessimistic bands. With this set to
@@ -166,6 +175,13 @@ impl AlignChunking {
         self.retighten_idle_ticks = retighten_idle_ticks;
         self
     }
+
+    /// Builder-style setter for the per-lane capacity bound (`0` keeps the
+    /// lanes unbounded).
+    pub fn with_writer_lane_capacity(mut self, writer_lane_capacity: usize) -> Self {
+        self.writer_lane_capacity = writer_lane_capacity;
+        self
+    }
 }
 
 impl Default for AlignChunking {
@@ -177,6 +193,7 @@ impl Default for AlignChunking {
             incremental_align: true,
             delta_items_per_tick: 1,
             writer_shards: 1,
+            writer_lane_capacity: 0,
             retighten_idle_ticks: 0,
         }
     }
@@ -316,6 +333,7 @@ mod tests {
         assert!(c.chunking.incremental_align, "delta-queue path by default");
         assert_eq!(c.chunking.delta_items_per_tick, 1, "item-by-item drain");
         assert_eq!(c.chunking.writer_shards, 1, "single ingest lane");
+        assert_eq!(c.chunking.writer_lane_capacity, 0, "unbounded lanes");
         assert_eq!(c.chunking.retighten_idle_ticks, 0, "re-tightening off");
     }
 
@@ -329,6 +347,7 @@ mod tests {
                 .with_incremental_align(false)
                 .with_delta_items_per_tick(8)
                 .with_writer_shards(4)
+                .with_writer_lane_capacity(256)
                 .with_retighten_idle_ticks(16),
         );
         assert_eq!(c.chunking.chunk_updates, 128);
@@ -337,6 +356,7 @@ mod tests {
         assert!(!c.chunking.incremental_align);
         assert_eq!(c.chunking.delta_items_per_tick, 8);
         assert_eq!(c.chunking.writer_shards, 4);
+        assert_eq!(c.chunking.writer_lane_capacity, 256);
         assert_eq!(c.chunking.retighten_idle_ticks, 16);
         let clamped = AlignChunking::default().with_writer_shards(0);
         assert_eq!(clamped.writer_shards, 1, "shard count clamps to 1");

@@ -48,6 +48,7 @@ pub mod table;
 pub mod updates;
 pub mod view;
 pub mod viewset;
+pub mod wal;
 
 pub use adaptive::AdaptiveColumn;
 pub use align::{
@@ -68,8 +69,8 @@ pub use plan::{
 pub use query::{QueryExecution, QueryOutcome, RangeQuery, ViewMaintenance};
 pub use router::{route, RouteSelection, ViewId};
 pub use serve::{
-    writer_shard_of, AlignActivity, ColumnEpoch, ConjunctiveAnswer, RangeAnswer, ServeTable,
-    Snapshot, TableEpoch, TableHandle, TableWriter, ViewMeta,
+    writer_shard_of, AlignActivity, ColumnEpoch, ConjunctiveAnswer, DurabilityConfig, RangeAnswer,
+    RecoveryInfo, ServeTable, Snapshot, TableEpoch, TableHandle, TableWriter, ViewMeta,
 };
 pub use stats::{
     ChunkPublishRecord, ChunkPublishStats, ConjunctiveRecord, ConjunctiveStats, QueryRecord,
@@ -82,3 +83,4 @@ pub use updates::{
 };
 pub use view::PartialView;
 pub use viewset::ViewSet;
+pub use wal::{FaultKind, FaultPlan, Journal, ReplayOutcome, WalRecord};

@@ -106,6 +106,7 @@
 //! global total.
 
 use std::collections::{HashMap, VecDeque};
+use std::path::PathBuf;
 use std::sync::{mpsc, Arc};
 
 use asv_storage::{
@@ -124,6 +125,7 @@ use crate::config::AdaptiveConfig;
 use crate::creation::build_view_for_range;
 use crate::plan::ZoneStats;
 use crate::viewset::ViewSet;
+use crate::wal::{self, FaultPlan, Journal, WalRecord};
 
 /// Frozen metadata of one partial view inside an epoch: its covered range
 /// and the physical pages its slots map, in slot order.
@@ -187,8 +189,12 @@ impl<B: Backend> ColumnEpoch<B> {
         let full_pages = self.num_rows / VALUES_PER_PAGE;
         if phys < full_pages {
             VALUES_PER_PAGE
-        } else {
+        } else if phys == full_pages {
             self.num_rows % VALUES_PER_PAGE
+        } else {
+            // Pages past the data (a store sized with spare capacity)
+            // hold no valid values.
+            0
         }
     }
 
@@ -645,7 +651,7 @@ struct IngestWrite {
 /// can always re-stage new work.
 #[derive(Clone, Debug)]
 pub struct TableWriter {
-    senders: Vec<mpsc::Sender<IngestWrite>>,
+    senders: Vec<LaneSender>,
 }
 
 impl TableWriter {
@@ -655,7 +661,10 @@ impl TableWriter {
     }
 
     /// Sends an acknowledged write of `value` into `(col, row)` through
-    /// the row's lane. Never blocks (the lanes are unbounded).
+    /// the row's lane. On an unbounded lane (the default) this never
+    /// blocks; on a bounded lane (`AlignChunking::writer_lane_capacity`)
+    /// it blocks while the lane is full, until the maintenance thread
+    /// drains it — backpressure as real flow control.
     ///
     /// # Panics
     /// Panics if the [`ServeTable`] was dropped while this writer is
@@ -665,6 +674,52 @@ impl TableWriter {
         self.senders[lane]
             .send(IngestWrite { col, row, value })
             .expect("serve table dropped while writers are active");
+    }
+
+    /// Non-blocking variant of [`TableWriter::write`]: returns `false` if
+    /// the row's (bounded) lane is full, in which case the write was
+    /// *not* staged and the caller must retry. Unbounded lanes always
+    /// accept.
+    ///
+    /// # Panics
+    /// Panics if the [`ServeTable`] was dropped while this writer is
+    /// still active.
+    pub fn try_write(&self, col: usize, row: usize, value: u64) -> bool {
+        let lane = writer_shard_of(row, self.senders.len());
+        match self.senders[lane].try_send(IngestWrite { col, row, value }) {
+            Ok(()) => true,
+            Err(mpsc::TrySendError::Full(_)) => false,
+            Err(mpsc::TrySendError::Disconnected(_)) => {
+                panic!("serve table dropped while writers are active")
+            }
+        }
+    }
+}
+
+/// The sending half of one ingest lane: unbounded (writers never stall)
+/// or bounded by `AlignChunking::writer_lane_capacity` (writers block on
+/// a full lane until the maintainer drains it).
+#[derive(Clone, Debug)]
+enum LaneSender {
+    Unbounded(mpsc::Sender<IngestWrite>),
+    Bounded(mpsc::SyncSender<IngestWrite>),
+}
+
+impl LaneSender {
+    fn send(&self, write: IngestWrite) -> Result<(), mpsc::SendError<IngestWrite>> {
+        match self {
+            LaneSender::Unbounded(tx) => tx.send(write),
+            LaneSender::Bounded(tx) => tx.send(write),
+        }
+    }
+
+    fn try_send(&self, write: IngestWrite) -> Result<(), mpsc::TrySendError<IngestWrite>> {
+        match self {
+            LaneSender::Unbounded(tx) => tx
+                .send(write)
+                .map_err(|mpsc::SendError(w)| mpsc::TrySendError::Disconnected(w)),
+            LaneSender::Bounded(tx) => tx.try_send(write),
+        }
     }
 }
 
@@ -811,6 +866,72 @@ impl AlignActivity {
     }
 }
 
+/// Durability knobs of a serving table ([`ServeTable::with_durability`]).
+///
+/// A durable table appends every state-changing operation — column
+/// loads, view installs, acknowledged write batches — to a write-ahead
+/// journal ([`crate::wal`]) *before* acknowledging it, and seals every
+/// published epoch with a [`WalRecord::Seal`]. [`ServeTable::recover`]
+/// rebuilds the table from the journal alone: the physical store is
+/// reconstructed from the sealed records, so store flushing is an
+/// optimization, never a correctness requirement.
+#[derive(Clone, Debug)]
+pub struct DurabilityConfig {
+    /// Path of the journal file.
+    pub journal_path: PathBuf,
+    /// How many epoch seals may accumulate before the journal is
+    /// fsynced: `1` (the default) syncs every commit, `n > 1` groups `n`
+    /// commits per sync, `0` syncs only at [`ServeTable::quiesce`].
+    pub fsync_every_chunks: usize,
+    /// Deterministic fault injection for crash tests ([`FaultPlan`]).
+    pub fault: Option<FaultPlan>,
+}
+
+impl DurabilityConfig {
+    /// Durability at `journal_path`: an fsync per commit, no fault.
+    pub fn new(journal_path: impl Into<PathBuf>) -> Self {
+        Self {
+            journal_path: journal_path.into(),
+            fsync_every_chunks: 1,
+            fault: None,
+        }
+    }
+
+    /// Builder-style setter for the commits-per-fsync group size.
+    pub fn with_fsync_every_chunks(mut self, fsync_every_chunks: usize) -> Self {
+        self.fsync_every_chunks = fsync_every_chunks;
+        self
+    }
+
+    /// Builder-style setter for the injected fault plan.
+    pub fn with_fault(mut self, fault: FaultPlan) -> Self {
+        self.fault = Some(fault);
+        self
+    }
+}
+
+/// What [`ServeTable::recover`] found in the journal.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryInfo {
+    /// The last sealed epoch (`0` if the journal sealed nothing).
+    pub sealed_epoch: u64,
+    /// Sealed records replayed (column loads, view installs, batches and
+    /// seals).
+    pub records_replayed: usize,
+    /// Acknowledged write batches re-applied.
+    pub batches_applied: usize,
+    /// Bytes of unsealed tail discarded past the last seal.
+    pub discarded_bytes: u64,
+}
+
+/// The journal state of a durable table.
+struct DurableState {
+    journal: Journal,
+    config: DurabilityConfig,
+    /// Seals appended since the last fsync (drives `fsync_every_chunks`).
+    seals_since_sync: usize,
+}
+
 /// A table served concurrently: owned (and mutated) by one maintenance
 /// thread, read by any number of [`TableHandle`] holders.
 ///
@@ -838,7 +959,10 @@ pub struct ServeTable<B: Backend> {
     /// Receiving ends of the ingest lanes, drained at each tick.
     lanes: Vec<mpsc::Receiver<IngestWrite>>,
     /// Sending ends, cloned into every [`TableWriter`].
-    lane_senders: Vec<mpsc::Sender<IngestWrite>>,
+    lane_senders: Vec<LaneSender>,
+    /// Write-ahead journal of a durable table (`None` on an in-memory
+    /// one).
+    durable: Option<DurableState>,
 }
 
 impl<B: Backend> ServeTable<B> {
@@ -851,12 +975,19 @@ impl<B: Backend> ServeTable<B> {
         }));
         let history = vec![cell.latest()];
         let shards = config.chunking.writer_shards.max(1);
+        let capacity = config.chunking.writer_lane_capacity;
         let mut lanes = Vec::with_capacity(shards);
         let mut lane_senders = Vec::with_capacity(shards);
         for _ in 0..shards {
-            let (tx, rx) = mpsc::channel();
-            lane_senders.push(tx);
-            lanes.push(rx);
+            if capacity > 0 {
+                let (tx, rx) = mpsc::sync_channel(capacity);
+                lane_senders.push(LaneSender::Bounded(tx));
+                lanes.push(rx);
+            } else {
+                let (tx, rx) = mpsc::channel();
+                lane_senders.push(LaneSender::Unbounded(tx));
+                lanes.push(rx);
+            }
         }
         Self {
             backend,
@@ -868,12 +999,111 @@ impl<B: Backend> ServeTable<B> {
             staged: false,
             lanes,
             lane_senders,
+            durable: None,
         }
     }
 
+    /// Creates an empty *durable* serving table: every state-changing
+    /// operation is appended to the write-ahead journal at
+    /// `durability.journal_path` before it is acknowledged, and every
+    /// published epoch is sealed. Any existing file at the path is
+    /// truncated — use [`ServeTable::recover`] to restore one.
+    pub fn with_durability(
+        backend: B,
+        config: AdaptiveConfig,
+        durability: DurabilityConfig,
+    ) -> Result<Self, VmemError> {
+        let journal = Journal::create(durability.journal_path.clone(), durability.fault)?;
+        let mut table = Self::new(backend, config);
+        table.durable = Some(DurableState {
+            journal,
+            config: durability,
+            seals_since_sync: 0,
+        });
+        Ok(table)
+    }
+
+    /// Rebuilds a durable serving table from its journal after a crash.
+    ///
+    /// Replays exactly the records up to the last valid seal — column
+    /// loads, view installs and acknowledged write batches; everything
+    /// past that seal (the unsealed tail a crash may leave) is discarded.
+    /// The physical store is rebuilt from the journal, never read back:
+    /// the journal alone is the source of truth. The journal is then
+    /// compacted to a checkpoint, reopened for appends, and the table
+    /// serves again at an epoch no older than the last sealed one.
+    pub fn recover(
+        backend: B,
+        config: AdaptiveConfig,
+        durability: DurabilityConfig,
+    ) -> Result<(Self, RecoveryInfo), VmemError> {
+        let outcome = wal::replay(&durability.journal_path)?;
+        let mut columns: Vec<Vec<u64>> = Vec::new();
+        let mut views: Vec<(usize, ValueRange)> = Vec::new();
+        let mut batches_applied = 0usize;
+        for record in &outcome.sealed_records {
+            match record {
+                WalRecord::AddColumn { col, values } => {
+                    assert_eq!(
+                        *col as usize,
+                        columns.len(),
+                        "journal records columns in append order"
+                    );
+                    columns.push(values.clone());
+                }
+                WalRecord::InstallView { col, min, max } => {
+                    views.push((*col as usize, ValueRange::new(*min, *max)));
+                }
+                WalRecord::Batch { col, writes } => {
+                    let column = &mut columns[*col as usize];
+                    for &(row, value) in writes {
+                        column[row as usize] = value;
+                    }
+                    batches_applied += 1;
+                }
+                WalRecord::Seal { .. } => {}
+            }
+        }
+        let info = RecoveryInfo {
+            sealed_epoch: outcome.sealed_epoch.unwrap_or(0),
+            records_replayed: outcome.sealed_records.len(),
+            batches_applied,
+            discarded_bytes: outcome.discarded_bytes(),
+        };
+        // Rebuild in memory first (journal-free), then attach a compacted
+        // journal: recovery must not append replayed operations back onto
+        // the tail it just replayed.
+        let mut table = Self::new(backend, config);
+        for values in &columns {
+            table.add_column(values)?;
+        }
+        for (col, range) in views {
+            table.install_view(col, range)?;
+        }
+        // Epoch numbering continues across the crash.
+        table.generation = table.generation.max(info.sealed_epoch);
+        let records = table.checkpoint_records();
+        wal::rewrite(&durability.journal_path, &records)?;
+        let journal = Journal::open_append(durability.journal_path.clone(), durability.fault)?;
+        table.durable = Some(DurableState {
+            journal,
+            config: durability,
+            seals_since_sync: 0,
+        });
+        Ok((table, info))
+    }
+
     /// Adds a column holding `values` and publishes the widened epoch.
-    /// Returns the column's index.
+    /// Returns the column's index. On a durable table the column load is
+    /// journaled before the store is built.
     pub fn add_column(&mut self, values: &[u64]) -> Result<usize, VmemError> {
+        if self.durable.is_some() {
+            let record = WalRecord::AddColumn {
+                col: self.columns.len() as u32,
+                values: values.to_vec(),
+            };
+            self.journal_append(&record)?;
+        }
         let column = Column::from_values(self.backend.clone(), values)?;
         let full_view = Arc::new(self.backend.create_full_view(column.store())?);
         let stats = ZoneStats::build(&column);
@@ -898,7 +1128,7 @@ impl<B: Backend> ServeTable<B> {
         };
         self.columns.push(state);
         self.staged = true;
-        self.commit();
+        self.commit()?;
         Ok(self.columns.len() - 1)
     }
 
@@ -910,12 +1140,22 @@ impl<B: Backend> ServeTable<B> {
     /// in-flight round's plan predates the view and would leave it
     /// misaligned.
     pub fn install_view(&mut self, col: usize, range: ValueRange) -> Result<(), VmemError> {
-        let state = &mut self.columns[col];
-        if !state.is_idle() || !state.overlay.is_empty() {
-            return Err(VmemError::Unsupported(
-                "install_view requires an idle column (no round in flight, no queued writes)",
-            ));
+        {
+            let state = &self.columns[col];
+            if !state.is_idle() || !state.overlay.is_empty() {
+                return Err(VmemError::Unsupported(
+                    "install_view requires an idle column (no round in flight, no queued writes)",
+                ));
+            }
         }
+        if self.durable.is_some() {
+            self.journal_append(&WalRecord::InstallView {
+                col: col as u32,
+                min: range.low(),
+                max: range.high(),
+            })?;
+        }
+        let state = &mut self.columns[col];
         let (buffer, _) = build_view_for_range(&state.column, &range, &self.config.creation)?;
         state.views.insert_unchecked(range, buffer);
         state.view_metas.push(Arc::new(ViewMeta {
@@ -926,7 +1166,7 @@ impl<B: Backend> ServeTable<B> {
         state.refresh_view_meta(view_idx)?;
         state.mark_dirty();
         self.staged = true;
-        self.commit();
+        self.commit()?;
         Ok(())
     }
 
@@ -998,10 +1238,66 @@ impl<B: Backend> ServeTable<B> {
     /// Stages a write of `value` into `(col, row)`. The acknowledgement
     /// becomes visible to *new* pins at the next [`ServeTable::tick`];
     /// the writer itself never blocks.
+    ///
+    /// # Panics
+    /// On a durable table, panics if the journal append fails — use
+    /// [`ServeTable::try_write`] to handle the error.
     pub fn write(&mut self, col: usize, row: usize, value: u64) {
+        self.try_write(col, row, value)
+            .expect("journal append failed (use try_write on durable tables)");
+    }
+
+    /// Stages a batch of `(row, value)` writes into column `col`.
+    ///
+    /// # Panics
+    /// On a durable table, panics if the journal append fails — use
+    /// [`ServeTable::try_write_batch`] to handle the error.
+    pub fn write_batch(&mut self, col: usize, writes: &[(usize, u64)]) {
+        self.try_write_batch(col, writes)
+            .expect("journal append failed (use try_write_batch on durable tables)");
+    }
+
+    /// Fallible single write: [`ServeTable::try_write_batch`] of one
+    /// write.
+    pub fn try_write(&mut self, col: usize, row: usize, value: u64) -> Result<(), VmemError> {
+        self.try_write_batch(col, &[(row, value)])
+    }
+
+    /// Fallible batch write. On a durable table the batch is appended to
+    /// the journal as one [`WalRecord::Batch`] *before* any of it is
+    /// staged (write-ahead): an `Err` means nothing was acknowledged and
+    /// the serving state is unchanged, so recovery and the live table
+    /// agree on exactly which writes exist.
+    pub fn try_write_batch(
+        &mut self,
+        col: usize,
+        writes: &[(usize, u64)],
+    ) -> Result<(), VmemError> {
+        if writes.is_empty() {
+            return Ok(());
+        }
+        let num_rows = self.columns[col].column.num_rows();
+        for &(row, _) in writes {
+            assert!(row < num_rows, "row {row} out of bounds");
+        }
+        if self.durable.is_some() {
+            let record = WalRecord::Batch {
+                col: col as u32,
+                writes: writes.iter().map(|&(r, v)| (r as u64, v)).collect(),
+            };
+            self.journal_append(&record)?;
+        }
+        for &(row, value) in writes {
+            self.stage_write(col, row, value);
+        }
+        Ok(())
+    }
+
+    /// The journal-free staging path shared by every write front door.
+    fn stage_write(&mut self, col: usize, row: usize, value: u64) {
         let shards = self.lanes.len();
         let state = &mut self.columns[col];
-        assert!(row < state.column.num_rows(), "row {row} out of bounds");
+        debug_assert!(row < state.column.num_rows(), "row {row} out of bounds");
         state.stats.note_write(row, value);
         state.stats_widened = true;
         state.freeze_page_of(row);
@@ -1010,13 +1306,6 @@ impl<B: Backend> ServeTable<B> {
         }
         state.mark_dirty();
         self.staged = true;
-    }
-
-    /// Stages a batch of `(row, value)` writes into column `col`.
-    pub fn write_batch(&mut self, col: usize, writes: &[(usize, u64)]) {
-        for &(row, value) in writes {
-            self.write(col, row, value);
-        }
     }
 
     /// One maintenance step. Publishes staged acknowledgements, advances
@@ -1033,19 +1322,19 @@ impl<B: Backend> ServeTable<B> {
         // stage exactly like direct writes and are published by the
         // commit below — the tick boundary is the acknowledgement point
         // for both front doors.
-        self.drain_ingest();
+        self.drain_ingest()?;
         self.cell.try_reclaim();
         // Commit-before-fold invariant: every staged acknowledgement is
         // published (with its masks and page copies) before any fold may
         // write the store.
-        self.commit();
+        self.commit()?;
         for idx in 0..self.columns.len() {
             self.advance_column(idx)?;
         }
         for idx in 0..self.columns.len() {
             self.maybe_retighten(idx);
         }
-        self.commit();
+        self.commit()?;
         if self.grace_elapsed() {
             for idx in 0..self.columns.len() {
                 self.maybe_fold(idx, force_fold)?;
@@ -1054,15 +1343,42 @@ impl<B: Backend> ServeTable<B> {
         Ok(())
     }
 
-    /// Drains every ingest lane into the staging path ([`Self::write`]).
-    /// Lanes drain fully and in receive order, so writes from one writer
-    /// thread apply FIFO (a row always hashes to the same lane).
-    fn drain_ingest(&mut self) {
+    /// Drains every ingest lane into the staging path
+    /// ([`Self::stage_write`]). Lanes drain fully and in receive order,
+    /// so writes from one writer thread apply FIFO (a row always hashes
+    /// to the same lane). On a durable table the drained writes are
+    /// journaled first (one batch record per column, in drain order), so
+    /// lane-ingested writes get the same write-ahead guarantee as direct
+    /// ones.
+    fn drain_ingest(&mut self) -> Result<(), VmemError> {
+        let mut drained: Vec<IngestWrite> = Vec::new();
         for lane in 0..self.lanes.len() {
             while let Ok(write) = self.lanes[lane].try_recv() {
-                self.write(write.col, write.row, write.value);
+                drained.push(write);
             }
         }
+        if drained.is_empty() {
+            return Ok(());
+        }
+        if self.durable.is_some() {
+            let mut per_col: Vec<Vec<(u64, u64)>> = vec![Vec::new(); self.columns.len()];
+            for write in &drained {
+                per_col[write.col].push((write.row as u64, write.value));
+            }
+            for (col, writes) in per_col.into_iter().enumerate() {
+                if writes.is_empty() {
+                    continue;
+                }
+                self.journal_append(&WalRecord::Batch {
+                    col: col as u32,
+                    writes,
+                })?;
+            }
+        }
+        for write in drained {
+            self.stage_write(write.col, write.row, write.value);
+        }
+        Ok(())
     }
 
     /// Idle-tick band re-tightening (the counterpart of eager widening):
@@ -1105,16 +1421,22 @@ impl<B: Backend> ServeTable<B> {
                     .iter()
                     .all(|c| c.is_idle() && c.overlay.is_empty());
             if drained {
-                return Ok(());
+                break;
             }
             std::thread::yield_now();
         }
+        // A durable table seals its quiescent state and compacts the
+        // journal down to a checkpoint.
+        self.compact_journal()
     }
 
-    /// Publishes the staged state as a new epoch, if anything changed.
-    fn commit(&mut self) {
+    /// Publishes the staged state as a new epoch, if anything changed. On
+    /// a durable table the epoch is sealed in the journal, and the
+    /// journal is fsynced per `DurabilityConfig::fsync_every_chunks` —
+    /// recovery replays exactly up to the last seal that reached disk.
+    fn commit(&mut self) -> Result<(), VmemError> {
         if !self.staged {
-            return;
+            return Ok(());
         }
         self.generation += 1;
         let columns: Vec<Arc<ColumnEpoch<B>>> =
@@ -1125,6 +1447,78 @@ impl<B: Backend> ServeTable<B> {
         });
         self.history.push(epoch);
         self.staged = false;
+        if let Some(durable) = self.durable.as_mut() {
+            durable.journal.append(&WalRecord::Seal {
+                epoch: self.generation,
+            })?;
+            durable.seals_since_sync += 1;
+            let every = durable.config.fsync_every_chunks;
+            if every > 0 && durable.seals_since_sync >= every {
+                durable.journal.sync()?;
+                durable.seals_since_sync = 0;
+            }
+        }
+        Ok(())
+    }
+
+    /// Appends `record` to the journal of a durable table (no-op on an
+    /// in-memory one).
+    fn journal_append(&mut self, record: &WalRecord) -> Result<(), VmemError> {
+        if let Some(durable) = self.durable.as_mut() {
+            durable.journal.append(record)?;
+        }
+        Ok(())
+    }
+
+    /// A checkpoint equivalent of the current (quiescent) table state:
+    /// column loads, view installs and one seal of the current
+    /// generation. Replaying exactly these records rebuilds the table.
+    fn checkpoint_records(&self) -> Vec<WalRecord> {
+        let mut records = Vec::new();
+        for (idx, state) in self.columns.iter().enumerate() {
+            debug_assert!(
+                state.overlay.is_empty(),
+                "checkpoint requires folded overlays"
+            );
+            records.push(WalRecord::AddColumn {
+                col: idx as u32,
+                values: state.column.to_vec(),
+            });
+        }
+        for (idx, state) in self.columns.iter().enumerate() {
+            for meta in &state.view_metas {
+                records.push(WalRecord::InstallView {
+                    col: idx as u32,
+                    min: meta.range.low(),
+                    max: meta.range.high(),
+                });
+            }
+        }
+        records.push(WalRecord::Seal {
+            epoch: self.generation,
+        });
+        records
+    }
+
+    /// Compacts the journal of a durable, quiescent table down to a
+    /// checkpoint (atomic rewrite, then reopen for appends). An unfired
+    /// fault plan carries over with its op counter adjusted for the
+    /// operations already performed.
+    fn compact_journal(&mut self) -> Result<(), VmemError> {
+        if self.durable.is_none() {
+            return Ok(());
+        }
+        let records = self.checkpoint_records();
+        let durable = self.durable.as_mut().expect("checked above");
+        // Make everything appended so far durable first: with
+        // `fsync_every_chunks == 0` this is the one sync point, and it is
+        // where a `FailFsync` plan fires.
+        durable.journal.sync()?;
+        wal::rewrite(&durable.config.journal_path, &records)?;
+        let fault = durable.journal.carryover_fault();
+        durable.journal = Journal::open_append(durable.config.journal_path.clone(), fault)?;
+        durable.seals_since_sync = 0;
+        Ok(())
     }
 
     /// Drops history entries whose epochs are no longer referenced by any
@@ -1854,5 +2248,255 @@ mod tests {
         assert_eq!(a, b);
         assert_ne!(a, checksum_rows(&[1, 5]));
         assert_ne!(checksum_rows(&[0]), checksum_rows(&[]));
+    }
+
+    fn temp_journal(tag: &str) -> PathBuf {
+        static COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "asv-serve-wal-{}-{tag}-{n}.wal",
+            std::process::id()
+        ))
+    }
+
+    #[test]
+    fn durable_table_recovers_to_quiesced_state() {
+        let path = temp_journal("quiesced");
+        let mut mirror = clustered_values(24);
+        let range = ValueRange::new(5_000, 9_400);
+        {
+            let mut table = ServeTable::with_durability(
+                SimBackend::new(),
+                serve_config(),
+                DurabilityConfig::new(&path),
+            )
+            .unwrap();
+            let col = table.add_column(&mirror).unwrap();
+            table.install_view(col, range).unwrap();
+            for (i, row) in [3usize, 700, 1_400, 9_001].into_iter().enumerate() {
+                table.write(col, row, 1_000_000 + i as u64);
+                mirror[row] = 1_000_000 + i as u64;
+            }
+            table.quiesce().unwrap();
+        }
+        let (table, info) = ServeTable::recover(
+            SimBackend::new(),
+            serve_config(),
+            DurabilityConfig::new(&path),
+        )
+        .unwrap();
+        assert!(info.sealed_epoch > 0, "quiesce sealed the final epoch");
+        assert_eq!(
+            info.batches_applied, 0,
+            "quiesce compacted the journal to a checkpoint"
+        );
+        assert_eq!(info.discarded_bytes, 0);
+        assert!(
+            table.generation() >= info.sealed_epoch,
+            "epoch numbering continues across the crash"
+        );
+        let snap = table.handle().pin();
+        assert_eq!(
+            snap.query_range(0, &range),
+            reference_answer(&mirror, &range)
+        );
+        assert_eq!(snap.value(0, 700), mirror[700]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn recovery_discards_the_unsealed_tail() {
+        let path = temp_journal("tail");
+        let mut mirror = clustered_values(12);
+        let range = ValueRange::full();
+        {
+            let mut table = ServeTable::with_durability(
+                SimBackend::new(),
+                serve_config(),
+                DurabilityConfig::new(&path),
+            )
+            .unwrap();
+            let col = table.add_column(&mirror).unwrap();
+            table.write(col, 42, 123_456);
+            mirror[42] = 123_456;
+            table.quiesce().unwrap();
+            // Acknowledged but never sealed: the batch hits the journal,
+            // but the process "dies" before the next tick's seal.
+            table.try_write_batch(col, &[(7, 1), (8, 2)]).unwrap();
+        }
+        let (table, info) = ServeTable::recover(
+            SimBackend::new(),
+            serve_config(),
+            DurabilityConfig::new(&path),
+        )
+        .unwrap();
+        assert_eq!(info.batches_applied, 0, "the tail batch is not replayed");
+        assert!(info.discarded_bytes > 0, "the tail bytes were discarded");
+        let snap = table.handle().pin();
+        assert_eq!(snap.value(0, 42), 123_456, "sealed writes survive");
+        assert_eq!(snap.value(0, 7), mirror[7], "unsealed writes do not");
+        assert_eq!(
+            snap.query_range(0, &range),
+            reference_answer(&mirror, &range)
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn injected_append_fault_stops_acknowledgement() {
+        let path = temp_journal("fault");
+        let mut mirror = clustered_values(12);
+        {
+            // The journal's first appends are AddColumn + Seal; fault the
+            // append after the first write batch's seal.
+            let durability = DurabilityConfig::new(&path).with_fault(FaultPlan::fail_append(4));
+            let mut table =
+                ServeTable::with_durability(SimBackend::new(), serve_config(), durability).unwrap();
+            let col = table.add_column(&mirror).unwrap();
+            table.try_write(col, 5, 555).unwrap();
+            mirror[5] = 555;
+            table.tick().unwrap();
+            // Some later operation hits the injected fault and errors
+            // without acknowledging; the exact op depends on tick cadence,
+            // so keep issuing until the crash surfaces.
+            let mut crashed = false;
+            for attempt in 0..16u64 {
+                if table.try_write(col, 6, attempt).is_err() || table.tick().is_err() {
+                    crashed = true;
+                    break;
+                }
+            }
+            assert!(crashed, "the fault plan fires within a few operations");
+        }
+        let (table, _info) = ServeTable::recover(
+            SimBackend::new(),
+            serve_config(),
+            DurabilityConfig::new(&path),
+        )
+        .unwrap();
+        let snap = table.handle().pin();
+        assert_eq!(snap.value(0, 5), 555, "the sealed write survives");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn durable_serving_on_the_file_backend() {
+        let backend = asv_vmem::FileBackend::temp();
+        let dir = backend.dir().to_path_buf();
+        let path = temp_journal("file");
+        let mut mirror = clustered_values(16);
+        let range = ValueRange::new(2_000, 11_000);
+        {
+            let mut table =
+                ServeTable::with_durability(backend, serve_config(), DurabilityConfig::new(&path))
+                    .unwrap();
+            let col = table.add_column(&mirror).unwrap();
+            table.install_view(col, range).unwrap();
+            for row in [10usize, 600, 1_200, 5_555] {
+                table.write(col, row, (row as u64) * 7 + 1);
+                mirror[row] = (row as u64) * 7 + 1;
+            }
+            table.quiesce().unwrap();
+        }
+        let recovered_backend = asv_vmem::FileBackend::temp();
+        let recovered_dir = recovered_backend.dir().to_path_buf();
+        let (table, info) = ServeTable::recover(
+            recovered_backend,
+            serve_config(),
+            DurabilityConfig::new(&path),
+        )
+        .unwrap();
+        assert!(info.sealed_epoch > 0);
+        let snap = table.handle().pin();
+        assert_eq!(
+            snap.query_range(0, &range),
+            reference_answer(&mirror, &range)
+        );
+        drop(snap);
+        drop(table);
+        std::fs::remove_file(&path).unwrap();
+        let _ = std::fs::remove_dir_all(dir);
+        let _ = std::fs::remove_dir_all(recovered_dir);
+    }
+
+    #[test]
+    fn bounded_lanes_reject_writes_beyond_capacity() {
+        let config = AdaptiveConfig::default().with_chunking(
+            crate::config::AlignChunking::default()
+                .with_chunk_updates(4)
+                .with_writer_lane_capacity(2),
+        );
+        let mut table = ServeTable::new(SimBackend::new(), config);
+        let col = table.add_column(&clustered_values(8)).unwrap();
+        let writer = table.writer();
+        assert!(writer.try_write(col, 0, 100));
+        assert!(writer.try_write(col, 1, 101));
+        assert!(
+            !writer.try_write(col, 2, 102),
+            "the third write exceeds the lane capacity"
+        );
+        table.tick().unwrap();
+        assert!(
+            writer.try_write(col, 2, 102),
+            "draining the lane frees capacity"
+        );
+        table.quiesce().unwrap();
+        let snap = table.handle().pin();
+        assert_eq!(snap.value(col, 0), 100);
+        assert_eq!(snap.value(col, 1), 101);
+        assert_eq!(snap.value(col, 2), 102);
+    }
+
+    #[test]
+    fn bounded_lane_blocks_writer_until_the_maintainer_drains() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let config = AdaptiveConfig::default().with_chunking(
+            crate::config::AlignChunking::default()
+                .with_chunk_updates(4)
+                .with_writer_lane_capacity(1),
+        );
+        let mut table = ServeTable::new(SimBackend::new(), config);
+        let col = table.add_column(&clustered_values(8)).unwrap();
+        let writer = table.writer();
+        let done = Arc::new(AtomicBool::new(false));
+        let done_in_thread = Arc::clone(&done);
+        let total = 64usize;
+        let thread = std::thread::spawn(move || {
+            // All writes hit row pages of one lane; with capacity 1 the
+            // writer must block until the maintenance thread drains.
+            for i in 0..total {
+                writer.write(col, i % VALUES_PER_PAGE, 7_000 + i as u64);
+            }
+            done_in_thread.store(true, Ordering::Release);
+        });
+        while !done.load(Ordering::Acquire) {
+            table.tick().unwrap();
+            std::thread::yield_now();
+        }
+        thread.join().unwrap();
+        table.quiesce().unwrap();
+        let snap = table.handle().pin();
+        assert_eq!(
+            snap.value(col, (total - 1) % VALUES_PER_PAGE),
+            7_000 + (total as u64) - 1,
+            "the last blocked write landed"
+        );
+    }
+
+    #[test]
+    fn sparse_epoch_pages_past_the_data_hold_no_values() {
+        // A column whose store has more pages than data: the epoch's
+        // per-page valid count must clamp to zero past the last row
+        // instead of wrapping to the partial-page remainder.
+        let mut table = ServeTable::new(SimBackend::new(), serve_config());
+        let values: Vec<u64> = (0..VALUES_PER_PAGE as u64 * 2 + 5).collect();
+        let col = table.add_column(&values).unwrap();
+        let snap = table.handle().pin();
+        let epoch = &snap.pinned.columns[col];
+        assert_eq!(epoch.valid_values(0), VALUES_PER_PAGE);
+        assert_eq!(epoch.valid_values(1), VALUES_PER_PAGE);
+        assert_eq!(epoch.valid_values(2), 5, "partial tail page");
+        assert_eq!(epoch.valid_values(3), 0, "pages past the data are empty");
+        assert_eq!(epoch.valid_values(17), 0);
     }
 }

@@ -54,6 +54,45 @@ impl<B: Backend> Column<B> {
         Self::from_values(backend, &[])
     }
 
+    /// Materializes a column whose store spans `capacity_pages` physical
+    /// pages even when `values` fills fewer of them — a *sparse* column:
+    /// pages past the data carry their pageID but zero valid values
+    /// ([`Column::valid_values_on_page`] reports `0` for them), so scans,
+    /// views and zone statistics must count live rows rather than
+    /// page-capacity bounds.
+    ///
+    /// # Panics
+    /// Panics if `capacity_pages` cannot hold `values`.
+    pub fn from_values_with_capacity(
+        backend: B,
+        values: &[u64],
+        capacity_pages: usize,
+    ) -> asv_vmem::Result<Self> {
+        let needed = values.len().div_ceil(VALUES_PER_PAGE);
+        assert!(
+            capacity_pages >= needed,
+            "capacity of {capacity_pages} pages cannot hold {} values",
+            values.len()
+        );
+        let mut store = backend.create_store(capacity_pages)?;
+        for page_idx in 0..capacity_pages {
+            let start = page_idx * VALUES_PER_PAGE;
+            let end = (start + VALUES_PER_PAGE).min(values.len());
+            let page = store.page_mut(page_idx);
+            page[PAGE_ID_SLOT] = page_idx as u64;
+            if start < values.len() {
+                page[1..1 + (end - start)].copy_from_slice(&values[start..end]);
+            }
+        }
+        let full_view = backend.create_full_view(&store)?;
+        Ok(Self {
+            backend,
+            store,
+            full_view,
+            num_rows: values.len(),
+        })
+    }
+
     /// The rewiring backend of this column.
     pub fn backend(&self) -> &B {
         &self.backend
@@ -414,5 +453,41 @@ mod tests {
     fn value_out_of_bounds_panics() {
         let col = Column::from_values(SimBackend::new(), &[1, 2, 3]).unwrap();
         col.value(3);
+    }
+
+    #[test]
+    fn sparse_capacity_pages_hold_no_valid_values() {
+        let values = sample_values(VALUES_PER_PAGE + 3);
+        let col = Column::from_values_with_capacity(SimBackend::new(), &values, 8).unwrap();
+        assert_eq!(col.num_rows(), values.len());
+        assert_eq!(col.num_pages(), 8, "the store spans the full capacity");
+        assert_eq!(col.valid_values_on_page(0), VALUES_PER_PAGE);
+        assert_eq!(col.valid_values_on_page(1), 3, "partial tail page");
+        for page in 2..8 {
+            assert_eq!(col.valid_values_on_page(page), 0, "empty capacity page");
+        }
+        assert_eq!(col.to_vec(), values, "live rows round-trip unchanged");
+        // Empty pages still carry their embedded pageID.
+        assert_eq!(col.page_ref(5).page_id(), 5);
+    }
+
+    #[test]
+    fn sparse_scan_counts_only_live_rows() {
+        let values = sample_values(VALUES_PER_PAGE / 2);
+        let col = Column::from_values_with_capacity(SimBackend::new(), &values, 16).unwrap();
+        let range = ValueRange::full();
+        let out = col.full_scan(&range);
+        assert_eq!(
+            out.count as usize,
+            values.len(),
+            "empty pages contribute nothing, even for a full-range scan"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot hold")]
+    fn sparse_capacity_below_data_panics() {
+        let values = sample_values(VALUES_PER_PAGE * 3);
+        let _ = Column::from_values_with_capacity(SimBackend::new(), &values, 2);
     }
 }

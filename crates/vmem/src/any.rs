@@ -21,6 +21,8 @@ use crate::backend::{Backend, MapRequest, PhysicalStore, ViewBuffer};
 use crate::error::Result;
 #[cfg(all(feature = "mmap", target_os = "linux"))]
 use crate::error::VmemError;
+#[cfg(all(feature = "mmap", target_os = "linux"))]
+use crate::file::{FileBackend, FileStore};
 use crate::maps::MappingTable;
 #[cfg(all(feature = "mmap", target_os = "linux"))]
 use crate::mmap::{MmapBackend, MmapStore, MmapView};
@@ -40,6 +42,9 @@ pub enum AnyBackend {
     /// The real memory-rewiring backend (Linux only).
     #[cfg(all(feature = "mmap", target_os = "linux"))]
     Mmap(MmapBackend),
+    /// The durable file-backed rewiring backend (Linux only).
+    #[cfg(all(feature = "mmap", target_os = "linux"))]
+    File(FileBackend),
 }
 
 impl AnyBackend {
@@ -52,6 +57,19 @@ impl AnyBackend {
     #[cfg(all(feature = "mmap", target_os = "linux"))]
     pub fn mmap() -> Self {
         AnyBackend::Mmap(MmapBackend::new())
+    }
+
+    /// The durable file-backed backend, storing under a process-unique
+    /// temp directory (see [`FileBackend::temp`]).
+    #[cfg(all(feature = "mmap", target_os = "linux"))]
+    pub fn file() -> Self {
+        AnyBackend::File(FileBackend::temp())
+    }
+
+    /// The durable file-backed backend, storing under `dir`.
+    #[cfg(all(feature = "mmap", target_os = "linux"))]
+    pub fn file_in(dir: impl Into<std::path::PathBuf>) -> Self {
+        AnyBackend::File(FileBackend::with_dir(dir))
     }
 
     /// The preferred backend of this platform: real memory rewiring where
@@ -67,15 +85,18 @@ impl AnyBackend {
         }
     }
 
-    /// Looks up a backend by its [`Backend::name`] (`"sim"` / `"mmap"`).
+    /// Looks up a backend by its [`Backend::name`]
+    /// (`"sim"` / `"mmap"` / `"file"`).
     ///
     /// Returns `None` for unknown names and for backends not available on
-    /// this platform (e.g. `"mmap"` off Linux).
+    /// this platform (e.g. `"mmap"` and `"file"` off Linux).
     pub fn from_name(name: &str) -> Option<Self> {
         match name {
             "sim" => Some(Self::sim()),
             #[cfg(all(feature = "mmap", target_os = "linux"))]
             "mmap" => Some(Self::mmap()),
+            #[cfg(all(feature = "mmap", target_os = "linux"))]
+            "file" => Some(Self::file()),
             _ => None,
         }
     }
@@ -110,7 +131,7 @@ impl AnyBackend {
     pub fn available_names() -> &'static [&'static str] {
         #[cfg(all(feature = "mmap", target_os = "linux"))]
         {
-            &["sim", "mmap"]
+            &["sim", "mmap", "file"]
         }
         #[cfg(not(all(feature = "mmap", target_os = "linux")))]
         {
@@ -132,6 +153,43 @@ pub enum AnyStore {
     /// Store of the mmap variant.
     #[cfg(all(feature = "mmap", target_os = "linux"))]
     Mmap(MmapStore),
+    /// Store of the file variant.
+    #[cfg(all(feature = "mmap", target_os = "linux"))]
+    File(FileStore),
+}
+
+impl AnyStore {
+    /// The durable [`FileStore`] inside, if this store belongs to the file
+    /// variant.
+    #[cfg(all(feature = "mmap", target_os = "linux"))]
+    pub fn as_file(&self) -> Option<&FileStore> {
+        match self {
+            AnyStore::File(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Synchronously flushes the store to stable storage where the backend
+    /// is durable (`msync` + `fsync` on the file variant); a no-op on
+    /// memory-only variants.
+    pub fn sync_all(&self) -> Result<()> {
+        #[cfg(all(feature = "mmap", target_os = "linux"))]
+        if let AnyStore::File(s) = self {
+            return s.sync_all();
+        }
+        Ok(())
+    }
+
+    /// Flushes a run of pages to stable storage where the backend is
+    /// durable (`msync(MS_SYNC)` on the file variant); a no-op elsewhere.
+    pub fn flush_pages(&self, first_page: usize, len: usize) -> Result<()> {
+        #[cfg(all(feature = "mmap", target_os = "linux"))]
+        if let AnyStore::File(s) = self {
+            return s.flush_pages(first_page, len);
+        }
+        let _ = (first_page, len);
+        Ok(())
+    }
 }
 
 impl PhysicalStore for AnyStore {
@@ -140,6 +198,8 @@ impl PhysicalStore for AnyStore {
             AnyStore::Sim(s) => s.num_pages(),
             #[cfg(all(feature = "mmap", target_os = "linux"))]
             AnyStore::Mmap(s) => s.num_pages(),
+            #[cfg(all(feature = "mmap", target_os = "linux"))]
+            AnyStore::File(s) => s.num_pages(),
         }
     }
 
@@ -148,6 +208,8 @@ impl PhysicalStore for AnyStore {
             AnyStore::Sim(s) => s.page(phys_page),
             #[cfg(all(feature = "mmap", target_os = "linux"))]
             AnyStore::Mmap(s) => s.page(phys_page),
+            #[cfg(all(feature = "mmap", target_os = "linux"))]
+            AnyStore::File(s) => s.page(phys_page),
         }
     }
 
@@ -156,6 +218,8 @@ impl PhysicalStore for AnyStore {
             AnyStore::Sim(s) => s.page_mut(phys_page),
             #[cfg(all(feature = "mmap", target_os = "linux"))]
             AnyStore::Mmap(s) => s.page_mut(phys_page),
+            #[cfg(all(feature = "mmap", target_os = "linux"))]
+            AnyStore::File(s) => s.page_mut(phys_page),
         }
     }
 }
@@ -167,6 +231,10 @@ pub enum AnyView {
     /// View of the mmap variant.
     #[cfg(all(feature = "mmap", target_os = "linux"))]
     Mmap(MmapView),
+    /// View of the file variant (file-backed stores share the mmap view
+    /// type — views are process-local virtual memory either way).
+    #[cfg(all(feature = "mmap", target_os = "linux"))]
+    File(MmapView),
 }
 
 impl ViewBuffer for AnyView {
@@ -174,7 +242,7 @@ impl ViewBuffer for AnyView {
         match self {
             AnyView::Sim(v) => v.capacity_pages(),
             #[cfg(all(feature = "mmap", target_os = "linux"))]
-            AnyView::Mmap(v) => v.capacity_pages(),
+            AnyView::Mmap(v) | AnyView::File(v) => v.capacity_pages(),
         }
     }
 
@@ -182,7 +250,7 @@ impl ViewBuffer for AnyView {
         match self {
             AnyView::Sim(v) => v.mapped_pages(),
             #[cfg(all(feature = "mmap", target_os = "linux"))]
-            AnyView::Mmap(v) => v.mapped_pages(),
+            AnyView::Mmap(v) | AnyView::File(v) => v.mapped_pages(),
         }
     }
 
@@ -190,7 +258,7 @@ impl ViewBuffer for AnyView {
         match self {
             AnyView::Sim(v) => v.page(slot),
             #[cfg(all(feature = "mmap", target_os = "linux"))]
-            AnyView::Mmap(v) => v.page(slot),
+            AnyView::Mmap(v) | AnyView::File(v) => v.page(slot),
         }
     }
 }
@@ -204,6 +272,8 @@ impl Backend for AnyBackend {
             AnyBackend::Sim(b) => b.name(),
             #[cfg(all(feature = "mmap", target_os = "linux"))]
             AnyBackend::Mmap(b) => b.name(),
+            #[cfg(all(feature = "mmap", target_os = "linux"))]
+            AnyBackend::File(b) => b.name(),
         }
     }
 
@@ -212,6 +282,8 @@ impl Backend for AnyBackend {
             AnyBackend::Sim(b) => Ok(AnyStore::Sim(b.create_store(num_pages)?)),
             #[cfg(all(feature = "mmap", target_os = "linux"))]
             AnyBackend::Mmap(b) => Ok(AnyStore::Mmap(b.create_store(num_pages)?)),
+            #[cfg(all(feature = "mmap", target_os = "linux"))]
+            AnyBackend::File(b) => Ok(AnyStore::File(b.create_store(num_pages)?)),
         }
     }
 
@@ -225,6 +297,10 @@ impl Backend for AnyBackend {
                 Ok(AnyView::Mmap(b.reserve_view(s, capacity_pages)?))
             }
             #[cfg(all(feature = "mmap", target_os = "linux"))]
+            (AnyBackend::File(b), AnyStore::File(s)) => {
+                Ok(AnyView::File(b.reserve_view(s, capacity_pages)?))
+            }
+            #[cfg(all(feature = "mmap", target_os = "linux"))]
             _ => Err(MISMATCH),
         }
     }
@@ -234,6 +310,8 @@ impl Backend for AnyBackend {
             (AnyBackend::Sim(b), AnyStore::Sim(s), AnyView::Sim(v)) => b.map_run(s, v, req),
             #[cfg(all(feature = "mmap", target_os = "linux"))]
             (AnyBackend::Mmap(b), AnyStore::Mmap(s), AnyView::Mmap(v)) => b.map_run(s, v, req),
+            #[cfg(all(feature = "mmap", target_os = "linux"))]
+            (AnyBackend::File(b), AnyStore::File(s), AnyView::File(v)) => b.map_run(s, v, req),
             #[cfg(all(feature = "mmap", target_os = "linux"))]
             _ => Err(MISMATCH),
         }
@@ -245,6 +323,8 @@ impl Backend for AnyBackend {
             #[cfg(all(feature = "mmap", target_os = "linux"))]
             (AnyBackend::Mmap(b), AnyView::Mmap(v)) => b.truncate_view(v, new_mapped_pages),
             #[cfg(all(feature = "mmap", target_os = "linux"))]
+            (AnyBackend::File(b), AnyView::File(v)) => b.truncate_view(v, new_mapped_pages),
+            #[cfg(all(feature = "mmap", target_os = "linux"))]
             _ => Err(MISMATCH),
         }
     }
@@ -254,6 +334,8 @@ impl Backend for AnyBackend {
             (AnyBackend::Sim(b), AnyStore::Sim(s), AnyView::Sim(v)) => b.mapping_table(s, v),
             #[cfg(all(feature = "mmap", target_os = "linux"))]
             (AnyBackend::Mmap(b), AnyStore::Mmap(s), AnyView::Mmap(v)) => b.mapping_table(s, v),
+            #[cfg(all(feature = "mmap", target_os = "linux"))]
+            (AnyBackend::File(b), AnyStore::File(s), AnyView::File(v)) => b.mapping_table(s, v),
             #[cfg(all(feature = "mmap", target_os = "linux"))]
             _ => Err(MISMATCH),
         }
@@ -280,6 +362,17 @@ impl Backend for AnyBackend {
                     .iter()
                     .map(|v| match v {
                         AnyView::Mmap(v) => Ok(v),
+                        _ => Err(MISMATCH),
+                    })
+                    .collect::<Result<Vec<_>>>()?;
+                b.mapping_tables(s, &inner)
+            }
+            #[cfg(all(feature = "mmap", target_os = "linux"))]
+            (AnyBackend::File(b), AnyStore::File(s)) => {
+                let inner = views
+                    .iter()
+                    .map(|v| match v {
+                        AnyView::File(v) => Ok(v),
                         _ => Err(MISMATCH),
                     })
                     .collect::<Result<Vec<_>>>()?;
@@ -345,6 +438,29 @@ mod tests {
     fn mmap_variant_behaves_like_mmap_backend() {
         assert_eq!(AnyBackend::mmap().name(), "mmap");
         exercise(AnyBackend::mmap());
+    }
+
+    #[cfg(all(feature = "mmap", target_os = "linux"))]
+    #[test]
+    fn file_variant_behaves_like_file_backend() {
+        let b = AnyBackend::file();
+        assert_eq!(b.name(), "file");
+        let dir = match &b {
+            AnyBackend::File(f) => f.dir().to_path_buf(),
+            _ => unreachable!(),
+        };
+        exercise(b);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn sync_is_a_noop_on_memory_backends() {
+        let b = AnyBackend::sim();
+        let store = b.create_store(2).unwrap();
+        store.sync_all().unwrap();
+        store.flush_pages(0, 2).unwrap();
+        #[cfg(all(feature = "mmap", target_os = "linux"))]
+        assert!(store.as_file().is_none());
     }
 
     #[test]

@@ -1,0 +1,526 @@
+//! Durable file-backed variant of the mmap backend.
+//!
+//! [`crate::MmapBackend`] places physical columns in anonymous main-memory
+//! files (memfd / unlinked tmpfs), so every table dies with the process.
+//! [`FileBackend`] keeps the same rewiring mechanics — a full `MAP_SHARED`
+//! write mapping over the store plus anonymous view reservations rewired
+//! with `mmap(MAP_FIXED)` — but backs each store with a **named file on
+//! disk** that survives the process. Two extra primitives make the store a
+//! usable durability substrate:
+//!
+//! * [`FileStore::flush_pages`] — `msync(MS_SYNC)` a page-group of the
+//!   store mapping, so dirty pages reach the file at chunk granularity;
+//! * [`FileStore::sync_all`] — `fsync` the backing file, the commit-point
+//!   barrier used by the write-ahead journal in `asv_core::wal`.
+//!
+//! The view type is shared with the mmap backend ([`MmapView`]): views are
+//! process-local virtual memory either way and are rebuilt on recovery.
+
+use std::fs::OpenOptions;
+use std::os::fd::AsRawFd;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::backend::{Backend, MapRequest, PhysicalStore};
+use crate::error::{Result, VmemError};
+use crate::layout::{PAGE_SIZE_BYTES, SLOTS_PER_PAGE};
+use crate::maps::{self, MappingTable};
+use crate::mmap::MmapView;
+
+static DIR_COUNTER: AtomicU64 = AtomicU64::new(0);
+static STORE_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// The file-backed rewiring backend: stores are named files on disk.
+#[derive(Clone, Debug)]
+pub struct FileBackend {
+    dir: PathBuf,
+}
+
+impl FileBackend {
+    /// Creates a backend that places store files in `dir` (created on first
+    /// use).
+    pub fn with_dir(dir: impl Into<PathBuf>) -> Self {
+        Self { dir: dir.into() }
+    }
+
+    /// Creates a backend with a process-unique directory under the system
+    /// temp dir. The files persist until the OS cleans the temp dir, which
+    /// is what the `--backend file` experiment runs want: durable within a
+    /// run, disposable after.
+    pub fn temp() -> Self {
+        let unique = DIR_COUNTER.fetch_add(1, Ordering::Relaxed);
+        Self::with_dir(
+            std::env::temp_dir().join(format!("asv-file-{}-{unique}", std::process::id())),
+        )
+    }
+
+    /// Directory holding this backend's store files.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
+/// A physical column materialized in a named file on disk.
+pub struct FileStore {
+    file: std::fs::File,
+    path: PathBuf,
+    num_pages: usize,
+    /// Full `MAP_SHARED` mapping of the file (write path). Null for empty
+    /// stores.
+    base: *mut u8,
+}
+
+// SAFETY: as for MmapStore — the store owns its file and base mapping
+// exclusively and the raw pointer is only dereferenced through &self /
+// &mut self methods.
+unsafe impl Send for FileStore {}
+unsafe impl Sync for FileStore {}
+
+impl FileStore {
+    /// Path of the backing file on disk.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Base address of the full write mapping (null for empty stores).
+    pub fn base_addr(&self) -> usize {
+        self.base as usize
+    }
+
+    fn bytes(&self) -> usize {
+        self.num_pages * PAGE_SIZE_BYTES
+    }
+
+    /// Synchronously writes a run of dirty pages back to the file
+    /// (`msync(MS_SYNC)` at page-group granularity).
+    pub fn flush_pages(&self, first_page: usize, len: usize) -> Result<()> {
+        if len == 0 {
+            return Ok(());
+        }
+        if first_page + len > self.num_pages {
+            return Err(VmemError::out_of_bounds(format!(
+                "flush of pages [{}, {}) exceeds store size {}",
+                first_page,
+                first_page + len,
+                self.num_pages
+            )));
+        }
+        let addr = unsafe { self.base.add(first_page * PAGE_SIZE_BYTES) };
+        let rc = unsafe {
+            libc::msync(
+                addr as *mut libc::c_void,
+                len * PAGE_SIZE_BYTES,
+                libc::MS_SYNC,
+            )
+        };
+        if rc != 0 {
+            return Err(VmemError::last_os_error("msync"));
+        }
+        Ok(())
+    }
+
+    /// Flushes the whole store mapping and fsyncs the backing file — the
+    /// durability barrier used at commit boundaries.
+    pub fn sync_all(&self) -> Result<()> {
+        self.flush_pages(0, self.num_pages)?;
+        self.file.sync_all()?;
+        Ok(())
+    }
+}
+
+impl PhysicalStore for FileStore {
+    fn num_pages(&self) -> usize {
+        self.num_pages
+    }
+
+    fn page(&self, phys_page: usize) -> &[u64] {
+        assert!(
+            phys_page < self.num_pages,
+            "physical page {phys_page} out of bounds ({} pages)",
+            self.num_pages
+        );
+        // SAFETY: bounds checked above; the mapping covers num_pages pages
+        // and lives as long as &self.
+        unsafe {
+            std::slice::from_raw_parts(
+                self.base.add(phys_page * PAGE_SIZE_BYTES) as *const u64,
+                SLOTS_PER_PAGE,
+            )
+        }
+    }
+
+    fn page_mut(&mut self, phys_page: usize) -> &mut [u64] {
+        assert!(
+            phys_page < self.num_pages,
+            "physical page {phys_page} out of bounds ({} pages)",
+            self.num_pages
+        );
+        // SAFETY: as above, and &mut self guarantees exclusive access through
+        // this handle.
+        unsafe {
+            std::slice::from_raw_parts_mut(
+                self.base.add(phys_page * PAGE_SIZE_BYTES) as *mut u64,
+                SLOTS_PER_PAGE,
+            )
+        }
+    }
+}
+
+impl Drop for FileStore {
+    fn drop(&mut self) {
+        if !self.base.is_null() {
+            unsafe {
+                libc::munmap(self.base as *mut libc::c_void, self.bytes());
+            }
+        }
+        // The File closes its descriptor on drop; the named file stays on
+        // disk — that is the durability contract.
+    }
+}
+
+impl Backend for FileBackend {
+    type Store = FileStore;
+    type View = MmapView;
+
+    fn name(&self) -> &'static str {
+        "file"
+    }
+
+    fn create_store(&self, num_pages: usize) -> Result<FileStore> {
+        std::fs::create_dir_all(&self.dir)?;
+        let unique = STORE_COUNTER.fetch_add(1, Ordering::Relaxed);
+        let path = self
+            .dir
+            .join(format!("store-{}-{unique}.asv", std::process::id()));
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)?;
+        let bytes = num_pages * PAGE_SIZE_BYTES;
+        file.set_len(bytes as u64)?;
+        let base = if bytes == 0 {
+            std::ptr::null_mut()
+        } else {
+            let ptr = unsafe {
+                libc::mmap(
+                    std::ptr::null_mut(),
+                    bytes,
+                    libc::PROT_READ | libc::PROT_WRITE,
+                    libc::MAP_SHARED,
+                    file.as_raw_fd(),
+                    0,
+                )
+            };
+            if ptr == libc::MAP_FAILED {
+                return Err(VmemError::last_os_error("mmap(file store)"));
+            }
+            ptr as *mut u8
+        };
+        Ok(FileStore {
+            file,
+            path,
+            num_pages,
+            base,
+        })
+    }
+
+    fn reserve_view(&self, _store: &FileStore, capacity_pages: usize) -> Result<MmapView> {
+        let bytes = capacity_pages * PAGE_SIZE_BYTES;
+        let base = if bytes == 0 {
+            std::ptr::null_mut()
+        } else {
+            let ptr = unsafe {
+                libc::mmap(
+                    std::ptr::null_mut(),
+                    bytes,
+                    libc::PROT_READ | libc::PROT_WRITE,
+                    libc::MAP_PRIVATE | libc::MAP_ANONYMOUS | libc::MAP_NORESERVE,
+                    -1,
+                    0,
+                )
+            };
+            if ptr == libc::MAP_FAILED {
+                return Err(VmemError::last_os_error("mmap(view reservation)"));
+            }
+            ptr as *mut u8
+        };
+        Ok(MmapView {
+            base,
+            capacity_pages,
+            mapped_pages: 0,
+        })
+    }
+
+    fn map_run(&self, store: &FileStore, view: &mut MmapView, req: MapRequest) -> Result<()> {
+        if req.len == 0 {
+            return Ok(());
+        }
+        if req.slot + req.len > view.capacity_pages {
+            return Err(VmemError::out_of_bounds(format!(
+                "view slots [{}, {}) exceed capacity {}",
+                req.slot,
+                req.slot + req.len,
+                view.capacity_pages
+            )));
+        }
+        if req.phys_page + req.len > store.num_pages {
+            return Err(VmemError::out_of_bounds(format!(
+                "physical pages [{}, {}) exceed store size {}",
+                req.phys_page,
+                req.phys_page + req.len,
+                store.num_pages
+            )));
+        }
+        let addr = unsafe { view.base.add(req.slot * PAGE_SIZE_BYTES) };
+        let ptr = unsafe {
+            libc::mmap(
+                addr as *mut libc::c_void,
+                req.len * PAGE_SIZE_BYTES,
+                libc::PROT_READ | libc::PROT_WRITE,
+                libc::MAP_SHARED | libc::MAP_FIXED,
+                store.file.as_raw_fd(),
+                (req.phys_page * PAGE_SIZE_BYTES) as libc::off_t,
+            )
+        };
+        if ptr == libc::MAP_FAILED {
+            return Err(VmemError::last_os_error("mmap(MAP_FIXED rewire)"));
+        }
+        view.mapped_pages = view.mapped_pages.max(req.slot + req.len);
+        Ok(())
+    }
+
+    fn truncate_view(&self, view: &mut MmapView, new_mapped_pages: usize) -> Result<()> {
+        if new_mapped_pages >= view.mapped_pages {
+            return Ok(());
+        }
+        let remove = view.mapped_pages - new_mapped_pages;
+        let addr = unsafe { view.base.add(new_mapped_pages * PAGE_SIZE_BYTES) };
+        let ptr = unsafe {
+            libc::mmap(
+                addr as *mut libc::c_void,
+                remove * PAGE_SIZE_BYTES,
+                libc::PROT_READ | libc::PROT_WRITE,
+                libc::MAP_PRIVATE | libc::MAP_ANONYMOUS | libc::MAP_FIXED | libc::MAP_NORESERVE,
+                -1,
+                0,
+            )
+        };
+        if ptr == libc::MAP_FAILED {
+            return Err(VmemError::last_os_error("mmap(anonymous re-cover)"));
+        }
+        view.mapped_pages = new_mapped_pages;
+        Ok(())
+    }
+
+    fn mapping_table(&self, _store: &FileStore, view: &MmapView) -> Result<MappingTable> {
+        let entries = maps::read_self_maps()?;
+        Ok(maps::mapping_table_for_window(
+            &entries,
+            view.base as usize,
+            view.capacity_pages * PAGE_SIZE_BYTES,
+        ))
+    }
+
+    fn mapping_tables(&self, _store: &FileStore, views: &[&MmapView]) -> Result<Vec<MappingTable>> {
+        let entries = maps::read_self_maps()?;
+        Ok(views
+            .iter()
+            .map(|v| {
+                maps::mapping_table_for_window(
+                    &entries,
+                    v.base as usize,
+                    v.capacity_pages * PAGE_SIZE_BYTES,
+                )
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::ViewBuffer;
+
+    fn temp_backend() -> FileBackend {
+        FileBackend::temp()
+    }
+
+    fn fill_page(store: &mut FileStore, page: usize) {
+        let data = store.page_mut(page);
+        data[0] = page as u64;
+        for (i, slot) in data.iter_mut().enumerate().skip(1) {
+            *slot = (page * 1000 + i) as u64;
+        }
+    }
+
+    fn cleanup(b: &FileBackend) {
+        let _ = std::fs::remove_dir_all(b.dir());
+    }
+
+    #[test]
+    fn store_write_read_roundtrip() {
+        let b = temp_backend();
+        let mut store = b.create_store(8).unwrap();
+        for p in 0..8 {
+            fill_page(&mut store, p);
+        }
+        for p in 0..8 {
+            let page = store.page(p);
+            assert_eq!(page[0], p as u64);
+            assert_eq!(
+                page[SLOTS_PER_PAGE - 1],
+                (p * 1000 + SLOTS_PER_PAGE - 1) as u64
+            );
+        }
+        drop(store);
+        cleanup(&b);
+    }
+
+    #[test]
+    fn flushed_pages_survive_in_the_file() {
+        let b = temp_backend();
+        let mut store = b.create_store(4).unwrap();
+        for p in 0..4 {
+            fill_page(&mut store, p);
+        }
+        store.flush_pages(1, 2).unwrap();
+        store.sync_all().unwrap();
+        let path = store.path().to_path_buf();
+        drop(store);
+        // Re-read the raw file: the flushed pages must be on disk.
+        let bytes = std::fs::read(&path).unwrap();
+        assert_eq!(bytes.len(), 4 * PAGE_SIZE_BYTES);
+        for p in 0..4 {
+            let off = p * PAGE_SIZE_BYTES;
+            let slot0 = u64::from_le_bytes(bytes[off..off + 8].try_into().unwrap());
+            assert_eq!(slot0, p as u64, "page {p} id survived");
+            let off1 = off + 8;
+            let slot1 = u64::from_le_bytes(bytes[off1..off1 + 8].try_into().unwrap());
+            assert_eq!(slot1, (p * 1000 + 1) as u64);
+        }
+        cleanup(&b);
+    }
+
+    #[test]
+    fn flush_bounds_are_checked() {
+        let b = temp_backend();
+        let store = b.create_store(2).unwrap();
+        assert!(store.flush_pages(1, 2).is_err());
+        store.flush_pages(0, 0).unwrap();
+        drop(store);
+        cleanup(&b);
+    }
+
+    #[test]
+    fn rewired_view_reads_scattered_pages_in_slot_order() {
+        let b = temp_backend();
+        let mut store = b.create_store(16).unwrap();
+        for p in 0..16 {
+            fill_page(&mut store, p);
+        }
+        let mut view = b.reserve_view(&store, 16).unwrap();
+        b.map_run(
+            &store,
+            &mut view,
+            MapRequest {
+                slot: 0,
+                phys_page: 5,
+                len: 3,
+            },
+        )
+        .unwrap();
+        b.map_run(&store, &mut view, MapRequest::single(3, 12))
+            .unwrap();
+        assert_eq!(view.mapped_pages(), 4);
+        let ids: Vec<u64> = view.iter_pages().map(|p| p[0]).collect();
+        assert_eq!(ids, vec![5, 6, 7, 12]);
+        drop(view);
+        drop(store);
+        cleanup(&b);
+    }
+
+    #[test]
+    fn writes_through_store_are_visible_in_views() {
+        let b = temp_backend();
+        let mut store = b.create_store(4).unwrap();
+        let mut view = b.reserve_view(&store, 4).unwrap();
+        b.map_run(&store, &mut view, MapRequest::single(0, 2))
+            .unwrap();
+        store.page_mut(2)[10] = 0xDEAD_BEEF;
+        assert_eq!(view.page(0)[10], 0xDEAD_BEEF);
+        drop(view);
+        drop(store);
+        cleanup(&b);
+    }
+
+    #[test]
+    fn truncate_and_remap_work_like_the_mmap_backend() {
+        let b = temp_backend();
+        let store = b.create_store(8).unwrap();
+        let mut view = b.reserve_view(&store, 8).unwrap();
+        b.map_run(
+            &store,
+            &mut view,
+            MapRequest {
+                slot: 0,
+                phys_page: 0,
+                len: 5,
+            },
+        )
+        .unwrap();
+        b.truncate_view(&mut view, 2).unwrap();
+        assert_eq!(view.mapped_pages(), 2);
+        b.map_run(&store, &mut view, MapRequest::single(2, 7))
+            .unwrap();
+        assert_eq!(view.mapped_pages(), 3);
+        drop(view);
+        drop(store);
+        cleanup(&b);
+    }
+
+    #[test]
+    fn mapping_table_reflects_rewiring() {
+        let b = temp_backend();
+        let store = b.create_store(32).unwrap();
+        let mut view = b.reserve_view(&store, 32).unwrap();
+        b.map_run(
+            &store,
+            &mut view,
+            MapRequest {
+                slot: 0,
+                phys_page: 10,
+                len: 2,
+            },
+        )
+        .unwrap();
+        b.map_run(&store, &mut view, MapRequest::single(2, 30))
+            .unwrap();
+        let table = b.mapping_table(&store, &view).unwrap();
+        assert_eq!(table.len(), 3);
+        assert_eq!(table.phys_for_slot(0), Some(10));
+        assert_eq!(table.phys_for_slot(2), Some(30));
+        drop(view);
+        drop(store);
+        cleanup(&b);
+    }
+
+    #[test]
+    fn empty_store_is_allowed() {
+        let b = temp_backend();
+        let store = b.create_store(0).unwrap();
+        assert_eq!(store.num_pages(), 0);
+        store.sync_all().unwrap();
+        let view = b.reserve_view(&store, 0).unwrap();
+        assert_eq!(view.capacity_pages(), 0);
+        drop(view);
+        drop(store);
+        cleanup(&b);
+    }
+
+    #[test]
+    fn backend_reports_its_name() {
+        assert_eq!(temp_backend().name(), "file");
+    }
+}

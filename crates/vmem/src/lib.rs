@@ -32,6 +32,8 @@
 pub mod any;
 pub mod backend;
 pub mod error;
+#[cfg(all(feature = "mmap", target_os = "linux"))]
+pub mod file;
 pub mod layout;
 pub mod maps;
 #[cfg(all(feature = "mmap", target_os = "linux"))]
@@ -41,6 +43,8 @@ pub mod sim;
 pub use any::{AnyBackend, AnyStore, AnyView};
 pub use backend::{Backend, MapRequest, PhysicalStore, ViewBuffer};
 pub use error::{Result, VmemError};
+#[cfg(all(feature = "mmap", target_os = "linux"))]
+pub use file::{FileBackend, FileStore};
 pub use layout::{PAGE_SIZE_BYTES, SLOTS_PER_PAGE, VALUES_PER_PAGE};
 pub use maps::{parse_maps_line, read_self_maps, MappingTable, ProcMapsEntry};
 #[cfg(all(feature = "mmap", target_os = "linux"))]

@@ -191,9 +191,9 @@ impl Drop for MmapStore {
 /// A virtual view buffer: an anonymous reservation whose page slots are
 /// rewired onto physical pages of a [`MmapStore`].
 pub struct MmapView {
-    base: *mut u8,
-    capacity_pages: usize,
-    mapped_pages: usize,
+    pub(crate) base: *mut u8,
+    pub(crate) capacity_pages: usize,
+    pub(crate) mapped_pages: usize,
 }
 
 // SAFETY: the view owns its reservation exclusively; see MmapStore.

@@ -28,6 +28,10 @@ pub const MAP_NORESERVE: c_int = 0x4000;
 
 pub const MAP_FAILED: *mut c_void = !0 as *mut c_void;
 
+// --- msync(2) flags (asm-generic) ---------------------------------------
+pub const MS_ASYNC: c_int = 0x1;
+pub const MS_SYNC: c_int = 0x4;
+
 // --- open(2) flags ------------------------------------------------------
 pub const O_RDWR: c_int = 0o2;
 pub const O_CREAT: c_int = 0o100;
@@ -44,6 +48,7 @@ extern "C" {
         offset: off_t,
     ) -> *mut c_void;
     pub fn munmap(addr: *mut c_void, len: size_t) -> c_int;
+    pub fn msync(addr: *mut c_void, len: size_t, flags: c_int) -> c_int;
     pub fn memfd_create(name: *const c_char, flags: c_uint) -> c_int;
     pub fn ftruncate(fd: c_int, length: off_t) -> c_int;
     pub fn close(fd: c_int) -> c_int;
@@ -70,6 +75,29 @@ mod tests {
             *(ptr as *mut u64) = 0xFEED;
             assert_eq!(*(ptr as *const u64), 0xFEED);
             assert_eq!(munmap(ptr, 4096), 0);
+        }
+    }
+
+    #[test]
+    fn msync_on_shared_file_mapping() {
+        let name = std::ffi::CString::new("libc-shim-msync").unwrap();
+        unsafe {
+            let fd = memfd_create(name.as_ptr(), 0);
+            assert!(fd >= 0, "memfd_create failed");
+            assert_eq!(ftruncate(fd, 4096), 0);
+            let ptr = mmap(
+                std::ptr::null_mut(),
+                4096,
+                PROT_READ | PROT_WRITE,
+                MAP_SHARED,
+                fd,
+                0,
+            );
+            assert_ne!(ptr, MAP_FAILED);
+            *(ptr as *mut u64) = 0xCAFE;
+            assert_eq!(msync(ptr, 4096, MS_SYNC), 0);
+            assert_eq!(munmap(ptr, 4096), 0);
+            assert_eq!(close(fd), 0);
         }
     }
 
